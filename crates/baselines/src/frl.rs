@@ -1,0 +1,204 @@
+//! Falling Rule Lists (Chen & Rudin — AISTATS 2018).
+//!
+//! An FRL is an *ordered* list of if-then rules whose positive-class
+//! probabilities are monotonically non-increasing: the first matching rule
+//! fires, and later rules always predict lower risk. We implement the
+//! standard greedy construction: among frequent candidate patterns,
+//! repeatedly append the rule with the highest positive rate on the
+//! *not-yet-covered* tuples, subject to the falling constraint and a
+//! minimum support, ending with the default rule on the remainder.
+
+use mining::apriori::apriori;
+use table::bitset::BitSet;
+use table::pattern::Pattern;
+use table::Table;
+
+/// One rule of the list.
+#[derive(Debug, Clone)]
+pub struct FrlRule {
+    /// The if-clause.
+    pub pattern: Pattern,
+    /// Positive probability among the tuples this rule fires on.
+    pub prob: f64,
+    /// Number of tuples the rule fires on (first-match semantics).
+    pub support: usize,
+}
+
+/// A complete falling rule list.
+#[derive(Debug, Clone)]
+pub struct FrlList {
+    /// Ordered rules with non-increasing probabilities.
+    pub rules: Vec<FrlRule>,
+    /// Positive probability of the default (else) rule.
+    pub default_prob: f64,
+    /// Tuples falling through to the default rule.
+    pub default_support: usize,
+}
+
+impl FrlList {
+    /// Predicted positive-probability for a tuple.
+    pub fn predict(&self, table: &Table, row: usize) -> f64 {
+        for r in &self.rules {
+            if r.pattern.matches_row(table, row) {
+                return r.prob;
+            }
+        }
+        self.default_prob
+    }
+}
+
+/// Learn a falling rule list with at most `k` rules.
+pub fn frl(
+    table: &Table,
+    y: &[bool],
+    attrs: &[usize],
+    k: usize,
+    tau: f64,
+    max_len: usize,
+) -> FrlList {
+    let n = table.nrows();
+    let min_support = ((tau * n as f64).ceil() as usize).max(1);
+    let frequent = apriori(table, attrs, min_support, max_len);
+
+    let mut uncovered = BitSet::full(n);
+    let mut rules: Vec<FrlRule> = Vec::new();
+    let mut last_prob = 1.0_f64;
+
+    while rules.len() < k {
+        let mut best: Option<(usize, f64, usize)> = None; // (idx, prob, new_support)
+        for (ci, fp) in frequent.iter().enumerate() {
+            let mut new_rows = fp.rows.clone();
+            new_rows.intersect_with(&uncovered);
+            let support = new_rows.count();
+            if support < min_support {
+                continue;
+            }
+            let pos = new_rows.iter().filter(|&r| y[r]).count();
+            let prob = pos as f64 / support as f64;
+            if prob > last_prob + 1e-12 {
+                continue; // falling constraint
+            }
+            let better = match best {
+                None => true,
+                Some((_, bp, bs)) => prob > bp + 1e-12 || (prob > bp - 1e-12 && support > bs),
+            };
+            if better {
+                best = Some((ci, prob, support));
+            }
+        }
+        let Some((ci, prob, support)) = best else {
+            break;
+        };
+        // Stop once the best remaining rule is no better than the running
+        // remainder rate — it carries no signal.
+        let rem_pos = uncovered.iter().filter(|&r| y[r]).count();
+        let rem_rate = rem_pos as f64 / uncovered.count().max(1) as f64;
+        if prob <= rem_rate + 1e-12 {
+            break;
+        }
+        let mut new_rows = frequent[ci].rows.clone();
+        new_rows.intersect_with(&uncovered);
+        for r in new_rows.iter() {
+            uncovered.remove(r);
+        }
+        rules.push(FrlRule {
+            pattern: frequent[ci].pattern.clone(),
+            prob,
+            support,
+        });
+        last_prob = prob;
+    }
+
+    let default_support = uncovered.count();
+    let default_pos = uncovered.iter().filter(|&r| y[r]).count();
+    let default_prob = if default_support > 0 {
+        default_pos as f64 / default_support as f64
+    } else {
+        0.0
+    };
+    FrlList {
+        rules,
+        default_prob,
+        default_support,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use table::TableBuilder;
+
+    /// P(y) = 0.9 for tier=gold, 0.5 for silver, 0.1 for bronze.
+    fn toy() -> (Table, Vec<bool>) {
+        let n = 600;
+        let tiers: Vec<&str> = (0..n)
+            .map(|i| match i % 3 {
+                0 => "gold",
+                1 => "silver",
+                _ => "bronze",
+            })
+            .collect();
+        let y: Vec<bool> = (0..n)
+            .map(|i| match i % 3 {
+                0 => i % 10 != 9,      // 0.9
+                1 => (i / 3) % 2 == 0, // 0.5
+                _ => i % 30 == 2,      // ~0.1
+            })
+            .collect();
+        let noise: Vec<&str> = (0..n).map(|i| if i % 7 == 0 { "a" } else { "b" }).collect();
+        let t = TableBuilder::new()
+            .cat("tier", &tiers)
+            .unwrap()
+            .cat("noise", &noise)
+            .unwrap()
+            .build()
+            .unwrap();
+        (t, y)
+    }
+
+    #[test]
+    fn probabilities_fall() {
+        let (t, y) = toy();
+        let list = frl(&t, &y, &[0, 1], 5, 0.05, 2);
+        assert!(!list.rules.is_empty());
+        for w in list.rules.windows(2) {
+            assert!(w[0].prob >= w[1].prob - 1e-12);
+        }
+        // All listed rules must beat the default.
+        for r in &list.rules {
+            assert!(r.prob >= list.default_prob - 1e-9);
+        }
+    }
+
+    #[test]
+    fn gold_rule_comes_first() {
+        let (t, y) = toy();
+        let list = frl(&t, &y, &[0, 1], 5, 0.05, 2);
+        let first = &list.rules[0];
+        assert!(
+            first.pattern.display(&t).contains("gold"),
+            "got {}",
+            first.pattern.display(&t)
+        );
+        assert!(first.prob > 0.85);
+    }
+
+    #[test]
+    fn predict_uses_first_match() {
+        let (t, y) = toy();
+        let list = frl(&t, &y, &[0, 1], 5, 0.05, 2);
+        // Row 0 is gold.
+        let p = list.predict(&t, 0);
+        assert!(p > 0.8);
+        // Row 2 is bronze — default or a low rule.
+        let p = list.predict(&t, 2);
+        assert!(p < 0.3);
+    }
+
+    #[test]
+    fn rule_budget_respected() {
+        let (t, y) = toy();
+        let list = frl(&t, &y, &[0, 1], 1, 0.05, 2);
+        assert!(list.rules.len() <= 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! # baselines — the §6.1 comparison systems
+//!
+//! CauSumX is evaluated against six baselines; the four that are systems in
+//! their own right are re-implemented here (Brute-Force and the CauSumX
+//! variants live in the `causumx` crate, where they share the pipeline):
+//!
+//! * [`explanation_table`] — El Gebaly et al.'s information-gain greedy
+//!   pattern tables over a binarized outcome, plus the
+//!   [`explanation_table_g`] per-group variant the paper adds for fairness,
+//! * [`ids`] — Lakkaraju et al.'s Interpretable Decision Sets, as the
+//!   standard smooth-greedy optimization of the coverage/accuracy/
+//!   conciseness objective,
+//! * [`frl`] — Chen & Rudin's Falling Rule Lists: an ordered rule list
+//!   with monotonically non-increasing positive-class probability,
+//! * [`xinsight`] — an XInsight-style explainer that contrasts *pairs* of
+//!   output groups, attributing their average difference to distribution
+//!   shifts of causally-marked atomic patterns. Its output is Θ(m²) in the
+//!   number of groups — the scalability wall §6.2 describes.
+//!
+//! IDS, FRL and Explanation-Table assume a binary outcome; as in the paper
+//! we bin the outcome at its mean ([`binarize_outcome`]).
+
+pub mod expl_table;
+pub mod frl;
+pub mod ids;
+pub mod xinsight;
+
+pub use expl_table::{explanation_table, explanation_table_g, ExplRule};
+pub use frl::{frl, FrlList, FrlRule};
+pub use ids::{ids, IdsRule};
+pub use xinsight::{xinsight, XInsightFinding};
+
+use table::Table;
+
+/// Binarize a numeric outcome at its mean (the paper's protocol for the
+/// binary-outcome baselines).
+pub fn binarize_outcome(table: &Table, outcome: usize) -> Vec<bool> {
+    let col = table.column(outcome);
+    let n = table.nrows();
+    let mean = (0..n).map(|r| col.get_f64(r)).sum::<f64>() / n.max(1) as f64;
+    (0..n).map(|r| col.get_f64(r) > mean).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use table::TableBuilder;
+
+    #[test]
+    fn binarize_splits_at_mean() {
+        let t = TableBuilder::new()
+            .float("y", vec![1.0, 2.0, 3.0, 10.0])
+            .unwrap()
+            .build()
+            .unwrap();
+        let b = binarize_outcome(&t, 0);
+        assert_eq!(b, vec![false, false, false, true]);
+    }
+}

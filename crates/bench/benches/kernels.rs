@@ -1,0 +1,147 @@
+//! Criterion micro-benchmarks of the hot kernels: group-by evaluation,
+//! pattern evaluation, Apriori, CATE estimation, the treatment lattice,
+//! and the simplex/rounding selection step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use causal::estimate::{estimate_cate, CateOptions};
+use lpsolve::cover::{randomized_rounding, solve_lp_relaxation, CoverInstance};
+use mining::apriori::apriori;
+use mining::grouping::mine_grouping_patterns;
+use mining::treatment::{Direction, LatticeOptions, TreatmentMiner};
+use table::bitset::BitSet;
+use table::fd::{fd_closure, treatment_attrs};
+use table::pattern::{Pattern, Pred};
+
+fn bench_groupby(c: &mut Criterion) {
+    let ds = datagen::so::generate(10_000, 1);
+    let query = ds.query();
+    c.bench_function("groupby_avg_10k", |b| {
+        b.iter(|| query.run(&ds.table).unwrap().num_groups())
+    });
+}
+
+fn bench_pattern_eval(c: &mut Criterion) {
+    let ds = datagen::so::generate(10_000, 1);
+    let edu = ds.table.attr("Education").unwrap();
+    let age = ds.table.attr("Age").unwrap();
+    let p = Pattern::new(vec![
+        Pred::eq(edu, "Masters"),
+        Pred::cmp(age, table::Op::Lt, 35i64),
+    ]);
+    c.bench_function("pattern_eval_10k_2preds", |b| {
+        b.iter(|| p.eval(&ds.table).unwrap().iter().filter(|&&x| x).count())
+    });
+}
+
+fn bench_apriori(c: &mut Criterion) {
+    let ds = datagen::so::generate(10_000, 1);
+    let gp = fd_closure(&ds.table, &ds.group_by, &[ds.outcome]);
+    let min_support = ds.table.nrows() / 10;
+    c.bench_function("apriori_grouping_10k", |b| {
+        b.iter(|| apriori(&ds.table, &gp, min_support, 3).len())
+    });
+}
+
+fn bench_grouping_mining(c: &mut Criterion) {
+    let ds = datagen::so::generate(10_000, 1);
+    let view = ds.query().run(&ds.table).unwrap();
+    let gp = fd_closure(&ds.table, &ds.group_by, &[ds.outcome]);
+    c.bench_function("grouping_patterns_10k", |b| {
+        b.iter(|| mine_grouping_patterns(&ds.table, &view, &gp, 0.1, 3).len())
+    });
+}
+
+fn bench_cate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cate");
+    for &n in &[2_000usize, 8_000] {
+        let ds = datagen::so::generate(n, 1);
+        let edu = ds.table.attr("Education").unwrap();
+        let p = Pattern::single(Pred::eq(edu, "Masters"));
+        let treated = p.eval(&ds.table).unwrap();
+        // Confounders of Education in the ground-truth DAG.
+        let conf: Vec<usize> = ["Age", "Gender", "EducationParents"]
+            .iter()
+            .map(|a| ds.table.attr(a).unwrap())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                estimate_cate(
+                    &ds.table,
+                    None,
+                    &treated,
+                    ds.outcome,
+                    &conf,
+                    &CateOptions::default(),
+                )
+                .unwrap()
+                .cate
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lattice(c: &mut Criterion) {
+    let ds = datagen::so::generate(4_000, 1);
+    let t_attrs = treatment_attrs(&ds.table, &ds.group_by, &[ds.outcome]);
+    let miner = TreatmentMiner::new(
+        &ds.table,
+        &ds.dag,
+        ds.outcome,
+        &t_attrs,
+        LatticeOptions::default(),
+    );
+    let subpop = vec![true; ds.table.nrows()];
+    c.bench_function("treatment_lattice_so_4k", |b| {
+        b.iter(|| {
+            miner
+                .top_treatment(&subpop, Direction::Positive)
+                .0
+                .is_some()
+        })
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    // 60 candidates over 40 groups, k = 5, θ = 0.75.
+    let m = 40;
+    let l = 60;
+    let covers: Vec<BitSet> = (0..l)
+        .map(|j| {
+            let mut b = BitSet::new(m);
+            for g in 0..m {
+                if (g * 7 + j * 3) % 5 < 2 {
+                    b.insert(g);
+                }
+            }
+            b
+        })
+        .collect();
+    let inst = CoverInstance {
+        weights: (0..l).map(|j| 1.0 + (j % 13) as f64).collect(),
+        covers,
+        m,
+        k: 5,
+        theta: 0.75,
+    };
+    c.bench_function("lp_relax_plus_rounding_60x40", |b| {
+        b.iter(|| {
+            let g = solve_lp_relaxation(&inst).unwrap();
+            randomized_rounding(&inst, &g, 64, 7).unwrap().total_weight
+        })
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_groupby,
+        bench_pattern_eval,
+        bench_apriori,
+        bench_grouping_mining,
+        bench_cate,
+        bench_lattice,
+        bench_selection
+);
+criterion_main!(kernels);

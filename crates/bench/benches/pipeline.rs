@@ -1,0 +1,40 @@
+//! End-to-end pipeline benchmarks: the full Algorithm-1 run per dataset at
+//! bench scale, plus the discovery algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use causumx::{Causumx, CausumxConfig};
+use discovery::{attr_names, lingam, numeric_columns, pc};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("causumx_end_to_end");
+    for (name, ds) in [
+        ("german", datagen::german::generate(1_000, 1)),
+        ("so", datagen::so::generate(4_000, 1)),
+        ("adult", datagen::adult::generate(4_000, 1)),
+    ] {
+        let cfg = CausumxConfig::default();
+        group.bench_function(name, |b| {
+            let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg.clone());
+            b.iter(|| engine.run().unwrap().total_weight)
+        });
+    }
+    group.finish();
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let ds = datagen::adult::generate(1_000, 1);
+    let data = numeric_columns(&ds.table);
+    let names = attr_names(&ds.table);
+    let mut group = c.benchmark_group("discovery_adult_1k");
+    group.bench_function("pc", |b| b.iter(|| pc(&data, &names, 0.01).num_edges()));
+    group.bench_function("lingam", |b| b.iter(|| lingam(&data, &names).num_edges()));
+    group.finish();
+}
+
+criterion_group!(
+    name = pipeline;
+    config = Criterion::default().sample_size(10);
+    targets = bench_end_to_end, bench_discovery
+);
+criterion_main!(pipeline);

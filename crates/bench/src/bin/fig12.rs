@@ -1,0 +1,70 @@
+//! Fig. 12 — running time vs number of attributes (SO and Accidents).
+//!
+//! Attributes are randomly excluded (here: the treatment-attribute tail is
+//! truncated, keeping group-by, FD and outcome columns). The paper's
+//! finding: Brute-Force grows exponentially with attribute count while
+//! CauSumX grows roughly linearly thanks to the §5.2 pruning.
+//!
+//! ```sh
+//! cargo run -p bench --bin fig12 --release [-- --seed N]
+//! ```
+
+use bench::{fmt, paper_config, timed, ExpOptions, Report};
+use causumx::Causumx;
+use table::fd::fd_closure;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    eprintln!("Fig. 12 — time vs #attributes");
+    let mut report = Report::new(&["dataset", "attrs", "causumx ms", "brute-force ms"]);
+
+    for name in ["so", "accidents"] {
+        let ds = match name {
+            "so" => datagen::so::generate(4_000, opts.seed),
+            _ => datagen::accidents::generate(4_000, opts.seed),
+        };
+        // Mandatory columns: group-by, FD closure, outcome.
+        let gp_attrs = fd_closure(&ds.table, &ds.group_by, &[ds.outcome]);
+        let mut mandatory: Vec<usize> = ds.group_by.clone();
+        mandatory.extend(&gp_attrs);
+        mandatory.push(ds.outcome);
+        let optional: Vec<usize> = (0..ds.table.ncols())
+            .filter(|a| !mandatory.contains(a))
+            .collect();
+
+        for frac_idx in 1..=4usize {
+            let take = optional.len() * frac_idx / 4;
+            let mut attrs = mandatory.clone();
+            attrs.extend(optional.iter().take(take));
+            attrs.sort_unstable();
+            let sub = ds.table.select(&attrs);
+            let group_by: Vec<usize> = ds
+                .group_by
+                .iter()
+                .map(|&g| sub.attr(&ds.table.schema().field(g).name).unwrap())
+                .collect();
+            let outcome = sub.attr(ds.outcome_name()).unwrap();
+            let query = table::GroupByAvgQuery::new(group_by, outcome);
+
+            let cfg = paper_config();
+            let engine = Causumx::new(&sub, &ds.dag, query.clone(), cfg);
+            let (_, ms) = timed(|| engine.run().expect("run"));
+
+            // Brute force only at the smallest attribute counts and only
+            // on SO (as in the paper, it exceeds any cutoff beyond that).
+            let bf = if name == "so" && frac_idx <= 2 {
+                let mut cfg = paper_config();
+                cfg.lattice.max_level = 2;
+                let engine = Causumx::new(&sub, &ds.dag, query, cfg);
+                let (_, bf_ms) = timed(|| engine.run_brute_force().expect("bf"));
+                fmt(bf_ms, 1)
+            } else {
+                "> cutoff".to_string()
+            };
+
+            report.row(&[name.to_string(), attrs.len().to_string(), fmt(ms, 1), bf]);
+            eprintln!("  {name} attrs={}: causumx {ms:.0} ms", attrs.len());
+        }
+    }
+    report.emit("fig12");
+}

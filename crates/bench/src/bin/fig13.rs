@@ -1,0 +1,46 @@
+//! Fig. 13 — running time vs number of treatment patterns (Adult and
+//! IMPUS-CPS). The atomic-treatment count is varied through the
+//! numeric-binning and per-attribute caps; runtime grows roughly linearly
+//! with the solution space, as the paper reports.
+//!
+//! ```sh
+//! cargo run -p bench --bin fig13 --release [-- --seed N]
+//! ```
+
+use bench::{fmt, paper_config, timed, ExpOptions, Report};
+use causumx::Causumx;
+use mining::treatment::TreatmentMiner;
+use table::fd::treatment_attrs;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    eprintln!("Fig. 13 — time vs #treatment patterns");
+    let mut report = Report::new(&["dataset", "atomic treatments", "causumx ms"]);
+
+    for name in ["adult", "impus"] {
+        let ds = match name {
+            "adult" => datagen::adult::generate(4_000, opts.seed),
+            _ => datagen::impus::generate(4_000, opts.seed),
+        };
+        for (bins, cap) in [(2usize, 3usize), (3, 6), (4, 10), (6, 16)] {
+            let mut cfg = paper_config();
+            cfg.lattice.numeric_bins = bins;
+            cfg.lattice.max_atoms_per_attr = cap;
+            // Count the atomic treatments this setting yields.
+            let t_attrs = treatment_attrs(&ds.table, &ds.group_by, &[ds.outcome]);
+            let miner = TreatmentMiner::new(
+                &ds.table,
+                &ds.dag,
+                ds.outcome,
+                &t_attrs,
+                cfg.lattice.clone(),
+            );
+            let atoms = miner.num_atoms();
+            let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
+            let (_, ms) = timed(|| engine.run().expect("run"));
+            report.row(&[name.to_string(), atoms.to_string(), fmt(ms, 1)]);
+            eprintln!("  {name} atoms={atoms}: {ms:.0} ms");
+        }
+    }
+    report.emit("fig13");
+}

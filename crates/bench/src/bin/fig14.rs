@@ -1,0 +1,45 @@
+//! Fig. 14 / Fig. 20 — runtime breakdown by step of the CauSumX
+//! algorithm: grouping-pattern mining, treatment-pattern mining, LP
+//! selection. The paper's finding: treatment mining dominates everywhere.
+//!
+//! ```sh
+//! cargo run -p bench --bin fig14 --release [-- --scale small|paper --seed N]
+//! ```
+
+use bench::{fmt, paper_config, ExpOptions, Report};
+use causumx::Causumx;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    eprintln!("Fig. 14 — runtime by step (scale = {})", opts.scale_name);
+    let mut report = Report::new(&[
+        "dataset",
+        "grouping ms",
+        "treatment ms",
+        "selection ms",
+        "treatment share",
+    ]);
+
+    for ds in datagen::all_datasets(&opts.scale, opts.seed) {
+        let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), paper_config());
+        let summary = engine.run().expect("run");
+        let t = summary.timings;
+        let share = if t.total_ms() > 0.0 {
+            t.treatment_ms / t.total_ms()
+        } else {
+            0.0
+        };
+        report.row(&[
+            ds.name.to_string(),
+            fmt(t.grouping_ms, 1),
+            fmt(t.treatment_ms, 1),
+            fmt(t.selection_ms, 1),
+            format!("{:.0}%", share * 100.0),
+        ]);
+        eprintln!(
+            "  {}: {:.0}/{:.0}/{:.0} ms",
+            ds.name, t.grouping_ms, t.treatment_ms, t.selection_ms
+        );
+    }
+    report.emit("fig14");
+}

@@ -1,0 +1,136 @@
+//! §6.2 quality comparison — CauSumX vs the rule-learning and pairwise
+//! baselines on the SO dataset: what each system outputs for the same
+//! aggregate view, with timings and output sizes.
+//!
+//! ```sh
+//! cargo run -p bench --bin quality --release [-- --scale small|paper --seed N]
+//! ```
+
+use baselines::{binarize_outcome, explanation_table, frl, ids, xinsight};
+use bench::{fmt, paper_config, timed, ExpOptions, Report};
+use causumx::{render_summary, Causumx};
+use table::fd::treatment_attrs;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let ds = datagen::so::generate(opts.scale.so, opts.seed);
+    let query = ds.query();
+    let view = query.run(&ds.table).unwrap();
+    let y = binarize_outcome(&ds.table, ds.outcome);
+    let cat_attrs: Vec<usize> = (0..ds.table.ncols())
+        .filter(|&a| a != ds.outcome && ds.table.column(a).dict().is_some())
+        .filter(|&a| !ds.group_by.contains(&a))
+        .collect();
+
+    let mut report = Report::new(&["system", "time ms", "output", "causal", "per-group"]);
+
+    // CauSumX.
+    let mut cfg = paper_config();
+    cfg.k = 3;
+    cfg.theta = 1.0;
+    let engine = Causumx::new(&ds.table, &ds.dag, query, cfg);
+    let (summary, ms) = timed(|| engine.run().expect("run"));
+    report.row(&[
+        "CauSumX".into(),
+        fmt(ms, 0),
+        format!("{} explanation patterns", summary.explanations.len()),
+        "yes".into(),
+        "yes".into(),
+    ]);
+    println!("--- CauSumX summary ---");
+    print!("{}", render_summary(&ds.table, &view, &summary, "salary"));
+
+    // IDS.
+    let (rules, ms) = timed(|| ids(&ds.table, &y, &cat_attrs, 5, 0.05, 2));
+    report.row(&[
+        "IDS".into(),
+        fmt(ms, 0),
+        format!("{} decision rules", rules.len()),
+        "no".into(),
+        "no".into(),
+    ]);
+    println!("\n--- IDS rules (binary income>mean) ---");
+    for r in &rules {
+        println!(
+            "  IF {} THEN {} (precision {:.2}, n={})",
+            r.pattern.display(&ds.table),
+            if r.class { "high" } else { "low" },
+            r.precision,
+            r.support
+        );
+    }
+
+    // FRL.
+    let (list, ms) = timed(|| frl(&ds.table, &y, &cat_attrs, 5, 0.05, 2));
+    report.row(&[
+        "FRL".into(),
+        fmt(ms, 0),
+        format!("{} ordered rules", list.rules.len()),
+        "no".into(),
+        "no".into(),
+    ]);
+    println!("\n--- FRL (falling rule list) ---");
+    for r in &list.rules {
+        println!(
+            "  IF {} THEN P(high) = {:.2} (n={})",
+            r.pattern.display(&ds.table),
+            r.prob,
+            r.support
+        );
+    }
+    println!(
+        "  ELSE P(high) = {:.2} (n={})",
+        list.default_prob, list.default_support
+    );
+
+    // Explanation-Table.
+    let (rules, ms) = timed(|| explanation_table(&ds.table, &y, &cat_attrs, 5, 2));
+    report.row(&[
+        "Explanation-Table".into(),
+        fmt(ms, 0),
+        format!("{} table rows", rules.len()),
+        "no".into(),
+        "no".into(),
+    ]);
+    println!("\n--- Explanation-Table rows ---");
+    for r in &rules {
+        println!(
+            "  {} → rate {:.2} (gain {:.1}, n={})",
+            r.pattern.display(&ds.table),
+            r.rate,
+            r.gain,
+            r.support
+        );
+    }
+
+    // XInsight-style pairwise explainer — note the O(m²) output size.
+    let t_attrs = treatment_attrs(&ds.table, &ds.group_by, &[ds.outcome]);
+    let (findings, ms) = timed(|| xinsight(&ds.table, &view, &ds.dag, &t_attrs, ds.outcome, 3));
+    let size = baselines::xinsight::rendered_size(&ds.table, &findings);
+    report.row(&[
+        "XInsight (pairwise)".into(),
+        fmt(ms, 0),
+        format!("{} findings ≈ {} KB", findings.len(), size / 1024),
+        "yes".into(),
+        "pairs only".into(),
+    ]);
+    println!(
+        "\n--- XInsight-style pairwise output: {} findings over {} group pairs (≈{} KB rendered) ---",
+        findings.len(),
+        view.num_groups() * (view.num_groups() - 1) / 2,
+        size / 1024
+    );
+    for f in findings.iter().take(5) {
+        println!(
+            "  {} vs {}: {} (contribution {:.2}, causal={})",
+            view.group_label(&ds.table, f.group_a),
+            view.group_label(&ds.table, f.group_b),
+            f.pattern.display(&ds.table),
+            f.contribution,
+            f.causal
+        );
+    }
+
+    println!();
+    report.emit("quality");
+}

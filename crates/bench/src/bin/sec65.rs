@@ -1,0 +1,56 @@
+//! §6.5 text results — the two sweeps reported without figures:
+//! (a) running time vs the number of grouping patterns (via the Apriori
+//! threshold), where CauSumX stays nearly flat thanks to per-pattern
+//! parallelism; (b) running time vs the solution size `k`, which only
+//! affects the (cheap) final phase.
+//!
+//! ```sh
+//! cargo run -p bench --bin sec65 --release [-- --seed N]
+//! ```
+
+use bench::{fmt, paper_config, timed, ExpOptions, Report};
+use causumx::Causumx;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let ds = datagen::so::generate(4_000, opts.seed);
+
+    eprintln!("§6.5(a) — time vs #grouping patterns (SO)");
+    let mut rep_a = Report::new(&["tau", "grouping patterns", "causumx ms"]);
+    for tau in [0.4, 0.2, 0.1, 0.05, 0.02] {
+        let mut cfg = paper_config();
+        cfg.apriori_tau = tau;
+        let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
+        let (candidates, _) = timed(|| engine.mine_candidates().expect("mine"));
+        let (_, total_ms) = timed(|| engine.run().expect("run"));
+        rep_a.row(&[
+            fmt(tau, 2),
+            candidates.explanations.len().to_string(),
+            fmt(total_ms, 1),
+        ]);
+        eprintln!(
+            "  τ={tau}: {} patterns, {total_ms:.0} ms",
+            candidates.explanations.len()
+        );
+    }
+    rep_a.emit("sec65a");
+
+    eprintln!("§6.5(b) — time vs solution size k (SO)");
+    let mut rep_b = Report::new(&["k", "causumx ms", "selection ms"]);
+    for k in [1usize, 2, 4, 6, 8] {
+        let mut cfg = paper_config();
+        cfg.k = k;
+        let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
+        let (summary, ms) = timed(|| engine.run().expect("run"));
+        rep_b.row(&[
+            k.to_string(),
+            fmt(ms, 1),
+            fmt(summary.timings.selection_ms, 2),
+        ]);
+        eprintln!(
+            "  k={k}: total {ms:.0} ms, selection {:.2} ms",
+            summary.timings.selection_ms
+        );
+    }
+    rep_b.emit("sec65b");
+}

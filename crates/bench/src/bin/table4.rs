@@ -1,0 +1,79 @@
+//! Table 4 — causal-DAG statistics per discovery algorithm: number of
+//! edges and density for the ground-truth DAG vs PC / FCI / LiNGAM output
+//! on the German, Adult and SO datasets.
+//!
+//! ```sh
+//! cargo run -p bench --bin table4 --release [-- --seed N]
+//! ```
+
+use bench::{fmt, ExpOptions, Report};
+use discovery::{attr_names, fci, hill_climb, lingam, numeric_columns, pc, shd};
+
+/// Rows used for CI testing (discovery cost grows fast with sample size).
+const DISCOVERY_ROWS: usize = 1_500;
+const ALPHA: f64 = 0.01;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    eprintln!("Table 4 (discovery sample = {DISCOVERY_ROWS} rows, α = {ALPHA})");
+    let mut report = Report::new(&["dataset", "graph", "edges", "density", "SHD vs GT"]);
+
+    let datasets = [
+        datagen::german::generate(1_000, opts.seed),
+        datagen::adult::generate(DISCOVERY_ROWS.max(1_000), opts.seed),
+        datagen::so::generate(DISCOVERY_ROWS.max(1_000), opts.seed),
+    ];
+
+    for ds in &datasets {
+        let keep: Vec<usize> = (0..ds.table.nrows()).take(DISCOVERY_ROWS).collect();
+        let sampled = ds.table.take(&keep);
+        let data = numeric_columns(&sampled);
+        let names = attr_names(&sampled);
+
+        let gt = &ds.dag;
+        report.row(&[
+            ds.name.to_string(),
+            "Used causal DAG".to_string(),
+            gt.num_edges().to_string(),
+            fmt(gt.density(), 3),
+            "0".to_string(),
+        ]);
+        let (g_pc, ms_pc) = bench::timed(|| pc(&data, &names, ALPHA));
+        eprintln!("  {}: PC in {:.0} ms", ds.name, ms_pc);
+        report.row(&[
+            ds.name.to_string(),
+            "PC".to_string(),
+            g_pc.num_edges().to_string(),
+            fmt(g_pc.density(), 3),
+            shd(gt, &g_pc).to_string(),
+        ]);
+        let (g_fci, ms_fci) = bench::timed(|| fci(&data, &names, ALPHA));
+        eprintln!("  {}: FCI in {:.0} ms", ds.name, ms_fci);
+        report.row(&[
+            ds.name.to_string(),
+            "FCI".to_string(),
+            g_fci.num_edges().to_string(),
+            fmt(g_fci.density(), 3),
+            shd(gt, &g_fci).to_string(),
+        ]);
+        let (g_lin, ms_lin) = bench::timed(|| lingam(&data, &names));
+        eprintln!("  {}: LiNGAM in {:.0} ms", ds.name, ms_lin);
+        report.row(&[
+            ds.name.to_string(),
+            "LiNGAM".to_string(),
+            g_lin.num_edges().to_string(),
+            fmt(g_lin.density(), 3),
+            shd(gt, &g_lin).to_string(),
+        ]);
+        let (g_hc, ms_hc) = bench::timed(|| hill_climb(&data, &names, 200));
+        eprintln!("  {}: HillClimb-BIC in {:.0} ms", ds.name, ms_hc);
+        report.row(&[
+            ds.name.to_string(),
+            "HillClimb-BIC".to_string(),
+            g_hc.num_edges().to_string(),
+            fmt(g_hc.density(), 3),
+            shd(gt, &g_hc).to_string(),
+        ]);
+    }
+    report.emit("table4");
+}

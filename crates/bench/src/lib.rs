@@ -1,0 +1,181 @@
+//! # bench — shared experiment harness
+//!
+//! Utilities used by the per-figure experiment binaries in `src/bin/`:
+//! markdown/CSV emitters, wall-clock timing, scale handling (every binary
+//! accepts `--scale small|paper` and `--seed N`), and the standard §6.1
+//! configuration (k = 5, θ = 0.75, τ = 0.1).
+//!
+//! Each binary prints the same rows/series its paper artifact reports and
+//! writes a machine-readable copy under `results/`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use causumx::CausumxConfig;
+use datagen::ScaleProfile;
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Dataset scale profile.
+    pub scale: ScaleProfile,
+    /// Scale label ("small"/"paper") for output headers.
+    pub scale_name: String,
+    /// Seed for data generation and randomized steps.
+    pub seed: u64,
+}
+
+impl ExpOptions {
+    /// Parse `--scale` / `--seed` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale_name = "small".to_string();
+        let mut seed = 42u64;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" if i + 1 < args.len() => {
+                    scale_name = args[i + 1].clone();
+                    i += 1;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    seed = args[i + 1].parse().unwrap_or(42);
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let scale = match scale_name.as_str() {
+            "paper" => ScaleProfile::paper(),
+            _ => ScaleProfile::small(),
+        };
+        ExpOptions {
+            scale,
+            scale_name,
+            seed,
+        }
+    }
+}
+
+/// The paper's default configuration (§6.1).
+pub fn paper_config() -> CausumxConfig {
+    CausumxConfig::default()
+}
+
+/// Time a closure, returning (result, milliseconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// A simple column-aligned markdown table builder.
+#[derive(Debug, Default)]
+pub struct Report {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Start a report with column names.
+    pub fn new(header: &[&str]) -> Self {
+        Report {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render as a markdown table.
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for r in &self.rows {
+            let _ = writeln!(out, "| {} |", r.join(" | "));
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join(","));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", r.join(","));
+        }
+        out
+    }
+
+    /// Print the markdown table and also save CSV under `results/<name>.csv`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.markdown());
+        let dir = results_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{name}.csv"));
+            if std::fs::write(&path, self.csv()).is_ok() {
+                eprintln!("[saved {}]", path.display());
+            }
+        }
+    }
+}
+
+/// `results/` at the workspace root (falls back to CWD).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → ../../results
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(m) => PathBuf::from(m).join("../../results"),
+        Err(_) => PathBuf::from("results"),
+    }
+}
+
+/// Format a float with fixed precision, trimming noise.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_markdown_and_csv() {
+        let mut r = Report::new(&["a", "b"]);
+        r.row(&["1".into(), "2".into()]);
+        let md = r.markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        let csv = r.csv();
+        assert!(csv.starts_with("a,b\n1,2"));
+    }
+
+    #[test]
+    fn timed_measures() {
+        let (v, ms) = timed(|| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            7
+        });
+        assert_eq!(v, 7);
+        assert!(ms >= 4.0);
+    }
+
+    #[test]
+    fn fmt_digits() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,148 @@
+//! Backdoor adjustment-set selection.
+//!
+//! For a treatment pattern over attributes `T = {T₁…Tₚ}` and outcome `Y`,
+//! CauSumX needs a confounder set `Z` satisfying unconfoundedness (Eq. 3).
+//! We use the standard *parent adjustment* set
+//!
+//! ```text
+//! Z = ( ⋃ᵢ Pa(Tᵢ) ) \ ( T ∪ {Y} ∪ Desc(T) )
+//! ```
+//!
+//! which is a valid backdoor set whenever `Y ∉ Pa(T)` and no parent of a
+//! treatment is also a descendant of the treatment set (always true in a
+//! DAG for single treatments; for compound treatments members of `T` may be
+//! parents of each other, hence the explicit exclusions). Validity can be
+//! double-checked with [`is_valid_backdoor`], which tests d-separation in
+//! the graph with outgoing treatment edges removed (Pearl's backdoor
+//! criterion, part 2).
+
+use std::collections::HashSet;
+
+use crate::dag::Dag;
+
+/// The parent-adjustment backdoor set for treatments `ts` and outcome `y`,
+/// sorted ascending.
+pub fn backdoor_set(dag: &Dag, ts: &[usize], y: usize) -> Vec<usize> {
+    let t_set: HashSet<usize> = ts.iter().copied().collect();
+    let desc = dag.descendants_of_set(ts);
+    let mut z: HashSet<usize> = HashSet::new();
+    for &t in ts {
+        for &p in dag.parents(t) {
+            if !t_set.contains(&p) && p != y && !desc.contains(&p) {
+                z.insert(p);
+            }
+        }
+    }
+    let mut out: Vec<usize> = z.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Pearl's backdoor criterion: (1) no `z ∈ zs` is a descendant of any
+/// treatment, and (2) `zs` blocks every path between `ts` and `y` in the
+/// graph with the edges out of `ts` removed.
+pub fn is_valid_backdoor(dag: &Dag, ts: &[usize], y: usize, zs: &[usize]) -> bool {
+    let desc = dag.descendants_of_set(ts);
+    if zs.iter().any(|z| desc.contains(z)) {
+        return false;
+    }
+    // Rebuild the DAG without edges leaving any treatment node.
+    let names: Vec<String> = dag.names().to_vec();
+    let edges: Vec<(String, String)> = dag
+        .edges()
+        .into_iter()
+        .filter(|(a, _)| !ts.contains(a))
+        .map(|(a, b)| (names[a].clone(), names[b].clone()))
+        .collect();
+    let pruned = Dag::new(&names, &edges).expect("subgraph of a DAG is a DAG");
+    pruned.d_separated(ts, &[y], zs)
+}
+
+/// Attributes with *some* causal path to the outcome — the §5.2 (a)
+/// attribute-pruning optimization keeps only these as treatment candidates.
+pub fn attrs_affecting_outcome(dag: &Dag, y: usize) -> Vec<usize> {
+    let mut keep: Vec<usize> = dag.ancestors(y).into_iter().collect();
+    keep.sort_unstable();
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// z → t → y, z → y (classic confounded triangle) plus a mediator
+    /// t → m → y and an irrelevant node.
+    fn g() -> Dag {
+        Dag::new(
+            &["z", "t", "m", "y", "noise"],
+            &[("z", "t"), ("z", "y"), ("t", "m"), ("m", "y"), ("t", "y")],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parent_adjustment_picks_confounder() {
+        let dag = g();
+        let zs = backdoor_set(&dag, &[1], 3);
+        assert_eq!(zs, vec![0]);
+        assert!(is_valid_backdoor(&dag, &[1], 3, &zs));
+    }
+
+    #[test]
+    fn mediator_not_in_adjustment_set() {
+        let dag = g();
+        let zs = backdoor_set(&dag, &[1], 3);
+        assert!(!zs.contains(&2), "mediator must not be adjusted for");
+        // And adjusting for the mediator is invalid (descendant of t).
+        assert!(!is_valid_backdoor(&dag, &[1], 3, &[0, 2]));
+    }
+
+    #[test]
+    fn empty_set_invalid_when_confounded() {
+        let dag = g();
+        assert!(!is_valid_backdoor(&dag, &[1], 3, &[]));
+    }
+
+    #[test]
+    fn root_treatment_needs_no_adjustment() {
+        let dag = Dag::new(&["t", "y"], &[("t", "y")]).unwrap();
+        assert!(backdoor_set(&dag, &[0], 1).is_empty());
+        assert!(is_valid_backdoor(&dag, &[0], 1, &[]));
+    }
+
+    #[test]
+    fn compound_treatment_unions_parents() {
+        // z1 → t1, z2 → t2, t1 → y, t2 → y, t1 → t2.
+        let dag = Dag::new(
+            &["z1", "z2", "t1", "t2", "y"],
+            &[
+                ("z1", "t2"),
+                ("z2", "t2"),
+                ("z1", "t1"),
+                ("t1", "y"),
+                ("t2", "y"),
+                ("t1", "t2"),
+            ],
+        )
+        .unwrap();
+        let zs = backdoor_set(&dag, &[2, 3], 4);
+        // t1 is a parent of t2 but is in T, so excluded; z1, z2 kept.
+        assert_eq!(zs, vec![0, 1]);
+    }
+
+    #[test]
+    fn outcome_never_in_adjustment() {
+        // Degenerate: y is a parent of t.
+        let dag = Dag::new(&["y", "t"], &[("y", "t")]).unwrap();
+        let zs = backdoor_set(&dag, &[1], 0);
+        assert!(zs.is_empty());
+    }
+
+    #[test]
+    fn ancestors_of_outcome_for_pruning() {
+        let dag = g();
+        let keep = attrs_affecting_outcome(&dag, 3);
+        assert_eq!(keep, vec![0, 1, 2]);
+        assert!(!keep.contains(&4), "noise node has no path to outcome");
+    }
+}

@@ -1,0 +1,395 @@
+//! Causal DAGs over named variables.
+//!
+//! A Pearl causal model obfuscates exogenous noise; what CauSumX consumes
+//! is the DAG over the observed (endogenous) attributes (§3, Fig. 3). The
+//! variable names here are matched by-name against table attributes by the
+//! callers, so a DAG built once can be reused for projected tables.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Errors raised during DAG construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// Edge endpoint names an unknown variable.
+    UnknownVariable(String),
+    /// Adding the edge set creates a directed cycle.
+    Cyclic,
+    /// Duplicate variable name.
+    DuplicateVariable(String),
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
+            DagError::Cyclic => write!(f, "edge set contains a directed cycle"),
+            DagError::DuplicateVariable(v) => write!(f, "duplicate variable `{v}`"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A directed acyclic graph of causal dependencies.
+#[derive(Debug, Clone)]
+pub struct Dag {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    parents: Vec<Vec<usize>>,
+    children: Vec<Vec<usize>>,
+}
+
+impl Dag {
+    /// Build from variable names and `(from, to)` edges. Verifies acyclicity.
+    pub fn new<S: AsRef<str>>(variables: &[S], edges: &[(S, S)]) -> Result<Self, DagError> {
+        let mut names = Vec::with_capacity(variables.len());
+        let mut index = HashMap::new();
+        for v in variables {
+            let name = v.as_ref().to_string();
+            if index.insert(name.clone(), names.len()).is_some() {
+                return Err(DagError::DuplicateVariable(name));
+            }
+            names.push(name);
+        }
+        let n = names.len();
+        let mut parents = vec![Vec::new(); n];
+        let mut children = vec![Vec::new(); n];
+        for (a, b) in edges {
+            let ai = *index
+                .get(a.as_ref())
+                .ok_or_else(|| DagError::UnknownVariable(a.as_ref().to_string()))?;
+            let bi = *index
+                .get(b.as_ref())
+                .ok_or_else(|| DagError::UnknownVariable(b.as_ref().to_string()))?;
+            if !children[ai].contains(&bi) {
+                children[ai].push(bi);
+                parents[bi].push(ai);
+            }
+        }
+        let dag = Dag {
+            names,
+            index,
+            parents,
+            children,
+        };
+        if dag.topological_order().is_none() {
+            return Err(DagError::Cyclic);
+        }
+        Ok(dag)
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the DAG has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Variable names in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Name of variable `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Resolve a name to its variable id.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Direct parents of `v`.
+    pub fn parents(&self, v: usize) -> &[usize] {
+        &self.parents[v]
+    }
+
+    /// Direct children of `v`.
+    pub fn children(&self, v: usize) -> &[usize] {
+        &self.children[v]
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.children.iter().map(Vec::len).sum()
+    }
+
+    /// Edge density relative to the complete DAG on `n` nodes (`n(n−1)/2`
+    /// possible edges) — the "Density" column of Table 4.
+    pub fn density(&self) -> f64 {
+        let n = self.len();
+        if n < 2 {
+            return 0.0;
+        }
+        self.num_edges() as f64 / (n * (n - 1) / 2) as f64
+    }
+
+    /// All edges as `(from, to)` id pairs.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for (v, ch) in self.children.iter().enumerate() {
+            for &c in ch {
+                out.push((v, c));
+            }
+        }
+        out
+    }
+
+    /// Whether the directed edge `a → b` exists.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.children[a].contains(&b)
+    }
+
+    /// Ancestors of `v` (excluding `v`).
+    pub fn ancestors(&self, v: usize) -> HashSet<usize> {
+        let mut seen = HashSet::new();
+        let mut stack: Vec<usize> = self.parents[v].to_vec();
+        while let Some(u) = stack.pop() {
+            if seen.insert(u) {
+                stack.extend_from_slice(&self.parents[u]);
+            }
+        }
+        seen
+    }
+
+    /// Descendants of `v` (excluding `v`).
+    pub fn descendants(&self, v: usize) -> HashSet<usize> {
+        let mut seen = HashSet::new();
+        let mut stack: Vec<usize> = self.children[v].to_vec();
+        while let Some(u) = stack.pop() {
+            if seen.insert(u) {
+                stack.extend_from_slice(&self.children[u]);
+            }
+        }
+        seen
+    }
+
+    /// Descendants of a set of nodes (excluding the nodes themselves unless
+    /// reachable from another member).
+    pub fn descendants_of_set(&self, vs: &[usize]) -> HashSet<usize> {
+        let mut seen = HashSet::new();
+        for &v in vs {
+            for d in self.descendants(v) {
+                seen.insert(d);
+            }
+        }
+        seen
+    }
+
+    /// Kahn topological order; `None` when cyclic.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let n = self.len();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.parents[v].len()).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &c in &self.children[v] {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// d-separation oracle: is every path between any `x ∈ xs` and any
+    /// `y ∈ ys` blocked by the conditioning set `zs`?
+    ///
+    /// Implemented as the standard reachability algorithm over the moral
+    /// "Bayes-ball" state space: states are `(node, direction)` with
+    /// direction = arrived-from-child (up) or arrived-from-parent (down).
+    pub fn d_separated(&self, xs: &[usize], ys: &[usize], zs: &[usize]) -> bool {
+        let z: HashSet<usize> = zs.iter().copied().collect();
+        // Ancestors of Z (for collider activation).
+        let mut z_anc = z.clone();
+        for &zv in zs {
+            for a in self.ancestors(zv) {
+                z_anc.insert(a);
+            }
+        }
+        let ys_set: HashSet<usize> = ys.iter().copied().collect();
+
+        // State: (node, came_from_child: bool)
+        let mut visited = HashSet::new();
+        let mut queue: VecDeque<(usize, bool)> = VecDeque::new();
+        for &x in xs {
+            queue.push_back((x, true)); // treat as if arrived from a child
+        }
+        while let Some((v, from_child)) = queue.pop_front() {
+            if !visited.insert((v, from_child)) {
+                continue;
+            }
+            if ys_set.contains(&v) && !z.contains(&v) {
+                return false;
+            }
+            if from_child {
+                // Arrived along an edge pointing away from v's subtree
+                // (trail goes v ← child or start). If v ∉ Z we may go to
+                // parents (up) and to children (down).
+                if !z.contains(&v) {
+                    for &p in &self.parents[v] {
+                        queue.push_back((p, true));
+                    }
+                    for &c in &self.children[v] {
+                        queue.push_back((c, false));
+                    }
+                }
+            } else {
+                // Arrived from a parent (trail … → v).
+                if !z.contains(&v) {
+                    // Chain: continue to children.
+                    for &c in &self.children[v] {
+                        queue.push_back((c, false));
+                    }
+                }
+                if z_anc.contains(&v) {
+                    // Collider at v is activated by conditioning on v or a
+                    // descendant of v; bounce back up to parents.
+                    for &p in &self.parents[v] {
+                        queue.push_back((p, true));
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 3 DAG (subset).
+    fn so_dag() -> Dag {
+        Dag::new(
+            &[
+                "Country",
+                "Gender",
+                "Ethnicity",
+                "Age",
+                "Education",
+                "Major",
+                "YearsCoding",
+                "Role",
+                "Salary",
+            ],
+            &[
+                ("Country", "Salary"),
+                ("Gender", "Salary"),
+                ("Ethnicity", "Salary"),
+                ("Age", "Education"),
+                ("Age", "YearsCoding"),
+                ("Age", "Role"),
+                ("Education", "Role"),
+                ("Major", "Role"),
+                ("YearsCoding", "Role"),
+                ("Role", "Salary"),
+                ("Education", "Salary"),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_lookups() {
+        let g = so_dag();
+        assert_eq!(g.len(), 9);
+        assert_eq!(g.num_edges(), 11);
+        let role = g.index_of("Role").unwrap();
+        assert_eq!(g.parents(role).len(), 4);
+        assert!(g.has_edge(g.index_of("Role").unwrap(), g.index_of("Salary").unwrap()));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let r = Dag::new(&["a", "b"], &[("a", "b"), ("b", "a")]);
+        assert_eq!(r.unwrap_err(), DagError::Cyclic);
+    }
+
+    #[test]
+    fn unknown_endpoint_rejected() {
+        let r = Dag::new(&["a"], &[("a", "zzz")]);
+        assert!(matches!(r, Err(DagError::UnknownVariable(_))));
+    }
+
+    #[test]
+    fn duplicate_variable_rejected() {
+        let r = Dag::new(&["a", "a"], &[]);
+        assert!(matches!(r, Err(DagError::DuplicateVariable(_))));
+    }
+
+    #[test]
+    fn ancestors_descendants() {
+        let g = so_dag();
+        let age = g.index_of("Age").unwrap();
+        let salary = g.index_of("Salary").unwrap();
+        let role = g.index_of("Role").unwrap();
+        assert!(g.descendants(age).contains(&salary));
+        assert!(g.descendants(age).contains(&role));
+        assert!(g.ancestors(salary).contains(&age));
+        assert!(!g.ancestors(age).contains(&salary));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = so_dag();
+        let order = g.topological_order().unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.len()];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for (a, b) in g.edges() {
+            assert!(pos[a] < pos[b], "edge {a}->{b} violates topo order");
+        }
+    }
+
+    #[test]
+    fn d_separation_chain() {
+        // a → b → c: a ⟂ c | b, but not marginally.
+        let g = Dag::new(&["a", "b", "c"], &[("a", "b"), ("b", "c")]).unwrap();
+        assert!(!g.d_separated(&[0], &[2], &[]));
+        assert!(g.d_separated(&[0], &[2], &[1]));
+    }
+
+    #[test]
+    fn d_separation_fork() {
+        // a ← b → c: a ⟂ c | b only.
+        let g = Dag::new(&["a", "b", "c"], &[("b", "a"), ("b", "c")]).unwrap();
+        assert!(!g.d_separated(&[0], &[2], &[]));
+        assert!(g.d_separated(&[0], &[2], &[1]));
+    }
+
+    #[test]
+    fn d_separation_collider() {
+        // a → b ← c: a ⟂ c marginally, dependent given b or desc(b).
+        let g = Dag::new(&["a", "b", "c", "d"], &[("a", "b"), ("c", "b"), ("b", "d")]).unwrap();
+        assert!(g.d_separated(&[0], &[2], &[]));
+        assert!(!g.d_separated(&[0], &[2], &[1]));
+        assert!(!g.d_separated(&[0], &[2], &[3])); // descendant of collider
+    }
+
+    #[test]
+    fn d_separation_backdoor_classic() {
+        // Confounding: z → t, z → y, t → y. t and y are NOT d-separated by
+        // ∅ (direct edge), and removing the direct edge, z blocks.
+        let g = Dag::new(&["z", "t", "y"], &[("z", "t"), ("z", "y")]).unwrap();
+        assert!(!g.d_separated(&[1], &[2], &[]));
+        assert!(g.d_separated(&[1], &[2], &[0]));
+    }
+
+    #[test]
+    fn density_matches_definition() {
+        let g = Dag::new(&["a", "b", "c"], &[("a", "b")]).unwrap();
+        assert!((g.density() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,29 @@
+//! # causal — Pearl-model causal inference for causumx-rs
+//!
+//! Implements the §3 background machinery of the CauSumX paper:
+//!
+//! * [`dag::Dag`] — a causal DAG over named endogenous variables with
+//!   ancestor/descendant queries, topological order, and a d-separation
+//!   oracle (Bayes-ball reachability),
+//! * [`backdoor`] — adjustment-set selection for (possibly compound)
+//!   treatments: the parent-adjustment backdoor set
+//!   `Z = ⋃ Pa(Tᵢ) \ ({T} ∪ {Y} ∪ Desc(T))`, plus a d-separation-based
+//!   validity check,
+//! * [`estimate`] — the ATE/CATE estimator (Eq. 1/2/5): restrict to the
+//!   subpopulation `B = b` of a grouping pattern, build the binary
+//!   treatment from a treatment pattern, adjust for confounders by linear
+//!   regression with one-hot encodings, and read the effect plus its
+//!   t-test p-value off the treatment coefficient. Supports the §5.2 (d)
+//!   fixed-size-sample optimization.
+
+pub mod backdoor;
+pub mod dag;
+pub mod estimate;
+pub mod ipw;
+pub mod logistic;
+
+pub use backdoor::backdoor_set;
+pub use dag::{Dag, DagError};
+pub use estimate::{estimate_cate, CateOptions, CateResult};
+pub use ipw::{estimate_att_matching, estimate_cate_ipw};
+pub use logistic::{logistic, LogisticFit};

@@ -1,0 +1,75 @@
+//! Configuration of the CauSumX pipeline.
+
+use mining::treatment::LatticeOptions;
+
+/// How the final explanation set is selected from the candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionMethod {
+    /// LP relaxation + randomized rounding (the paper's default, §5.3).
+    LpRounding,
+    /// The `Greedy-Last-Step` variant (§6.1).
+    Greedy,
+    /// Exact branch-and-bound optimum — the selection stage of
+    /// `Brute-Force`.
+    Exhaustive,
+}
+
+/// End-to-end parameters. Defaults follow §6.1: `k = 5`, `θ = 0.75`,
+/// Apriori threshold `τ = 0.1`.
+#[derive(Debug, Clone)]
+pub struct CausumxConfig {
+    /// Size constraint: at most `k` explanation patterns.
+    pub k: usize,
+    /// Coverage constraint: at least `θ·m` groups covered.
+    pub theta: f64,
+    /// Apriori support threshold `τ` as a fraction of `|D|`.
+    pub apriori_tau: f64,
+    /// Maximum conjuncts in a grouping pattern.
+    pub max_grouping_len: usize,
+    /// Treatment-lattice options (Algorithm 2 + its optimizations).
+    pub lattice: LatticeOptions,
+    /// Parallelize treatment mining across grouping patterns
+    /// (optimization c). Thread count = available parallelism.
+    pub parallel: bool,
+    /// Rounding trials for the LP step.
+    pub rounding_rounds: usize,
+    /// RNG seed for the rounding step.
+    pub seed: u64,
+    /// Final selection method.
+    pub selection: SelectionMethod,
+    /// Mine both a positive and a negative treatment per grouping pattern
+    /// (the paper's default pairing); when `false` only positive
+    /// treatments are mined.
+    pub mine_negative: bool,
+}
+
+impl Default for CausumxConfig {
+    fn default() -> Self {
+        CausumxConfig {
+            k: 5,
+            theta: 0.75,
+            apriori_tau: 0.1,
+            max_grouping_len: 3,
+            lattice: LatticeOptions::default(),
+            parallel: true,
+            rounding_rounds: 64,
+            seed: 0xCA05,
+            selection: SelectionMethod::LpRounding,
+            mine_negative: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_section_6_1() {
+        let c = CausumxConfig::default();
+        assert_eq!(c.k, 5);
+        assert!((c.theta - 0.75).abs() < 1e-12);
+        assert!((c.apriori_tau - 0.1).abs() < 1e-12);
+        assert_eq!(c.selection, SelectionMethod::LpRounding);
+    }
+}

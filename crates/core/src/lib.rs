@@ -1,0 +1,63 @@
+//! # causumx — Summarized Causal Explanations for Aggregate Views
+//!
+//! A from-scratch Rust reproduction of **CauSumX** (Youngmann, Cafarella,
+//! Gilad & Roy — SIGMOD 2024): given a single-relation database `D`, a
+//! causal DAG `G`, a group-by/average SQL query `Q`, a size bound `k` and a
+//! coverage threshold `θ`, produce at most `k` *explanation patterns* —
+//! pairs `(P_g, P_t)` of a grouping pattern selecting output groups and a
+//! treatment pattern with a high-magnitude conditional average treatment
+//! effect (CATE) on the averaged attribute — that together cover at least
+//! `θ·m` of the `m` output groups and maximize total explainability.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use causumx::{Causumx, CausumxConfig};
+//! use table::{TableBuilder, GroupByAvgQuery};
+//! use causal::Dag;
+//!
+//! // A toy table: country → continent is an FD; education drives salary.
+//! let table = TableBuilder::new()
+//!     .cat("country", &["US", "US", "US", "US", "FR", "FR", "FR", "FR",
+//!                       "IN", "IN", "IN", "IN"]).unwrap()
+//!     .cat("continent", &["NA", "NA", "NA", "NA", "EU", "EU", "EU", "EU",
+//!                         "Asia", "Asia", "Asia", "Asia"]).unwrap()
+//!     .cat("education", &["PhD", "BSc", "PhD", "BSc", "PhD", "BSc", "PhD",
+//!                         "BSc", "PhD", "BSc", "PhD", "BSc"]).unwrap()
+//!     .float("salary", vec![120.0, 80.0, 125.0, 82.0, 90.0, 60.0, 95.0,
+//!                           61.0, 40.0, 20.0, 42.0, 21.0]).unwrap()
+//!     .build().unwrap();
+//! let dag = causal::Dag::new(
+//!     &["country", "continent", "education", "salary"],
+//!     &[("country", "salary"), ("education", "salary")],
+//! ).unwrap();
+//! let query = GroupByAvgQuery::new(vec![0], 3);
+//!
+//! let mut config = CausumxConfig::default();
+//! config.k = 2;
+//! config.theta = 1.0;
+//! config.lattice.cate_opts.min_arm = 2; // tiny toy data
+//! let summary = Causumx::new(&table, &dag, query, config).run().unwrap();
+//! assert!(summary.covered > 0);
+//! ```
+//!
+//! ## Architecture
+//!
+//! The three steps of Algorithm 1 map to:
+//!
+//! 1. [`mining::grouping`] — Apriori over FD-closed attributes (§5.1),
+//! 2. [`mining::treatment`] — per-grouping-pattern lattice search for the
+//!    top positive/negative treatments (§5.2, Algorithm 2), parallelized
+//!    across grouping patterns here (optimization c),
+//! 3. [`lpsolve::cover`] — Fig. 5 LP relaxation + randomized rounding
+//!    (§5.3), with greedy and exact alternatives for the paper's variants.
+
+pub mod config;
+pub mod explanation;
+pub mod pipeline;
+pub mod render;
+
+pub use config::{CausumxConfig, SelectionMethod};
+pub use explanation::{Explanation, StepTimings, Summary};
+pub use pipeline::{CandidateSet, Causumx, CausumxError};
+pub use render::{render_summary, summary_json};

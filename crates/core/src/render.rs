@@ -1,0 +1,258 @@
+//! Natural-language rendering of explanation summaries.
+//!
+//! The paper renders each explanation with fixed templates ("Those
+//! templates were generated via prompt questions to ChatGPT", §6) — i.e.
+//! the templates are static text, which we author directly. The output
+//! mirrors Fig. 2 / Fig. 7: one bullet per explanation, naming the grouping
+//! pattern, example groups, and the positive/negative treatments with
+//! effect sizes and p-value bounds.
+
+use table::query::AggView;
+use table::Table;
+
+use crate::explanation::Summary;
+
+/// Render a `p < 10^e` bound like the paper's report lines.
+pub fn p_bound(p: f64) -> String {
+    if !(p.is_finite()) {
+        return "p n/a".to_string();
+    }
+    if p <= 0.0 {
+        return "p < 1e-300".to_string();
+    }
+    let e = p.log10().ceil() as i32;
+    format!("p < 1e{e}")
+}
+
+/// Turn a pattern into prose-ish text using attribute names.
+fn phrase(table: &Table, pattern: &table::Pattern) -> String {
+    pattern.display(table).replace(" AND ", " and ")
+}
+
+/// Render a whole summary in the Fig. 2 bullet style.
+pub fn render_summary(
+    table: &Table,
+    view: &AggView,
+    summary: &Summary,
+    outcome_name: &str,
+) -> String {
+    let mut out = String::new();
+    if summary.explanations.is_empty() {
+        out.push_str("No explanation patterns satisfied the constraints.\n");
+        return out;
+    }
+    for e in &summary.explanations {
+        let mut labels: Vec<String> = e
+            .coverage
+            .iter()
+            .map(|g| view.group_label(table, g))
+            .collect();
+        labels.sort();
+        let examples: Vec<&str> = labels.iter().take(3).map(String::as_str).collect();
+        let group_desc = if e.grouping.is_empty() {
+            "all groups".to_string()
+        } else {
+            format!("groups where {}", phrase(table, &e.grouping))
+        };
+        out.push_str(&format!(
+            "\u{2022} For {group_desc} (e.g., {}; {} group{}),",
+            examples.join(", "),
+            labels.len(),
+            if labels.len() == 1 { "" } else { "s" },
+        ));
+        match &e.positive {
+            Some(t) => out.push_str(&format!(
+                " the most substantial effect on high {outcome_name} (effect size {:.2}, {}) is observed for {}.",
+                t.cate,
+                p_bound(t.p_value),
+                phrase(table, &t.pattern),
+            )),
+            None => out.push_str(&format!(
+                " no statistically significant positive treatment on {outcome_name} was found.",
+            )),
+        }
+        match &e.negative {
+            Some(t) => out.push_str(&format!(
+                " Conversely, {} has the greatest adverse impact on {outcome_name} (effect size {:.2}, {}).",
+                phrase(table, &t.pattern),
+                t.cate,
+                p_bound(t.p_value),
+            )),
+            None => out.push_str(" No significant adverse treatment was found."),
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "[coverage {}/{} groups, total explainability {:.2}{}]\n",
+        summary.covered,
+        summary.m,
+        summary.total_weight,
+        if summary.feasible {
+            ""
+        } else {
+            ", coverage constraint NOT met"
+        },
+    ));
+    out
+}
+
+/// Minimal JSON string escaping.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize a summary as JSON for downstream tooling (dashboards, the
+/// prototype UI the paper describes). Hand-rolled to keep the core crate
+/// dependency-free; the structure is stable and documented by the test.
+pub fn summary_json(table: &Table, view: &AggView, summary: &Summary) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"m\":{},\"covered\":{},\"feasible\":{},\"total_explainability\":{:.6},\"explanations\":[",
+        summary.m, summary.covered, summary.feasible, summary.total_weight
+    ));
+    for (i, e) in summary.explanations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let groups: Vec<String> = e
+            .coverage
+            .iter()
+            .map(|g| format!("\"{}\"", json_escape(&view.group_label(table, g))))
+            .collect();
+        out.push_str(&format!(
+            "{{\"grouping\":\"{}\",\"groups\":[{}]",
+            json_escape(&e.grouping.display(table)),
+            groups.join(",")
+        ));
+        for (key, t) in [("positive", &e.positive), ("negative", &e.negative)] {
+            match t {
+                Some(t) => out.push_str(&format!(
+                    ",\"{key}\":{{\"pattern\":\"{}\",\"cate\":{:.6},\"p_value\":{:e},\"n_treated\":{},\"n_control\":{}}}",
+                    json_escape(&t.pattern.display(table)),
+                    t.cate,
+                    t.p_value,
+                    t.n_treated,
+                    t.n_control
+                )),
+                None => out.push_str(&format!(",\"{key}\":null")),
+            }
+        }
+        out.push_str(&format!(",\"weight\":{:.6}}}", e.weight));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explanation::Explanation;
+    use mining::treatment::TreatmentResult;
+    use table::bitset::BitSet;
+    use table::pattern::{Pattern, Pred};
+    use table::{GroupByAvgQuery, TableBuilder};
+
+    fn setup() -> (Table, AggView, Summary) {
+        let table = TableBuilder::new()
+            .cat("country", &["FR", "DE", "IN", "IN"])
+            .unwrap()
+            .cat("continent", &["EU", "EU", "Asia", "Asia"])
+            .unwrap()
+            .cat("edu", &["MSc", "BSc", "MSc", "BSc"])
+            .unwrap()
+            .float("salary", vec![90.0, 60.0, 30.0, 20.0])
+            .unwrap()
+            .build()
+            .unwrap();
+        let view = GroupByAvgQuery::new(vec![0], 3).run(&table).unwrap();
+        let mut cov = BitSet::new(view.num_groups());
+        cov.insert(0);
+        cov.insert(1);
+        let pos = TreatmentResult {
+            pattern: Pattern::single(Pred::eq(2, "MSc")),
+            cate: 36.0,
+            p_value: 4e-4,
+            n_treated: 2,
+            n_control: 2,
+        };
+        let e = Explanation::new(Pattern::single(Pred::eq(1, "EU")), cov, Some(pos), None);
+        let summary = Summary {
+            total_weight: e.weight,
+            explanations: vec![e],
+            m: 3,
+            covered: 2,
+            feasible: true,
+            candidates: 1,
+            cate_evaluations: 10,
+            timings: Default::default(),
+        };
+        (table, view, summary)
+    }
+
+    #[test]
+    fn renders_fig2_style_bullet() {
+        let (table, view, summary) = setup();
+        let text = render_summary(&table, &view, &summary, "salary");
+        assert!(text.contains("groups where continent = EU"), "{text}");
+        assert!(text.contains("edu = MSc"), "{text}");
+        assert!(text.contains("effect size 36.00"), "{text}");
+        assert!(text.contains("p < 1e-3"), "{text}");
+        assert!(text.contains("No significant adverse treatment"), "{text}");
+        assert!(text.contains("coverage 2/3"), "{text}");
+    }
+
+    #[test]
+    fn summary_json_is_valid_shape() {
+        let (table, view, summary) = setup();
+        let j = summary_json(&table, &view, &summary);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"m\":3"));
+        assert!(j.contains("\"covered\":2"));
+        assert!(j.contains("\"grouping\":\"continent = EU\""));
+        assert!(j.contains("\"negative\":null"));
+        assert!(j.contains("\"cate\":36.000000"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let braces: i64 = j
+            .chars()
+            .map(|c| match c {
+                '{' => 1,
+                '}' => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(braces, 0);
+    }
+
+    #[test]
+    fn json_escape_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn p_bound_formats() {
+        assert_eq!(p_bound(4e-4), "p < 1e-3");
+        assert_eq!(p_bound(0.04), "p < 1e-1");
+        assert_eq!(p_bound(1e-12), "p < 1e-12");
+        assert_eq!(p_bound(0.0), "p < 1e-300");
+    }
+
+    #[test]
+    fn empty_summary_message() {
+        let (table, view, mut summary) = setup();
+        summary.explanations.clear();
+        let text = render_summary(&table, &view, &summary, "salary");
+        assert!(text.contains("No explanation patterns"));
+    }
+}

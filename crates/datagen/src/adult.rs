@@ -1,0 +1,305 @@
+//! Adult-census stand-in (Fig. 19 case study).
+//!
+//! 13 attributes, group-by `Occupation` (12 occupations) with the FD
+//! `Occupation → OccupationCategory` ∈ {blue-collar, white-collar,
+//! service}. Outcome `Income` is binary (1 ⇔ > $50K). The SCM reproduces
+//! the Fig. 19 heterogeneity: marital status dominates everywhere (the
+//! household-income artifact the paper discusses), education × sex drives
+//! white-collar income, and unmarried women in service occupations see the
+//! largest adverse effect.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use causal::dag::Dag;
+use table::TableBuilder;
+
+use crate::util::{choice, weighted};
+use crate::Dataset;
+
+/// Paper-scale row count (Table 3).
+pub const PAPER_N: usize = 32_500;
+
+const OCCUPATIONS: &[(&str, &str)] = &[
+    ("Machine-op-inspct", "blue-collar"),
+    ("Craft-repair", "blue-collar"),
+    ("Transport-moving", "blue-collar"),
+    ("Handlers-cleaners", "blue-collar"),
+    ("Farming-fishing", "blue-collar"),
+    ("Exec-managerial", "white-collar"),
+    ("Prof-specialty", "white-collar"),
+    ("Adm-clerical", "white-collar"),
+    ("Tech-support", "white-collar"),
+    ("Sales", "service"),
+    ("Other-service", "service"),
+    ("Protective-serv", "service"),
+];
+
+const EDUCATIONS: &[&str] = &[
+    "HS-grad",
+    "Some-college",
+    "Bachelors",
+    "Masters",
+    "Doctorate",
+];
+
+/// Generate the Adult stand-in with `n` tuples.
+pub fn generate(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xAD17);
+
+    let mut occupation = Vec::with_capacity(n);
+    let mut category = Vec::with_capacity(n);
+    let mut age = Vec::with_capacity(n);
+    let mut education = Vec::with_capacity(n);
+    let mut sex = Vec::with_capacity(n);
+    let mut marital = Vec::with_capacity(n);
+    let mut race = Vec::with_capacity(n);
+    let mut hours = Vec::with_capacity(n);
+    let mut workclass = Vec::with_capacity(n);
+    let mut relationship = Vec::with_capacity(n);
+    let mut region = Vec::with_capacity(n);
+    let mut capital_gain = Vec::with_capacity(n);
+    let mut income = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let (occ, cat) = OCCUPATIONS[weighted(
+            &mut rng,
+            &[
+                0.07, 0.13, 0.05, 0.04, 0.03, 0.13, 0.13, 0.12, 0.03, 0.12, 0.11, 0.04,
+            ],
+        )];
+        let a: i64 = 17 + (rng.gen_range(0.0f64..1.0).powf(1.2) * 60.0) as i64;
+        let s = if rng.gen_bool(0.67) { "Male" } else { "Female" };
+        // Education skews higher for white-collar workers.
+        let mut w_edu = [0.4, 0.3, 0.2, 0.07, 0.03];
+        if cat == "white-collar" {
+            w_edu = [0.15, 0.25, 0.35, 0.18, 0.07];
+        }
+        let edu = EDUCATIONS[weighted(&mut rng, &w_edu)];
+        let m = if a < 25 {
+            if rng.gen_bool(0.8) {
+                "Never-married"
+            } else {
+                "Married"
+            }
+        } else {
+            *choice(
+                &mut rng,
+                &["Married", "Married", "Never-married", "Divorced", "Widowed"],
+            )
+        };
+        let rc = *choice(
+            &mut rng,
+            &["White", "White", "White", "Black", "Asian", "Other"],
+        );
+        let h: i64 = (30.0 + rng.gen_range(0.0..25.0)) as i64;
+        let wc = *choice(&mut rng, &["Private", "Private", "Self-emp", "Gov", "Gov"]);
+        let rel = if m == "Married" {
+            if s == "Male" {
+                "Husband"
+            } else {
+                "Wife"
+            }
+        } else {
+            *choice(&mut rng, &["Not-in-family", "Own-child", "Unmarried"])
+        };
+        let reg = *choice(&mut rng, &["South", "West", "Midwest", "Northeast"]);
+        let cg: f64 = if rng.gen_bool(0.08) {
+            rng.gen_range(1_000.0..50_000.0)
+        } else {
+            0.0
+        };
+
+        // Income SCM (probability of > $50K).
+        let mut p: f64 = 0.12;
+        let married = m == "Married";
+        let edu_rank = EDUCATIONS.iter().position(|&e| e == edu).unwrap() as f64;
+        match cat {
+            "blue-collar" => {
+                if married && a >= 30 {
+                    p += 0.25;
+                }
+                if !married {
+                    p -= 0.08;
+                }
+                p += 0.02 * edu_rank;
+            }
+            "white-collar" => {
+                if s == "Male" && edu_rank >= 2.0 {
+                    p += 0.38;
+                }
+                if !married {
+                    p -= 0.15;
+                }
+                p += 0.05 * edu_rank;
+            }
+            _ => {
+                if married {
+                    p += 0.35;
+                }
+                if !married && s == "Female" {
+                    p -= 0.10;
+                }
+                p += 0.02 * edu_rank;
+            }
+        }
+        p += 0.002 * (h - 40) as f64;
+        if cg > 5_000.0 {
+            p += 0.3;
+        }
+        if a < 25 {
+            p -= 0.08;
+        }
+        let inc: i64 = i64::from(rng.gen_bool(p.clamp(0.01, 0.97)));
+
+        occupation.push(occ.to_string());
+        category.push(cat.to_string());
+        age.push(a);
+        education.push(edu.to_string());
+        sex.push(s.to_string());
+        marital.push(m.to_string());
+        race.push(rc.to_string());
+        hours.push(h);
+        workclass.push(wc.to_string());
+        relationship.push(rel.to_string());
+        region.push(reg.to_string());
+        capital_gain.push(cg);
+        income.push(inc);
+    }
+
+    let table = TableBuilder::new()
+        .cat_owned("Occupation", occupation)
+        .unwrap()
+        .cat_owned("OccupationCategory", category)
+        .unwrap()
+        .int("Age", age)
+        .unwrap()
+        .cat_owned("Education", education)
+        .unwrap()
+        .cat_owned("Sex", sex)
+        .unwrap()
+        .cat_owned("MaritalStatus", marital)
+        .unwrap()
+        .cat_owned("Race", race)
+        .unwrap()
+        .int("HoursPerWeek", hours)
+        .unwrap()
+        .cat_owned("Workclass", workclass)
+        .unwrap()
+        .cat_owned("Relationship", relationship)
+        .unwrap()
+        .cat_owned("NativeRegion", region)
+        .unwrap()
+        .float("CapitalGain", capital_gain)
+        .unwrap()
+        .int("Income", income)
+        .unwrap()
+        .build()
+        .unwrap();
+
+    let dag = dag();
+    let group_by = vec![table.attr("Occupation").unwrap()];
+    let outcome = table.attr("Income").unwrap();
+    Dataset {
+        name: "adult",
+        table,
+        dag,
+        group_by,
+        outcome,
+    }
+}
+
+/// Ground-truth DAG of the SCM.
+pub fn dag() -> Dag {
+    Dag::new(
+        &[
+            "Occupation",
+            "OccupationCategory",
+            "Age",
+            "Education",
+            "Sex",
+            "MaritalStatus",
+            "Race",
+            "HoursPerWeek",
+            "Workclass",
+            "Relationship",
+            "NativeRegion",
+            "CapitalGain",
+            "Income",
+        ],
+        &[
+            ("Occupation", "OccupationCategory"),
+            ("Occupation", "Education"),
+            ("Occupation", "Income"),
+            ("Age", "MaritalStatus"),
+            ("Age", "Income"),
+            ("Sex", "Relationship"),
+            ("Sex", "Income"),
+            ("Education", "Income"),
+            ("MaritalStatus", "Relationship"),
+            ("MaritalStatus", "Income"),
+            ("HoursPerWeek", "Income"),
+            ("CapitalGain", "Income"),
+        ],
+    )
+    .expect("static DAG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use table::fd::fd_holds;
+
+    #[test]
+    fn shape_matches_table3() {
+        let d = generate(5_000, 1);
+        assert_eq!(d.table.ncols(), 13);
+        assert_eq!(
+            d.table.column_by_name("Occupation").unwrap().n_distinct(),
+            12
+        );
+        assert_eq!(
+            d.table
+                .column_by_name("OccupationCategory")
+                .unwrap()
+                .n_distinct(),
+            3
+        );
+    }
+
+    #[test]
+    fn occupation_category_fd_holds() {
+        let d = generate(5_000, 2);
+        assert!(fd_holds(
+            &d.table,
+            &[d.table.attr("Occupation").unwrap()],
+            d.table.attr("OccupationCategory").unwrap()
+        ));
+    }
+
+    #[test]
+    fn married_earn_more_in_service() {
+        let d = generate(10_000, 3);
+        let t = &d.table;
+        let (cat, mar, inc) = (
+            t.attr("OccupationCategory").unwrap(),
+            t.attr("MaritalStatus").unwrap(),
+            t.attr("Income").unwrap(),
+        );
+        let (mut m, mut nm) = ((0.0, 0usize), (0.0, 0usize));
+        for r in 0..t.nrows() {
+            if t.value(r, cat).to_string() != "service" {
+                continue;
+            }
+            let y = t.column(inc).get_f64(r);
+            if t.value(r, mar).to_string() == "Married" {
+                m.0 += y;
+                m.1 += 1;
+            } else {
+                nm.0 += y;
+                nm.1 += 1;
+            }
+        }
+        assert!(m.0 / m.1 as f64 > nm.0 / nm.1 as f64 + 0.2);
+    }
+}

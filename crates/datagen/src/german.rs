@@ -1,0 +1,311 @@
+//! German-credit stand-in (Fig. 18 case study).
+//!
+//! 1 000 tuples, 20 attributes, group-by `Purpose` (10 loan purposes),
+//! outcome `Risk` (1 = good credit, 0 = bad). As in the real dataset, *no*
+//! functional dependencies hold from `Purpose`, so CauSumX falls back to
+//! one grouping pattern per group. The risk SCM follows the Schufa-style
+//! story of the paper's appendix: checking/savings account status, credit
+//! history and loan duration dominate, with purpose-specific interactions
+//! (e.g. short durations matter most for domestic appliances, owning a
+//! house for retraining loans).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use causal::dag::Dag;
+use table::TableBuilder;
+
+use crate::util::{choice, weighted};
+use crate::Dataset;
+
+/// Paper-scale row count (Table 3).
+pub const PAPER_N: usize = 1_000;
+
+const PURPOSES: &[&str] = &[
+    "new_car",
+    "used_car",
+    "furniture",
+    "radio_tv",
+    "appliances",
+    "repairs",
+    "education",
+    "retraining",
+    "business",
+    "vacation",
+];
+const CHECKING: &[&str] = &["none", "lt_0DM", "0_to_200DM", "ge_200DM"];
+const SAVINGS: &[&str] = &[
+    "lt_100DM",
+    "100_to_500DM",
+    "500_to_1000DM",
+    "ge_1000DM",
+    "unknown",
+];
+const HISTORY: &[&str] = &["critical", "delayed", "existing_paid", "all_paid_duly"];
+
+/// Generate the German-credit stand-in with `n` tuples.
+pub fn generate(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6E12);
+
+    let mut purpose = Vec::with_capacity(n);
+    let mut checking = Vec::with_capacity(n);
+    let mut savings = Vec::with_capacity(n);
+    let mut history = Vec::with_capacity(n);
+    let mut duration = Vec::with_capacity(n);
+    let mut amount = Vec::with_capacity(n);
+    let mut age = Vec::with_capacity(n);
+    let mut employment = Vec::with_capacity(n);
+    let mut housing = Vec::with_capacity(n);
+    let mut job = Vec::with_capacity(n);
+    let mut sex = Vec::with_capacity(n);
+    let mut foreign = Vec::with_capacity(n);
+    let mut installment = Vec::with_capacity(n);
+    let mut residence = Vec::with_capacity(n);
+    let mut existing = Vec::with_capacity(n);
+    let mut dependents = Vec::with_capacity(n);
+    let mut telephone = Vec::with_capacity(n);
+    let mut debtors = Vec::with_capacity(n);
+    let mut property = Vec::with_capacity(n);
+    let mut risk = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let p = PURPOSES[weighted(
+            &mut rng,
+            &[0.22, 0.1, 0.18, 0.25, 0.05, 0.05, 0.05, 0.03, 0.05, 0.02],
+        )];
+        let chk = CHECKING[weighted(&mut rng, &[0.39, 0.27, 0.27, 0.07])];
+        let sav = SAVINGS[weighted(&mut rng, &[0.6, 0.1, 0.06, 0.05, 0.19])];
+        let h = HISTORY[weighted(&mut rng, &[0.29, 0.09, 0.53, 0.09])];
+        let dur: i64 = *choice(
+            &mut rng,
+            &[6, 9, 12, 15, 18, 24, 30, 36, 42, 48, 54, 60, 72],
+        );
+        let a: i64 = rng.gen_range(19..75);
+        let emp = *choice(
+            &mut rng,
+            &["unemployed", "lt_1y", "1_to_4y", "4_to_7y", "ge_7y"],
+        );
+        let hou = *choice(&mut rng, &["own", "rent", "free"]);
+        let j = *choice(&mut rng, &["unskilled", "skilled", "management"]);
+        let s = if rng.gen_bool(0.69) { "male" } else { "female" };
+        let f = if rng.gen_bool(0.04) { "yes" } else { "no" };
+        let inst: i64 = rng.gen_range(1..5);
+        let res: i64 = rng.gen_range(1..5);
+        let ext: i64 = rng.gen_range(1..4);
+        let dep: i64 = if rng.gen_bool(0.15) { 2 } else { 1 };
+        let tel = if rng.gen_bool(0.4) { "yes" } else { "none" };
+        let deb = *choice(&mut rng, &["none", "co_applicant", "guarantor"]);
+        let prop = *choice(
+            &mut rng,
+            &["real_estate", "life_insurance", "car", "unknown"],
+        );
+        // Credit amount correlates with duration.
+        let amt = 500.0 + dur as f64 * rng.gen_range(50.0..200.0);
+
+        // Risk SCM (probability of good credit).
+        let mut score: f64 = 0.55;
+        if chk == "ge_200DM" {
+            score += 0.2;
+        }
+        if chk == "none" {
+            score -= 0.12;
+        }
+        if sav == "ge_1000DM" {
+            score += 0.15;
+        }
+        if h == "all_paid_duly" {
+            score += 0.18;
+        }
+        if h == "critical" {
+            score -= 0.12;
+        }
+        if dur > 48 {
+            score -= 0.35;
+        } else if dur <= 12 {
+            score += 0.1;
+        }
+        if hou == "own" {
+            score += 0.08;
+        }
+        if hou == "rent" {
+            score -= 0.04;
+        }
+        // Purpose-specific interactions (Fig. 18).
+        match p {
+            "new_car" if chk == "ge_200DM" && h == "all_paid_duly" => score += 0.25,
+            "appliances" if dur <= 12 && h == "all_paid_duly" => score += 0.2,
+            "furniture" if chk == "ge_200DM" => score += 0.15,
+            "repairs" if chk == "ge_200DM" && sav == "ge_1000DM" => score += 0.25,
+            "repairs" if chk == "none" && hou == "rent" => score -= 0.25,
+            "retraining" if hou == "own" => score += 0.2,
+            _ => {}
+        }
+        let r: i64 = i64::from(rng.gen_bool(score.clamp(0.02, 0.98)));
+
+        purpose.push(p.to_string());
+        checking.push(chk.to_string());
+        savings.push(sav.to_string());
+        history.push(h.to_string());
+        duration.push(dur);
+        amount.push(amt);
+        age.push(a);
+        employment.push(emp.to_string());
+        housing.push(hou.to_string());
+        job.push(j.to_string());
+        sex.push(s.to_string());
+        foreign.push(f.to_string());
+        installment.push(inst);
+        residence.push(res);
+        existing.push(ext);
+        dependents.push(dep);
+        telephone.push(tel.to_string());
+        debtors.push(deb.to_string());
+        property.push(prop.to_string());
+        risk.push(r);
+    }
+
+    let table = TableBuilder::new()
+        .cat_owned("Purpose", purpose)
+        .unwrap()
+        .cat_owned("CheckingAccount", checking)
+        .unwrap()
+        .cat_owned("Savings", savings)
+        .unwrap()
+        .cat_owned("CreditHistory", history)
+        .unwrap()
+        .int("Duration", duration)
+        .unwrap()
+        .float("CreditAmount", amount)
+        .unwrap()
+        .int("Age", age)
+        .unwrap()
+        .cat_owned("Employment", employment)
+        .unwrap()
+        .cat_owned("Housing", housing)
+        .unwrap()
+        .cat_owned("Job", job)
+        .unwrap()
+        .cat_owned("Sex", sex)
+        .unwrap()
+        .cat_owned("ForeignWorker", foreign)
+        .unwrap()
+        .int("InstallmentRate", installment)
+        .unwrap()
+        .int("Residence", residence)
+        .unwrap()
+        .int("ExistingCredits", existing)
+        .unwrap()
+        .int("Dependents", dependents)
+        .unwrap()
+        .cat_owned("Telephone", telephone)
+        .unwrap()
+        .cat_owned("OtherDebtors", debtors)
+        .unwrap()
+        .cat_owned("Property", property)
+        .unwrap()
+        .int("Risk", risk)
+        .unwrap()
+        .build()
+        .unwrap();
+
+    let dag = dag();
+    let group_by = vec![table.attr("Purpose").unwrap()];
+    let outcome = table.attr("Risk").unwrap();
+    Dataset {
+        name: "german",
+        table,
+        dag,
+        group_by,
+        outcome,
+    }
+}
+
+/// Ground-truth DAG (the causal graph of [`generate`]'s SCM).
+pub fn dag() -> Dag {
+    Dag::new(
+        &[
+            "Purpose",
+            "CheckingAccount",
+            "Savings",
+            "CreditHistory",
+            "Duration",
+            "CreditAmount",
+            "Age",
+            "Employment",
+            "Housing",
+            "Job",
+            "Sex",
+            "ForeignWorker",
+            "InstallmentRate",
+            "Residence",
+            "ExistingCredits",
+            "Dependents",
+            "Telephone",
+            "OtherDebtors",
+            "Property",
+            "Risk",
+        ],
+        &[
+            ("CheckingAccount", "Risk"),
+            ("Savings", "Risk"),
+            ("CreditHistory", "Risk"),
+            ("Duration", "Risk"),
+            ("Duration", "CreditAmount"),
+            ("Housing", "Risk"),
+            ("Purpose", "Risk"),
+        ],
+    )
+    .expect("static DAG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use table::fd::fd_closure;
+
+    #[test]
+    fn shape_matches_table3() {
+        let d = generate(PAPER_N, 1);
+        assert_eq!(d.table.nrows(), 1_000);
+        assert_eq!(d.table.ncols(), 20);
+        assert_eq!(d.table.column_by_name("Purpose").unwrap().n_distinct(), 10);
+    }
+
+    #[test]
+    fn no_fds_from_purpose() {
+        let d = generate(1_000, 2);
+        let p = d.table.attr("Purpose").unwrap();
+        let closed = fd_closure(&d.table, &[p], &[d.outcome]);
+        assert!(closed.is_empty(), "German has no grouping FDs: {closed:?}");
+    }
+
+    #[test]
+    fn long_duration_lowers_risk() {
+        let d = generate(1_000, 3);
+        let t = &d.table;
+        let (dur, risk) = (t.attr("Duration").unwrap(), t.attr("Risk").unwrap());
+        let mut long = (0.0, 0usize);
+        let mut short = (0.0, 0usize);
+        for r in 0..t.nrows() {
+            let y = t.column(risk).get_f64(r);
+            if t.column(dur).get_f64(r) > 48.0 {
+                long.0 += y;
+                long.1 += 1;
+            } else {
+                short.0 += y;
+                short.1 += 1;
+            }
+        }
+        assert!(long.0 / long.1 as f64 + 0.15 < short.0 / short.1 as f64);
+    }
+
+    #[test]
+    fn risk_is_binary() {
+        let d = generate(500, 4);
+        let risk = d.table.attr("Risk").unwrap();
+        for r in 0..d.table.nrows() {
+            let v = d.table.column(risk).get_f64(r);
+            assert!(v == 0.0 || v == 1.0);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! IMPUS-CPS stand-in (Current Population Survey).
+//!
+//! 10 attributes, group-by `State` (30 states) with the FD `State →
+//! Region` (4 census regions). Outcome is annual `Income` in $K. Used by
+//! the scalability experiments (Fig. 11/13) — at paper scale this is the
+//! 1.1 M-row dataset that exercises the sampling optimization (d).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use causal::dag::Dag;
+use table::TableBuilder;
+
+use crate::util::{choice, std_normal, weighted};
+use crate::Dataset;
+
+/// Paper-scale row count (Table 3).
+pub const PAPER_N: usize = 1_100_000;
+
+const STATES: &[(&str, &str, f64)] = &[
+    ("NY", "Northeast", 62.0),
+    ("MA", "Northeast", 66.0),
+    ("PA", "Northeast", 52.0),
+    ("NJ", "Northeast", 64.0),
+    ("CT", "Northeast", 65.0),
+    ("ME", "Northeast", 46.0),
+    ("IL", "Midwest", 54.0),
+    ("OH", "Midwest", 48.0),
+    ("MI", "Midwest", 47.0),
+    ("WI", "Midwest", 49.0),
+    ("MN", "Midwest", 55.0),
+    ("IN", "Midwest", 46.0),
+    ("MO", "Midwest", 45.0),
+    ("KS", "Midwest", 46.0),
+    ("TX", "South", 50.0),
+    ("FL", "South", 46.0),
+    ("GA", "South", 48.0),
+    ("NC", "South", 46.0),
+    ("VA", "South", 58.0),
+    ("TN", "South", 44.0),
+    ("AL", "South", 41.0),
+    ("LA", "South", 42.0),
+    ("SC", "South", 43.0),
+    ("CA", "West", 64.0),
+    ("WA", "West", 63.0),
+    ("OR", "West", 54.0),
+    ("CO", "West", 58.0),
+    ("AZ", "West", 48.0),
+    ("NV", "West", 47.0),
+    ("UT", "West", 52.0),
+];
+
+const EDUCATIONS: &[&str] = &["LessHS", "HS", "SomeCollege", "Bachelors", "Graduate"];
+const OCCS: &[&str] = &[
+    "Management",
+    "Professional",
+    "Service",
+    "Sales",
+    "Construction",
+    "Production",
+];
+
+/// Generate the IMPUS-CPS stand-in with `n` tuples.
+pub fn generate(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1A9C);
+
+    let mut state = Vec::with_capacity(n);
+    let mut region = Vec::with_capacity(n);
+    let mut education = Vec::with_capacity(n);
+    let mut occupation = Vec::with_capacity(n);
+    let mut sex = Vec::with_capacity(n);
+    let mut age = Vec::with_capacity(n);
+    let mut marital = Vec::with_capacity(n);
+    let mut race = Vec::with_capacity(n);
+    let mut hours = Vec::with_capacity(n);
+    let mut income = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let (st, reg, base) = STATES[rng.gen_range(0..STATES.len())];
+        let edu_i = weighted(&mut rng, &[0.1, 0.28, 0.27, 0.23, 0.12]);
+        let edu = EDUCATIONS[edu_i];
+        let occ = OCCS[weighted(&mut rng, &[0.16, 0.23, 0.17, 0.2, 0.1, 0.14])];
+        let s = if rng.gen_bool(0.51) { "Male" } else { "Female" };
+        let a: i64 = rng.gen_range(18..80);
+        let m = *choice(
+            &mut rng,
+            &["Married", "Married", "Single", "Divorced", "Widowed"],
+        );
+        let rc = *choice(
+            &mut rng,
+            &["White", "White", "White", "Black", "Asian", "Other"],
+        );
+        let h: i64 = rng.gen_range(20..60);
+
+        let mut y = base;
+        y += 7.0 * edu_i as f64;
+        // Education premium is strongest in the Northeast / West, the
+        // construction premium strongest in the West — region-varied
+        // effects so per-region explanations differ.
+        if (reg == "Northeast" || reg == "West") && edu_i >= 3 {
+            y += 18.0;
+        }
+        if reg == "West" && occ == "Construction" {
+            y += 10.0;
+        }
+        if reg == "South" && m == "Married" {
+            y += 12.0;
+        }
+        y += match occ {
+            "Management" => 20.0,
+            "Professional" => 15.0,
+            "Service" => -6.0,
+            _ => 0.0,
+        };
+        if s == "Male" {
+            y += 6.0;
+        }
+        if a < 25 {
+            y -= 10.0;
+        }
+        if a > 65 {
+            y -= 12.0;
+        }
+        y += 0.5 * (h - 40) as f64;
+        y += 8.0 * std_normal(&mut rng);
+        y = y.max(5.0);
+
+        state.push(st.to_string());
+        region.push(reg.to_string());
+        education.push(edu.to_string());
+        occupation.push(occ.to_string());
+        sex.push(s.to_string());
+        age.push(a);
+        marital.push(m.to_string());
+        race.push(rc.to_string());
+        hours.push(h);
+        income.push(y);
+    }
+
+    let table = TableBuilder::new()
+        .cat_owned("State", state)
+        .unwrap()
+        .cat_owned("Region", region)
+        .unwrap()
+        .cat_owned("Education", education)
+        .unwrap()
+        .cat_owned("Occupation", occupation)
+        .unwrap()
+        .cat_owned("Sex", sex)
+        .unwrap()
+        .int("Age", age)
+        .unwrap()
+        .cat_owned("MaritalStatus", marital)
+        .unwrap()
+        .cat_owned("Race", race)
+        .unwrap()
+        .int("HoursPerWeek", hours)
+        .unwrap()
+        .float("Income", income)
+        .unwrap()
+        .build()
+        .unwrap();
+
+    let dag = dag();
+    let group_by = vec![table.attr("State").unwrap()];
+    let outcome = table.attr("Income").unwrap();
+    Dataset {
+        name: "impus",
+        table,
+        dag,
+        group_by,
+        outcome,
+    }
+}
+
+/// Ground-truth DAG of the SCM.
+pub fn dag() -> Dag {
+    Dag::new(
+        &[
+            "State",
+            "Region",
+            "Education",
+            "Occupation",
+            "Sex",
+            "Age",
+            "MaritalStatus",
+            "Race",
+            "HoursPerWeek",
+            "Income",
+        ],
+        &[
+            ("State", "Region"),
+            ("State", "Income"),
+            ("Education", "Income"),
+            ("Occupation", "Income"),
+            ("Sex", "Income"),
+            ("Age", "Income"),
+            ("MaritalStatus", "Income"),
+            ("HoursPerWeek", "Income"),
+        ],
+    )
+    .expect("static DAG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use table::fd::fd_holds;
+
+    #[test]
+    fn shape_matches_table3() {
+        let d = generate(3_000, 1);
+        assert_eq!(d.table.ncols(), 10);
+        assert_eq!(d.table.column_by_name("State").unwrap().n_distinct(), 30);
+        assert_eq!(d.table.column_by_name("Region").unwrap().n_distinct(), 4);
+    }
+
+    #[test]
+    fn state_region_fd() {
+        let d = generate(3_000, 2);
+        assert!(fd_holds(
+            &d.table,
+            &[d.table.attr("State").unwrap()],
+            d.table.attr("Region").unwrap()
+        ));
+    }
+
+    #[test]
+    fn northeast_education_premium() {
+        let d = generate(20_000, 3);
+        let t = &d.table;
+        let (reg, edu, inc) = (
+            t.attr("Region").unwrap(),
+            t.attr("Education").unwrap(),
+            t.attr("Income").unwrap(),
+        );
+        let avg = |want_hi: bool| {
+            let (mut s, mut c) = (0.0, 0usize);
+            for r in 0..t.nrows() {
+                if t.value(r, reg).to_string() != "Northeast" {
+                    continue;
+                }
+                let e = t.value(r, edu).to_string();
+                let hi = e == "Bachelors" || e == "Graduate";
+                if hi == want_hi {
+                    s += t.column(inc).get_f64(r);
+                    c += 1;
+                }
+            }
+            s / c as f64
+        };
+        assert!(avg(true) > avg(false) + 20.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! # datagen — synthetic stand-ins for the paper's evaluation datasets
+//!
+//! The CauSumX evaluation (§6.1, Table 3) uses five real datasets plus one
+//! synthetic schema. The real files (Kaggle/Census/StackOverflow dumps) are
+//! not redistributable nor available offline, so — per the substitution
+//! policy in `DESIGN.md` — each is replaced by a *structural causal model*
+//! generator matching the original's schema shape:
+//!
+//! | Generator | Paper dataset | tuples | attrs | group-by | outcome |
+//! |---|---|---|---|---|---|
+//! | [`german`]    | German credit    | 1 000  | 20 | Purpose    | Risk |
+//! | [`adult`]     | Adult census     | 32.5 K | 13 | Occupation | Income |
+//! | [`so`]        | Stack Overflow   | 38 K   | 20 | Country    | Salary |
+//! | [`impus`]     | IMPUS-CPS        | 1.1 M  | 10 | State      | Income |
+//! | [`accidents`] | US Accidents     | 2.8 M  | 40 | City       | Severity |
+//! | [`synthetic`] | §6.1 Synthetic   | param  | param | G       | O |
+//!
+//! Each generator returns a [`Dataset`]: the table, the *ground-truth*
+//! causal DAG (the SCM's own graph — stronger than the paper's setting,
+//! where DAGs were hand-built or discovered), the representative query of
+//! §6.2, and the attribute lists the case studies use. Row counts are
+//! parameters; paper-scale defaults are exposed as `PAPER_N` constants
+//! while experiments default to laptop-friendly sizes.
+
+pub mod accidents;
+pub mod adult;
+pub mod german;
+pub mod impus;
+pub mod so;
+pub mod synthetic;
+mod util;
+
+use causal::dag::Dag;
+use table::{GroupByAvgQuery, Table};
+
+/// A generated dataset bundle.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Short name used in experiment output ("so", "adult", …).
+    pub name: &'static str,
+    /// The generated relation instance.
+    pub table: Table,
+    /// Ground-truth causal DAG of the generating SCM.
+    pub dag: Dag,
+    /// Group-by attribute ids of the representative query.
+    pub group_by: Vec<usize>,
+    /// Outcome (AVG) attribute id of the representative query.
+    pub outcome: usize,
+}
+
+impl Dataset {
+    /// The representative group-by/average query of the §6.2 case study.
+    pub fn query(&self) -> GroupByAvgQuery {
+        GroupByAvgQuery::new(self.group_by.clone(), self.outcome)
+    }
+
+    /// Name of the outcome attribute.
+    pub fn outcome_name(&self) -> &str {
+        &self.table.schema().field(self.outcome).name
+    }
+}
+
+/// Generate every real-dataset stand-in at the given scale (same seed),
+/// in Table 3 order.
+pub fn all_datasets(scale: &ScaleProfile, seed: u64) -> Vec<Dataset> {
+    vec![
+        german::generate(scale.german, seed),
+        adult::generate(scale.adult, seed),
+        so::generate(scale.so, seed),
+        impus::generate(scale.impus, seed),
+        accidents::generate(scale.accidents, seed),
+    ]
+}
+
+/// Row counts per dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleProfile {
+    /// German credit rows.
+    pub german: usize,
+    /// Adult census rows.
+    pub adult: usize,
+    /// Stack Overflow rows.
+    pub so: usize,
+    /// IMPUS-CPS rows.
+    pub impus: usize,
+    /// US Accidents rows.
+    pub accidents: usize,
+}
+
+impl ScaleProfile {
+    /// Laptop-friendly default used by tests and quick experiment runs.
+    pub fn small() -> Self {
+        ScaleProfile {
+            german: 1_000,
+            adult: 4_000,
+            so: 6_000,
+            impus: 8_000,
+            accidents: 8_000,
+        }
+    }
+
+    /// The exact Table 3 row counts.
+    pub fn paper() -> Self {
+        ScaleProfile {
+            german: 1_000,
+            adult: 32_500,
+            so: 38_090,
+            impus: 1_100_000,
+            accidents: 2_800_000,
+        }
+    }
+}

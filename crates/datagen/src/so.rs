@@ -1,0 +1,593 @@
+//! Stack Overflow developer-survey stand-in (Example 1.1 / Fig. 2).
+//!
+//! 20 countries over 5 continents, augmented with country-level economy
+//! attributes (HDI, Gini, GDP) functionally determined by `Country` — the
+//! grouping-pattern attributes of the running example. The salary SCM bakes
+//! in exactly the heterogeneous effects the paper's Fig. 2 reports:
+//!
+//! * Europe: `Age < 35 ∧ Education = Masters` ⇒ ≈ +36 K; `Student = yes`
+//!   ⇒ ≈ −39 K,
+//! * high-GDP countries: `Role = C-suite` ⇒ ≈ +41 K; `Age > 55 ∧
+//!   Education = Bachelors` ⇒ ≈ −35 K,
+//! * high-Gini countries: `Ethnicity = White ∧ Age < 45` ⇒ ≈ +29 K;
+//!   `Education = NoDegree` ⇒ ≈ −28 K,
+//!
+//! plus the generic education/role/age/gender effects the case study
+//! discusses. Attributes with no causal path to salary (Hobby, Exercise,
+//! SexualOrientation, Dependents, HoursComputer) are included to exercise
+//! the §5.2 (a) attribute-pruning optimization.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use causal::dag::Dag;
+use table::TableBuilder;
+
+use crate::util::{std_normal, weighted};
+use crate::Dataset;
+
+/// Paper-scale row count (Table 3).
+pub const PAPER_N: usize = 38_090;
+
+struct CountryInfo {
+    name: &'static str,
+    continent: &'static str,
+    hdi: &'static str,
+    gini: &'static str,
+    gdp: &'static str,
+    base: f64,
+    weight: f64,
+}
+
+const COUNTRIES: &[CountryInfo] = &[
+    CountryInfo {
+        name: "US",
+        continent: "N.America",
+        hdi: "High",
+        gini: "High",
+        gdp: "High",
+        base: 110.0,
+        weight: 10.0,
+    },
+    CountryInfo {
+        name: "India",
+        continent: "Asia",
+        hdi: "Low",
+        gini: "Mid",
+        gdp: "Low",
+        base: 12.0,
+        weight: 8.0,
+    },
+    CountryInfo {
+        name: "Germany",
+        continent: "Europe",
+        hdi: "High",
+        gini: "Low",
+        gdp: "High",
+        base: 70.0,
+        weight: 5.0,
+    },
+    CountryInfo {
+        name: "UK",
+        continent: "Europe",
+        hdi: "High",
+        gini: "Mid",
+        gdp: "High",
+        base: 72.0,
+        weight: 5.0,
+    },
+    CountryInfo {
+        name: "Canada",
+        continent: "N.America",
+        hdi: "High",
+        gini: "Low",
+        gdp: "High",
+        base: 75.0,
+        weight: 3.0,
+    },
+    CountryInfo {
+        name: "France",
+        continent: "Europe",
+        hdi: "High",
+        gini: "Low",
+        gdp: "High",
+        base: 55.0,
+        weight: 3.0,
+    },
+    CountryInfo {
+        name: "Brazil",
+        continent: "S.America",
+        hdi: "Mid",
+        gini: "High",
+        gdp: "Low",
+        base: 18.0,
+        weight: 3.0,
+    },
+    CountryInfo {
+        name: "Poland",
+        continent: "Europe",
+        hdi: "High",
+        gini: "Low",
+        gdp: "Mid",
+        base: 30.0,
+        weight: 2.5,
+    },
+    CountryInfo {
+        name: "Australia",
+        continent: "Oceania",
+        hdi: "High",
+        gini: "Mid",
+        gdp: "High",
+        base: 75.0,
+        weight: 2.5,
+    },
+    CountryInfo {
+        name: "Netherlands",
+        continent: "Europe",
+        hdi: "High",
+        gini: "Low",
+        gdp: "High",
+        base: 62.0,
+        weight: 2.0,
+    },
+    CountryInfo {
+        name: "Spain",
+        continent: "Europe",
+        hdi: "High",
+        gini: "Mid",
+        gdp: "Mid",
+        base: 40.0,
+        weight: 2.0,
+    },
+    CountryInfo {
+        name: "Italy",
+        continent: "Europe",
+        hdi: "High",
+        gini: "Mid",
+        gdp: "Mid",
+        base: 38.0,
+        weight: 2.0,
+    },
+    CountryInfo {
+        name: "Sweden",
+        continent: "Europe",
+        hdi: "High",
+        gini: "Low",
+        gdp: "High",
+        base: 65.0,
+        weight: 1.5,
+    },
+    CountryInfo {
+        name: "Russia",
+        continent: "Europe",
+        hdi: "Mid",
+        gini: "High",
+        gdp: "Mid",
+        base: 25.0,
+        weight: 2.0,
+    },
+    CountryInfo {
+        name: "China",
+        continent: "Asia",
+        hdi: "Mid",
+        gini: "High",
+        gdp: "Mid",
+        base: 22.0,
+        weight: 3.0,
+    },
+    CountryInfo {
+        name: "Japan",
+        continent: "Asia",
+        hdi: "High",
+        gini: "Low",
+        gdp: "High",
+        base: 55.0,
+        weight: 2.0,
+    },
+    CountryInfo {
+        name: "Israel",
+        continent: "Asia",
+        hdi: "High",
+        gini: "Mid",
+        gdp: "High",
+        base: 80.0,
+        weight: 1.5,
+    },
+    CountryInfo {
+        name: "Turkey",
+        continent: "Asia",
+        hdi: "Mid",
+        gini: "High",
+        gdp: "Mid",
+        base: 18.0,
+        weight: 1.5,
+    },
+    CountryInfo {
+        name: "Mexico",
+        continent: "N.America",
+        hdi: "Mid",
+        gini: "High",
+        gdp: "Low",
+        base: 20.0,
+        weight: 1.5,
+    },
+    CountryInfo {
+        name: "Argentina",
+        continent: "S.America",
+        hdi: "Mid",
+        gini: "High",
+        gdp: "Low",
+        base: 15.0,
+        weight: 1.0,
+    },
+];
+
+const EDUCATIONS: &[&str] = &["NoDegree", "Bachelors", "Masters", "PhD"];
+const ROLES: &[&str] = &[
+    "Back-end",
+    "Front-end",
+    "Full-stack",
+    "QA",
+    "DevOps",
+    "DataScientist",
+    "ML-Specialist",
+    "Mobile",
+    "C-suite",
+    "Manager",
+];
+const MAJORS: &[&str] = &["CS", "OtherEng", "Math", "Natural", "Humanities", "NoMajor"];
+const ETHNICITIES: &[&str] = &["White", "Asian", "Hispanic", "Black", "Other"];
+
+/// Generate the SO stand-in with `n` tuples.
+pub fn generate(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x50F7);
+
+    let weights: Vec<f64> = COUNTRIES.iter().map(|c| c.weight).collect();
+
+    let mut country = Vec::with_capacity(n);
+    let mut continent = Vec::with_capacity(n);
+    let mut hdi = Vec::with_capacity(n);
+    let mut gini = Vec::with_capacity(n);
+    let mut gdp = Vec::with_capacity(n);
+    let mut gender = Vec::with_capacity(n);
+    let mut ethnicity = Vec::with_capacity(n);
+    let mut age = Vec::with_capacity(n);
+    let mut education = Vec::with_capacity(n);
+    let mut major = Vec::with_capacity(n);
+    let mut years_coding = Vec::with_capacity(n);
+    let mut role = Vec::with_capacity(n);
+    let mut student = Vec::with_capacity(n);
+    let mut dependents = Vec::with_capacity(n);
+    let mut hobby = Vec::with_capacity(n);
+    let mut hours_computer = Vec::with_capacity(n);
+    let mut exercise = Vec::with_capacity(n);
+    let mut orientation = Vec::with_capacity(n);
+    let mut edu_parents = Vec::with_capacity(n);
+    let mut salary = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let c = &COUNTRIES[weighted(&mut rng, &weights)];
+
+        // Exogenous demographics.
+        let g = match weighted(&mut rng, &[0.82, 0.15, 0.03]) {
+            0 => "Male",
+            1 => "Female",
+            _ => "NonBinary",
+        };
+        let eth = ETHNICITIES[weighted(&mut rng, &[0.45, 0.3, 0.1, 0.08, 0.07])];
+        let a: i64 = 18 + (rng.gen_range(0.0f64..1.0).powf(1.6) * 47.0) as i64;
+        let ep = EDUCATIONS[weighted(&mut rng, &[0.35, 0.4, 0.18, 0.07])];
+
+        // Education ← Age, EducationParents, Gender.
+        let mut w_edu = [0.18, 0.5, 0.25, 0.07];
+        if a < 23 {
+            w_edu = [0.45, 0.45, 0.09, 0.01];
+        }
+        if ep == "Masters" || ep == "PhD" {
+            w_edu[2] += 0.2;
+            w_edu[3] += 0.08;
+        }
+        if g == "Female" {
+            w_edu[2] += 0.05;
+        }
+        let edu = EDUCATIONS[weighted(&mut rng, &w_edu)];
+
+        let mjr = MAJORS[weighted(&mut rng, &[0.5, 0.15, 0.1, 0.08, 0.07, 0.1])];
+
+        // YearsCoding ← Age.
+        let yc: i64 = ((a - 18) as f64 * rng.gen_range(0.3..1.0)).round() as i64;
+
+        // Role ← Education, Age, Major, YearsCoding.
+        let mut w_role = [0.18, 0.12, 0.2, 0.08, 0.08, 0.06, 0.04, 0.08, 0.02, 0.14];
+        if edu == "PhD" {
+            w_role[5] += 0.25; // DataScientist
+            w_role[6] += 0.15; // ML
+        }
+        if a > 40 && yc > 12 {
+            w_role[8] += 0.1; // C-suite
+            w_role[9] += 0.15; // Manager
+        }
+        if mjr == "Math" || mjr == "Natural" {
+            w_role[5] += 0.1;
+        }
+        let r = ROLES[weighted(&mut rng, &w_role)];
+
+        // Student ← Age.
+        let st = if a < 28 && rng.gen_bool(0.3) {
+            "yes"
+        } else {
+            "no"
+        };
+
+        // Non-causal lifestyle attributes.
+        let dep = if rng.gen_bool(0.35) { "yes" } else { "no" };
+        let hob = if rng.gen_bool(0.8) { "yes" } else { "no" };
+        let hc = *crate::util::choice(&mut rng, &["<4h", "4-8h", "8-12h", ">12h"]);
+        let ex = *crate::util::choice(&mut rng, &["never", "weekly", "daily"]);
+        let ori = match weighted(&mut rng, &[0.9, 0.06, 0.04]) {
+            0 => "Straight",
+            1 => "Gay",
+            _ => "Bi",
+        };
+
+        // Salary ← everything above (the Fig. 2 effect structure).
+        let mut y = c.base;
+        let eu = c.continent == "Europe";
+        if eu && a < 35 && edu == "Masters" {
+            y += 36.0;
+        }
+        if eu && st == "yes" {
+            y -= 39.0;
+        }
+        if c.gdp == "High" && r == "C-suite" {
+            y += 41.0;
+        }
+        if c.gdp == "High" && a > 55 && edu == "Bachelors" {
+            y -= 35.0;
+        }
+        if c.gini == "High" && eth == "White" && a < 45 {
+            y += 29.0;
+        }
+        if c.gini == "High" && edu == "NoDegree" {
+            y -= 28.0;
+        }
+        // Generic effects from the literature the case study cites.
+        y += match edu {
+            "Masters" => 8.0,
+            "PhD" => 15.0,
+            "NoDegree" => -5.0,
+            _ => 0.0,
+        };
+        y += match r {
+            "DataScientist" => 10.0,
+            "ML-Specialist" => 12.0,
+            "C-suite" => 15.0,
+            "Manager" => 9.0,
+            "QA" => -4.0,
+            _ => 0.0,
+        };
+        if st == "yes" {
+            y -= 10.0;
+        }
+        if a < 25 {
+            y -= 8.0;
+        }
+        y += 0.4 * yc as f64;
+        if g == "Male" {
+            y += 5.0;
+        }
+        if eth == "White" {
+            y += 4.0;
+        }
+        y += 6.0 * std_normal(&mut rng);
+        y = y.max(1.0);
+
+        country.push(c.name.to_string());
+        continent.push(c.continent.to_string());
+        hdi.push(c.hdi.to_string());
+        gini.push(c.gini.to_string());
+        gdp.push(c.gdp.to_string());
+        gender.push(g.to_string());
+        ethnicity.push(eth.to_string());
+        age.push(a);
+        education.push(edu.to_string());
+        major.push(mjr.to_string());
+        years_coding.push(yc);
+        role.push(r.to_string());
+        student.push(st.to_string());
+        dependents.push(dep.to_string());
+        hobby.push(hob.to_string());
+        hours_computer.push(hc.to_string());
+        exercise.push(ex.to_string());
+        orientation.push(ori.to_string());
+        edu_parents.push(ep.to_string());
+        salary.push(y);
+    }
+
+    let table = TableBuilder::new()
+        .cat_owned("Country", country)
+        .unwrap()
+        .cat_owned("Continent", continent)
+        .unwrap()
+        .cat_owned("HDI", hdi)
+        .unwrap()
+        .cat_owned("Gini", gini)
+        .unwrap()
+        .cat_owned("GDP", gdp)
+        .unwrap()
+        .cat_owned("Gender", gender)
+        .unwrap()
+        .cat_owned("Ethnicity", ethnicity)
+        .unwrap()
+        .int("Age", age)
+        .unwrap()
+        .cat_owned("Education", education)
+        .unwrap()
+        .cat_owned("Major", major)
+        .unwrap()
+        .int("YearsCoding", years_coding)
+        .unwrap()
+        .cat_owned("Role", role)
+        .unwrap()
+        .cat_owned("Student", student)
+        .unwrap()
+        .cat_owned("Dependents", dependents)
+        .unwrap()
+        .cat_owned("Hobby", hobby)
+        .unwrap()
+        .cat_owned("HoursComputer", hours_computer)
+        .unwrap()
+        .cat_owned("Exercise", exercise)
+        .unwrap()
+        .cat_owned("SexualOrientation", orientation)
+        .unwrap()
+        .cat_owned("EducationParents", edu_parents)
+        .unwrap()
+        .float("Salary", salary)
+        .unwrap()
+        .build()
+        .unwrap();
+
+    let dag = dag();
+    let group_by = vec![table.attr("Country").unwrap()];
+    let outcome = table.attr("Salary").unwrap();
+    Dataset {
+        name: "so",
+        table,
+        dag,
+        group_by,
+        outcome,
+    }
+}
+
+/// The ground-truth causal DAG of the generator (superset of Fig. 3).
+pub fn dag() -> Dag {
+    Dag::new(
+        &[
+            "Country",
+            "Continent",
+            "HDI",
+            "Gini",
+            "GDP",
+            "Gender",
+            "Ethnicity",
+            "Age",
+            "Education",
+            "Major",
+            "YearsCoding",
+            "Role",
+            "Student",
+            "Dependents",
+            "Hobby",
+            "HoursComputer",
+            "Exercise",
+            "SexualOrientation",
+            "EducationParents",
+            "Salary",
+        ],
+        &[
+            ("Country", "Continent"),
+            ("Country", "HDI"),
+            ("Country", "Gini"),
+            ("Country", "GDP"),
+            ("Country", "Salary"),
+            ("Age", "Education"),
+            ("Age", "YearsCoding"),
+            ("Age", "Role"),
+            ("Age", "Student"),
+            ("Age", "Salary"),
+            ("EducationParents", "Education"),
+            ("Gender", "Education"),
+            ("Gender", "Salary"),
+            ("Education", "Role"),
+            ("Education", "Salary"),
+            ("Major", "Role"),
+            ("YearsCoding", "Role"),
+            ("YearsCoding", "Salary"),
+            ("Role", "Salary"),
+            ("Student", "Salary"),
+            ("Ethnicity", "Salary"),
+        ],
+    )
+    .expect("static DAG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use table::fd::{fd_closure, fd_holds};
+
+    #[test]
+    fn schema_matches_table3_shape() {
+        let d = generate(2_000, 1);
+        assert_eq!(d.table.ncols(), 20);
+        assert_eq!(d.table.nrows(), 2_000);
+        // 20 countries, 5 continents.
+        assert_eq!(d.table.column_by_name("Country").unwrap().n_distinct(), 20);
+        assert_eq!(d.table.column_by_name("Continent").unwrap().n_distinct(), 5);
+    }
+
+    #[test]
+    fn country_fds_hold() {
+        let d = generate(3_000, 2);
+        let c = d.table.attr("Country").unwrap();
+        for name in ["Continent", "HDI", "Gini", "GDP"] {
+            assert!(
+                fd_holds(&d.table, &[c], d.table.attr(name).unwrap()),
+                "Country → {name} must hold"
+            );
+        }
+        let closed = fd_closure(&d.table, &[c], &[d.outcome]);
+        assert!(closed.len() >= 4);
+    }
+
+    #[test]
+    fn europe_masters_under35_effect_present() {
+        let d = generate(8_000, 3);
+        let t = &d.table;
+        let (cont, agei, edu, sal) = (
+            t.attr("Continent").unwrap(),
+            t.attr("Age").unwrap(),
+            t.attr("Education").unwrap(),
+            t.attr("Salary").unwrap(),
+        );
+        let mut treated = (0.0, 0usize);
+        let mut control = (0.0, 0usize);
+        for r in 0..t.nrows() {
+            if t.value(r, cont).to_string() != "Europe" {
+                continue;
+            }
+            let is_t = t.column(agei).get_f64(r) < 35.0 && t.value(r, edu).to_string() == "Masters";
+            let y = t.column(sal).get_f64(r);
+            if is_t {
+                treated.0 += y;
+                treated.1 += 1;
+            } else {
+                control.0 += y;
+                control.1 += 1;
+            }
+        }
+        let diff = treated.0 / treated.1 as f64 - control.0 / control.1 as f64;
+        assert!(
+            diff > 25.0,
+            "EU masters-under-35 lift should be large, got {diff}"
+        );
+    }
+
+    #[test]
+    fn reproducible_per_seed() {
+        let a = generate(500, 9);
+        let b = generate(500, 9);
+        assert_eq!(table::csv::to_csv(&a.table), table::csv::to_csv(&b.table));
+        let c = generate(500, 10);
+        assert_ne!(table::csv::to_csv(&a.table), table::csv::to_csv(&c.table));
+    }
+
+    #[test]
+    fn dag_names_align_with_schema() {
+        let d = generate(100, 4);
+        for (_, f) in d.table.schema().iter() {
+            assert!(d.dag.index_of(&f.name).is_some(), "missing {}", f.name);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Shared sampling helpers for the SCM generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Sample an index proportionally to `weights`.
+pub fn weighted(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+/// Uniform choice from a slice.
+pub fn choice<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// Approximate standard normal via the sum-of-uniforms (Irwin–Hall 12)
+/// method — plenty for generating noise terms.
+pub fn std_normal(rng: &mut StdRng) -> f64 {
+    (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0
+}
+
+/// Clamp-and-round helper for bounded integer attributes (used by tests
+/// and downstream generators).
+#[allow(dead_code)]
+pub fn bounded_int(v: f64, lo: i64, hi: i64) -> i64 {
+    (v.round() as i64).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_respects_mass() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[weighted(&mut rng, &[0.7, 0.2, 0.1])] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+        let f0 = counts[0] as f64 / 30_000.0;
+        assert!((f0 - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| std_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02);
+        assert!((var - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn bounded_int_clamps() {
+        assert_eq!(bounded_int(99.7, 0, 50), 50);
+        assert_eq!(bounded_int(-3.2, 0, 50), 0);
+        assert_eq!(bounded_int(17.4, 0, 50), 17);
+    }
+}

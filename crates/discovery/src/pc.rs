@@ -1,0 +1,169 @@
+//! The PC algorithm (Spirtes–Glymour–Scheines), stable variant.
+//!
+//! 1. Start from the complete undirected graph; remove edges levelwise:
+//!    at level ℓ, test `x ⟂ y | S` for all `S ⊆ adj(x)\{y}` with `|S| = ℓ`
+//!    using the Fisher-z partial-correlation test (adjacencies frozen per
+//!    level — "PC-stable", which removes order dependence).
+//! 2. Orient v-structures `i → k ← j` for non-adjacent `i, j` whose
+//!    separating set excludes `k`.
+//! 3. Apply Meek rules to propagate orientations, then extend the CPDAG to
+//!    an arbitrary class member DAG.
+
+use causal::dag::Dag;
+use stats::corr::fisher_z_test;
+
+use crate::skeleton::{for_each_subset, Pdag, Sepsets};
+
+/// Maximum conditioning-set size examined (runtime guard; standard
+/// implementations expose the same knob).
+pub const MAX_COND: usize = 3;
+
+/// Run PC-stable on the data matrix (`data[v]` = column of variable `v`).
+pub fn pc(data: &[Vec<f64>], names: &[String], alpha: f64) -> Dag {
+    let (mut g, seps) = pc_skeleton(data, alpha);
+    orient_v_structures(&mut g, &seps);
+    g.meek();
+    g.into_dag(names)
+}
+
+/// Skeleton phase, exposed for FCI reuse. Returns the pruned graph (still
+/// fully undirected) and the discovered separating sets.
+pub fn pc_skeleton(data: &[Vec<f64>], alpha: f64) -> (Pdag, Sepsets) {
+    let n = data.len();
+    let mut g = Pdag::complete(n);
+    let mut seps = Sepsets::default();
+
+    for level in 0..=MAX_COND {
+        // PC-stable: snapshot adjacencies for this level.
+        let adj: Vec<Vec<usize>> = (0..n).map(|i| g.neighbors(i)).collect();
+        let mut removed_any = false;
+        for i in 0..n {
+            for j in i + 1..n {
+                if !g.adjacent(i, j) {
+                    continue;
+                }
+                let candidates: Vec<usize> = adj[i].iter().copied().filter(|&v| v != j).collect();
+                if candidates.len() < level {
+                    continue;
+                }
+                let found = for_each_subset(&candidates, level, &mut |s| {
+                    let zs: Vec<&[f64]> = s.iter().map(|&v| data[v].as_slice()).collect();
+                    let p = fisher_z_test(&data[i], &data[j], &zs);
+                    if p > alpha {
+                        seps.insert(i, j, s.to_vec());
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if found {
+                    g.disconnect(i, j);
+                    removed_any = true;
+                }
+            }
+        }
+        if !removed_any && level > 0 {
+            break;
+        }
+    }
+    (g, seps)
+}
+
+/// Orient v-structures from separating sets.
+pub fn orient_v_structures(g: &mut Pdag, seps: &Sepsets) {
+    let n = g.n;
+    for k in 0..n {
+        for i in 0..n {
+            for j in i + 1..n {
+                if i == k || j == k {
+                    continue;
+                }
+                if g.adjacent(i, j) || !g.und[i][k] || !g.und[j][k] {
+                    continue;
+                }
+                let in_sepset = seps.get(i, j).is_some_and(|s| s.contains(&k));
+                if !in_sepset {
+                    g.orient(i, k);
+                    g.orient(j, k);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("v{i}")).collect()
+    }
+
+    /// x → y → z linear chain with uniform noise.
+    fn chain(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| 0.9 * v + 0.4 * rng.gen_range(-1.0..1.0f64))
+            .collect();
+        let z: Vec<f64> = y
+            .iter()
+            .map(|&v| 0.9 * v + 0.4 * rng.gen_range(-1.0..1.0f64))
+            .collect();
+        vec![x, y, z]
+    }
+
+    #[test]
+    fn chain_skeleton_recovered() {
+        let data = chain(3_000, 1);
+        let (g, _) = pc_skeleton(&data, 0.01);
+        assert!(g.adjacent(0, 1));
+        assert!(g.adjacent(1, 2));
+        assert!(!g.adjacent(0, 2), "x ⟂ z | y must remove the 0–2 edge");
+    }
+
+    #[test]
+    fn collider_oriented() {
+        // x → z ← y, x ⟂ y marginally.
+        let n = 4_000;
+        let mut rng = StdRng::seed_from_u64(2);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let z: Vec<f64> = x
+            .iter()
+            .zip(&y)
+            .map(|(&a, &b)| a + b + 0.3 * rng.gen_range(-1.0..1.0f64))
+            .collect();
+        let data = vec![x, y, z];
+        let dag = pc(&data, &names(3), 0.01);
+        let (xi, yi, zi) = (0, 1, 2);
+        assert!(dag.has_edge(xi, zi), "x → z expected");
+        assert!(dag.has_edge(yi, zi), "y → z expected");
+        assert!(!dag.has_edge(zi, xi) && !dag.has_edge(zi, yi));
+    }
+
+    #[test]
+    fn independent_variables_disconnected() {
+        let n = 2_000;
+        let mut rng = StdRng::seed_from_u64(3);
+        let data: Vec<Vec<f64>> = (0..4)
+            .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let dag = pc(&data, &names(4), 0.01);
+        assert!(
+            dag.num_edges() <= 1,
+            "nearly no edges expected, got {}",
+            dag.num_edges()
+        );
+    }
+
+    #[test]
+    fn output_is_acyclic_dag() {
+        let data = chain(1_000, 4);
+        let dag = pc(&data, &names(3), 0.05);
+        assert!(dag.topological_order().is_some());
+    }
+}

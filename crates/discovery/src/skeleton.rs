@@ -1,0 +1,271 @@
+//! Shared skeleton machinery: undirected graph state, sepsets, subset
+//! enumeration, and CPDAG → DAG extension.
+
+use std::collections::HashMap;
+
+use causal::dag::Dag;
+
+/// Partially directed graph state used during constraint-based search.
+#[derive(Debug, Clone)]
+pub struct Pdag {
+    pub n: usize,
+    /// `und[i][j]` — undirected edge i—j (symmetric).
+    pub und: Vec<Vec<bool>>,
+    /// `dir[i][j]` — directed edge i→j.
+    pub dir: Vec<Vec<bool>>,
+}
+
+impl Pdag {
+    /// Complete undirected graph on `n` nodes.
+    pub fn complete(n: usize) -> Self {
+        let mut und = vec![vec![true; n]; n];
+        for (i, row) in und.iter_mut().enumerate() {
+            row[i] = false;
+        }
+        Pdag {
+            n,
+            und,
+            dir: vec![vec![false; n]; n],
+        }
+    }
+
+    /// Any adjacency (undirected or either direction).
+    pub fn adjacent(&self, i: usize, j: usize) -> bool {
+        self.und[i][j] || self.dir[i][j] || self.dir[j][i]
+    }
+
+    /// Neighbours under any adjacency.
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&j| j != i && self.adjacent(i, j))
+            .collect()
+    }
+
+    /// Remove every mark between `i` and `j`.
+    pub fn disconnect(&mut self, i: usize, j: usize) {
+        self.und[i][j] = false;
+        self.und[j][i] = false;
+        self.dir[i][j] = false;
+        self.dir[j][i] = false;
+    }
+
+    /// Orient `i → j` (consuming the undirected mark).
+    pub fn orient(&mut self, i: usize, j: usize) {
+        self.und[i][j] = false;
+        self.und[j][i] = false;
+        self.dir[i][j] = true;
+    }
+
+    /// Count all adjacencies (each edge once).
+    pub fn num_edges(&self) -> usize {
+        let mut c = 0;
+        for i in 0..self.n {
+            for j in i + 1..self.n {
+                if self.adjacent(i, j) {
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Meek rules 1–3, to fixpoint.
+    pub fn meek(&mut self) {
+        loop {
+            let mut changed = false;
+            for a in 0..self.n {
+                for b in 0..self.n {
+                    if !self.und[a][b] {
+                        continue;
+                    }
+                    // R1: c → a, c not adjacent to b ⇒ a → b.
+                    let r1 = (0..self.n).any(|c| self.dir[c][a] && !self.adjacent(c, b));
+                    // R2: a → c → b ⇒ a → b.
+                    let r2 = (0..self.n).any(|c| self.dir[a][c] && self.dir[c][b]);
+                    // R3: a—c → b and a—d → b with c,d non-adjacent ⇒ a → b.
+                    let mut r3 = false;
+                    for c in 0..self.n {
+                        if !(self.und[a][c] && self.dir[c][b]) {
+                            continue;
+                        }
+                        for d in c + 1..self.n {
+                            if self.und[a][d] && self.dir[d][b] && !self.adjacent(c, d) {
+                                r3 = true;
+                            }
+                        }
+                    }
+                    if r1 || r2 || r3 {
+                        self.orient(a, b);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Extend to a DAG: keep directed edges; orient the remaining
+    /// undirected ones consistently (lower-index → higher-index unless that
+    /// creates a cycle, in which case flip). The result is one member of
+    /// the Markov equivalence class.
+    pub fn into_dag(mut self, names: &[String]) -> Dag {
+        // Repeatedly run Meek after each forced orientation to stay
+        // class-consistent where possible.
+        self.meek();
+        loop {
+            let mut next = None;
+            'outer: for i in 0..self.n {
+                for j in i + 1..self.n {
+                    if self.und[i][j] {
+                        next = Some((i, j));
+                        break 'outer;
+                    }
+                }
+            }
+            let Some((i, j)) = next else { break };
+            if self.would_cycle(i, j) {
+                self.orient(j, i);
+            } else {
+                self.orient(i, j);
+            }
+            self.meek();
+        }
+        let mut edges: Vec<(String, String)> = Vec::new();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if self.dir[i][j] {
+                    edges.push((names[i].clone(), names[j].clone()));
+                }
+            }
+        }
+        // Defensive: drop any edge that would make the graph cyclic (can
+        // happen when CI-test noise orients v-structures inconsistently).
+        loop {
+            match Dag::new(names, &edges) {
+                Ok(d) => return d,
+                Err(_) => {
+                    edges.pop();
+                    if edges.is_empty() {
+                        return Dag::new(names, &[] as &[(String, String)]).expect("empty graph");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Would orienting `i → j` close a directed cycle?
+    fn would_cycle(&self, i: usize, j: usize) -> bool {
+        // Is there a directed path j ⇝ i?
+        let mut stack = vec![j];
+        let mut seen = vec![false; self.n];
+        while let Some(v) = stack.pop() {
+            if v == i {
+                return true;
+            }
+            if seen[v] {
+                continue;
+            }
+            seen[v] = true;
+            for w in 0..self.n {
+                if self.dir[v][w] {
+                    stack.push(w);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Sepset store keyed on unordered pairs.
+#[derive(Debug, Default)]
+pub struct Sepsets(HashMap<(usize, usize), Vec<usize>>);
+
+impl Sepsets {
+    pub fn insert(&mut self, i: usize, j: usize, s: Vec<usize>) {
+        self.0.insert((i.min(j), i.max(j)), s);
+    }
+
+    pub fn get(&self, i: usize, j: usize) -> Option<&Vec<usize>> {
+        self.0.get(&(i.min(j), i.max(j)))
+    }
+}
+
+/// Enumerate all `k`-subsets of `items`, calling `f` until it returns true
+/// (found a separating set); returns whether any call returned true.
+pub fn for_each_subset(items: &[usize], k: usize, f: &mut impl FnMut(&[usize]) -> bool) -> bool {
+    fn rec(
+        items: &[usize],
+        k: usize,
+        start: usize,
+        cur: &mut Vec<usize>,
+        f: &mut impl FnMut(&[usize]) -> bool,
+    ) -> bool {
+        if cur.len() == k {
+            return f(cur);
+        }
+        for i in start..items.len() {
+            cur.push(items[i]);
+            if rec(items, k, i + 1, cur, f) {
+                return true;
+            }
+            cur.pop();
+        }
+        false
+    }
+    rec(items, k, 0, &mut Vec::new(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_enumeration_counts() {
+        let items = [0, 1, 2, 3];
+        let mut count = 0;
+        for_each_subset(&items, 2, &mut |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn subset_early_exit() {
+        let items = [0, 1, 2];
+        let mut count = 0;
+        let found = for_each_subset(&items, 1, &mut |s| {
+            count += 1;
+            s[0] == 1
+        });
+        assert!(found);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn meek_rule1() {
+        // c → a, a—b, c not adjacent to b ⇒ a → b.
+        let mut g = Pdag {
+            n: 3,
+            und: vec![vec![false; 3]; 3],
+            dir: vec![vec![false; 3]; 3],
+        };
+        g.dir[2][0] = true;
+        g.und[0][1] = true;
+        g.und[1][0] = true;
+        g.meek();
+        assert!(g.dir[0][1]);
+        assert!(!g.und[0][1]);
+    }
+
+    #[test]
+    fn into_dag_acyclic() {
+        let names: Vec<String> = (0..4).map(|i| format!("v{i}")).collect();
+        let g = Pdag::complete(4);
+        let dag = g.into_dag(&names);
+        assert!(dag.topological_order().is_some());
+        assert_eq!(dag.num_edges(), 6);
+    }
+}

@@ -1,0 +1,227 @@
+//! The Apriori algorithm (Agrawal & Srikant, VLDB'94) over attribute-value
+//! equality items.
+//!
+//! Items are `(attr, code)` pairs on categorical attributes; a k-itemset is
+//! a conjunction of k items on k *distinct* attributes (two equalities on
+//! the same attribute are contradictory). Support is the number of tuples
+//! satisfying the conjunction; the downward-closure property lets us prune
+//! levelwise exactly as in the original paper.
+
+use std::collections::HashSet;
+
+use table::bitset::BitSet;
+use table::pattern::{Pattern, Pred};
+use table::{Scalar, Table};
+
+/// A frequent pattern with its satisfying row set.
+#[derive(Debug, Clone)]
+pub struct FrequentPattern {
+    /// The conjunctive pattern.
+    pub pattern: Pattern,
+    /// Rows of the table satisfying the pattern.
+    pub rows: BitSet,
+    /// `rows.count()`, cached.
+    pub support: usize,
+}
+
+/// Internal itemset representation: sorted `(attr, code)` pairs.
+type ItemSet = Vec<(usize, u32)>;
+
+/// Mine all frequent patterns over the given categorical attributes with
+/// support ≥ `min_support`, up to `max_len` items per pattern.
+///
+/// Non-categorical attributes in `attrs` are skipped (grouping patterns are
+/// only defined over categorical FD-closed attributes, §7).
+pub fn apriori(
+    table: &Table,
+    attrs: &[usize],
+    min_support: usize,
+    max_len: usize,
+) -> Vec<FrequentPattern> {
+    let nrows = table.nrows();
+    let mut out: Vec<(ItemSet, BitSet)> = Vec::new();
+
+    // Level 1: single items.
+    let mut level: Vec<(ItemSet, BitSet)> = Vec::new();
+    for &attr in attrs {
+        let Some(codes) = table.column(attr).codes() else {
+            continue;
+        };
+        let card = table.column(attr).dict().map_or(0, |d| d.len());
+        let mut sets: Vec<BitSet> = (0..card).map(|_| BitSet::new(nrows)).collect();
+        for (row, &c) in codes.iter().enumerate() {
+            sets[c as usize].insert(row);
+        }
+        for (code, rows) in sets.into_iter().enumerate() {
+            if rows.count() >= min_support {
+                level.push((vec![(attr, code as u32)], rows));
+            }
+        }
+    }
+    out.extend(level.iter().cloned());
+
+    let mut k = 1;
+    while !level.is_empty() && k < max_len {
+        let frequent_prev: HashSet<ItemSet> = level.iter().map(|(is, _)| is.clone()).collect();
+        let mut next: Vec<(ItemSet, BitSet)> = Vec::new();
+        let mut seen: HashSet<ItemSet> = HashSet::new();
+
+        for i in 0..level.len() {
+            for j in i + 1..level.len() {
+                let (a, ra) = &level[i];
+                let (b, rb) = &level[j];
+                // Classic join: share the first k−1 items.
+                if a[..k - 1] != b[..k - 1] {
+                    continue;
+                }
+                let (last_a, last_b) = (a[k - 1], b[k - 1]);
+                if last_a.0 == last_b.0 {
+                    continue; // same attribute twice ⇒ contradiction
+                }
+                let mut cand = a.clone();
+                cand.push(last_b);
+                cand.sort_unstable();
+                if !seen.insert(cand.clone()) {
+                    continue;
+                }
+                // Apriori prune: all k-subsets must be frequent.
+                if !all_subsets_frequent(&cand, &frequent_prev) {
+                    continue;
+                }
+                let mut rows = ra.clone();
+                rows.intersect_with(rb);
+                if rows.count() >= min_support {
+                    next.push((cand, rows));
+                }
+            }
+        }
+        out.extend(next.iter().cloned());
+        level = next;
+        k += 1;
+    }
+
+    out.into_iter()
+        .map(|(items, rows)| {
+            let support = rows.count();
+            let preds: Vec<Pred> = items
+                .into_iter()
+                .map(|(attr, code)| {
+                    let value = table
+                        .column(attr)
+                        .dict()
+                        .map(|d| Scalar::Str(d.value(code).to_string()))
+                        .expect("items only on categorical attrs");
+                    Pred {
+                        attr,
+                        op: table::Op::Eq,
+                        value,
+                    }
+                })
+                .collect();
+            FrequentPattern {
+                pattern: Pattern::new(preds),
+                rows,
+                support,
+            }
+        })
+        .collect()
+}
+
+fn all_subsets_frequent(cand: &ItemSet, frequent: &HashSet<ItemSet>) -> bool {
+    // Every subset obtained by dropping one item must be frequent.
+    for drop in 0..cand.len() {
+        let mut sub = cand.clone();
+        sub.remove(drop);
+        if !frequent.contains(&sub) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use table::TableBuilder;
+
+    fn toy() -> Table {
+        // 8 rows; continent and gdp correlate.
+        TableBuilder::new()
+            .cat(
+                "continent",
+                &["EU", "EU", "EU", "EU", "Asia", "Asia", "Asia", "NA"],
+            )
+            .unwrap()
+            .cat(
+                "gdp",
+                &["High", "High", "High", "Mid", "Low", "Low", "Mid", "High"],
+            )
+            .unwrap()
+            .int("x", vec![1, 2, 3, 4, 5, 6, 7, 8])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_items_respect_support() {
+        let t = toy();
+        let pats = apriori(&t, &[0, 1], 3, 1);
+        // continent=EU(4), continent=Asia(3), gdp=High(4): 3 patterns.
+        assert_eq!(pats.len(), 3);
+        for p in &pats {
+            assert!(p.support >= 3);
+            assert_eq!(p.pattern.len(), 1);
+        }
+    }
+
+    #[test]
+    fn pairs_joined_and_counted() {
+        let t = toy();
+        let pats = apriori(&t, &[0, 1], 2, 2);
+        let pair = pats
+            .iter()
+            .find(|p| p.pattern.len() == 2 && p.pattern.display(&t).contains("EU"))
+            .expect("EU & High pair must be frequent");
+        assert_eq!(pair.support, 3);
+    }
+
+    #[test]
+    fn support_matches_pattern_eval() {
+        let t = toy();
+        for p in apriori(&t, &[0, 1], 1, 2) {
+            assert_eq!(p.support, p.pattern.support(&t).unwrap());
+            assert_eq!(p.rows.count(), p.support);
+        }
+    }
+
+    #[test]
+    fn same_attribute_never_joined() {
+        let t = toy();
+        for p in apriori(&t, &[0, 1], 1, 3) {
+            let attrs = p.pattern.attrs();
+            assert_eq!(attrs.len(), p.pattern.len(), "one predicate per attribute");
+        }
+    }
+
+    #[test]
+    fn max_len_caps_depth() {
+        let t = toy();
+        assert!(apriori(&t, &[0, 1], 1, 1)
+            .iter()
+            .all(|p| p.pattern.len() == 1));
+    }
+
+    #[test]
+    fn numeric_attrs_skipped() {
+        let t = toy();
+        let pats = apriori(&t, &[2], 1, 2);
+        assert!(pats.is_empty());
+    }
+
+    #[test]
+    fn high_threshold_yields_nothing() {
+        let t = toy();
+        assert!(apriori(&t, &[0, 1], 9, 2).is_empty());
+    }
+}

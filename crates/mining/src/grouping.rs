@@ -1,0 +1,188 @@
+//! Grouping-pattern mining (§5.1).
+//!
+//! Runs Apriori over the FD-closed attribute set, maps each frequent
+//! pattern to the set of output groups it covers (Definition 4.4), and
+//! applies the paper's post-processing: two grouping patterns covering the
+//! *same* group set are redundant — even absent FDs between their
+//! attributes — so each distinct covered set keeps only the shortest (then
+//! lexicographically smallest) pattern, pre-satisfying the incomparability
+//! constraint of Definition 4.5.
+
+use std::collections::HashMap;
+
+use table::bitset::BitSet;
+use table::pattern::Pattern;
+use table::query::AggView;
+use table::Table;
+
+use crate::apriori::apriori;
+
+/// A candidate grouping pattern with its covered groups and matching rows.
+#[derive(Debug, Clone)]
+pub struct GroupingPattern {
+    /// The predicate over FD-closed attributes.
+    pub pattern: Pattern,
+    /// Groups of `Q(D)` covered (Definition 4.4).
+    pub coverage: BitSet,
+    /// Input rows belonging to covered groups — the CATE subpopulation.
+    pub rows: BitSet,
+}
+
+/// Mine candidate grouping patterns.
+///
+/// * `gp_attrs` — attributes with `A_gb → W` (from [`table::fd::fd_closure`]),
+/// * `tau` — Apriori support threshold as a fraction of `|D|` (paper
+///   default 0.1),
+/// * `max_len` — maximum conjuncts per pattern.
+///
+/// When `gp_attrs` is empty (no FDs hold — e.g. the German dataset), each
+/// output group becomes its own singleton grouping pattern over the
+/// group-by attributes themselves, as the paper does ("each group in the
+/// aggregated view necessitates a distinct explanation").
+pub fn mine_grouping_patterns(
+    table: &Table,
+    view: &AggView,
+    gp_attrs: &[usize],
+    tau: f64,
+    max_len: usize,
+) -> Vec<GroupingPattern> {
+    let min_support = ((tau * table.nrows() as f64).ceil() as usize).max(1);
+    let mut candidates: Vec<(Pattern, BitSet)> = Vec::new();
+
+    if gp_attrs.is_empty() {
+        // Fallback: one pattern per output group, defined on A_gb itself.
+        for g in 0..view.num_groups() {
+            let preds: Vec<table::Pred> = view
+                .group_by
+                .iter()
+                .zip(&view.keys[g])
+                .map(|(&attr, &code)| {
+                    let v = table
+                        .column(attr)
+                        .dict()
+                        .map(|d| d.value(code).to_string())
+                        .unwrap_or_default();
+                    table::Pred::eq(attr, v.as_str())
+                })
+                .collect();
+            candidates.push((Pattern::new(preds), BitSet::new(0)));
+        }
+    } else {
+        for fp in apriori(table, gp_attrs, min_support, max_len) {
+            candidates.push((fp.pattern, fp.rows));
+        }
+    }
+
+    // Coverage + redundancy removal.
+    let mut by_coverage: HashMap<BitSet, GroupingPattern> = HashMap::new();
+    for (pattern, _) in candidates {
+        let Ok(coverage) = view.coverage(table, &pattern) else {
+            continue;
+        };
+        if coverage.is_empty() {
+            continue;
+        }
+        let rows = BitSet::from_mask(&view.subpopulation_mask(&coverage));
+        let entry = GroupingPattern {
+            pattern,
+            coverage: coverage.clone(),
+            rows,
+        };
+        match by_coverage.entry(coverage) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(entry);
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let cur = o.get();
+                let better = entry.pattern.len() < cur.pattern.len()
+                    || (entry.pattern.len() == cur.pattern.len()
+                        && entry.pattern.key() < cur.pattern.key());
+                if better {
+                    o.insert(entry);
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<GroupingPattern> = by_coverage.into_values().collect();
+    // Deterministic order: larger coverage first, then shorter, then key.
+    out.sort_by(|a, b| {
+        b.coverage
+            .count()
+            .cmp(&a.coverage.count())
+            .then(a.pattern.len().cmp(&b.pattern.len()))
+            .then(a.pattern.key().cmp(&b.pattern.key()))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use table::query::GroupByAvgQuery;
+    use table::TableBuilder;
+
+    /// 3 countries; continent and gdp both split {US} vs {India, China} —
+    /// i.e. (continent=Asia) and (gdp=Low) are redundant.
+    fn toy() -> Table {
+        TableBuilder::new()
+            .cat("country", &["US", "US", "India", "India", "China", "China"])
+            .unwrap()
+            .cat("continent", &["NA", "NA", "Asia", "Asia", "Asia", "Asia"])
+            .unwrap()
+            .cat("gdp", &["High", "High", "Low", "Low", "Low", "Low"])
+            .unwrap()
+            .float("salary", vec![10.0, 12.0, 3.0, 4.0, 5.0, 6.0])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn redundant_coverage_deduped() {
+        let t = toy();
+        let view = GroupByAvgQuery::new(vec![0], 3).run(&t).unwrap();
+        let pats = mine_grouping_patterns(&t, &view, &[1, 2], 0.1, 2);
+        // Distinct coverages: {US}, {India,China}. The {India,China} set is
+        // reachable via continent=Asia, gdp=Low, and their conjunction —
+        // exactly one survives, a single-predicate one.
+        assert_eq!(pats.len(), 2);
+        for p in &pats {
+            assert_eq!(p.pattern.len(), 1, "shortest pattern must be kept");
+        }
+        let asia = pats.iter().find(|p| p.coverage.count() == 2).unwrap();
+        assert_eq!(asia.rows.count(), 4);
+    }
+
+    #[test]
+    fn support_threshold_prunes() {
+        let t = toy();
+        let view = GroupByAvgQuery::new(vec![0], 3).run(&t).unwrap();
+        // τ=0.9 ⇒ min support 6; only patterns satisfied by all rows would
+        // survive, and none are.
+        let pats = mine_grouping_patterns(&t, &view, &[1, 2], 0.9, 2);
+        assert!(pats.is_empty());
+    }
+
+    #[test]
+    fn no_fd_fallback_builds_per_group_patterns() {
+        let t = toy();
+        let view = GroupByAvgQuery::new(vec![0], 3).run(&t).unwrap();
+        let pats = mine_grouping_patterns(&t, &view, &[], 0.1, 2);
+        assert_eq!(pats.len(), 3, "one pattern per group");
+        for p in &pats {
+            assert_eq!(p.coverage.count(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let t = toy();
+        let view = GroupByAvgQuery::new(vec![0], 3).run(&t).unwrap();
+        let a = mine_grouping_patterns(&t, &view, &[1, 2], 0.1, 2);
+        let b = mine_grouping_patterns(&t, &view, &[1, 2], 0.1, 2);
+        let ka: Vec<String> = a.iter().map(|p| p.pattern.key()).collect();
+        let kb: Vec<String> = b.iter().map(|p| p.pattern.key()).collect();
+        assert_eq!(ka, kb);
+    }
+}

@@ -1,0 +1,27 @@
+//! # mining — grouping- and treatment-pattern mining
+//!
+//! The two candidate-generation stages of the CauSumX algorithm:
+//!
+//! * [`apriori`] — the classical Apriori frequent-itemset miner over
+//!   equality items `(attr = value)`, used in §5.1 because grouping-pattern
+//!   coverage is monotone: every mined pattern holds in at least `τ·|D|`
+//!   tuples,
+//! * [`grouping`] — wraps Apriori with the FD restriction (only attributes
+//!   `W` with `A_gb → W` participate) and the §5.1 post-processing that
+//!   removes redundant grouping patterns (identical covered-group sets keep
+//!   only the shortest pattern),
+//! * [`treatment`] — Algorithm 2: greedy top-down lattice traversal that
+//!   materializes a treatment pattern only when all of its parents kept a
+//!   CATE of the requested sign, with the paper's optimizations
+//!   (a) DAG-based attribute pruning, (b) near-zero-CATE pruning and
+//!   top-50 % retention, (d) sampled CATE estimation. Optimization (c) —
+//!   parallelism across grouping patterns — lives in the `causumx` crate
+//!   where the per-grouping-pattern loop runs.
+
+pub mod apriori;
+pub mod grouping;
+pub mod treatment;
+
+pub use apriori::{apriori, FrequentPattern};
+pub use grouping::{mine_grouping_patterns, GroupingPattern};
+pub use treatment::{Direction, LatticeOptions, LatticeStats, TreatmentMiner, TreatmentResult};

@@ -1,0 +1,949 @@
+//! Treatment-pattern mining — Algorithm 2 of the paper.
+//!
+//! Given a grouping pattern's subpopulation, find the treatment pattern
+//! with the highest positive (or lowest negative) CATE on the outcome. The
+//! set of all treatment patterns forms a lattice ordered by predicate
+//! addition; because CATE is *non-monotone* along this lattice, the paper
+//! traverses it top-down greedily: a node is materialized only when **all**
+//! of its parents were kept with a CATE of the requested sign, each level
+//! keeps only the top 50 % by |CATE| (optimization b), attributes without a
+//! causal path to the outcome are dropped (optimization a, via the causal
+//! DAG), and CATEs may be estimated on a fixed-size sample (optimization
+//! d). Traversal stops at the first level that does not improve on the best
+//! CATE recorded so far (lines 10–13 of Algorithm 2).
+
+use std::collections::HashSet;
+
+use causal::backdoor::{attrs_affecting_outcome, backdoor_set};
+use causal::dag::Dag;
+use causal::estimate::{estimate_effect, CateOptions, CateResult};
+use table::bitset::BitSet;
+use table::pattern::{Op, Pattern, Pred};
+use table::{Column, Scalar, Table};
+
+/// Search direction σ of Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Treatments with the highest positive CATE.
+    Positive,
+    /// Treatments with the lowest negative CATE.
+    Negative,
+}
+
+impl Direction {
+    /// Does `cate` have the requested sign?
+    fn matches(self, cate: f64) -> bool {
+        match self {
+            Direction::Positive => cate > 0.0,
+            Direction::Negative => cate < 0.0,
+        }
+    }
+
+    /// Is `a` strictly better than `b` in this direction?
+    fn better(self, a: f64, b: f64) -> bool {
+        match self {
+            Direction::Positive => a > b,
+            Direction::Negative => a < b,
+        }
+    }
+}
+
+/// Tuning knobs of the lattice traversal.
+#[derive(Debug, Clone)]
+pub struct LatticeOptions {
+    /// Hard cap on pattern length (lattice depth).
+    pub max_level: usize,
+    /// Fraction of sign-matching nodes kept per level (optimization b;
+    /// paper uses 0.5).
+    pub top_frac: f64,
+    /// Floor on nodes kept per level, so the join stage always has pairs to
+    /// work with even when a level is small.
+    pub min_keep: usize,
+    /// Near-zero-CATE pruning threshold, as a fraction of the outcome's
+    /// standard deviation (optimization b).
+    pub min_abs_cate_frac: f64,
+    /// Statistical-significance requirement for the *returned* treatment;
+    /// nodes failing it may still be expanded.
+    pub max_p_value: f64,
+    /// Estimator options (sampling, overlap, one-hot caps).
+    pub cate_opts: CateOptions,
+    /// Threshold atoms per numeric attribute (quantile cut points).
+    pub numeric_bins: usize,
+    /// Equality atoms kept per categorical attribute (most frequent first).
+    pub max_atoms_per_attr: usize,
+    /// Use the causal DAG to drop attributes with no path to the outcome
+    /// (optimization a).
+    pub prune_by_dag: bool,
+}
+
+impl Default for LatticeOptions {
+    fn default() -> Self {
+        LatticeOptions {
+            max_level: 3,
+            top_frac: 0.5,
+            min_keep: 8,
+            min_abs_cate_frac: 0.01,
+            max_p_value: 0.05,
+            cate_opts: CateOptions::default(),
+            numeric_bins: 4,
+            max_atoms_per_attr: 16,
+            prune_by_dag: true,
+        }
+    }
+}
+
+/// A treatment pattern with its estimated effect.
+#[derive(Debug, Clone)]
+pub struct TreatmentResult {
+    /// The treatment predicate `P_t`.
+    pub pattern: Pattern,
+    /// Estimated CATE of `P_t` on the outcome within the subpopulation.
+    pub cate: f64,
+    /// Two-sided p-value of the effect.
+    pub p_value: f64,
+    /// Treated / control unit counts used by the estimator.
+    pub n_treated: usize,
+    /// Control units.
+    pub n_control: usize,
+}
+
+/// Work counters, reported by the figure-14 style breakdowns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatticeStats {
+    /// CATE estimations performed.
+    pub evaluated: usize,
+    /// Lattice levels materialized.
+    pub levels: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AtomKind {
+    Eq,
+    Lower, // attr ≥ v
+    Upper, // attr < v
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    pred: Pred,
+    attr: usize,
+    kind: AtomKind,
+    /// Rows of the *full table* satisfying the atom.
+    mask: BitSet,
+}
+
+/// The treatment-pattern miner: precomputes atomic predicates and their row
+/// masks once, then answers `top_treatment` queries per grouping pattern
+/// (these calls are `&self` and thread-safe, enabling the paper's
+/// optimization (c) — parallelism across grouping patterns — in the caller).
+pub struct TreatmentMiner<'a> {
+    table: &'a Table,
+    dag: &'a Dag,
+    outcome: usize,
+    opts: LatticeOptions,
+    atoms: Vec<Atom>,
+    /// |outcome std| for the near-zero pruning threshold.
+    outcome_std: f64,
+    /// table attr id ↔ dag node id maps (by name).
+    attr_to_dag: Vec<Option<usize>>,
+    dag_to_attr: Vec<Option<usize>>,
+}
+
+impl<'a> TreatmentMiner<'a> {
+    /// Build a miner over `treat_attrs` (the non-FD side of the attribute
+    /// split). Applies optimization (a): attributes with no causal path to
+    /// the outcome in `dag` are dropped up front.
+    pub fn new(
+        table: &'a Table,
+        dag: &'a Dag,
+        outcome: usize,
+        treat_attrs: &[usize],
+        opts: LatticeOptions,
+    ) -> Self {
+        let attr_to_dag: Vec<Option<usize>> = (0..table.ncols())
+            .map(|a| dag.index_of(&table.schema().field(a).name))
+            .collect();
+        let mut dag_to_attr: Vec<Option<usize>> = vec![None; dag.len()];
+        for (attr, d) in attr_to_dag.iter().enumerate() {
+            if let Some(d) = d {
+                dag_to_attr[*d] = Some(attr);
+            }
+        }
+
+        // Optimization (a): prune attributes without a causal path to Y.
+        let mut effective: Vec<usize> = if opts.prune_by_dag {
+            match attr_to_dag[outcome] {
+                Some(y) => {
+                    let anc: HashSet<usize> = attrs_affecting_outcome(dag, y).into_iter().collect();
+                    treat_attrs
+                        .iter()
+                        .copied()
+                        .filter(|&a| attr_to_dag[a].is_some_and(|d| anc.contains(&d)))
+                        .collect()
+                }
+                None => treat_attrs.to_vec(),
+            }
+        } else {
+            treat_attrs.to_vec()
+        };
+        // Degenerate DAGs (e.g. a discovered graph where the outcome ends
+        // up parentless) would prune *everything*; fall back to the full
+        // set rather than silently producing no explanations.
+        if effective.is_empty() {
+            effective = treat_attrs.to_vec();
+        }
+
+        let atoms = build_atoms(table, &effective, &opts);
+        let outcome_std = column_std(table.column(outcome));
+
+        TreatmentMiner {
+            table,
+            dag,
+            outcome,
+            opts,
+            atoms,
+            outcome_std,
+            attr_to_dag,
+            dag_to_attr,
+        }
+    }
+
+    /// Number of atomic treatment predicates under consideration.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Attributes that survived the optimization-(a) pruning.
+    pub fn effective_attrs(&self) -> Vec<usize> {
+        let mut a: Vec<usize> = self.atoms.iter().map(|x| x.attr).collect();
+        a.sort_unstable();
+        a.dedup();
+        a
+    }
+
+    /// Confounder attributes (backdoor set) for a treatment over `attrs`.
+    pub fn confounders_for(&self, attrs: &[usize]) -> Vec<usize> {
+        let Some(y) = self.attr_to_dag[self.outcome] else {
+            return Vec::new();
+        };
+        let ts: Vec<usize> = attrs.iter().filter_map(|&a| self.attr_to_dag[a]).collect();
+        if ts.is_empty() {
+            return Vec::new();
+        }
+        backdoor_set(self.dag, &ts, y)
+            .into_iter()
+            .filter_map(|d| self.dag_to_attr[d])
+            .filter(|&a| a != self.outcome)
+            .collect()
+    }
+
+    /// Evaluate the CATE of an arbitrary treatment pattern within `subpop`.
+    pub fn eval_pattern(&self, subpop: &[bool], pattern: &Pattern) -> Option<TreatmentResult> {
+        let treated = pattern.eval(self.table).ok()?;
+        let r = estimate_effect(
+            self.table,
+            Some(subpop),
+            &treated,
+            self.outcome,
+            &self.confounders_for(&pattern.attrs()),
+            &self.opts.cate_opts,
+        )?;
+        Some(TreatmentResult {
+            pattern: pattern.clone(),
+            cate: r.cate,
+            p_value: r.p_value,
+            n_treated: r.n_treated,
+            n_control: r.n_control,
+        })
+    }
+
+    fn estimate(&self, subpop: &[bool], treated: &[bool], attrs: &[usize]) -> Option<CateResult> {
+        estimate_effect(
+            self.table,
+            Some(subpop),
+            treated,
+            self.outcome,
+            &self.confounders_for(attrs),
+            &self.opts.cate_opts,
+        )
+    }
+
+    /// Algorithm 2: the top treatment pattern for a subpopulation in the
+    /// requested direction, plus traversal statistics.
+    pub fn top_treatment(
+        &self,
+        subpop: &[bool],
+        dir: Direction,
+    ) -> (Option<TreatmentResult>, LatticeStats) {
+        let (mut list, stats) = self.top_k_treatments(subpop, dir, 1);
+        (list.pop(), stats)
+    }
+
+    /// Top-`k` treatment patterns in the requested direction — the paper's
+    /// UI affordance ("analysts … can even [view] top-k positive/negative
+    /// treatments for a grouping pattern"). Results are sorted best-first;
+    /// every entry passes the significance gate. Traversal effort is the
+    /// same as [`TreatmentMiner::top_treatment`]: the lattice walk is
+    /// identical, only the record-keeping widens.
+    pub fn top_k_treatments(
+        &self,
+        subpop: &[bool],
+        dir: Direction,
+        k: usize,
+    ) -> (Vec<TreatmentResult>, LatticeStats) {
+        let mut stats = LatticeStats::default();
+        let sub_bits = BitSet::from_mask(subpop);
+        let min_cate = self.opts.min_abs_cate_frac * self.outcome_std;
+
+        #[derive(Clone)]
+        struct Node {
+            atoms: Vec<u16>,
+            mask: BitSet, // full-table rows satisfying the pattern
+            cate: f64,
+            p: f64,
+            n_treated: usize,
+            n_control: usize,
+        }
+
+        let k = k.max(1);
+        // Best-first list of at most k significant nodes. Returns whether
+        // the *top* entry improved — Algorithm 2's termination criterion
+        // watches only the recorded maximum (lines 10–13).
+        let mut best: Vec<Node> = Vec::new();
+        let update_best = |node: &Node, best: &mut Vec<Node>| {
+            if node.p > self.opts.max_p_value {
+                return false;
+            }
+            let improved_top = best.first().is_none_or(|b| dir.better(node.cate, b.cate));
+            let pos = best
+                .iter()
+                .position(|b| dir.better(node.cate, b.cate))
+                .unwrap_or(best.len());
+            if pos < k {
+                best.insert(pos, node.clone());
+                best.truncate(k);
+            }
+            improved_top
+        };
+
+        // Level 1: all atoms (GenChildren, lines 2–4).
+        let mut level: Vec<Node> = Vec::new();
+        for (ai, atom) in self.atoms.iter().enumerate() {
+            // Overlap precheck on bit counts before paying for a regression.
+            let treated_in_sub = atom.mask.intersection_count(&sub_bits);
+            let sub_n = sub_bits.count();
+            let min_arm = self.opts.cate_opts.min_arm;
+            if treated_in_sub < min_arm || sub_n - treated_in_sub < min_arm {
+                continue;
+            }
+            let treated = atom.mask.to_mask();
+            stats.evaluated += 1;
+            let Some(r) = self.estimate(subpop, &treated, &[atom.attr]) else {
+                continue;
+            };
+            if !dir.matches(r.cate) || r.cate.abs() < min_cate {
+                continue;
+            }
+            level.push(Node {
+                atoms: vec![ai as u16],
+                mask: atom.mask.clone(),
+                cate: r.cate,
+                p: r.p_value,
+                n_treated: r.n_treated,
+                n_control: r.n_control,
+            });
+        }
+        stats.levels = 1;
+        retain_top(
+            &mut level,
+            dir,
+            self.opts.top_frac,
+            self.opts.min_keep,
+            |n| n.cate,
+        );
+        for n in &level {
+            update_best(n, &mut best);
+        }
+
+        // Levels 2..: expand only children whose parents all survived.
+        while !level.is_empty() && stats.levels < self.opts.max_level {
+            let kept: HashSet<Vec<u16>> = level.iter().map(|n| n.atoms.clone()).collect();
+            let mut next: Vec<Node> = Vec::new();
+            let mut seen: HashSet<Vec<u16>> = HashSet::new();
+            let k = stats.levels;
+
+            for i in 0..level.len() {
+                for j in i + 1..level.len() {
+                    let (a, b) = (&level[i], &level[j]);
+                    if a.atoms[..k - 1] != b.atoms[..k - 1] {
+                        continue;
+                    }
+                    let (la, lb) = (a.atoms[k - 1], b.atoms[k - 1]);
+                    if !self.atoms_compatible(la as usize, lb as usize) {
+                        continue;
+                    }
+                    let mut cand = a.atoms.clone();
+                    cand.push(lb);
+                    cand.sort_unstable();
+                    if !seen.insert(cand.clone()) {
+                        continue;
+                    }
+                    // All parents (drop-one subsets) must have been kept.
+                    if !all_parents_kept(&cand, &kept) {
+                        continue;
+                    }
+                    let mut mask = a.mask.clone();
+                    mask.intersect_with(&b.mask);
+                    let treated_in_sub = mask.intersection_count(&sub_bits);
+                    let sub_n = sub_bits.count();
+                    let min_arm = self.opts.cate_opts.min_arm;
+                    if treated_in_sub < min_arm || sub_n - treated_in_sub < min_arm {
+                        continue;
+                    }
+                    let attrs: Vec<usize> =
+                        cand.iter().map(|&x| self.atoms[x as usize].attr).collect();
+                    let treated = mask.to_mask();
+                    stats.evaluated += 1;
+                    let Some(r) = self.estimate(subpop, &treated, &attrs) else {
+                        continue;
+                    };
+                    if !dir.matches(r.cate) || r.cate.abs() < min_cate {
+                        continue;
+                    }
+                    next.push(Node {
+                        atoms: cand,
+                        mask,
+                        cate: r.cate,
+                        p: r.p_value,
+                        n_treated: r.n_treated,
+                        n_control: r.n_control,
+                    });
+                }
+            }
+
+            if next.is_empty() {
+                break;
+            }
+            stats.levels += 1;
+            retain_top(
+                &mut next,
+                dir,
+                self.opts.top_frac,
+                self.opts.min_keep,
+                |n| n.cate,
+            );
+            let mut improved = false;
+            for n in &next {
+                improved |= update_best(n, &mut best);
+            }
+            level = next;
+            // Lines 10–13: stop at the first level that does not improve on
+            // the recorded maximum.
+            if !improved {
+                break;
+            }
+        }
+
+        let result: Vec<TreatmentResult> = best
+            .into_iter()
+            .map(|b| TreatmentResult {
+                pattern: self.pattern_of(&b.atoms),
+                cate: b.cate,
+                p_value: b.p,
+                n_treated: b.n_treated,
+                n_control: b.n_control,
+            })
+            .collect();
+        (result, stats)
+    }
+
+    /// Brute-force enumeration of all treatment patterns up to `max_len`
+    /// atoms, each evaluated. Exponential — used by the Brute-Force
+    /// baseline and the Fig. 10 precision/recall study only.
+    pub fn all_treatments(&self, subpop: &[bool], max_len: usize) -> Vec<TreatmentResult> {
+        let sub_bits = BitSet::from_mask(subpop);
+        let mut out = Vec::new();
+        // Ids of current-frontier patterns; expand depth-first by index
+        // ordering so each combination is generated once.
+        let mut frontier: Vec<(Vec<u16>, BitSet)> = Vec::new();
+        for (ai, atom) in self.atoms.iter().enumerate() {
+            frontier.push((vec![ai as u16], atom.mask.clone()));
+        }
+        let mut level = 1;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for (atoms, mask) in &frontier {
+                let treated_in_sub = mask.intersection_count(&sub_bits);
+                let sub_n = sub_bits.count();
+                let min_arm = self.opts.cate_opts.min_arm;
+                if treated_in_sub >= min_arm && sub_n - treated_in_sub >= min_arm {
+                    let attrs: Vec<usize> =
+                        atoms.iter().map(|&x| self.atoms[x as usize].attr).collect();
+                    let treated = mask.to_mask();
+                    if let Some(r) = self.estimate(subpop, &treated, &attrs) {
+                        out.push(TreatmentResult {
+                            pattern: self.pattern_of(atoms),
+                            cate: r.cate,
+                            p_value: r.p_value,
+                            n_treated: r.n_treated,
+                            n_control: r.n_control,
+                        });
+                    }
+                }
+                if level < max_len {
+                    let last = *atoms.last().unwrap() as usize;
+                    for nxt in last + 1..self.atoms.len() {
+                        if !self.atoms_compatible_with_all(atoms, nxt) {
+                            continue;
+                        }
+                        let mut m = mask.clone();
+                        m.intersect_with(&self.atoms[nxt].mask);
+                        if m.is_empty() {
+                            continue;
+                        }
+                        let mut a = atoms.clone();
+                        a.push(nxt as u16);
+                        next.push((a, m));
+                    }
+                }
+            }
+            frontier = next;
+            level += 1;
+        }
+        out
+    }
+
+    fn pattern_of(&self, atoms: &[u16]) -> Pattern {
+        Pattern::new(
+            atoms
+                .iter()
+                .map(|&a| self.atoms[a as usize].pred.clone())
+                .collect(),
+        )
+    }
+
+    /// Two atoms may co-occur when they are on different attributes, or
+    /// form a (lower, upper) range on the same numeric attribute.
+    fn atoms_compatible(&self, a: usize, b: usize) -> bool {
+        let (x, y) = (&self.atoms[a], &self.atoms[b]);
+        if x.attr != y.attr {
+            return true;
+        }
+        matches!(
+            (x.kind, y.kind),
+            (AtomKind::Lower, AtomKind::Upper) | (AtomKind::Upper, AtomKind::Lower)
+        )
+    }
+
+    fn atoms_compatible_with_all(&self, atoms: &[u16], cand: usize) -> bool {
+        atoms
+            .iter()
+            .all(|&a| self.atoms_compatible(a as usize, cand))
+    }
+}
+
+fn all_parents_kept(cand: &[u16], kept: &HashSet<Vec<u16>>) -> bool {
+    for drop in 0..cand.len() {
+        let mut sub = cand.to_vec();
+        sub.remove(drop);
+        if !kept.contains(&sub) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Keep the top `frac` of nodes by CATE in the requested direction, but at
+/// least `min_keep` (so small levels still feed the next join).
+fn retain_top<N>(
+    level: &mut Vec<N>,
+    dir: Direction,
+    frac: f64,
+    min_keep: usize,
+    cate: impl Fn(&N) -> f64,
+) {
+    if level.is_empty() {
+        return;
+    }
+    match dir {
+        Direction::Positive => level.sort_by(|a, b| cate(b).partial_cmp(&cate(a)).unwrap()),
+        Direction::Negative => level.sort_by(|a, b| cate(a).partial_cmp(&cate(b)).unwrap()),
+    }
+    let keep = ((level.len() as f64 * frac).ceil() as usize).max(min_keep.max(1));
+    level.truncate(keep.min(level.len()));
+}
+
+/// Build the atomic predicate space over the effective treatment attrs.
+fn build_atoms(table: &Table, attrs: &[usize], opts: &LatticeOptions) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    for &attr in attrs {
+        match table.column(attr) {
+            Column::Cat { codes, dict } => {
+                // Most frequent levels first, capped.
+                let mut freq = vec![0usize; dict.len()];
+                for &c in codes {
+                    freq[c as usize] += 1;
+                }
+                let mut levels: Vec<usize> = (0..dict.len()).collect();
+                levels.sort_by_key(|&l| std::cmp::Reverse(freq[l]));
+                for &l in levels.iter().take(opts.max_atoms_per_attr) {
+                    if freq[l] == 0 {
+                        continue;
+                    }
+                    let mut mask = BitSet::new(table.nrows());
+                    for (row, &c) in codes.iter().enumerate() {
+                        if c as usize == l {
+                            mask.insert(row);
+                        }
+                    }
+                    atoms.push(Atom {
+                        pred: Pred::eq(attr, dict.value(l as u32)),
+                        attr,
+                        kind: AtomKind::Eq,
+                        mask,
+                    });
+                }
+            }
+            col @ (Column::Int(_) | Column::Float(_)) => {
+                let vals: Vec<f64> = (0..table.nrows()).map(|r| col.get_f64(r)).collect();
+                let distinct = col.n_distinct();
+                if distinct <= opts.numeric_bins.max(6) {
+                    // Small integer-like domain: equality atoms.
+                    let mut uniq: Vec<f64> = vals.clone();
+                    uniq.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    uniq.dedup();
+                    for v in uniq.into_iter().take(opts.max_atoms_per_attr) {
+                        let mut mask = BitSet::new(table.nrows());
+                        for (row, &x) in vals.iter().enumerate() {
+                            if x == v {
+                                mask.insert(row);
+                            }
+                        }
+                        let value = match col {
+                            Column::Int(_) => Scalar::Int(v as i64),
+                            _ => Scalar::Float(v),
+                        };
+                        atoms.push(Atom {
+                            pred: Pred {
+                                attr,
+                                op: Op::Eq,
+                                value,
+                            },
+                            attr,
+                            kind: AtomKind::Eq,
+                            mask,
+                        });
+                    }
+                } else {
+                    // Quantile thresholds: attr < q (Upper) and attr ≥ q
+                    // (Lower) per internal cut point.
+                    let mut sorted = vals.clone();
+                    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    let (lo, hi) = (sorted[0], sorted[sorted.len() - 1]);
+                    let mut cuts: Vec<f64> = (1..opts.numeric_bins)
+                        .map(|i| {
+                            let idx = i * sorted.len() / opts.numeric_bins;
+                            sorted[idx.min(sorted.len() - 1)]
+                        })
+                        .filter(|&q| q > lo) // cut at the min is degenerate
+                        .collect();
+                    cuts.dedup();
+                    if cuts.is_empty() && lo < hi {
+                        // Zero-inflated / heavily skewed column: every
+                        // quantile collapsed onto the minimum. Split at
+                        // the mean instead.
+                        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                        if mean > lo && mean <= hi {
+                            cuts.push(mean);
+                        }
+                    }
+                    for q in cuts {
+                        let value = match col {
+                            Column::Int(_) => Scalar::Int(q as i64),
+                            _ => Scalar::Float(q),
+                        };
+                        let mut lower = BitSet::new(table.nrows());
+                        let mut upper = BitSet::new(table.nrows());
+                        for (row, &x) in vals.iter().enumerate() {
+                            if x >= q {
+                                lower.insert(row);
+                            } else {
+                                upper.insert(row);
+                            }
+                        }
+                        atoms.push(Atom {
+                            pred: Pred {
+                                attr,
+                                op: Op::Ge,
+                                value: value.clone(),
+                            },
+                            attr,
+                            kind: AtomKind::Lower,
+                            mask: lower,
+                        });
+                        atoms.push(Atom {
+                            pred: Pred {
+                                attr,
+                                op: Op::Lt,
+                                value,
+                            },
+                            attr,
+                            kind: AtomKind::Upper,
+                            mask: upper,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    atoms
+}
+
+fn column_std(col: &Column) -> f64 {
+    let n = col.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let vals: Vec<f64> = (0..n).map(|r| col.get_f64(r)).collect();
+    let mean = vals.iter().sum::<f64>() / n as f64;
+    let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use table::TableBuilder;
+
+    /// Synthetic data in the spirit of the paper's accuracy study:
+    /// O = 10·[T1=hi] − 8·[T2=hi] + noise; attrs T3 is pure noise.
+    fn synth(n: usize, seed: u64) -> (Table, Dag) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t1 = Vec::new();
+        let mut t2 = Vec::new();
+        let mut t3 = Vec::new();
+        let mut o = Vec::new();
+        for _ in 0..n {
+            let a = if rng.gen_bool(0.5) { "hi" } else { "lo" };
+            let b = if rng.gen_bool(0.5) { "hi" } else { "lo" };
+            let c = if rng.gen_bool(0.5) { "x" } else { "y" };
+            let noise: f64 = rng.gen_range(-0.5..0.5);
+            o.push(10.0 * (a == "hi") as i64 as f64 - 8.0 * (b == "hi") as i64 as f64 + noise);
+            t1.push(a.to_string());
+            t2.push(b.to_string());
+            t3.push(c.to_string());
+        }
+        let table = TableBuilder::new()
+            .cat_owned("t1", t1)
+            .unwrap()
+            .cat_owned("t2", t2)
+            .unwrap()
+            .cat_owned("t3", t3)
+            .unwrap()
+            .float("o", o)
+            .unwrap()
+            .build()
+            .unwrap();
+        let dag = Dag::new(&["t1", "t2", "t3", "o"], &[("t1", "o"), ("t2", "o")]).unwrap();
+        (table, dag)
+    }
+
+    #[test]
+    fn finds_best_positive_and_negative_atoms() {
+        let (table, dag) = synth(2000, 42);
+        let miner = TreatmentMiner::new(&table, &dag, 3, &[0, 1, 2], LatticeOptions::default());
+        let subpop = vec![true; table.nrows()];
+        let (pos, _) = miner.top_treatment(&subpop, Direction::Positive);
+        let pos = pos.expect("positive treatment must exist");
+        assert!(
+            pos.pattern.display(&table).contains("t1 = hi"),
+            "got {}",
+            pos.pattern.display(&table)
+        );
+        assert!(pos.cate > 8.0, "cate = {}", pos.cate);
+
+        // The most negative treatment is t1 = lo (CATE ≈ −10), possibly
+        // strengthened by conjunction with t2 = hi.
+        let (neg, _) = miner.top_treatment(&subpop, Direction::Negative);
+        let neg = neg.expect("negative treatment must exist");
+        assert!(
+            neg.pattern.display(&table).contains("t1 = lo"),
+            "got {}",
+            neg.pattern.display(&table)
+        );
+        assert!(neg.cate < -8.0);
+    }
+
+    #[test]
+    fn dag_pruning_drops_noncausal_attr() {
+        let (table, dag) = synth(500, 7);
+        let miner = TreatmentMiner::new(&table, &dag, 3, &[0, 1, 2], LatticeOptions::default());
+        let attrs = miner.effective_attrs();
+        assert!(
+            !attrs.contains(&2),
+            "t3 has no path to o and must be pruned"
+        );
+        assert_eq!(attrs, vec![0, 1]);
+    }
+
+    #[test]
+    fn compound_treatment_found_at_level_two() {
+        // O = 5 only when t1=hi AND t2=hi (interaction), plus small noise.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 3000;
+        let mut t1 = Vec::new();
+        let mut t2 = Vec::new();
+        let mut o = Vec::new();
+        for _ in 0..n {
+            let a = rng.gen_bool(0.5);
+            let b = rng.gen_bool(0.5);
+            let noise: f64 = rng.gen_range(-0.2..0.2);
+            t1.push(if a { "hi" } else { "lo" }.to_string());
+            t2.push(if b { "hi" } else { "lo" }.to_string());
+            // Both single treatments have positive marginal effect, the
+            // conjunction has the largest.
+            o.push(
+                1.5 * a as i64 as f64
+                    + 1.5 * b as i64 as f64
+                    + 5.0 * (a && b) as i64 as f64
+                    + noise,
+            );
+        }
+        let table = TableBuilder::new()
+            .cat_owned("t1", t1)
+            .unwrap()
+            .cat_owned("t2", t2)
+            .unwrap()
+            .float("o", o)
+            .unwrap()
+            .build()
+            .unwrap();
+        let dag = Dag::new(&["t1", "t2", "o"], &[("t1", "o"), ("t2", "o")]).unwrap();
+        let miner = TreatmentMiner::new(&table, &dag, 2, &[0, 1], LatticeOptions::default());
+        let subpop = vec![true; n];
+        let (best, stats) = miner.top_treatment(&subpop, Direction::Positive);
+        let best = best.unwrap();
+        assert_eq!(
+            best.pattern.len(),
+            2,
+            "got {}",
+            best.pattern.display(&table)
+        );
+        assert!(stats.levels >= 2);
+    }
+
+    #[test]
+    fn numeric_threshold_atoms() {
+        // O jumps when age < 35.
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 2000;
+        let age: Vec<i64> = (0..n).map(|_| rng.gen_range(18..70)).collect();
+        let o: Vec<f64> = age
+            .iter()
+            .map(|&a| if a < 35 { 10.0 } else { 0.0 } + rng.gen_range(-0.5..0.5))
+            .collect();
+        let table = TableBuilder::new()
+            .int("age", age)
+            .unwrap()
+            .float("o", o)
+            .unwrap()
+            .build()
+            .unwrap();
+        let dag = Dag::new(&["age", "o"], &[("age", "o")]).unwrap();
+        let opts = LatticeOptions {
+            numeric_bins: 6,
+            ..Default::default()
+        };
+        let miner = TreatmentMiner::new(&table, &dag, 1, &[0], opts);
+        assert!(miner.num_atoms() > 0);
+        let subpop = vec![true; n];
+        let (best, _) = miner.top_treatment(&subpop, Direction::Positive);
+        let best = best.unwrap();
+        let disp = best.pattern.display(&table);
+        assert!(disp.contains("age <"), "got {disp}");
+        assert!(best.cate > 5.0);
+    }
+
+    #[test]
+    fn subpopulation_changes_answer() {
+        // Effect of t1 is positive in stratum A, negative in stratum B.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 4000;
+        let mut grp = Vec::new();
+        let mut t1 = Vec::new();
+        let mut o = Vec::new();
+        for i in 0..n {
+            let in_a = i % 2 == 0;
+            let t = rng.gen_bool(0.5);
+            grp.push(if in_a { "A" } else { "B" }.to_string());
+            t1.push(if t { "yes" } else { "no" }.to_string());
+            let eff = if in_a { 6.0 } else { -6.0 };
+            o.push(eff * t as i64 as f64 + rng.gen_range(-0.3..0.3));
+        }
+        let table = TableBuilder::new()
+            .cat_owned("grp", grp)
+            .unwrap()
+            .cat_owned("t1", t1)
+            .unwrap()
+            .float("o", o)
+            .unwrap()
+            .build()
+            .unwrap();
+        let dag = Dag::new(&["grp", "t1", "o"], &[("grp", "o"), ("t1", "o")]).unwrap();
+        let miner = TreatmentMiner::new(&table, &dag, 2, &[1], LatticeOptions::default());
+        let sub_a: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let sub_b: Vec<bool> = (0..n).map(|i| i % 2 == 1).collect();
+        let (pa, _) = miner.top_treatment(&sub_a, Direction::Positive);
+        let (pb, _) = miner.top_treatment(&sub_b, Direction::Negative);
+        let pa = pa.unwrap();
+        let pb = pb.unwrap();
+        assert!(pa.cate > 4.0 && pa.pattern.display(&table).contains("t1 = yes"));
+        assert!(pb.cate < -4.0 && pb.pattern.display(&table).contains("t1 = yes"));
+    }
+
+    #[test]
+    fn brute_force_superset_of_greedy_best() {
+        let (table, dag) = synth(1500, 13);
+        let miner = TreatmentMiner::new(&table, &dag, 3, &[0, 1, 2], LatticeOptions::default());
+        let subpop = vec![true; table.nrows()];
+        let all = miner.all_treatments(&subpop, 2);
+        assert!(!all.is_empty());
+        let brute_best = all
+            .iter()
+            .max_by(|a, b| a.cate.partial_cmp(&b.cate).unwrap())
+            .unwrap();
+        let (greedy, _) = miner.top_treatment(&subpop, Direction::Positive);
+        let greedy = greedy.unwrap();
+        // Greedy may be suboptimal but on this easy instance should match.
+        assert!((brute_best.cate - greedy.cate).abs() < 1.0);
+    }
+
+    #[test]
+    fn top_k_sorted_and_distinct() {
+        let (table, dag) = synth(2000, 42);
+        let miner = TreatmentMiner::new(&table, &dag, 3, &[0, 1, 2], LatticeOptions::default());
+        let subpop = vec![true; table.nrows()];
+        let (top3, _) = miner.top_k_treatments(&subpop, Direction::Positive, 3);
+        assert!(top3.len() >= 2, "multiple positive treatments exist");
+        for w in top3.windows(2) {
+            assert!(w[0].cate >= w[1].cate, "must be sorted best-first");
+        }
+        let keys: std::collections::HashSet<String> =
+            top3.iter().map(|t| t.pattern.key()).collect();
+        assert_eq!(keys.len(), top3.len(), "patterns must be distinct");
+        // #1 of top-k equals the single top treatment.
+        let (single, _) = miner.top_treatment(&subpop, Direction::Positive);
+        assert_eq!(single.unwrap().pattern.key(), top3[0].pattern.key());
+    }
+
+    #[test]
+    fn empty_subpop_yields_none() {
+        let (table, dag) = synth(200, 1);
+        let miner = TreatmentMiner::new(&table, &dag, 3, &[0, 1], LatticeOptions::default());
+        let subpop = vec![false; table.nrows()];
+        let (r, _) = miner.top_treatment(&subpop, Direction::Positive);
+        assert!(r.is_none());
+    }
+}

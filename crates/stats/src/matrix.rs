@@ -1,0 +1,326 @@
+//! Small dense row-major matrices and SPD solves.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Matrix from row-major data.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must match shape");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow a row slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow a row slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(r);
+                for c in 0..other.cols {
+                    out_row[c] += a * orow[c];
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * self` — the Gram matrix, computed without materializing the
+    /// transpose (the hot kernel of OLS).
+    pub fn gram(&self) -> Matrix {
+        let p = self.cols;
+        let mut g = Matrix::zeros(p, p);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..p {
+                let xi = row[i];
+                if xi == 0.0 {
+                    continue;
+                }
+                let grow = g.row_mut(i);
+                for j in i..p {
+                    grow[j] += xi * row[j];
+                }
+            }
+        }
+        for i in 0..p {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// `selfᵀ * y` for a vector `y` of length `nrows`.
+    pub fn tr_mul_vec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows);
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let yr = y[r];
+            if yr == 0.0 {
+                continue;
+            }
+            for c in 0..self.cols {
+                out[c] += row[c] * yr;
+            }
+        }
+        out
+    }
+
+    /// Cholesky factorization of an SPD matrix: returns lower-triangular `L`
+    /// with `L Lᵀ = self`, or `None` when the matrix is not positive
+    /// definite (within tolerance).
+    pub fn cholesky(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols);
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Solve `self * x = b` for SPD `self` via Cholesky; when the system is
+    /// numerically singular a tiny ridge `λI` is added (λ escalating from
+    /// 1e-10 relative to the trace) — the standard remedy for collinear
+    /// one-hot designs.
+    pub fn solve_spd(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, b.len());
+        if let Some(l) = self.cholesky() {
+            return Some(l.cholesky_solve(b));
+        }
+        let n = self.rows;
+        let trace: f64 = (0..n).map(|i| self[(i, i)]).sum::<f64>().max(1.0);
+        let mut lambda = 1e-10 * trace / n as f64;
+        for _ in 0..12 {
+            let mut a = self.clone();
+            for i in 0..n {
+                a[(i, i)] += lambda;
+            }
+            if let Some(l) = a.cholesky() {
+                return Some(l.cholesky_solve(b));
+            }
+            lambda *= 100.0;
+        }
+        None
+    }
+
+    /// Inverse of an SPD matrix via Cholesky (column-by-column solve), with
+    /// the same ridge fallback as [`Matrix::solve_spd`].
+    pub fn inverse_spd(&self) -> Option<Matrix> {
+        let n = self.rows;
+        let mut inv = Matrix::zeros(n, n);
+        for c in 0..n {
+            let mut e = vec![0.0; n];
+            e[c] = 1.0;
+            let col = self.solve_spd(&e)?;
+            for r in 0..n {
+                inv[(r, c)] = col[r];
+            }
+        }
+        Some(inv)
+    }
+
+    /// Forward/back substitution given `self` is the lower Cholesky factor.
+    fn cholesky_solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.rows;
+        // Forward: L z = b
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self[(i, k)] * z[k];
+            }
+            z[i] = s / self[(i, i)];
+        }
+        // Back: Lᵀ x = z
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = z[i];
+            for k in i + 1..n {
+                s -= self[(k, i)] * x[k];
+            }
+            x[i] = s / self[(i, i)];
+        }
+        x
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            let row: Vec<String> = self.row(r).iter().map(|v| format!("{v:.4}")).collect();
+            writeln!(f, "[{}]", row.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = Matrix::from_rows(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_rows(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.nrows(), 2);
+        assert_eq!(c[(0, 0)], 58.0);
+        assert_eq!(c[(1, 1)], 154.0);
+        let t = a.transpose();
+        assert_eq!(t[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn gram_equals_xtx() {
+        let x = Matrix::from_rows(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let g = x.gram();
+        let xtx = x.transpose().matmul(&x);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx(g[(i, j)], xtx[(i, j)], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_solution() {
+        // SPD matrix A = [[4,2],[2,3]], x = [1, -1], b = A x = [2, -1]
+        let a = Matrix::from_rows(2, 2, vec![4., 2., 2., 3.]);
+        let x = a.solve_spd(&[2.0, -1.0]).unwrap();
+        assert!(approx(x[0], 1.0, 1e-10));
+        assert!(approx(x[1], -1.0, 1e-10));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(2, 2, vec![0., 1., 1., 0.]);
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn ridge_fallback_handles_singular() {
+        // Rank-1 matrix: plain Cholesky fails, ridge succeeds.
+        let a = Matrix::from_rows(2, 2, vec![1., 1., 1., 1.]);
+        let x = a.solve_spd(&[2.0, 2.0]).unwrap();
+        // Ridge solution is the minimum-norm-ish solution; A x ≈ b.
+        let r0 = x[0] + x[1];
+        assert!(approx(r0, 2.0, 1e-3));
+    }
+
+    #[test]
+    fn inverse_spd_round_trips() {
+        let a = Matrix::from_rows(2, 2, vec![4., 2., 2., 3.]);
+        let inv = a.inverse_spd().unwrap();
+        let prod = a.matmul(&inv);
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(approx(prod[(i, j)], expect, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn tr_mul_vec_matches_transpose_matmul() {
+        let x = Matrix::from_rows(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let y = vec![1.0, 0.5, -1.0];
+        let v = x.tr_mul_vec(&y);
+        assert!(approx(v[0], 1.0 + 1.5 - 5.0, 1e-12));
+        assert!(approx(v[1], 2.0 + 2.0 - 6.0, 1e-12));
+    }
+}

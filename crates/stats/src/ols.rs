@@ -1,0 +1,197 @@
+//! Ordinary least squares with inference.
+//!
+//! This is the CATE estimation backend: the paper computes CATE values with
+//! DoWhy's linear-regression estimator, i.e. it regresses the outcome on
+//! `[1, T, Z…]` and reads the causal effect off the coefficient of the
+//! binary treatment indicator `T`, with the usual t-test p-value. We
+//! reproduce exactly that: `β = (XᵀX)⁻¹ Xᵀy` via Cholesky (with a ridge
+//! fallback for collinear one-hot designs), `se(β_j) = √(s² [(XᵀX)⁻¹]_jj)`,
+//! and a two-sided Student-t p-value with `n − p` degrees of freedom.
+
+use crate::dist::student_t_sf;
+use crate::matrix::Matrix;
+
+/// Result of an OLS fit.
+#[derive(Debug, Clone)]
+pub struct OlsFit {
+    /// Fitted coefficients, one per design column.
+    pub beta: Vec<f64>,
+    /// Standard error per coefficient (NaN when df ≤ 0).
+    pub se: Vec<f64>,
+    /// Two-sided t-test p-value per coefficient (NaN when df ≤ 0).
+    pub p_value: Vec<f64>,
+    /// Residual degrees of freedom `n − p`.
+    pub df: f64,
+    /// Residual variance `s² = RSS / df`.
+    pub s2: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Fit `y ≈ X β` by least squares. `x` is the full design matrix including
+/// any intercept column the caller wants. Returns `None` if the normal
+/// equations cannot be solved even with the ridge fallback, or if shapes
+/// are inconsistent / empty.
+pub fn ols(x: &Matrix, y: &[f64]) -> Option<OlsFit> {
+    let n = x.nrows();
+    let p = x.ncols();
+    if n == 0 || p == 0 || y.len() != n {
+        return None;
+    }
+    let gram = x.gram();
+    let xty = x.tr_mul_vec(y);
+    let beta = gram.solve_spd(&xty)?;
+
+    // Residuals and RSS.
+    let mut rss = 0.0;
+    let mut tss = 0.0;
+    let ybar = y.iter().sum::<f64>() / n as f64;
+    for r in 0..n {
+        let row = x.row(r);
+        let yhat: f64 = row.iter().zip(&beta).map(|(a, b)| a * b).sum();
+        let e = y[r] - yhat;
+        rss += e * e;
+        let d = y[r] - ybar;
+        tss += d * d;
+    }
+
+    let df = n as f64 - p as f64;
+    let (s2, se, p_value) = if df > 0.0 {
+        let s2 = rss / df;
+        let inv = gram.inverse_spd()?;
+        let se: Vec<f64> = (0..p).map(|j| (s2 * inv[(j, j)]).max(0.0).sqrt()).collect();
+        let p_value: Vec<f64> = beta
+            .iter()
+            .zip(&se)
+            .map(|(&b, &s)| {
+                if s > 0.0 {
+                    student_t_sf(b / s, df)
+                } else {
+                    // Zero variance ⇒ exact fit of this column; the
+                    // coefficient is not testable.
+                    f64::NAN
+                }
+            })
+            .collect();
+        (s2, se, p_value)
+    } else {
+        (f64::NAN, vec![f64::NAN; p], vec![f64::NAN; p])
+    };
+
+    let r2 = if tss > 0.0 { 1.0 - rss / tss } else { 0.0 };
+    Some(OlsFit {
+        beta,
+        se,
+        p_value,
+        df,
+        s2,
+        r2,
+    })
+}
+
+/// Build a design matrix from column vectors, prepending an intercept.
+pub fn design_with_intercept(cols: &[Vec<f64>], n: usize) -> Matrix {
+    let p = cols.len() + 1;
+    let mut x = Matrix::zeros(n, p);
+    for r in 0..n {
+        x[(r, 0)] = 1.0;
+        for (c, col) in cols.iter().enumerate() {
+            x[(r, c + 1)] = col[r];
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn exact_line_recovered() {
+        // y = 2 + 3x, no noise.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = xs.iter().map(|&x| 2.0 + 3.0 * x).collect();
+        let design = design_with_intercept(&[xs], 10);
+        let fit = ols(&design, &y).unwrap();
+        assert!(approx(fit.beta[0], 2.0, 1e-9));
+        assert!(approx(fit.beta[1], 3.0, 1e-9));
+        assert!(fit.r2 > 0.999_999);
+    }
+
+    #[test]
+    fn noisy_fit_significant_slope() {
+        // Deterministic "noise" from a fixed pattern keeps the test stable.
+        let n = 200;
+        let xs: Vec<f64> = (0..n).map(|i| (i % 17) as f64).collect();
+        let noise: Vec<f64> = (0..n).map(|i| ((i * 37 % 11) as f64 - 5.0) * 0.1).collect();
+        let y: Vec<f64> = xs
+            .iter()
+            .zip(&noise)
+            .map(|(&x, &e)| 1.0 + 0.5 * x + e)
+            .collect();
+        let design = design_with_intercept(&[xs], n);
+        let fit = ols(&design, &y).unwrap();
+        assert!(approx(fit.beta[1], 0.5, 0.02));
+        assert!(fit.p_value[1] < 1e-10);
+    }
+
+    #[test]
+    fn two_regressors() {
+        let n = 50;
+        let x1: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let x2: Vec<f64> = (0..n).map(|i| ((i / 7) % 5) as f64).collect();
+        let y: Vec<f64> = x1
+            .iter()
+            .zip(&x2)
+            .map(|(&a, &b)| 4.0 - 1.5 * a + 2.0 * b)
+            .collect();
+        let design = design_with_intercept(&[x1, x2], n);
+        let fit = ols(&design, &y).unwrap();
+        assert!(approx(fit.beta[0], 4.0, 1e-8));
+        assert!(approx(fit.beta[1], -1.5, 1e-8));
+        assert!(approx(fit.beta[2], 2.0, 1e-8));
+    }
+
+    #[test]
+    fn collinear_design_still_solves() {
+        // x2 = 2*x1 exactly: gram is singular, ridge path must kick in.
+        let n = 30;
+        let x1: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let x2: Vec<f64> = x1.iter().map(|&v| 2.0 * v).collect();
+        let y: Vec<f64> = x1.iter().map(|&v| 3.0 * v).collect();
+        let design = design_with_intercept(&[x1, x2], n);
+        let fit = ols(&design, &y).unwrap();
+        // Prediction must still be right even though the split between the
+        // two collinear coefficients is arbitrary.
+        let pred0 = fit.beta[0] + fit.beta[1] * 5.0 + fit.beta[2] * 10.0;
+        assert!(approx(pred0, 15.0, 1e-3));
+    }
+
+    #[test]
+    fn underdetermined_yields_nan_inference() {
+        let design = design_with_intercept(&[vec![1.0, 2.0]], 2);
+        let fit = ols(&design, &[1.0, 2.0]).unwrap();
+        assert!(fit.df <= 0.0);
+        assert!(fit.p_value[0].is_nan());
+    }
+
+    #[test]
+    fn binary_treatment_coefficient_is_mean_difference() {
+        // With a single binary regressor, β_T = mean(treated) − mean(control).
+        let t = vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let y = vec![1.0, 2.0, 3.0, 7.0, 8.0, 9.0];
+        let design = design_with_intercept(&[t], 6);
+        let fit = ols(&design, &y).unwrap();
+        assert!(approx(fit.beta[1], 6.0, 1e-9));
+    }
+
+    #[test]
+    fn shape_mismatch_returns_none() {
+        let design = design_with_intercept(&[vec![1.0, 2.0, 3.0]], 3);
+        assert!(ols(&design, &[1.0, 2.0]).is_none());
+    }
+}

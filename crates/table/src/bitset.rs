@@ -1,0 +1,210 @@
+//! Compact fixed-width bit set.
+//!
+//! Used for row selections during mining and for the covered-group sets
+//! `Cov(P_g)` of grouping patterns (Definition 4.4), where fast union,
+//! intersection, count and equality are on the hot path of both the Apriori
+//! miner and the LP/greedy summarizers.
+
+/// Fixed-capacity bit set backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    nbits: usize,
+}
+
+impl BitSet {
+    /// All-zero set with capacity `nbits`.
+    pub fn new(nbits: usize) -> Self {
+        BitSet {
+            words: vec![0; nbits.div_ceil(64)],
+            nbits,
+        }
+    }
+
+    /// All-one set with capacity `nbits`.
+    pub fn full(nbits: usize) -> Self {
+        let mut s = BitSet {
+            words: vec![!0u64; nbits.div_ceil(64)],
+            nbits,
+        };
+        s.clear_tail();
+        s
+    }
+
+    /// Build from a boolean mask.
+    pub fn from_mask(mask: &[bool]) -> Self {
+        let mut s = BitSet::new(mask.len());
+        for (i, &b) in mask.iter().enumerate() {
+            if b {
+                s.insert(i);
+            }
+        }
+        s
+    }
+
+    fn clear_tail(&mut self) {
+        let rem = self.nbits % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Set bit `i`.
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.nbits);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.nbits);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether bit `i` is set.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.nbits);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Size of the intersection without materializing it.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterate over set bit positions in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let tz = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Materialize as a boolean mask of length `capacity()`.
+    pub fn to_mask(&self) -> Vec<bool> {
+        let mut m = vec![false; self.nbits];
+        for i in self.iter() {
+            m[i] = true;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.count(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        for i in 0..50 {
+            a.insert(i);
+        }
+        for i in 25..75 {
+            b.insert(i);
+        }
+        assert_eq!(a.intersection_count(&b), 25);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 75);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.count(), 25);
+        assert!(i.is_subset(&a) && i.is_subset(&b));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn iter_matches_mask() {
+        let mask = vec![true, false, true, true, false];
+        let s = BitSet::from_mask(&mask);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2, 3]);
+        assert_eq!(s.to_mask(), mask);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        a.insert(3);
+        b.insert(3);
+        assert_eq!(a, b);
+        b.insert(4);
+        assert_ne!(a, b);
+    }
+}

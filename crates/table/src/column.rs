@@ -1,0 +1,243 @@
+//! Columnar storage: dictionary-encoded categoricals and numeric vectors.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::schema::DType;
+use crate::value::Scalar;
+
+/// Per-column string dictionary. Codes are dense `u32`s in insertion order,
+/// so the active domain of a categorical attribute is `0..dict.len()`.
+#[derive(Debug, Default, Clone)]
+pub struct Dict {
+    values: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Dict {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Dict::default()
+    }
+
+    /// Intern `s`, returning its code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.index.get(s) {
+            return c;
+        }
+        let code = self.values.len() as u32;
+        self.values.push(s.to_string());
+        self.index.insert(s.to_string(), code);
+        code
+    }
+
+    /// Code of `s` if already interned.
+    pub fn code(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// String for a code.
+    pub fn value(&self, code: u32) -> &str {
+        &self.values[code as usize]
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A fully materialized column.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// Dictionary-encoded categorical column.
+    Cat { codes: Vec<u32>, dict: Arc<Dict> },
+    /// Integer column.
+    Int(Vec<i64>),
+    /// Float column.
+    Float(Vec<f64>),
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Cat { codes, .. } => codes.len(),
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical type of the column.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Column::Cat { .. } => DType::Cat,
+            Column::Int(_) => DType::Int,
+            Column::Float(_) => DType::Float,
+        }
+    }
+
+    /// Value at row `i` as a [`Scalar`].
+    pub fn get(&self, i: usize) -> Scalar {
+        match self {
+            Column::Cat { codes, dict } => Scalar::Str(dict.value(codes[i]).to_string()),
+            Column::Int(v) => Scalar::Int(v[i]),
+            Column::Float(v) => Scalar::Float(v[i]),
+        }
+    }
+
+    /// Numeric value at row `i`; categorical codes are exposed as their
+    /// dictionary code so correlation-style computations (e.g. the PC
+    /// algorithm's CI tests) can treat every column as numeric.
+    pub fn get_f64(&self, i: usize) -> f64 {
+        match self {
+            Column::Cat { codes, .. } => codes[i] as f64,
+            Column::Int(v) => v[i] as f64,
+            Column::Float(v) => v[i],
+        }
+    }
+
+    /// Categorical codes, if this is a categorical column.
+    pub fn codes(&self) -> Option<&[u32]> {
+        match self {
+            Column::Cat { codes, .. } => Some(codes),
+            _ => None,
+        }
+    }
+
+    /// Dictionary, if categorical.
+    pub fn dict(&self) -> Option<&Dict> {
+        match self {
+            Column::Cat { dict, .. } => Some(dict),
+            _ => None,
+        }
+    }
+
+    /// Number of distinct values in the column (the active-domain size).
+    pub fn n_distinct(&self) -> usize {
+        match self {
+            Column::Cat { dict, .. } => dict.len(),
+            Column::Int(v) => {
+                let mut s: Vec<i64> = v.clone();
+                s.sort_unstable();
+                s.dedup();
+                s.len()
+            }
+            Column::Float(v) => {
+                let mut s: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+                s.sort_unstable();
+                s.dedup();
+                s.len()
+            }
+        }
+    }
+
+    /// Gather rows selected by `keep` into a new column.
+    pub fn filter(&self, keep: &[bool]) -> Column {
+        debug_assert_eq!(keep.len(), self.len());
+        match self {
+            Column::Cat { codes, dict } => Column::Cat {
+                codes: codes
+                    .iter()
+                    .zip(keep)
+                    .filter_map(|(&c, &k)| k.then_some(c))
+                    .collect(),
+                dict: Arc::clone(dict),
+            },
+            Column::Int(v) => Column::Int(
+                v.iter()
+                    .zip(keep)
+                    .filter_map(|(&x, &k)| k.then_some(x))
+                    .collect(),
+            ),
+            Column::Float(v) => Column::Float(
+                v.iter()
+                    .zip(keep)
+                    .filter_map(|(&x, &k)| k.then_some(x))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Gather rows at `idx` into a new column.
+    pub fn take(&self, idx: &[usize]) -> Column {
+        match self {
+            Column::Cat { codes, dict } => Column::Cat {
+                codes: idx.iter().map(|&i| codes[i]).collect(),
+                dict: Arc::clone(dict),
+            },
+            Column::Int(v) => Column::Int(idx.iter().map(|&i| v[i]).collect()),
+            Column::Float(v) => Column::Float(idx.iter().map(|&i| v[i]).collect()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dict_interning_is_stable() {
+        let mut d = Dict::new();
+        let a = d.intern("x");
+        let b = d.intern("y");
+        let a2 = d.intern("x");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.value(b), "y");
+        assert_eq!(d.code("y"), Some(b));
+        assert_eq!(d.code("z"), None);
+    }
+
+    #[test]
+    fn column_filter_and_take() {
+        let c = Column::Int(vec![10, 20, 30, 40]);
+        let f = c.filter(&[true, false, true, false]);
+        match f {
+            Column::Int(v) => assert_eq!(v, vec![10, 30]),
+            _ => panic!("wrong type"),
+        }
+        let t = c.take(&[3, 0]);
+        match t {
+            Column::Int(v) => assert_eq!(v, vec![40, 10]),
+            _ => panic!("wrong type"),
+        }
+    }
+
+    #[test]
+    fn n_distinct_counts_active_domain() {
+        let c = Column::Float(vec![1.0, 2.0, 1.0, 3.0]);
+        assert_eq!(c.n_distinct(), 3);
+        let mut d = Dict::new();
+        d.intern("a");
+        d.intern("b");
+        let c = Column::Cat {
+            codes: vec![0, 1, 0],
+            dict: Arc::new(d),
+        };
+        assert_eq!(c.n_distinct(), 2);
+    }
+
+    #[test]
+    fn get_f64_exposes_codes() {
+        let mut d = Dict::new();
+        d.intern("a");
+        d.intern("b");
+        let c = Column::Cat {
+            codes: vec![1, 0],
+            dict: Arc::new(d),
+        };
+        assert_eq!(c.get_f64(0), 1.0);
+        assert_eq!(c.get_f64(1), 0.0);
+    }
+}

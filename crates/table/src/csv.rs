@@ -1,0 +1,219 @@
+//! Minimal CSV reader/writer.
+//!
+//! Supports the subset of RFC 4180 needed for the examples: header row,
+//! comma separation, double-quote quoting with `""` escapes. Column types
+//! are inferred (int → float → categorical fallback) unless a schema is
+//! supplied.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::column::{Column, Dict};
+use crate::error::TableError;
+use crate::schema::{DType, Field, Schema};
+use crate::table::Table;
+use crate::Result;
+
+/// Parse CSV text into a table with inferred column types.
+pub fn parse_csv(text: &str) -> Result<Table> {
+    let mut rows = split_records(text)?;
+    if rows.is_empty() {
+        return Err(TableError::EmptyTable);
+    }
+    let header = rows.remove(0);
+    let ncols = header.len();
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != ncols {
+            return Err(TableError::Csv {
+                line: i + 2,
+                msg: format!("expected {ncols} fields, got {}", r.len()),
+            });
+        }
+    }
+
+    let mut fields = Vec::with_capacity(ncols);
+    let mut columns = Vec::with_capacity(ncols);
+    for c in 0..ncols {
+        let cells: Vec<&str> = rows.iter().map(|r| r[c].as_str()).collect();
+        let dtype = infer_type(&cells);
+        fields.push(Field::new(header[c].clone(), dtype));
+        columns.push(build_column(dtype, &cells));
+    }
+    Table::new(Schema::new(fields), columns)
+}
+
+/// Read and parse a CSV file.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<Table> {
+    let text = std::fs::read_to_string(path.as_ref()).map_err(|e| TableError::Csv {
+        line: 0,
+        msg: format!("io error: {e}"),
+    })?;
+    parse_csv(&text)
+}
+
+/// Serialize a table to CSV text.
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = table
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| quote(&f.name))
+        .collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for r in 0..table.nrows() {
+        let row: Vec<String> = (0..table.ncols())
+            .map(|c| quote(&table.value(r, c).to_string()))
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a table to a CSV file.
+pub fn write_csv(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path.as_ref(), to_csv(table)).map_err(|e| TableError::Csv {
+        line: 0,
+        msg: format!("io error: {e}"),
+    })
+}
+
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn infer_type(cells: &[&str]) -> DType {
+    if cells.iter().all(|c| c.parse::<i64>().is_ok()) {
+        DType::Int
+    } else if cells.iter().all(|c| c.parse::<f64>().is_ok()) {
+        DType::Float
+    } else {
+        DType::Cat
+    }
+}
+
+fn build_column(dtype: DType, cells: &[&str]) -> Column {
+    match dtype {
+        DType::Int => Column::Int(cells.iter().map(|c| c.parse().unwrap()).collect()),
+        DType::Float => Column::Float(cells.iter().map(|c| c.parse().unwrap()).collect()),
+        DType::Cat => {
+            let mut dict = Dict::new();
+            let codes = cells.iter().map(|c| dict.intern(c)).collect();
+            Column::Cat {
+                codes,
+                dict: Arc::new(dict),
+            }
+        }
+    }
+}
+
+/// Split text into records, honoring quoted fields.
+fn split_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut field = String::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut line = 1usize;
+
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                c => field.push(c),
+            }
+        } else {
+            match ch {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    line += 1;
+                    record.push(std::mem::take(&mut field));
+                    if !(record.len() == 1 && record[0].is_empty()) {
+                        records.push(std::mem::take(&mut record));
+                    } else {
+                        record.clear();
+                    }
+                }
+                c => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv {
+            line,
+            msg: "unterminated quote".into(),
+        });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_infers_types() {
+        let t = parse_csv("country,age,salary\nUS,26,180.5\nIndia,29,24\n").unwrap();
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.schema().field(0).dtype, DType::Cat);
+        assert_eq!(t.schema().field(1).dtype, DType::Int);
+        assert_eq!(t.schema().field(2).dtype, DType::Float);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas() {
+        let t = parse_csv("name,x\n\"a,b\",1\n\"say \"\"hi\"\"\",2\n").unwrap();
+        assert_eq!(t.value(0, 0).to_string(), "a,b");
+        assert_eq!(t.value(1, 0).to_string(), "say \"hi\"");
+    }
+
+    #[test]
+    fn round_trip() {
+        let src = "c,n\nalpha,1\nbe\u{e9}ta,2\n";
+        let t = parse_csv(src).unwrap();
+        let csv = to_csv(&t);
+        let t2 = parse_csv(&csv).unwrap();
+        assert_eq!(t2.nrows(), 2);
+        assert_eq!(t2.value(1, 0).to_string(), "be\u{e9}ta");
+    }
+
+    #[test]
+    fn ragged_rows_error() {
+        assert!(matches!(parse_csv("a,b\n1\n"), Err(TableError::Csv { .. })));
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(parse_csv("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(matches!(parse_csv(""), Err(TableError::EmptyTable)));
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type shared across the table engine.
+
+use std::fmt;
+
+/// Errors raised by table construction, predicate evaluation and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// A column index was out of bounds.
+    BadColumnIndex(usize),
+    /// Columns passed to a builder had inconsistent lengths.
+    LengthMismatch {
+        expected: usize,
+        got: usize,
+        column: String,
+    },
+    /// A predicate/value was applied to a column of an incompatible type.
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// Group-by attributes must be categorical.
+    NonCategoricalGroupBy(String),
+    /// CSV parse failure with line number.
+    Csv { line: usize, msg: String },
+    /// A categorical code did not exist in the column dictionary.
+    UnknownCategory { column: String, value: String },
+    /// The operation requires a non-empty table.
+    EmptyTable,
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            TableError::BadColumnIndex(i) => write!(f, "column index {i} out of bounds"),
+            TableError::LengthMismatch {
+                expected,
+                got,
+                column,
+            } => {
+                write!(f, "column `{column}` has {got} rows, expected {expected}")
+            }
+            TableError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => {
+                write!(f, "column `{column}`: expected {expected}, got {got}")
+            }
+            TableError::NonCategoricalGroupBy(name) => {
+                write!(f, "group-by attribute `{name}` must be categorical")
+            }
+            TableError::Csv { line, msg } => write!(f, "csv parse error at line {line}: {msg}"),
+            TableError::UnknownCategory { column, value } => {
+                write!(f, "value `{value}` not in dictionary of column `{column}`")
+            }
+            TableError::EmptyTable => write!(f, "operation requires a non-empty table"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}

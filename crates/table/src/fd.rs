@@ -1,0 +1,120 @@
+//! Functional-dependency detection.
+//!
+//! §4.1 of the paper partitions the schema: attributes `W` with
+//! `A_gb → W` are eligible for *grouping patterns* (so the pattern is
+//! well-defined over the view `Q(D)`), every other attribute is eligible for
+//! *treatment patterns* (the overlap condition, Eq. 4, fails for
+//! FD-determined attributes). This module checks single FDs and computes the
+//! full split.
+
+use std::collections::HashMap;
+
+use crate::table::Table;
+
+/// Whether the FD `lhs → rhs` holds in the instance: every combination of
+/// `lhs` values maps to exactly one `rhs` value.
+pub fn fd_holds(table: &Table, lhs: &[usize], rhs: usize) -> bool {
+    let mut seen: HashMap<Vec<u64>, u64> = HashMap::new();
+    for row in 0..table.nrows() {
+        let key: Vec<u64> = lhs.iter().map(|&a| encode(table, row, a)).collect();
+        let val = encode(table, row, rhs);
+        match seen.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if *e.get() != val {
+                    return false;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(val);
+            }
+        }
+    }
+    true
+}
+
+/// All attributes `W` (excluding `lhs` members themselves and `exclude`)
+/// such that `lhs → W` holds in `table` — the grouping-pattern attribute
+/// set. The `exclude` list typically holds the AVG attribute.
+pub fn fd_closure(table: &Table, lhs: &[usize], exclude: &[usize]) -> Vec<usize> {
+    (0..table.ncols())
+        .filter(|a| !lhs.contains(a) && !exclude.contains(a))
+        .filter(|&a| fd_holds(table, lhs, a))
+        .collect()
+}
+
+/// The complement split: attributes eligible as treatments, i.e. everything
+/// not FD-determined by `lhs`, not in `lhs`, and not excluded.
+pub fn treatment_attrs(table: &Table, lhs: &[usize], exclude: &[usize]) -> Vec<usize> {
+    let closed = fd_closure(table, lhs, exclude);
+    (0..table.ncols())
+        .filter(|a| !lhs.contains(a) && !exclude.contains(a) && !closed.contains(a))
+        .collect()
+}
+
+/// Encode any cell as a comparable `u64` (codes for categoricals, bit
+/// patterns for numerics).
+fn encode(table: &Table, row: usize, attr: usize) -> u64 {
+    match table.column(attr) {
+        crate::column::Column::Cat { codes, .. } => codes[row] as u64,
+        crate::column::Column::Int(v) => v[row] as u64,
+        crate::column::Column::Float(v) => v[row].to_bits(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn toy() -> Table {
+        TableBuilder::new()
+            .cat("country", &["US", "US", "India", "India", "China"])
+            .unwrap()
+            .cat("continent", &["NA", "NA", "Asia", "Asia", "Asia"])
+            .unwrap()
+            .cat("gdp", &["High", "High", "Low", "Low", "Mid"])
+            .unwrap()
+            .int("age", vec![26, 32, 29, 25, 21])
+            .unwrap()
+            .float("salary", vec![180.0, 80.0, 24.0, 8.0, 20.0])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fd_country_to_continent_holds() {
+        let t = toy();
+        assert!(fd_holds(&t, &[0], 1));
+        assert!(fd_holds(&t, &[0], 2));
+        assert!(!fd_holds(&t, &[0], 3)); // age varies within US
+    }
+
+    #[test]
+    fn fd_reverse_direction_fails() {
+        let t = toy();
+        // continent → country fails: Asia maps to India and China.
+        assert!(!fd_holds(&t, &[1], 0));
+    }
+
+    #[test]
+    fn closure_and_treatment_split_partition_schema() {
+        let t = toy();
+        let closed = fd_closure(&t, &[0], &[4]);
+        assert_eq!(closed, vec![1, 2]);
+        let treat = treatment_attrs(&t, &[0], &[4]);
+        assert_eq!(treat, vec![3]);
+        // closed ∪ treat ∪ lhs ∪ exclude = all attributes, disjoint.
+        let mut all: Vec<usize> = closed.into_iter().chain(treat).chain([0, 4]).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn compound_lhs() {
+        let t = toy();
+        // {country, age} → salary holds here because every (country, age)
+        // pair is unique in the toy data.
+        assert!(fd_holds(&t, &[0, 3], 4));
+    }
+}

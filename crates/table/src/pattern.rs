@@ -1,0 +1,385 @@
+//! Patterns: conjunctions of simple predicates (Definition 4.1).
+//!
+//! A simple predicate is `A op a` with `op ∈ {=, <, >, ≤, ≥}` and `a` in the
+//! active domain of `A`. A pattern is a conjunction `φ₁ ∧ … ∧ φ_k`. Patterns
+//! serve both as *grouping patterns* (over FD-closed attributes, selecting
+//! output groups) and as *treatment patterns* (partitioning `D` into treated
+//! and control units).
+
+use std::fmt;
+
+use crate::column::Column;
+use crate::error::TableError;
+use crate::table::Table;
+use crate::value::Scalar;
+use crate::Result;
+
+/// Comparison operator of a simple predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Equality (the only operator valid on categorical attributes).
+    Eq,
+    /// Strictly less than.
+    Lt,
+    /// Strictly greater than.
+    Gt,
+    /// Less than or equal.
+    Le,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl Op {
+    /// Evaluate on an `f64` pair.
+    #[inline]
+    pub fn eval_f64(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            Op::Eq => lhs == rhs,
+            Op::Lt => lhs < rhs,
+            Op::Gt => lhs > rhs,
+            Op::Le => lhs <= rhs,
+            Op::Ge => lhs >= rhs,
+        }
+    }
+
+    /// SQL-ish symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Op::Eq => "=",
+            Op::Lt => "<",
+            Op::Gt => ">",
+            Op::Le => "<=",
+            Op::Ge => ">=",
+        }
+    }
+}
+
+/// A simple predicate `attr op value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pred {
+    /// Attribute id in the table schema.
+    pub attr: usize,
+    /// Comparison operator.
+    pub op: Op,
+    /// Comparison constant.
+    pub value: Scalar,
+}
+
+impl Pred {
+    /// Equality predicate.
+    pub fn eq(attr: usize, value: impl Into<Scalar>) -> Self {
+        Pred {
+            attr,
+            op: Op::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// Ordered predicate.
+    pub fn cmp(attr: usize, op: Op, value: impl Into<Scalar>) -> Self {
+        Pred {
+            attr,
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Evaluate into `mask` with logical AND (callers pre-fill with `true`).
+    pub fn eval_and(&self, table: &Table, mask: &mut [bool]) -> Result<()> {
+        let col = table.column(self.attr);
+        let name = || table.schema().field(self.attr).name.clone();
+        match (col, &self.value) {
+            (Column::Cat { codes, dict }, Scalar::Str(s)) => {
+                if self.op != Op::Eq {
+                    return Err(TableError::TypeMismatch {
+                        column: name(),
+                        expected: "= on categorical",
+                        got: self.op.symbol(),
+                    });
+                }
+                match dict.code(s) {
+                    Some(code) => {
+                        for (m, &c) in mask.iter_mut().zip(codes) {
+                            *m &= c == code;
+                        }
+                    }
+                    // A value outside the active domain matches nothing.
+                    None => mask.iter_mut().for_each(|m| *m = false),
+                }
+            }
+            (Column::Int(v), s) => {
+                let rhs = s.as_f64().ok_or_else(|| TableError::TypeMismatch {
+                    column: name(),
+                    expected: "numeric",
+                    got: s.type_name(),
+                })?;
+                for (m, &x) in mask.iter_mut().zip(v) {
+                    *m &= self.op.eval_f64(x as f64, rhs);
+                }
+            }
+            (Column::Float(v), s) => {
+                let rhs = s.as_f64().ok_or_else(|| TableError::TypeMismatch {
+                    column: name(),
+                    expected: "numeric",
+                    got: s.type_name(),
+                })?;
+                for (m, &x) in mask.iter_mut().zip(v) {
+                    *m &= self.op.eval_f64(x, rhs);
+                }
+            }
+            (Column::Cat { .. }, s) => {
+                return Err(TableError::TypeMismatch {
+                    column: name(),
+                    expected: "str",
+                    got: s.type_name(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Render using the table's attribute names.
+    pub fn display(&self, table: &Table) -> String {
+        format!(
+            "{} {} {}",
+            table.schema().field(self.attr).name,
+            self.op.symbol(),
+            self.value
+        )
+    }
+}
+
+/// Conjunction of simple predicates. The empty pattern matches every tuple.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Pattern {
+    /// Conjuncts, kept sorted by `(attr, op-symbol, value-string)` so that
+    /// structurally equal patterns compare equal regardless of build order.
+    preds: Vec<Pred>,
+}
+
+impl Pattern {
+    /// Empty (always-true) pattern.
+    pub fn empty() -> Self {
+        Pattern::default()
+    }
+
+    /// Pattern from conjuncts; normalizes order.
+    pub fn new(mut preds: Vec<Pred>) -> Self {
+        preds.sort_by(|a, b| {
+            (a.attr, a.op.symbol(), a.value.to_string()).cmp(&(
+                b.attr,
+                b.op.symbol(),
+                b.value.to_string(),
+            ))
+        });
+        Pattern { preds }
+    }
+
+    /// Single-predicate pattern.
+    pub fn single(pred: Pred) -> Self {
+        Pattern { preds: vec![pred] }
+    }
+
+    /// Conjuncts in normalized order.
+    pub fn preds(&self) -> &[Pred] {
+        &self.preds
+    }
+
+    /// Number of conjuncts (the pattern "length" preferred short in §5.1).
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether this is the always-true pattern.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Attributes mentioned by the pattern (sorted, deduped).
+    pub fn attrs(&self) -> Vec<usize> {
+        let mut a: Vec<usize> = self.preds.iter().map(|p| p.attr).collect();
+        a.sort_unstable();
+        a.dedup();
+        a
+    }
+
+    /// New pattern with one more conjunct.
+    pub fn and(&self, pred: Pred) -> Pattern {
+        let mut preds = self.preds.clone();
+        preds.push(pred);
+        Pattern::new(preds)
+    }
+
+    /// Conjunction of two patterns.
+    pub fn merge(&self, other: &Pattern) -> Pattern {
+        let mut preds = self.preds.clone();
+        for p in &other.preds {
+            if !preds.contains(p) {
+                preds.push(p.clone());
+            }
+        }
+        Pattern::new(preds)
+    }
+
+    /// Evaluate to a fresh boolean mask over all rows of `table`.
+    pub fn eval(&self, table: &Table) -> Result<Vec<bool>> {
+        let mut mask = vec![true; table.nrows()];
+        self.eval_into(table, &mut mask)?;
+        Ok(mask)
+    }
+
+    /// Evaluate with logical AND into an existing mask (e.g. a subpopulation
+    /// mask from a grouping pattern).
+    pub fn eval_into(&self, table: &Table, mask: &mut [bool]) -> Result<()> {
+        for p in &self.preds {
+            p.eval_and(table, mask)?;
+        }
+        Ok(())
+    }
+
+    /// Number of tuples of `table` satisfying the pattern.
+    pub fn support(&self, table: &Table) -> Result<usize> {
+        Ok(self.eval(table)?.iter().filter(|&&b| b).count())
+    }
+
+    /// Whether tuple `row` satisfies the pattern.
+    pub fn matches_row(&self, table: &Table, row: usize) -> bool {
+        self.preds.iter().all(|p| {
+            let lhs = table.column(p.attr);
+            match (lhs, &p.value) {
+                (Column::Cat { codes, dict }, Scalar::Str(s)) => {
+                    dict.code(s).is_some_and(|c| codes[row] == c)
+                }
+                (Column::Int(v), s) => s
+                    .as_f64()
+                    .is_some_and(|rhs| p.op.eval_f64(v[row] as f64, rhs)),
+                (Column::Float(v), s) => s.as_f64().is_some_and(|rhs| p.op.eval_f64(v[row], rhs)),
+                _ => false,
+            }
+        })
+    }
+
+    /// Render using attribute names, e.g. `age < 35 AND education = MSc`.
+    pub fn display(&self, table: &Table) -> String {
+        if self.preds.is_empty() {
+            return "TRUE".to_string();
+        }
+        self.preds
+            .iter()
+            .map(|p| p.display(table))
+            .collect::<Vec<_>>()
+            .join(" AND ")
+    }
+
+    /// Stable key for hashing pattern structure.
+    pub fn key(&self) -> String {
+        self.preds
+            .iter()
+            .map(|p| format!("{}{}{}", p.attr, p.op.symbol(), p.value))
+            .collect::<Vec<_>>()
+            .join("&")
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.preds.is_empty() {
+            return write!(f, "TRUE");
+        }
+        let parts: Vec<String> = self
+            .preds
+            .iter()
+            .map(|p| format!("#{} {} {}", p.attr, p.op.symbol(), p.value))
+            .collect();
+        write!(f, "{}", parts.join(" AND "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn toy() -> Table {
+        TableBuilder::new()
+            .cat("country", &["US", "US", "India", "China", "India"])
+            .unwrap()
+            .int("age", vec![26, 32, 29, 21, 55])
+            .unwrap()
+            .float("salary", vec![180.0, 83.0, 24.0, 19.0, 7.5])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn eq_on_categorical() {
+        let t = toy();
+        let p = Pattern::single(Pred::eq(0, "India"));
+        assert_eq!(p.eval(&t).unwrap(), vec![false, false, true, false, true]);
+        assert_eq!(p.support(&t).unwrap(), 2);
+    }
+
+    #[test]
+    fn ordered_on_numeric() {
+        let t = toy();
+        let p = Pattern::single(Pred::cmp(1, Op::Lt, 30i64));
+        assert_eq!(p.eval(&t).unwrap(), vec![true, false, true, true, false]);
+        let p = Pattern::single(Pred::cmp(2, Op::Ge, 83.0));
+        assert_eq!(p.support(&t).unwrap(), 2);
+    }
+
+    #[test]
+    fn conjunction_intersects() {
+        let t = toy();
+        let p = Pattern::new(vec![Pred::eq(0, "India"), Pred::cmp(1, Op::Lt, 40i64)]);
+        assert_eq!(p.eval(&t).unwrap(), vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn empty_pattern_matches_all() {
+        let t = toy();
+        assert_eq!(Pattern::empty().support(&t).unwrap(), 5);
+        assert_eq!(Pattern::empty().display(&t), "TRUE");
+    }
+
+    #[test]
+    fn out_of_domain_value_matches_nothing() {
+        let t = toy();
+        let p = Pattern::single(Pred::eq(0, "Mars"));
+        assert_eq!(p.support(&t).unwrap(), 0);
+    }
+
+    #[test]
+    fn ordered_on_categorical_rejected() {
+        let t = toy();
+        let p = Pattern::single(Pred::cmp(0, Op::Lt, "US"));
+        assert!(p.eval(&t).is_err());
+    }
+
+    #[test]
+    fn normalization_makes_order_irrelevant() {
+        let a = Pattern::new(vec![Pred::eq(0, "US"), Pred::cmp(1, Op::Lt, 30i64)]);
+        let b = Pattern::new(vec![Pred::cmp(1, Op::Lt, 30i64), Pred::eq(0, "US")]);
+        assert_eq!(a, b);
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn matches_row_agrees_with_eval() {
+        let t = toy();
+        let p = Pattern::new(vec![Pred::eq(0, "US"), Pred::cmp(2, Op::Gt, 100.0)]);
+        let mask = p.eval(&t).unwrap();
+        for r in 0..t.nrows() {
+            assert_eq!(p.matches_row(&t, r), mask[r]);
+        }
+    }
+
+    #[test]
+    fn merge_dedupes() {
+        let a = Pattern::single(Pred::eq(0, "US"));
+        let b = Pattern::new(vec![Pred::eq(0, "US"), Pred::cmp(1, Op::Lt, 30i64)]);
+        let m = a.merge(&b);
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,317 @@
+//! Group-by/average queries and the resulting aggregate view.
+//!
+//! The query class of the paper (§4):
+//!
+//! ```sql
+//! SELECT A_gb, AVG(A_avg) FROM D WHERE phi GROUP BY A_gb
+//! ```
+//!
+//! [`GroupByAvgQuery::run`] evaluates the query into an [`AggView`] that
+//! keeps, besides the aggregate bars themselves, the row→group assignment
+//! needed to test grouping-pattern coverage (Definition 4.4) and to carve
+//! out per-group subpopulations for CATE estimation.
+
+use std::collections::HashMap;
+
+use crate::bitset::BitSet;
+use crate::error::TableError;
+use crate::pattern::Pattern;
+use crate::table::Table;
+use crate::Result;
+
+/// A `SELECT A_gb, AVG(A_avg) … GROUP BY A_gb` query.
+#[derive(Debug, Clone)]
+pub struct GroupByAvgQuery {
+    /// Group-by attribute ids (must be categorical).
+    pub group_by: Vec<usize>,
+    /// The attribute averaged per group (must be numeric).
+    pub avg: usize,
+    /// Optional WHERE predicate applied before grouping.
+    pub where_clause: Option<Pattern>,
+}
+
+impl GroupByAvgQuery {
+    /// Query with no WHERE clause.
+    pub fn new(group_by: Vec<usize>, avg: usize) -> Self {
+        GroupByAvgQuery {
+            group_by,
+            avg,
+            where_clause: None,
+        }
+    }
+
+    /// Attach a WHERE predicate.
+    pub fn with_where(mut self, phi: Pattern) -> Self {
+        self.where_clause = Some(phi);
+        self
+    }
+
+    /// Evaluate the query over `table`.
+    pub fn run(&self, table: &Table) -> Result<AggView> {
+        for &g in &self.group_by {
+            if table.column(g).codes().is_none() {
+                return Err(TableError::NonCategoricalGroupBy(
+                    table.schema().field(g).name.clone(),
+                ));
+            }
+        }
+        let outcome: Vec<f64> = match table.column(self.avg) {
+            crate::column::Column::Int(v) => v.iter().map(|&x| x as f64).collect(),
+            crate::column::Column::Float(v) => v.clone(),
+            crate::column::Column::Cat { .. } => {
+                return Err(TableError::TypeMismatch {
+                    column: table.schema().field(self.avg).name.clone(),
+                    expected: "numeric AVG attribute",
+                    got: "cat",
+                })
+            }
+        };
+
+        let selected: Vec<bool> = match &self.where_clause {
+            Some(phi) => phi.eval(table)?,
+            None => vec![true; table.nrows()],
+        };
+
+        let key_cols: Vec<&[u32]> = self
+            .group_by
+            .iter()
+            .map(|&g| table.column(g).codes().expect("checked categorical"))
+            .collect();
+
+        let mut group_of_key: HashMap<Vec<u32>, usize> = HashMap::new();
+        let mut keys: Vec<Vec<u32>> = Vec::new();
+        let mut sums: Vec<f64> = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
+        // usize::MAX marks rows filtered out by WHERE.
+        let mut row_group: Vec<usize> = vec![usize::MAX; table.nrows()];
+
+        for row in 0..table.nrows() {
+            if !selected[row] {
+                continue;
+            }
+            let key: Vec<u32> = key_cols.iter().map(|c| c[row]).collect();
+            let gid = *group_of_key.entry(key.clone()).or_insert_with(|| {
+                keys.push(key);
+                sums.push(0.0);
+                counts.push(0);
+                keys.len() - 1
+            });
+            sums[gid] += outcome[row];
+            counts[gid] += 1;
+            row_group[row] = gid;
+        }
+
+        let avgs: Vec<f64> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(s, &c)| s / c.max(1) as f64)
+            .collect();
+
+        Ok(AggView {
+            group_by: self.group_by.clone(),
+            avg_attr: self.avg,
+            keys,
+            avgs,
+            counts,
+            row_group,
+        })
+    }
+}
+
+/// The materialized aggregate view `Q(D)`: one bar per group.
+#[derive(Debug, Clone)]
+pub struct AggView {
+    /// Group-by attribute ids.
+    pub group_by: Vec<usize>,
+    /// Averaged attribute id.
+    pub avg_attr: usize,
+    /// Group keys as dictionary codes, one vector per group.
+    pub keys: Vec<Vec<u32>>,
+    /// Per-group averages.
+    pub avgs: Vec<f64>,
+    /// Per-group tuple counts.
+    pub counts: Vec<usize>,
+    /// Group index per input row; `usize::MAX` when filtered out by WHERE.
+    pub row_group: Vec<usize>,
+}
+
+impl AggView {
+    /// Number of groups `m = |Q(D)|`.
+    pub fn num_groups(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Display string of group `g`'s key using the table dictionaries.
+    pub fn group_label(&self, table: &Table, g: usize) -> String {
+        self.group_by
+            .iter()
+            .zip(&self.keys[g])
+            .map(|(&attr, &code)| {
+                table
+                    .column(attr)
+                    .dict()
+                    .map(|d| d.value(code).to_string())
+                    .unwrap_or_else(|| code.to_string())
+            })
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+
+    /// Boolean mask over input rows belonging to group `g`.
+    pub fn group_mask(&self, g: usize) -> Vec<bool> {
+        self.row_group.iter().map(|&x| x == g).collect()
+    }
+
+    /// Groups covered by a grouping pattern (Definition 4.4): group `s` is
+    /// covered iff *every* tuple contributing to `s` satisfies the pattern.
+    /// For FD-valid grouping patterns this matches the representative-tuple
+    /// test, but implementing the universal check keeps the semantics exact
+    /// even for patterns that only "almost" respect the FD.
+    pub fn coverage(&self, table: &Table, pattern: &Pattern) -> Result<BitSet> {
+        let sat = pattern.eval(table)?;
+        let m = self.num_groups();
+        let mut all = vec![true; m];
+        let mut seen = vec![false; m];
+        for (row, &g) in self.row_group.iter().enumerate() {
+            if g == usize::MAX {
+                continue;
+            }
+            seen[g] = true;
+            all[g] &= sat[row];
+        }
+        let mut cov = BitSet::new(m);
+        for g in 0..m {
+            if seen[g] && all[g] {
+                cov.insert(g);
+            }
+        }
+        Ok(cov)
+    }
+
+    /// Boolean mask over input rows belonging to any covered group — the
+    /// subpopulation `B = b` for CATE conditioning on a grouping pattern.
+    pub fn subpopulation_mask(&self, cov: &BitSet) -> Vec<bool> {
+        self.row_group
+            .iter()
+            .map(|&g| g != usize::MAX && cov.contains(g))
+            .collect()
+    }
+
+    /// Render the view as a two-column text table (label, avg, count).
+    pub fn render(&self, table: &Table) -> String {
+        let mut out = String::from("group\tavg\tcount\n");
+        for g in 0..self.num_groups() {
+            out.push_str(&format!(
+                "{}\t{:.3}\t{}\n",
+                self.group_label(table, g),
+                self.avgs[g],
+                self.counts[g]
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{Op, Pred};
+    use crate::table::TableBuilder;
+
+    fn toy() -> Table {
+        TableBuilder::new()
+            .cat("country", &["US", "US", "India", "India", "China", "China"])
+            .unwrap()
+            .cat("continent", &["NA", "NA", "Asia", "Asia", "Asia", "Asia"])
+            .unwrap()
+            .int("age", vec![26, 32, 29, 25, 21, 40])
+            .unwrap()
+            .float("salary", vec![180.0, 80.0, 24.0, 8.0, 20.0, 28.0])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn group_by_avg_basic() {
+        let t = toy();
+        let view = GroupByAvgQuery::new(vec![0], 3).run(&t).unwrap();
+        assert_eq!(view.num_groups(), 3);
+        let us = (0..3).find(|&g| view.group_label(&t, g) == "US").unwrap();
+        assert!((view.avgs[us] - 130.0).abs() < 1e-9);
+        assert_eq!(view.counts[us], 2);
+    }
+
+    #[test]
+    fn where_clause_prefilters() {
+        let t = toy();
+        let q = GroupByAvgQuery::new(vec![0], 3).with_where(Pattern::single(Pred::cmp(
+            2,
+            Op::Lt,
+            30i64,
+        )));
+        let view = q.run(&t).unwrap();
+        // The US group now only contains the age-26 row.
+        let us = (0..view.num_groups())
+            .find(|&g| view.group_label(&t, g) == "US")
+            .unwrap();
+        assert_eq!(view.counts[us], 1);
+        assert!((view.avgs[us] - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_universal_semantics() {
+        let t = toy();
+        let view = GroupByAvgQuery::new(vec![0], 3).run(&t).unwrap();
+        // continent = Asia covers India and China but not US.
+        let p = Pattern::single(Pred::eq(1, "Asia"));
+        let cov = view.coverage(&t, &p).unwrap();
+        assert_eq!(cov.count(), 2);
+        let us = (0..3).find(|&g| view.group_label(&t, g) == "US").unwrap();
+        assert!(!cov.contains(us));
+        // age < 30 does NOT cover India (one tuple is 29, one is 25 → both
+        // satisfy) but not China (40 violates).
+        let p = Pattern::single(Pred::cmp(2, Op::Lt, 30i64));
+        let cov = view.coverage(&t, &p).unwrap();
+        let india = (0..3)
+            .find(|&g| view.group_label(&t, g) == "India")
+            .unwrap();
+        let china = (0..3)
+            .find(|&g| view.group_label(&t, g) == "China")
+            .unwrap();
+        assert!(cov.contains(india));
+        assert!(!cov.contains(china));
+    }
+
+    #[test]
+    fn subpopulation_mask_selects_covered_rows() {
+        let t = toy();
+        let view = GroupByAvgQuery::new(vec![0], 3).run(&t).unwrap();
+        let p = Pattern::single(Pred::eq(1, "Asia"));
+        let cov = view.coverage(&t, &p).unwrap();
+        let mask = view.subpopulation_mask(&cov);
+        assert_eq!(mask, vec![false, false, true, true, true, true]);
+    }
+
+    #[test]
+    fn rejects_numeric_group_by() {
+        let t = toy();
+        let r = GroupByAvgQuery::new(vec![2], 3).run(&t);
+        assert!(matches!(r, Err(TableError::NonCategoricalGroupBy(_))));
+    }
+
+    #[test]
+    fn rejects_categorical_avg() {
+        let t = toy();
+        let r = GroupByAvgQuery::new(vec![0], 1).run(&t);
+        assert!(matches!(r, Err(TableError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn multi_attribute_group_by() {
+        let t = toy();
+        let view = GroupByAvgQuery::new(vec![0, 1], 3).run(&t).unwrap();
+        assert_eq!(view.num_groups(), 3);
+        assert!(view.group_label(&t, 0).split('|').count() == 2);
+    }
+}

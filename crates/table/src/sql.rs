@@ -1,0 +1,394 @@
+//! A SQL front-end for the paper's query class:
+//!
+//! ```sql
+//! SELECT A_gb, AVG(A_avg) FROM D [WHERE phi] GROUP BY A_gb
+//! ```
+//!
+//! Supports multi-attribute GROUP BY, conjunctive WHERE clauses with the
+//! pattern operators `{=, <, >, <=, >=}`, single- or double-quoted string
+//! literals, and case-insensitive keywords. The FROM table name is
+//! accepted and ignored (the caller supplies the table), mirroring how the
+//! paper's prototype binds the query to a loaded dataframe.
+
+use crate::error::TableError;
+use crate::pattern::{Op, Pattern, Pred};
+use crate::query::GroupByAvgQuery;
+use crate::schema::DType;
+use crate::table::Table;
+use crate::value::Scalar;
+use crate::Result;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Num(f64),
+    Comma,
+    LParen,
+    RParen,
+    Op(Op),
+}
+
+fn err(msg: impl Into<String>) -> TableError {
+    TableError::Csv {
+        line: 0,
+        msg: format!("sql: {}", msg.into()),
+    }
+}
+
+fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            '=' => {
+                chars.next();
+                out.push(Token::Op(Op::Eq));
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token::Op(Op::Le));
+                } else {
+                    out.push(Token::Op(Op::Lt));
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token::Op(Op::Ge));
+                } else {
+                    out.push(Token::Op(Op::Gt));
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some(ch) if ch == quote => break,
+                        Some(ch) => s.push(ch),
+                        None => return Err(err("unterminated string literal")),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '.' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || d == '-' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Num(
+                    s.parse().map_err(|_| err(format!("bad number `{s}`")))?,
+                ));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(s));
+            }
+            other => return Err(err(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    table: &'a Table,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(err(format!("expected {kw}, got {other:?}"))),
+        }
+    }
+
+    fn keyword_is(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(err(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn attr(&mut self) -> Result<usize> {
+        let name = self.ident()?;
+        self.table.attr(&name)
+    }
+
+    fn predicate(&mut self) -> Result<Pred> {
+        let attr = self.attr()?;
+        let op = match self.next() {
+            Some(Token::Op(op)) => op,
+            other => return Err(err(format!("expected comparison operator, got {other:?}"))),
+        };
+        let value = match self.next() {
+            Some(Token::Str(s)) => Scalar::Str(s),
+            Some(Token::Num(v)) => match self.table.schema().field(attr).dtype {
+                DType::Int => Scalar::Int(v as i64),
+                DType::Float => Scalar::Float(v),
+                DType::Cat => Scalar::Str(v.to_string()),
+            },
+            // Bare identifiers on categorical columns read as values
+            // (common in hand-typed WHERE clauses).
+            Some(Token::Ident(s)) => Scalar::Str(s),
+            other => return Err(err(format!("expected literal, got {other:?}"))),
+        };
+        Ok(Pred { attr, op, value })
+    }
+}
+
+/// Parse a `SELECT …, AVG(…) FROM … [WHERE …] GROUP BY …` statement into a
+/// [`GroupByAvgQuery`] bound to `table`. Verifies that the SELECT list
+/// matches the GROUP BY list.
+pub fn parse_query(table: &Table, src: &str) -> Result<GroupByAvgQuery> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        table,
+    };
+
+    p.expect_keyword("SELECT")?;
+    // Projection: idents and one AVG(attr).
+    let mut proj: Vec<String> = Vec::new();
+    let mut avg_attr: Option<usize> = None;
+    loop {
+        if p.keyword_is("AVG") {
+            p.next();
+            match (p.next(), p.attr()?, p.next()) {
+                (Some(Token::LParen), a, Some(Token::RParen)) => {
+                    if avg_attr.replace(a).is_some() {
+                        return Err(err("multiple AVG aggregates"));
+                    }
+                }
+                _ => return Err(err("malformed AVG(...)")),
+            }
+        } else {
+            proj.push(p.ident()?);
+        }
+        match p.peek() {
+            Some(Token::Comma) => {
+                p.next();
+            }
+            _ => break,
+        }
+    }
+    let avg = avg_attr.ok_or_else(|| err("query must contain AVG(attr)"))?;
+
+    p.expect_keyword("FROM")?;
+    let _table_name = p.ident()?;
+
+    let mut where_clause: Option<Pattern> = None;
+    if p.keyword_is("WHERE") {
+        p.next();
+        let mut preds = vec![p.predicate()?];
+        while p.keyword_is("AND") {
+            p.next();
+            preds.push(p.predicate()?);
+        }
+        where_clause = Some(Pattern::new(preds));
+    }
+
+    p.expect_keyword("GROUP")?;
+    p.expect_keyword("BY")?;
+    let mut group_by = vec![p.attr()?];
+    while matches!(p.peek(), Some(Token::Comma)) {
+        p.next();
+        group_by.push(p.attr()?);
+    }
+    if p.peek().is_some() {
+        return Err(err("trailing tokens after GROUP BY"));
+    }
+
+    // SELECT list must equal the GROUP BY list (SQL92 semantics for this
+    // query class).
+    let gb_names: Vec<&str> = group_by
+        .iter()
+        .map(|&a| table.schema().field(a).name.as_str())
+        .collect();
+    if proj.len() != gb_names.len()
+        || !proj
+            .iter()
+            .zip(&gb_names)
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    {
+        return Err(err(format!(
+            "SELECT list {proj:?} must match GROUP BY {gb_names:?}"
+        )));
+    }
+
+    let mut q = GroupByAvgQuery::new(group_by, avg);
+    if let Some(w) = where_clause {
+        q = q.with_where(w);
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn toy() -> Table {
+        TableBuilder::new()
+            .cat("country", &["US", "US", "IN", "IN"])
+            .unwrap()
+            .cat("continent", &["NA", "NA", "Asia", "Asia"])
+            .unwrap()
+            .int("age", vec![25, 40, 30, 22])
+            .unwrap()
+            .float("salary", vec![100.0, 120.0, 20.0, 15.0])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parses_basic_query() {
+        let t = toy();
+        let q = parse_query(&t, "SELECT country, AVG(salary) FROM so GROUP BY country").unwrap();
+        assert_eq!(q.group_by, vec![0]);
+        assert_eq!(q.avg, 3);
+        assert!(q.where_clause.is_none());
+        let view = q.run(&t).unwrap();
+        assert_eq!(view.num_groups(), 2);
+    }
+
+    #[test]
+    fn parses_where_conjunction() {
+        let t = toy();
+        let q = parse_query(
+            &t,
+            "select country, avg(salary) from so where age < 35 and continent = 'NA' group by country",
+        )
+        .unwrap();
+        let view = q.run(&t).unwrap();
+        assert_eq!(view.num_groups(), 1);
+        assert_eq!(view.counts[0], 1); // only the 25-year-old US row
+    }
+
+    #[test]
+    fn parses_multi_group_by() {
+        let t = toy();
+        let q = parse_query(
+            &t,
+            "SELECT country, continent, AVG(salary) FROM t GROUP BY country, continent",
+        )
+        .unwrap();
+        assert_eq!(q.group_by, vec![0, 1]);
+    }
+
+    #[test]
+    fn bare_identifier_string_literal() {
+        let t = toy();
+        let q = parse_query(
+            &t,
+            "SELECT country, AVG(salary) FROM t WHERE continent = Asia GROUP BY country",
+        )
+        .unwrap();
+        let view = q.run(&t).unwrap();
+        assert_eq!(view.num_groups(), 1);
+    }
+
+    #[test]
+    fn rejects_select_group_by_mismatch() {
+        let t = toy();
+        assert!(parse_query(&t, "SELECT continent, AVG(salary) FROM t GROUP BY country").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_avg() {
+        let t = toy();
+        assert!(parse_query(&t, "SELECT country FROM t GROUP BY country").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_attribute() {
+        let t = toy();
+        assert!(parse_query(&t, "SELECT wages, AVG(salary) FROM t GROUP BY wages").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let t = toy();
+        assert!(parse_query(
+            &t,
+            "SELECT country, AVG(salary) FROM t GROUP BY country HAVING x"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn numeric_literals_typed_by_column() {
+        let t = toy();
+        let q = parse_query(
+            &t,
+            "SELECT country, AVG(salary) FROM t WHERE age >= 30 GROUP BY country",
+        )
+        .unwrap();
+        let phi = q.where_clause.unwrap();
+        assert_eq!(phi.preds()[0].value, Scalar::Int(30));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let t = toy();
+        assert!(parse_query(
+            &t,
+            "SELECT country, AVG(salary) FROM t WHERE continent = 'NA GROUP BY country"
+        )
+        .is_err());
+    }
+}

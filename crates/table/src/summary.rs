@@ -1,0 +1,169 @@
+//! Per-column descriptive statistics — the profiling layer behind the
+//! Table 3 dataset report and a convenience for library users inspecting
+//! data before running CauSumX.
+
+use crate::column::Column;
+use crate::table::Table;
+
+/// Summary of one column.
+#[derive(Debug, Clone)]
+pub struct ColumnSummary {
+    /// Attribute name.
+    pub name: String,
+    /// Type name ("cat"/"int"/"float").
+    pub dtype: &'static str,
+    /// Distinct-value count (active-domain size).
+    pub n_distinct: usize,
+    /// Min / max / mean for numeric columns.
+    pub numeric: Option<NumericSummary>,
+    /// Most frequent value and its count, for categorical columns.
+    pub top_value: Option<(String, usize)>,
+}
+
+/// Numeric sub-summary.
+#[derive(Debug, Clone, Copy)]
+pub struct NumericSummary {
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+/// Summarize every column of a table.
+pub fn summarize(table: &Table) -> Vec<ColumnSummary> {
+    (0..table.ncols())
+        .map(|a| summarize_column(table, a))
+        .collect()
+}
+
+/// Summarize one column.
+pub fn summarize_column(table: &Table, attr: usize) -> ColumnSummary {
+    let field = table.schema().field(attr);
+    let col = table.column(attr);
+    let n = col.len();
+    match col {
+        Column::Cat { codes, dict } => {
+            let mut freq = vec![0usize; dict.len()];
+            for &c in codes {
+                freq[c as usize] += 1;
+            }
+            let top = freq
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &f)| f)
+                .map(|(code, &f)| (dict.value(code as u32).to_string(), f));
+            ColumnSummary {
+                name: field.name.clone(),
+                dtype: "cat",
+                n_distinct: dict.len(),
+                numeric: None,
+                top_value: top,
+            }
+        }
+        _ => {
+            let vals: Vec<f64> = (0..n).map(|r| col.get_f64(r)).collect();
+            let numeric = if n > 0 {
+                let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let mean = vals.iter().sum::<f64>() / n as f64;
+                let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+                Some(NumericSummary {
+                    min,
+                    max,
+                    mean,
+                    std: var.sqrt(),
+                })
+            } else {
+                None
+            };
+            ColumnSummary {
+                name: field.name.clone(),
+                dtype: if matches!(col, Column::Int(_)) {
+                    "int"
+                } else {
+                    "float"
+                },
+                n_distinct: col.n_distinct(),
+                numeric,
+                top_value: None,
+            }
+        }
+    }
+}
+
+/// Render the summaries as an aligned text table.
+pub fn render_summaries(summaries: &[ColumnSummary]) -> String {
+    let mut out = String::from("column\ttype\tdistinct\tdetail\n");
+    for s in summaries {
+        let detail = match (&s.numeric, &s.top_value) {
+            (Some(n), _) => format!(
+                "min {:.3}, max {:.3}, mean {:.3} ± {:.3}",
+                n.min, n.max, n.mean, n.std
+            ),
+            (_, Some((v, c))) => format!("top `{v}` ×{c}"),
+            _ => String::new(),
+        };
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\n",
+            s.name, s.dtype, s.n_distinct, detail
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn toy() -> Table {
+        TableBuilder::new()
+            .cat("c", &["a", "b", "a", "a"])
+            .unwrap()
+            .int("i", vec![1, 5, 3, 3])
+            .unwrap()
+            .float("f", vec![0.0, 2.0, 4.0, 2.0])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn categorical_summary() {
+        let s = summarize_column(&toy(), 0);
+        assert_eq!(s.dtype, "cat");
+        assert_eq!(s.n_distinct, 2);
+        assert_eq!(s.top_value, Some(("a".to_string(), 3)));
+        assert!(s.numeric.is_none());
+    }
+
+    #[test]
+    fn numeric_summary_values() {
+        let s = summarize_column(&toy(), 2);
+        let n = s.numeric.unwrap();
+        assert_eq!(n.min, 0.0);
+        assert_eq!(n.max, 4.0);
+        assert!((n.mean - 2.0).abs() < 1e-12);
+        assert!((n.std - (2.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn int_column_typed() {
+        let s = summarize_column(&toy(), 1);
+        assert_eq!(s.dtype, "int");
+        assert_eq!(s.n_distinct, 3);
+    }
+
+    #[test]
+    fn render_contains_all_columns() {
+        let text = render_summaries(&summarize(&toy()));
+        for name in ["c", "i", "f"] {
+            assert!(text.contains(name));
+        }
+        assert!(text.contains("top `a` ×3"));
+    }
+}

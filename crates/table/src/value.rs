@@ -1,0 +1,104 @@
+//! Scalar values exchanged between callers and the engine.
+
+use std::fmt;
+
+/// A single attribute value.
+///
+/// Categorical values travel as strings at the API boundary and are interned
+/// into per-column dictionaries inside [`crate::Table`]; numeric values are
+/// `i64` or `f64`. The active domain of every attribute (the set of values
+/// present in the instance, per §4 of the paper) is recoverable from the
+/// columns themselves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// Integer value (ages, counts, binned codes).
+    Int(i64),
+    /// Floating-point value (salaries, indices).
+    Float(f64),
+    /// Categorical value by display string.
+    Str(String),
+}
+
+impl Scalar {
+    /// Human-readable type name, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Scalar::Int(_) => "int",
+            Scalar::Float(_) => "float",
+            Scalar::Str(_) => "str",
+        }
+    }
+
+    /// Numeric view of the scalar, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Scalar::Int(v) => Some(*v as f64),
+            Scalar::Float(v) => Some(*v),
+            Scalar::Str(_) => None,
+        }
+    }
+
+    /// String view of the scalar, if categorical.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Int(v) => write!(f, "{v}"),
+            Scalar::Float(v) => write!(f, "{v}"),
+            Scalar::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Scalar {
+    fn from(v: i64) -> Self {
+        Scalar::Int(v)
+    }
+}
+impl From<f64> for Scalar {
+    fn from(v: f64) -> Self {
+        Scalar::Float(v)
+    }
+}
+impl From<&str> for Scalar {
+    fn from(v: &str) -> Self {
+        Scalar::Str(v.to_string())
+    }
+}
+impl From<String> for Scalar {
+    fn from(v: String) -> Self {
+        Scalar::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_f64_coerces_ints() {
+        assert_eq!(Scalar::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Scalar::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Scalar::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        assert_eq!(Scalar::from("EU").to_string(), "EU");
+        assert_eq!(Scalar::from(42i64).to_string(), "42");
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Scalar::Int(0).type_name(), "int");
+        assert_eq!(Scalar::Float(0.0).type_name(), "float");
+        assert_eq!(Scalar::Str(String::new()).type_name(), "str");
+    }
+}

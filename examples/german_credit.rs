@@ -1,0 +1,51 @@
+//! Fig. 18 reproduction: the German-credit risk case study.
+//!
+//! ```sh
+//! cargo run -p causumx --example german_credit --release [-- <rows> <seed>]
+//! ```
+//!
+//! The German dataset has *no* functional dependencies from the group-by
+//! attribute (`Purpose`), so every loan purpose needs its own grouping
+//! pattern — CauSumX falls back to per-group explanations, and (as in the
+//! paper) purposes whose treatments are not statistically significant stay
+//! unexplained.
+
+use causumx::{render_summary, Causumx, CausumxConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_000);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(11);
+
+    eprintln!("generating German dataset: {n} rows (seed {seed})…");
+    let ds = datagen::german::generate(n, seed);
+    let query = ds.query();
+    let view = query.run(&ds.table).unwrap();
+    println!(
+        "SELECT Purpose, AVG(Risk) FROM German GROUP BY Purpose → {} groups\n",
+        view.num_groups()
+    );
+    println!("{}", view.render(&ds.table));
+
+    let mut config = CausumxConfig::default();
+    config.k = 5; // paper default size constraint
+    config.theta = 0.5; // some purposes are too small to explain
+    config.lattice.max_p_value = 0.01; // the paper reports p < 1e-2 gates
+
+    let engine = Causumx::new(&ds.table, &ds.dag, query, config);
+    let (summary, view) = engine.run_with_view().unwrap();
+
+    println!("CauSumX summary (k=5, θ=0.5):\n");
+    print!(
+        "{}",
+        render_summary(&ds.table, &view, &summary, "risk score")
+    );
+    println!(
+        "\ncandidates={} cate-evaluations={} | grouping {:.0} ms, treatments {:.0} ms, selection {:.0} ms",
+        summary.candidates,
+        summary.cate_evaluations,
+        summary.timings.grouping_ms,
+        summary.timings.treatment_ms,
+        summary.timings.selection_ms
+    );
+}

@@ -1,0 +1,132 @@
+//! Baseline-system integration tests on the generated datasets (§6.2):
+//! the rule learners produce sensible output on real-shaped data, and the
+//! XInsight-style explainer exhibits its quadratic output behaviour.
+
+use baselines::{binarize_outcome, explanation_table, explanation_table_g, frl, ids, xinsight};
+use table::fd::treatment_attrs;
+
+fn cat_attrs(ds: &datagen::Dataset) -> Vec<usize> {
+    (0..ds.table.ncols())
+        .filter(|&a| a != ds.outcome && ds.table.column(a).dict().is_some())
+        .filter(|&a| !ds.group_by.contains(&a))
+        .collect()
+}
+
+#[test]
+fn ids_learns_high_precision_rules_on_adult() {
+    let ds = datagen::adult::generate(3_000, 83);
+    let y = binarize_outcome(&ds.table, ds.outcome);
+    let rules = ids(&ds.table, &y, &cat_attrs(&ds), 5, 0.05, 2);
+    assert!(!rules.is_empty());
+    for r in &rules {
+        assert!(r.support >= 150, "τ = 0.05 of 3000 rows");
+        assert!(r.precision >= 0.5, "majority-class rules");
+        assert!(r.pattern.len() <= 2);
+    }
+}
+
+#[test]
+fn frl_is_monotone_on_so() {
+    let ds = datagen::so::generate(3_000, 89);
+    let y = binarize_outcome(&ds.table, ds.outcome);
+    let list = frl(&ds.table, &y, &cat_attrs(&ds), 6, 0.05, 2);
+    assert!(!list.rules.is_empty());
+    for w in list.rules.windows(2) {
+        assert!(w[0].prob >= w[1].prob - 1e-12, "falling property violated");
+    }
+    // Marital-independence sanity: the top rule should beat the base rate.
+    let base = y.iter().filter(|&&b| b).count() as f64 / y.len() as f64;
+    assert!(list.rules[0].prob > base);
+}
+
+#[test]
+fn explanation_table_rules_reduce_loss_on_german() {
+    let ds = datagen::german::generate(1_000, 97);
+    let y = binarize_outcome(&ds.table, ds.outcome);
+    let rules = explanation_table(&ds.table, &y, &cat_attrs(&ds), 5, 2);
+    assert!(!rules.is_empty());
+    for r in &rules {
+        assert!(r.gain > 0.0);
+        assert!((0.0..=1.0).contains(&r.rate));
+    }
+    // Gains are committed greedily, so non-increasing.
+    for w in rules.windows(2) {
+        assert!(w[0].gain >= w[1].gain - 1e-9);
+    }
+}
+
+#[test]
+fn explanation_table_g_differs_across_groups() {
+    let ds = datagen::adult::generate(3_000, 101);
+    let y = binarize_outcome(&ds.table, ds.outcome);
+    let view = ds.query().run(&ds.table).unwrap();
+    // Two grouping masks: blue-collar vs white-collar subpopulations.
+    let cat = ds.table.attr("OccupationCategory").unwrap();
+    let m1 = table::Pattern::single(table::Pred::eq(cat, "blue-collar"))
+        .eval(&ds.table)
+        .unwrap();
+    let m2 = table::Pattern::single(table::Pred::eq(cat, "white-collar"))
+        .eval(&ds.table)
+        .unwrap();
+    let per = explanation_table_g(&ds.table, &y, &cat_attrs(&ds), 3, 2, &view, &[m1, m2]);
+    assert_eq!(per.len(), 2);
+    assert!(!per[0].1.is_empty() && !per[1].1.is_empty());
+}
+
+#[test]
+fn xinsight_output_grows_quadratically_on_so() {
+    let ds = datagen::so::generate(2_500, 103);
+    let view = ds.query().run(&ds.table).unwrap();
+    let t_attrs = treatment_attrs(&ds.table, &ds.group_by, &[ds.outcome]);
+    let findings = xinsight(&ds.table, &view, &ds.dag, &t_attrs, ds.outcome, 1);
+    let m = view.num_groups();
+    let pairs = m * (m - 1) / 2;
+    // With top-1 per pair and non-degenerate data, most pairs yield a
+    // finding — the Θ(m²) blowup of §6.2.
+    assert!(
+        findings.len() > pairs / 2,
+        "{} findings for {} pairs",
+        findings.len(),
+        pairs
+    );
+    // Findings must reference valid groups and carry causal marks.
+    for f in &findings {
+        assert!(f.group_a < m && f.group_b < m);
+    }
+    assert!(findings.iter().any(|f| f.causal));
+}
+
+#[test]
+fn causumx_vs_rule_learners_different_targets() {
+    // The §6.2 qualitative claim in testable form: IDS optimizes
+    // prediction (high precision), CauSumX optimizes causal effect — on
+    // the SO generator where YearsCoding correlates with but has smaller
+    // causal effect than Education, CauSumX's EU treatment mentions
+    // education/age/role/student while IDS may pick any high-precision
+    // correlate.
+    let ds = datagen::so::generate(4_000, 107);
+    let mut cfg = causumx::CausumxConfig::default();
+    cfg.k = 3;
+    cfg.theta = 1.0;
+    let summary = causumx::Causumx::new(&ds.table, &ds.dag, ds.query(), cfg)
+        .run()
+        .unwrap();
+    let causal_attrs = [
+        "Education",
+        "Age",
+        "Role",
+        "Student",
+        "Ethnicity",
+        "Gender",
+        "YearsCoding",
+    ];
+    for e in &summary.explanations {
+        if let Some(t) = &e.positive {
+            let disp = t.pattern.display(&ds.table);
+            assert!(
+                causal_attrs.iter().any(|a| disp.contains(a)),
+                "positive treatment uses a causal attribute: {disp}"
+            );
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Discovery → CauSumX integration: the full §6.6 loop of discovering a
+//! DAG from data and feeding it to the explanation pipeline.
+
+use causumx::{Causumx, CausumxConfig};
+use discovery::{attr_names, fci, lingam, no_dag, numeric_columns, pc};
+
+fn sampled(ds: &datagen::Dataset, rows: usize) -> table::Table {
+    let keep: Vec<usize> = (0..ds.table.nrows()).take(rows).collect();
+    ds.table.take(&keep)
+}
+
+#[test]
+fn pc_dag_drives_pipeline_end_to_end() {
+    let ds = datagen::adult::generate(2_500, 61);
+    let sub = sampled(&ds, 1_200);
+    let dag = pc(&numeric_columns(&sub), &attr_names(&sub), 0.01);
+    assert!(dag.topological_order().is_some());
+    let mut cfg = CausumxConfig::default();
+    cfg.theta = 0.5;
+    let summary = Causumx::new(&ds.table, &dag, ds.query(), cfg)
+        .run()
+        .unwrap();
+    assert!(
+        summary.covered > 0,
+        "discovered-DAG run must explain something"
+    );
+    assert!(summary.total_weight > 0.0);
+}
+
+#[test]
+fn fci_dag_drives_pipeline_end_to_end() {
+    let ds = datagen::adult::generate(2_500, 67);
+    let sub = sampled(&ds, 1_200);
+    let dag = fci(&numeric_columns(&sub), &attr_names(&sub), 0.01);
+    let mut cfg = CausumxConfig::default();
+    cfg.theta = 0.5;
+    let summary = Causumx::new(&ds.table, &dag, ds.query(), cfg)
+        .run()
+        .unwrap();
+    assert!(summary.covered > 0);
+}
+
+#[test]
+fn lingam_dag_drives_pipeline_end_to_end() {
+    let ds = datagen::impus::generate(2_500, 71);
+    let sub = sampled(&ds, 1_200);
+    let dag = lingam(&numeric_columns(&sub), &attr_names(&sub));
+    let mut cfg = CausumxConfig::default();
+    cfg.theta = 0.5;
+    let summary = Causumx::new(&ds.table, &dag, ds.query(), cfg)
+        .run()
+        .unwrap();
+    assert!(summary.covered > 0);
+}
+
+#[test]
+fn no_dag_baseline_runs_but_unadjusted() {
+    let ds = datagen::adult::generate(2_500, 73);
+    let dag = no_dag(&attr_names(&ds.table), ds.outcome_name());
+    let mut cfg = CausumxConfig::default();
+    cfg.theta = 0.5;
+    let summary = Causumx::new(&ds.table, &dag, ds.query(), cfg)
+        .run()
+        .unwrap();
+    // Every attribute is a root parent of the outcome ⇒ no confounders
+    // are ever adjusted for; the summary still exists.
+    assert!(summary.covered > 0);
+    for e in &summary.explanations {
+        assert!(e.has_treatment());
+    }
+}
+
+#[test]
+fn discovered_dags_agree_roughly_with_ground_truth_effects() {
+    // The strongest ground-truth treatment should keep the same CATE sign
+    // under a PC-discovered DAG (the τ experiments rely on this stability).
+    let ds = datagen::so::generate(3_000, 79);
+    let sub = sampled(&ds, 1_200);
+    let dag = pc(&numeric_columns(&sub), &attr_names(&sub), 0.01);
+
+    let t_attrs = table::fd::treatment_attrs(&ds.table, &ds.group_by, &[ds.outcome]);
+    let gt_miner = mining::treatment::TreatmentMiner::new(
+        &ds.table,
+        &ds.dag,
+        ds.outcome,
+        &t_attrs,
+        mining::treatment::LatticeOptions::default(),
+    );
+    let subpop = vec![true; ds.table.nrows()];
+    let (best, _) = gt_miner.top_treatment(&subpop, mining::treatment::Direction::Positive);
+    let best = best.expect("ground-truth best treatment");
+
+    let pc_miner = mining::treatment::TreatmentMiner::new(
+        &ds.table,
+        &dag,
+        ds.outcome,
+        &t_attrs,
+        mining::treatment::LatticeOptions {
+            prune_by_dag: false,
+            ..Default::default()
+        },
+    );
+    let under_pc = pc_miner
+        .eval_pattern(&subpop, &best.pattern)
+        .expect("evaluable under PC DAG");
+    assert!(
+        under_pc.cate > 0.0,
+        "sign flip under discovered DAG: {} vs {}",
+        best.cate,
+        under_pc.cate
+    );
+}

@@ -1,0 +1,216 @@
+//! End-to-end integration tests: the full Algorithm-1 pipeline on every
+//! dataset generator, checking the Definition 4.5 contract on the output.
+
+use causumx::{Causumx, CausumxConfig, SelectionMethod, Summary};
+use table::bitset::BitSet;
+
+fn check_contract(ds: &datagen::Dataset, cfg: &CausumxConfig, summary: &Summary) {
+    // Size constraint.
+    assert!(
+        summary.explanations.len() <= cfg.k,
+        "|Φ| = {} > k = {}",
+        summary.explanations.len(),
+        cfg.k
+    );
+    // Recompute coverage from scratch and compare.
+    let view = ds.query().run(&ds.table).unwrap();
+    let mut union = BitSet::new(view.num_groups());
+    for e in &summary.explanations {
+        let cov = view.coverage(&ds.table, &e.grouping).unwrap();
+        assert_eq!(
+            cov,
+            e.coverage,
+            "stored coverage must match recomputed coverage for {}",
+            e.grouping.display(&ds.table)
+        );
+        union.union_with(&cov);
+    }
+    assert_eq!(union.count(), summary.covered, "covered count mismatch");
+    // Feasibility flag consistent with θ.
+    let required = (cfg.theta * summary.m as f64).ceil() as usize;
+    assert_eq!(
+        summary.feasible,
+        summary.covered >= required && summary.covered > 0
+    );
+    // Incomparability: no two selected explanations share a coverage set.
+    for i in 0..summary.explanations.len() {
+        for j in i + 1..summary.explanations.len() {
+            assert_ne!(
+                summary.explanations[i].coverage, summary.explanations[j].coverage,
+                "incomparability constraint violated"
+            );
+        }
+    }
+    // Weights are |CATE⁺| + |CATE⁻| and treatments pass the p-value gate.
+    for e in &summary.explanations {
+        let mut w = 0.0;
+        if let Some(t) = &e.positive {
+            assert!(t.cate > 0.0, "positive treatment must have positive CATE");
+            assert!(t.p_value <= cfg.lattice.max_p_value * (1.0 + 1e-9));
+            w += t.cate.abs();
+        }
+        if let Some(t) = &e.negative {
+            assert!(t.cate < 0.0);
+            assert!(t.p_value <= cfg.lattice.max_p_value * (1.0 + 1e-9));
+            w += t.cate.abs();
+        }
+        assert!((e.weight - w).abs() < 1e-9);
+        assert!(
+            e.has_treatment(),
+            "selected explanations must carry a treatment"
+        );
+    }
+    let total: f64 = summary.explanations.iter().map(|e| e.weight).sum();
+    assert!((total - summary.total_weight).abs() < 1e-6);
+}
+
+#[test]
+fn so_pipeline_contract() {
+    let ds = datagen::so::generate(4_000, 3);
+    let mut cfg = CausumxConfig::default();
+    cfg.k = 3;
+    cfg.theta = 1.0;
+    let summary = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg.clone())
+        .run()
+        .unwrap();
+    assert!(summary.feasible, "SO at θ=1 must be coverable: {summary:?}");
+    check_contract(&ds, &cfg, &summary);
+}
+
+#[test]
+fn adult_pipeline_contract() {
+    let ds = datagen::adult::generate(4_000, 5);
+    let cfg = CausumxConfig::default();
+    let summary = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg.clone())
+        .run()
+        .unwrap();
+    assert!(summary.feasible);
+    check_contract(&ds, &cfg, &summary);
+}
+
+#[test]
+fn german_pipeline_contract_no_fds() {
+    let ds = datagen::german::generate(1_000, 7);
+    let mut cfg = CausumxConfig::default();
+    cfg.theta = 0.4;
+    let summary = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg.clone())
+        .run()
+        .unwrap();
+    check_contract(&ds, &cfg, &summary);
+    // German grouping patterns are per-group (no FDs): coverage 1 each.
+    for e in &summary.explanations {
+        assert_eq!(e.coverage.count(), 1);
+    }
+}
+
+#[test]
+fn impus_pipeline_contract() {
+    let ds = datagen::impus::generate(6_000, 11);
+    let cfg = CausumxConfig::default();
+    let summary = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg.clone())
+        .run()
+        .unwrap();
+    check_contract(&ds, &cfg, &summary);
+}
+
+#[test]
+fn accidents_pipeline_contract() {
+    let ds = datagen::accidents::generate(6_000, 13);
+    let cfg = CausumxConfig::default();
+    let summary = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg.clone())
+        .run()
+        .unwrap();
+    assert!(summary.feasible);
+    check_contract(&ds, &cfg, &summary);
+}
+
+#[test]
+fn synthetic_recovers_ground_truth_treatment() {
+    // In the synthetic schema the best positive atomic treatment within
+    // any grouping bucket is T1 = 5 or a conjunction extending it
+    // (true CATE +2.5 per Datagen's analytic formula).
+    let ds = datagen::synthetic::generate(
+        datagen::synthetic::SynthParams {
+            n: 2_000,
+            n_grouping: 2,
+            n_treatment: 2,
+            tuples_per_group: 4,
+        },
+        17,
+    );
+    let mut cfg = CausumxConfig::default();
+    cfg.k = 4;
+    cfg.theta = 0.5;
+    let summary = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg.clone())
+        .run()
+        .unwrap();
+    check_contract(&ds, &cfg, &summary);
+    let e = &summary.explanations[0];
+    let pos = e.positive.as_ref().expect("positive treatment");
+    let disp = pos.pattern.display(&ds.table);
+    assert!(
+        disp.contains("T1 = 5") || disp.contains("T2 = 1"),
+        "expected a ground-truth-optimal atom, got {disp}"
+    );
+    // Estimated CATE near the analytic value for whichever atoms appear.
+    assert!(pos.cate > 2.0, "cate = {}", pos.cate);
+}
+
+#[test]
+fn rendering_nonempty_for_feasible_summary() {
+    let ds = datagen::so::generate(3_000, 19);
+    let cfg = CausumxConfig::default();
+    let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
+    let (summary, view) = engine.run_with_view().unwrap();
+    let text = causumx::render_summary(&ds.table, &view, &summary, "salary");
+    assert!(text.contains("effect size"));
+    assert!(text.contains("coverage"));
+}
+
+#[test]
+fn where_clause_respected() {
+    // Restrict the SO query to Europe via WHERE; the resulting view only
+    // has European countries and explanations only cover those.
+    let ds = datagen::so::generate(4_000, 23);
+    let cont = ds.table.attr("Continent").unwrap();
+    let query = ds
+        .query()
+        .with_where(table::Pattern::single(table::Pred::eq(cont, "Europe")));
+    let view = query.run(&ds.table).unwrap();
+    assert!(view.num_groups() < 20);
+    let mut cfg = CausumxConfig::default();
+    cfg.theta = 0.5;
+    let summary = Causumx::new(&ds.table, &ds.dag, query, cfg).run().unwrap();
+    assert!(summary.m == view.num_groups());
+    assert!(summary.covered <= summary.m);
+}
+
+#[test]
+fn positive_only_mode() {
+    let ds = datagen::so::generate(3_000, 29);
+    let mut cfg = CausumxConfig::default();
+    cfg.mine_negative = false;
+    let summary = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg)
+        .run()
+        .unwrap();
+    for e in &summary.explanations {
+        assert!(e.negative.is_none());
+        assert!(e.positive.is_some());
+    }
+}
+
+#[test]
+fn selection_methods_agree_on_structure() {
+    let ds = datagen::adult::generate(3_000, 31);
+    let cfg = CausumxConfig::default();
+    let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
+    let candidates = engine.mine_candidates().unwrap();
+    let lp = engine.select(&candidates, SelectionMethod::LpRounding);
+    let greedy = engine.select(&candidates, SelectionMethod::Greedy);
+    let exact = engine.select(&candidates, SelectionMethod::Exhaustive);
+    // The exact optimum dominates both heuristics (when feasible).
+    if exact.feasible {
+        assert!(exact.total_weight >= lp.total_weight - 1e-6);
+        assert!(exact.total_weight >= greedy.total_weight - 1e-6);
+    }
+}

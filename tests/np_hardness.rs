@@ -1,0 +1,120 @@
+//! Proposition 4.1 — the set-cover reduction (Fig. 17 of the appendix).
+//!
+//! The feasibility question of Summarized Causal Explanations ("is there a
+//! set Φ with |Φ| ≤ k covering ≥ θ·m groups?") embeds Set Cover. These
+//! tests build the Fig. 17 instance directly as a `CoverInstance` and
+//! verify that the exact selector answers the Set Cover question — both
+//! directions of the reduction — which is exactly the equivalence the
+//! hardness proof relies on.
+
+use lpsolve::cover::{exhaustive_best, solve_lp_relaxation, CoverInstance};
+use table::bitset::BitSet;
+
+/// Build the CauSumX feasibility instance for a set-cover input: universe
+/// 0..n, family `sets`, budget `k`, full coverage required.
+fn reduction(n: usize, sets: &[Vec<usize>], k: usize) -> CoverInstance {
+    CoverInstance {
+        // Explainability is irrelevant for feasibility (all zero in the
+        // Fig. 17 construction — the outcome column is constant 0).
+        weights: vec![0.0; sets.len()],
+        covers: sets
+            .iter()
+            .map(|s| {
+                let mut b = BitSet::new(n);
+                for &e in s {
+                    b.insert(e);
+                }
+                b
+            })
+            .collect(),
+        m: n,
+        k,
+        theta: 1.0,
+    }
+}
+
+#[test]
+fn fig17_instance_cover_exists() {
+    // Universe {0..4}, S1 = {0,1,2}, S2 = {2,4}, S3 = {3,4}; k = 2 works
+    // via {S1, S3} — matching the figure's example.
+    let sets = vec![vec![0, 1, 2], vec![2, 4], vec![3, 4]];
+    let inst = reduction(5, &sets, 2);
+    let sol = exhaustive_best(&inst).expect("cover must exist");
+    assert_eq!(sol.chosen, vec![0, 2]);
+    assert_eq!(sol.coverage, 5);
+}
+
+#[test]
+fn fig17_instance_no_cover_below_budget() {
+    let sets = vec![vec![0, 1, 2], vec![2, 4], vec![3, 4]];
+    let inst = reduction(5, &sets, 1);
+    assert!(
+        exhaustive_best(&inst).is_none(),
+        "no single set covers the universe"
+    );
+}
+
+#[test]
+fn reduction_soundness_random_instances() {
+    // For many small random families, the exact selector's answer equals
+    // brute-force Set Cover decision.
+    let mut rng_state = 0x12345u64;
+    let mut next = move || {
+        rng_state = rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (rng_state >> 33) as usize
+    };
+    for trial in 0..50 {
+        let n = 4 + next() % 4; // universe 4..7
+        let n_sets = 3 + next() % 4;
+        let sets: Vec<Vec<usize>> = (0..n_sets)
+            .map(|_| (0..n).filter(|_| next() % 3 == 0).collect())
+            .collect();
+        let k = 1 + next() % 3;
+
+        // Ground truth by subset enumeration.
+        let mut exists = false;
+        for mask in 0..(1u32 << n_sets) {
+            if mask.count_ones() as usize > k {
+                continue;
+            }
+            let mut covered = vec![false; n];
+            for (si, s) in sets.iter().enumerate() {
+                if mask >> si & 1 == 1 {
+                    for &e in s {
+                        covered[e] = true;
+                    }
+                }
+            }
+            if covered.iter().all(|&c| c) {
+                exists = true;
+                break;
+            }
+        }
+
+        let inst = reduction(n, &sets, k);
+        let got = exhaustive_best(&inst).is_some();
+        assert_eq!(got, exists, "trial {trial}: sets {sets:?} k {k}");
+
+        // LP relaxation is a sound relaxation: whenever the ILP is
+        // feasible the LP must be too (Appendix A claim 1, contrapositive).
+        if exists {
+            assert!(
+                solve_lp_relaxation(&inst).is_some(),
+                "LP must be feasible when ILP is (trial {trial})"
+            );
+        }
+    }
+}
+
+#[test]
+fn lp_infeasibility_certifies_ilp_infeasibility() {
+    // When the LP itself is infeasible the algorithm may answer "no
+    // solution" outright — this is the only case CauSumX reports failure
+    // without rounding.
+    let sets = vec![vec![0], vec![1]];
+    let inst = reduction(3, &sets, 2); // element 2 uncovered by all sets
+    assert!(solve_lp_relaxation(&inst).is_none());
+    assert!(exhaustive_best(&inst).is_none());
+}

@@ -1,0 +1,134 @@
+//! Cross-variant integration tests: Brute-Force vs CauSumX vs
+//! Greedy-Last-Step dominance and consistency properties (§6.4).
+
+use causumx::{Causumx, CausumxConfig, SelectionMethod};
+
+fn small_config() -> CausumxConfig {
+    let mut cfg = CausumxConfig::default();
+    cfg.k = 3;
+    cfg.theta = 0.75;
+    cfg.lattice.max_level = 2;
+    cfg
+}
+
+#[test]
+fn brute_force_dominates_on_synthetic() {
+    let ds = datagen::synthetic::generate(
+        datagen::synthetic::SynthParams {
+            n: 1_500,
+            n_grouping: 2,
+            n_treatment: 3,
+            tuples_per_group: 4,
+        },
+        5,
+    );
+    let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), small_config());
+    let fast = engine.run().unwrap();
+    let brute = engine.run_brute_force().unwrap();
+    assert!(
+        brute.total_weight >= fast.total_weight - 1e-6,
+        "brute {} < causumx {}",
+        brute.total_weight,
+        fast.total_weight
+    );
+    // Both must satisfy the same coverage constraint when feasible.
+    if fast.feasible {
+        assert!(brute.feasible);
+    }
+}
+
+#[test]
+fn brute_force_lp_between_heuristic_and_exact() {
+    let ds = datagen::synthetic::generate(
+        datagen::synthetic::SynthParams {
+            n: 1_200,
+            n_grouping: 2,
+            n_treatment: 2,
+            tuples_per_group: 4,
+        },
+        9,
+    );
+    let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), small_config());
+    let exact = engine.run_brute_force().unwrap();
+    let lp = engine.run_brute_force_lp().unwrap();
+    // LP rounding over the same exhaustive candidates cannot beat exact.
+    assert!(lp.total_weight <= exact.total_weight + 1e-6);
+    // And with 64 rounds on a small instance it should land close.
+    assert!(
+        lp.total_weight >= 0.5 * exact.total_weight,
+        "lp {} far below exact {}",
+        lp.total_weight,
+        exact.total_weight
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let ds = datagen::so::generate(2_500, 41);
+    let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), small_config());
+    let a = engine.run().unwrap();
+    let b = engine.run().unwrap();
+    assert_eq!(a.total_weight, b.total_weight);
+    assert_eq!(a.covered, b.covered);
+    let keys = |s: &causumx::Summary| {
+        s.explanations
+            .iter()
+            .map(|e| e.grouping.key())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(keys(&a), keys(&b));
+}
+
+#[test]
+fn greedy_never_exceeds_exhaustive_same_candidates() {
+    let ds = datagen::adult::generate(2_500, 43);
+    let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), small_config());
+    let candidates = engine.mine_candidates().unwrap();
+    let greedy = engine.select(&candidates, SelectionMethod::Greedy);
+    let exact = engine.select(&candidates, SelectionMethod::Exhaustive);
+    if exact.feasible {
+        assert!(exact.total_weight >= greedy.total_weight - 1e-6);
+    }
+}
+
+#[test]
+fn k_monotonicity_of_exact_selection() {
+    // Larger k can only improve the exact optimum.
+    let ds = datagen::so::generate(2_500, 47);
+    let base = small_config();
+    let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), base.clone());
+    let candidates = engine.mine_candidates().unwrap();
+    let mut prev = 0.0;
+    for k in 1..=5 {
+        let mut cfg = base.clone();
+        cfg.k = k;
+        let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
+        let s = engine.select(&candidates, SelectionMethod::Exhaustive);
+        assert!(
+            s.total_weight >= prev - 1e-9,
+            "k={k}: {} < {}",
+            s.total_weight,
+            prev
+        );
+        prev = s.total_weight;
+    }
+}
+
+#[test]
+fn theta_tightening_never_raises_exact_weight() {
+    let ds = datagen::so::generate(2_500, 53);
+    let base = small_config();
+    let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), base.clone());
+    let candidates = engine.mine_candidates().unwrap();
+    let mut prev = f64::INFINITY;
+    for theta in [0.0, 0.5, 0.9] {
+        let mut cfg = base.clone();
+        cfg.theta = theta;
+        let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
+        let s = engine.select(&candidates, SelectionMethod::Exhaustive);
+        if s.feasible {
+            assert!(s.total_weight <= prev + 1e-9);
+            prev = s.total_weight;
+        }
+    }
+}
