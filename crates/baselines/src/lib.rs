@@ -7,12 +7,12 @@
 //! * [`explanation_table`] — El Gebaly et al.'s information-gain greedy
 //!   pattern tables over a binarized outcome, plus the
 //!   [`explanation_table_g`] per-group variant the paper adds for fairness,
-//! * [`ids`] — Lakkaraju et al.'s Interpretable Decision Sets, as the
+//! * [`fn@ids`] — Lakkaraju et al.'s Interpretable Decision Sets, as the
 //!   standard smooth-greedy optimization of the coverage/accuracy/
 //!   conciseness objective,
-//! * [`frl`] — Chen & Rudin's Falling Rule Lists: an ordered rule list
+//! * [`fn@frl`] — Chen & Rudin's Falling Rule Lists: an ordered rule list
 //!   with monotonically non-increasing positive-class probability,
-//! * [`xinsight`] — an XInsight-style explainer that contrasts *pairs* of
+//! * [`mod@xinsight`] — an XInsight-style explainer that contrasts *pairs* of
 //!   output groups, attributing their average difference to distribution
 //!   shifts of causally-marked atomic patterns. Its output is Θ(m²) in the
 //!   number of groups — the scalability wall §6.2 describes.

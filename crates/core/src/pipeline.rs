@@ -247,17 +247,17 @@ impl<'a> Causumx<'a> {
                 .unwrap_or(4)
                 .min(groupings.len());
             let chunk = groupings.len().div_ceil(threads);
-            crossbeam::thread::scope(|s| {
+            let work = &work;
+            std::thread::scope(|s| {
                 let handles: Vec<_> = groupings
                     .chunks(chunk)
-                    .map(|chunk| s.spawn(|_| chunk.iter().map(work).collect::<Vec<_>>()))
+                    .map(|chunk| s.spawn(move || chunk.iter().map(work).collect::<Vec<_>>()))
                     .collect();
                 handles
                     .into_iter()
                     .flat_map(|h| h.join().expect("treatment-mining worker panicked"))
                     .collect()
             })
-            .expect("crossbeam scope")
         } else {
             groupings.iter().map(work).collect()
         };

@@ -295,7 +295,7 @@ pub fn generate(n: usize, seed: u64) -> Dataset {
         let mjr = MAJORS[weighted(&mut rng, &[0.5, 0.15, 0.1, 0.08, 0.07, 0.1])];
 
         // YearsCoding ← Age.
-        let yc: i64 = ((a - 18) as f64 * rng.gen_range(0.3..1.0)).round() as i64;
+        let yc: i64 = ((a - 18) as f64 * rng.gen_range(0.3f64..1.0)).round() as i64;
 
         // Role ← Education, Age, Major, YearsCoding.
         let mut w_role = [0.18, 0.12, 0.2, 0.08, 0.08, 0.06, 0.04, 0.08, 0.02, 0.14];

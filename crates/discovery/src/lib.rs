@@ -8,13 +8,13 @@
 //!
 //! This crate re-implements that toolbox from scratch:
 //!
-//! * [`pc`] — PC-stable: levelwise skeleton search with Fisher-z
+//! * [`fn@pc`] — PC-stable: levelwise skeleton search with Fisher-z
 //!   conditional-independence tests, v-structure orientation, Meek rules
 //!   1–3, and a consistent DAG extension,
-//! * [`fci`] — a conservative FCI-style variant that prunes further using
+//! * [`fn@fci`] — a conservative FCI-style variant that prunes further using
 //!   larger conditioning sets drawn from the union of both endpoints'
 //!   neighbourhoods (yielding sparser graphs, as in Table 4),
-//! * [`lingam`] — DirectLiNGAM with the pairwise likelihood-ratio measure
+//! * [`fn@lingam`] — DirectLiNGAM with the pairwise likelihood-ratio measure
 //!   built on the Hyvärinen negentropy approximation, with OLS-pruned
 //!   edges,
 //! * [`hillclimb`] — greedy BIC hill climbing, the score-based third
@@ -61,7 +61,7 @@ pub fn attr_names(table: &Table) -> Vec<String> {
 }
 
 /// The `No-DAG` strawman: every attribute is a direct parent of the
-/// outcome and nothing else (§6.6, following the approach of [30]).
+/// outcome and nothing else (§6.6, following the approach of \[30\]).
 pub fn no_dag(names: &[String], outcome: &str) -> Dag {
     let edges: Vec<(String, String)> = names
         .iter()

@@ -2,7 +2,7 @@
 //!
 //! The two candidate-generation stages of the CauSumX algorithm:
 //!
-//! * [`apriori`] — the classical Apriori frequent-itemset miner over
+//! * [`fn@apriori`] — the classical Apriori frequent-itemset miner over
 //!   equality items `(attr = value)`, used in §5.1 because grouping-pattern
 //!   coverage is monotone: every mined pattern holds in at least `τ·|D|`
 //!   tuples,

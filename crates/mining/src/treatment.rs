@@ -280,7 +280,7 @@ impl<'a> TreatmentMiner<'a> {
     }
 
     /// Top-`k` treatment patterns in the requested direction — the paper's
-    /// UI affordance ("analysts … can even [view] top-k positive/negative
+    /// UI affordance ("analysts … can even \[view\] top-k positive/negative
     /// treatments for a grouping pattern"). Results are sorted best-first;
     /// every entry passes the significance gate. Traversal effort is the
     /// same as [`TreatmentMiner::top_treatment`]: the lattice walk is

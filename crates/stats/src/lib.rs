@@ -5,7 +5,7 @@
 //!
 //! * [`matrix::Matrix`] — small dense row-major matrices with multiply,
 //!   transpose, and SPD solves (Cholesky with ridge fallback),
-//! * [`ols`] — ordinary least squares with coefficient standard errors and
+//! * [`fn@ols`] — ordinary least squares with coefficient standard errors and
 //!   two-sided t-test p-values; this is the paper's CATE estimator
 //!   (DoWhy's `backdoor.linear_regression`) re-implemented,
 //! * [`dist`] — Normal, Student-t and Chi-square CDFs via `erf`,

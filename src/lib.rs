@@ -1,0 +1,17 @@
+//! # causumx-repro — workspace facade
+//!
+//! Re-exports every layer of the CauSumX reproduction so downstream users
+//! (and the integration tests under `tests/`) can depend on a single
+//! package. The real code lives in the member crates under `crates/`; see
+//! the workspace `README.md` for the layout and the paper mapping.
+
+pub use ::bench;
+pub use baselines;
+pub use causal;
+pub use causumx;
+pub use datagen;
+pub use discovery;
+pub use lpsolve;
+pub use mining;
+pub use stats;
+pub use table;

@@ -1,0 +1,64 @@
+//! `any::<T>()` — the canonical whole-type strategy.
+
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::{Distribution, Rng, Standard};
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical strategy covering the whole type.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Construct the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (fair `bool`, full-range integers).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy backing [`any`]: samples `T`'s `Standard` distribution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> Strategy for AnyStrategy<T>
+where
+    Standard: Distribution<T>,
+{
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy(PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = any::<bool>();
+        let trues = (0..1_000).filter(|_| s.gen_value(&mut rng)).count();
+        assert!((300..700).contains(&trues), "fair coin, got {trues}/1000");
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline stand-in for the crates.io
+//! [`proptest`](https://docs.rs/proptest/1) property-testing framework,
+//! covering the surface `tests/properties.rs` uses:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`],
+//! * range and tuple strategies, [`collection::vec`], [`any`],
+//!   [`Strategy::prop_map`] and [`Strategy::prop_flat_map`].
+//!
+//! Differences from real proptest: no shrinking (a failure reports the
+//! test name, case index and assertion message, not a minimized input) and
+//! generation is driven by the workspace's vendored `rand`. Case counts
+//! default to 256 like upstream.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::any;
+pub use strategy::Strategy;
+
+/// The `proptest::prelude::*` import surface.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec(...)`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that draws `config.cases` random inputs and runs
+/// the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(config = $config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            $crate::test_runner::run_cases(&config, stringify!($name), |__proptest_rng| {
+                $(
+                    let $pat =
+                        $crate::strategy::Strategy::gen_value(&($strat), __proptest_rng);
+                )+
+                let __proptest_case =
+                    move || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                __proptest_case()
+            });
+        }
+    )*};
+}
+
+/// Assert inside a proptest body; on failure the current case fails with
+/// the formatted message (no panic until the runner reports it).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!` on `==`, printing both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?}` == `{:?}`", lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "{}: `{:?}` == `{:?}`", format!($($fmt)+), lhs, rhs
+        );
+    }};
+}
+
+/// `prop_assert!` on `!=`, printing both values.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{:?}` != `{:?}`", lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "{}: `{:?}` != `{:?}`", format!($($fmt)+), lhs, rhs
+        );
+    }};
+}
+
+/// Discard the current case (it counts as rejected, not failed) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,110 @@
+//! Case execution: configuration, the per-case error type, and the loop
+//! the [`proptest!`](crate::proptest) macro expands into.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted (non-rejected) cases each test must pass.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+impl Config {
+    /// A config differing from the default only in the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the case (and the test) fails.
+    Fail(String),
+    /// `prop_assume!` filtered the input; draw another case.
+    Reject,
+}
+
+/// Per-case result produced by the generated test body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Run `config.cases` accepted cases of `case`, panicking on the first
+/// failure. Rejections (`prop_assume!`) are retried, with a cap matching
+/// upstream's global reject limit so a bad assumption cannot spin forever.
+pub fn run_cases<F>(config: &Config, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> TestCaseResult,
+{
+    // Deterministic per-test seed so failures reproduce across runs.
+    let mut rng = StdRng::seed_from_u64(fnv1a(name.as_bytes()));
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = 65_536u32.max(config.cases.saturating_mul(16));
+    while accepted < config.cases {
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest '{name}': too many prop_assume! rejections \
+                     ({rejected}, {accepted}/{} cases accepted)",
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}': case {} failed: {msg}", accepted + 1);
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases_and_skips_rejects() {
+        let mut calls = 0u32;
+        run_cases(&Config::with_cases(10), "t", |_| {
+            calls += 1;
+            if calls % 3 == 0 {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls > 10, "rejections must not count as cases");
+    }
+
+    #[test]
+    #[should_panic(expected = "case 1 failed: boom")]
+    fn failure_panics_with_message() {
+        run_cases(&Config::with_cases(5), "t", |_| {
+            Err(TestCaseError::Fail("boom".into()))
+        });
+    }
+
+    #[test]
+    fn seeding_is_deterministic_per_name() {
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+    }
+}
