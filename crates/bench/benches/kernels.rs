@@ -92,7 +92,7 @@ fn bench_lattice(c: &mut Criterion) {
         &t_attrs,
         LatticeOptions::default(),
     );
-    let subpop = vec![true; ds.table.nrows()];
+    let subpop = table::bitset::BitSet::full(ds.table.nrows());
     c.bench_function("treatment_lattice_so_4k", |b| {
         b.iter(|| {
             miner

@@ -46,9 +46,8 @@ fn main() {
 
     let mut explanations = Vec::new();
     for gp in &groupings {
-        let subpop = gp.rows.to_mask();
-        let (pos, _) = miner.top_treatment(&subpop, Direction::Positive);
-        let (neg, _) = miner.top_treatment(&subpop, Direction::Negative);
+        let (pos, _) = miner.top_treatment(&gp.rows, Direction::Positive);
+        let (neg, _) = miner.top_treatment(&gp.rows, Direction::Negative);
         let e = causumx::Explanation::new(gp.pattern.clone(), gp.coverage.clone(), pos, neg);
         if e.has_treatment() {
             explanations.push(e);

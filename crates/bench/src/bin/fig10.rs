@@ -98,10 +98,9 @@ fn main() {
 
         let (mut psum, mut rsum, mut cnt) = (0.0, 0.0, 0usize);
         for gp in groupings.iter().take(20) {
-            let subpop = gp.rows.to_mask();
-            let (greedy, _) = miner.top_treatment(&subpop, Direction::Positive);
+            let (greedy, _) = miner.top_treatment(&gp.rows, Direction::Positive);
             let Some(greedy) = greedy else { continue };
-            let all = miner.all_treatments(&subpop, 2);
+            let all = miner.all_treatments(&gp.rows, 2);
             let Some(best) = all
                 .iter()
                 .filter(|t| t.cate > 0.0)

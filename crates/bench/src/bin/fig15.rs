@@ -34,7 +34,7 @@ fn main() {
         &t_attrs,
         LatticeOptions::default(),
     );
-    let subpop = vec![true; ds.table.nrows()];
+    let subpop = table::bitset::BitSet::full(ds.table.nrows());
     let all = miner.all_treatments(&subpop, 1);
     let panel: Vec<&Pattern> = all.iter().step_by(3).take(20).map(|t| &t.pattern).collect();
     assert!(panel.len() >= 10, "need a panel of treatments");

@@ -63,7 +63,7 @@ fn main() {
             &t_attrs,
             LatticeOptions::default(),
         );
-        let subpop = vec![true; ds.table.nrows()];
+        let subpop = table::bitset::BitSet::full(ds.table.nrows());
         let mut panel = gt_miner.all_treatments(&subpop, 1);
         panel.sort_by(|a, b| b.cate.abs().partial_cmp(&a.cate.abs()).unwrap());
         panel.truncate(20);

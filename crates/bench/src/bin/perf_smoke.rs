@@ -1,0 +1,228 @@
+//! `perf_smoke` — deterministic end-to-end pipeline benchmark.
+//!
+//! The first point of the repo's BENCH trajectory: runs the full CauSumX
+//! pipeline (grouping mining → treatment mining → selection) on the seeded
+//! Stack-Overflow-shaped generator at 2–3 sizes with the fixed
+//! representative query (`GROUP BY Country, AVG(Salary)`), prints per-step
+//! timings plus the `cate_evaluations` work counter, and writes a
+//! machine-readable copy to `results/bench_pipeline.json`.
+//!
+//! Flags:
+//!
+//! * `--quick` — smallest size only, one repetition (the CI smoke gate),
+//! * `--seed N` — data seed (default 42),
+//! * `--out PATH` — JSON output path (default `results/bench_pipeline.json`),
+//! * `--baseline PATH` — a JSON file produced by an earlier `perf_smoke`
+//!   run; its per-size `treatment_ms` numbers are embedded as
+//!   `prior_treatment_ms` together with the resulting speedup factors, so
+//!   a before/after pair lives in one artifact.
+//!
+//! Timings are wall-clock and machine-dependent; `cate_evaluations`,
+//! candidate counts and coverage are deterministic for a fixed seed, which
+//! is what the CI gate checks indirectly (the JSON must parse and the
+//! counters must be positive).
+
+use std::fmt::Write as _;
+
+use bench::{fmt, results_dir, Report};
+use causumx::{Causumx, CausumxConfig};
+use datagen::so;
+
+/// One measured pipeline run.
+struct SizePoint {
+    n: usize,
+    grouping_ms: f64,
+    treatment_ms: f64,
+    selection_ms: f64,
+    cate_evaluations: usize,
+    candidates: usize,
+    covered: usize,
+    m: usize,
+    total_weight: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut seed = 42u64;
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().unwrap_or(42);
+                i += 1;
+            }
+            "--out" if i + 1 < args.len() => {
+                out_path = Some(args[i + 1].clone());
+                i += 1;
+            }
+            "--baseline" if i + 1 < args.len() => {
+                baseline_path = Some(args[i + 1].clone());
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let sizes: &[usize] = if quick {
+        &[4_000]
+    } else {
+        &[4_000, 12_000, 30_000]
+    };
+    let reps = if quick { 1 } else { 2 };
+
+    let mut points: Vec<SizePoint> = Vec::new();
+    for &n in sizes {
+        let ds = so::generate(n, seed);
+        let config = CausumxConfig::default();
+        let cx = Causumx::new(&ds.table, &ds.dag, ds.query(), config);
+        // Best-of-`reps` to damp scheduler noise; counters are identical
+        // across repetitions (same seed, deterministic pipeline).
+        let mut best: Option<SizePoint> = None;
+        for _ in 0..reps {
+            let summary = cx.run().expect("pipeline must run on generated data");
+            let p = SizePoint {
+                n,
+                grouping_ms: summary.timings.grouping_ms,
+                treatment_ms: summary.timings.treatment_ms,
+                selection_ms: summary.timings.selection_ms,
+                cate_evaluations: summary.cate_evaluations,
+                candidates: summary.candidates,
+                covered: summary.covered,
+                m: summary.m,
+                total_weight: summary.total_weight,
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| p.treatment_ms < b.treatment_ms)
+            {
+                best = Some(p);
+            }
+        }
+        points.push(best.expect("at least one repetition"));
+    }
+
+    let prior = baseline_path
+        .as_deref()
+        .map(read_prior_treatment_ms)
+        .unwrap_or_default();
+
+    let mut report = Report::new(&[
+        "n",
+        "grouping_ms",
+        "treatment_ms",
+        "selection_ms",
+        "cate_evals",
+        "candidates",
+        "covered",
+        "prior_treatment_ms",
+        "speedup",
+    ]);
+    for p in &points {
+        let prior_ms = prior.iter().find(|(n, _)| *n == p.n).map(|&(_, ms)| ms);
+        report.row(&[
+            p.n.to_string(),
+            fmt(p.grouping_ms, 1),
+            fmt(p.treatment_ms, 1),
+            fmt(p.selection_ms, 1),
+            p.cate_evaluations.to_string(),
+            p.candidates.to_string(),
+            format!("{}/{}", p.covered, p.m),
+            prior_ms.map_or("-".into(), |v| fmt(v, 1)),
+            prior_ms.map_or("-".into(), |v| fmt(v / p.treatment_ms, 2)),
+        ]);
+    }
+    println!("# perf_smoke — end-to-end pipeline (dataset: so, seed {seed})\n");
+    println!("{}", report.markdown());
+
+    let json = render_json(seed, quick, &points, &prior);
+    let path = out_path.map(std::path::PathBuf::from).unwrap_or_else(|| {
+        let dir = results_dir();
+        let _ = std::fs::create_dir_all(&dir);
+        dir.join("bench_pipeline.json")
+    });
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, &json).expect("write results JSON");
+    eprintln!("[saved {}]", path.display());
+}
+
+/// Hand-rolled JSON (no serde in the offline container). One `sizes`
+/// entry per line so [`read_prior_treatment_ms`] can scan it back.
+fn render_json(seed: u64, quick: bool, points: &[SizePoint], prior: &[(usize, f64)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"pipeline_perf_smoke\",");
+    let _ = writeln!(s, "  \"dataset\": \"so\",");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"sizes\": [");
+    for (i, p) in points.iter().enumerate() {
+        let prior_ms = prior.iter().find(|(n, _)| *n == p.n).map(|&(_, ms)| ms);
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let mut extra = String::new();
+        if let Some(ms) = prior_ms {
+            let _ = write!(
+                extra,
+                ", \"prior_treatment_ms\": {:.3}, \"treatment_speedup\": {:.3}",
+                ms,
+                ms / p.treatment_ms
+            );
+        }
+        let _ = writeln!(
+            s,
+            "    {{\"n\": {}, \"grouping_ms\": {:.3}, \"treatment_ms\": {:.3}, \
+             \"selection_ms\": {:.3}, \"cate_evaluations\": {}, \"candidates\": {}, \
+             \"covered\": {}, \"groups\": {}, \"total_weight\": {:.6}{}}}{}",
+            p.n,
+            p.grouping_ms,
+            p.treatment_ms,
+            p.selection_ms,
+            p.cate_evaluations,
+            p.candidates,
+            p.covered,
+            p.m,
+            p.total_weight,
+            extra,
+            comma
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Extract `(n, treatment_ms)` pairs from a previous run's JSON. The file
+/// is our own single-entry-per-line format, so a line scan suffices — no
+/// JSON parser needed in the offline container.
+fn read_prior_treatment_ms(path: &str) -> Vec<(usize, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("[baseline {path} unreadable; skipping comparison]");
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(n) = field_num(line, "\"n\":") else {
+            continue;
+        };
+        let Some(ms) = field_num(line, "\"treatment_ms\":") else {
+            continue;
+        };
+        out.push((n as usize, ms));
+    }
+    out
+}
+
+/// Parse the number following `key` on `line`, if present.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

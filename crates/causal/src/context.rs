@@ -1,0 +1,414 @@
+//! Subpopulation-scoped estimation cache.
+//!
+//! Within one grouping pattern the CATE estimations of *all* candidate
+//! treatments share the same subpopulation, outcome and confounder set —
+//! only the binary treatment column differs. The naive
+//! [`crate::estimate::estimate_cate`] treats each of the thousands of
+//! estimations per query (§5.2) as a cold start: it rescans the full table
+//! to rebuild the subpopulation row list, re-gathers the outcome, re-derives
+//! the confounder one-hot encoding and re-accumulates full normal equations
+//! in `O(n·p²)`.
+//!
+//! [`EstimationContext`] hoists everything treatment-independent out of the
+//! loop. Built once per `(subpopulation, confounder set)` pair, it caches
+//! the (sampled) row-index list, the gathered outcome vector `y`, the
+//! encoded confounder design columns `Z`, and the fixed blocks of the Gram
+//! matrix of the design `X = [1, T, Z]`:
+//!
+//! ```text
+//!       ⎡  n      Σt     1ᵀZ  ⎤            ⎡ Σy  ⎤
+//! XᵀX = ⎢  Σt     Σt     tᵀZ  ⎥ ,    Xᵀy = ⎢ tᵀy ⎥
+//!       ⎣ Zᵀ1    Zᵀt    ZᵀZ   ⎦            ⎣ Zᵀy ⎦
+//! ```
+//!
+//! Per candidate treatment only the `t`-blocks are accumulated (`O(n·q)`
+//! over the treated rows) and the solve runs through
+//! [`stats::ols::ols_from_gram`]; the `O(n·p²)` Gram pass, the full-table
+//! row scan and the one-hot re-encoding disappear from the hot loop. All
+//! block sums accumulate in ascending row order with the same skip-exact-
+//! zero semantics as [`stats::matrix::Matrix::gram`], so the fit — CATE,
+//! standard errors, p-values — is bit-identical to the naive path, not
+//! merely close.
+//!
+//! The IPW backend reuses the same cache: the propensity design `[1, Z]`
+//! is treatment-independent, so the context pre-assembles it once and each
+//! evaluation only re-fits the logistic regression on a fresh `t` gather.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use stats::matrix::Matrix;
+use stats::ols::ols_from_gram;
+use table::bitset::BitSet;
+use table::{Column, Table};
+
+use crate::estimate::{append_confounder, CateOptions, CateResult, EstimatorBackend};
+use crate::ipw::ipw_from_parts;
+
+/// Treatment-independent state of CATE estimation, cached per
+/// `(subpopulation, confounder set)` pair. See the module docs.
+pub struct EstimationContext {
+    backend: EstimatorBackend,
+    min_arm: usize,
+    /// Subpopulation row ids (after the §5.2(d) sampling for the
+    /// regression backend), ascending.
+    rows: Vec<usize>,
+    /// Outcome gathered over `rows`.
+    y: Vec<f64>,
+    /// Encoded confounder design columns over `rows` (numerics raw,
+    /// categoricals one-hot with the reference level dropped).
+    z_cols: Vec<Vec<f64>>,
+    /// `Σ y` over `rows`.
+    sum_y: f64,
+    /// `1ᵀZ` — per-column sums of `z_cols`.
+    sum_z: Vec<f64>,
+    /// `ZᵀZ` — the fixed `q×q` Gram block.
+    zz: Matrix,
+    /// `Zᵀy`.
+    zy: Vec<f64>,
+    /// Propensity design `[1, Z]` for the IPW backend (assembled lazily
+    /// only when `backend == Ipw`).
+    x_prop: Option<Matrix>,
+}
+
+impl EstimationContext {
+    /// Build the cache for one subpopulation (`None` = whole table) and
+    /// confounder set. Returns `None` when the outcome attribute is
+    /// categorical — every per-treatment estimate would be `None` anyway.
+    ///
+    /// Sampling (`opts.sample_cap`) is applied here, once, for the
+    /// regression backend — reproducing the naive path, which samples the
+    /// identical row list with the identical seed on every call. The IPW
+    /// backend does not sample (matching
+    /// [`crate::ipw::estimate_cate_ipw`]).
+    pub fn new(
+        table: &Table,
+        subpop: Option<&BitSet>,
+        outcome: usize,
+        confounders: &[usize],
+        opts: &CateOptions,
+    ) -> Option<Self> {
+        let nrows = table.nrows();
+        let mut rows: Vec<usize> = match subpop {
+            Some(bits) => {
+                debug_assert_eq!(bits.capacity(), nrows);
+                bits.iter().collect()
+            }
+            None => (0..nrows).collect(),
+        };
+        if opts.backend == EstimatorBackend::Regression {
+            if let Some(cap) = opts.sample_cap {
+                if rows.len() > cap {
+                    let mut rng = StdRng::seed_from_u64(opts.seed);
+                    rows.shuffle(&mut rng);
+                    rows.truncate(cap);
+                    rows.sort_unstable(); // deterministic design ordering
+                }
+            }
+        }
+
+        let ycol = table.column(outcome);
+        if matches!(ycol, Column::Cat { .. }) {
+            return None;
+        }
+        let y: Vec<f64> = rows.iter().map(|&r| ycol.get_f64(r)).collect();
+
+        let mut z_cols: Vec<Vec<f64>> = Vec::new();
+        for &z in confounders {
+            append_confounder(table, z, &rows, opts.max_onehot_levels, &mut z_cols);
+        }
+
+        let n = rows.len();
+        let q = z_cols.len();
+        // Gram blocks are regression-only; the IPW backend never reads
+        // them, so skip the O(n·q²) pass there.
+        let (sum_y, sum_z, zz, zy) = if opts.backend == EstimatorBackend::Regression {
+            let sum_y = y.iter().sum();
+            let sum_z: Vec<f64> = z_cols.iter().map(|c| c.iter().sum()).collect();
+            // ZᵀZ / Zᵀy accumulate in ascending row order per entry — the
+            // same per-entry addition sequence as Matrix::gram /
+            // tr_mul_vec over the full design, which is what makes the
+            // fits bit-identical.
+            let mut zz = Matrix::zeros(q, q);
+            for i in 0..q {
+                for j in i..q {
+                    let mut s = 0.0;
+                    let (ci, cj) = (&z_cols[i], &z_cols[j]);
+                    for r in 0..n {
+                        s += ci[r] * cj[r];
+                    }
+                    zz[(i, j)] = s;
+                    zz[(j, i)] = s;
+                }
+            }
+            let zy: Vec<f64> = z_cols
+                .iter()
+                .map(|c| c.iter().zip(&y).map(|(a, b)| a * b).sum())
+                .collect();
+            (sum_y, sum_z, zz, zy)
+        } else {
+            (0.0, Vec::new(), Matrix::zeros(0, 0), Vec::new())
+        };
+
+        let x_prop = (opts.backend == EstimatorBackend::Ipw).then(|| {
+            let mut x = Matrix::zeros(n, q + 1);
+            for r in 0..n {
+                x[(r, 0)] = 1.0;
+                for (c, col) in z_cols.iter().enumerate() {
+                    x[(r, c + 1)] = col[r];
+                }
+            }
+            x
+        });
+        if opts.backend == EstimatorBackend::Ipw {
+            // The propensity design is a dense copy of the same values;
+            // keeping z_cols too would double the memory for nothing.
+            z_cols = Vec::new();
+        }
+
+        Some(EstimationContext {
+            backend: opts.backend,
+            min_arm: opts.min_arm,
+            rows,
+            y,
+            z_cols,
+            sum_y,
+            sum_z,
+            zz,
+            zy,
+            x_prop,
+        })
+    }
+
+    /// Rows used by every estimate from this context (after sampling).
+    pub fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of cached confounder design columns.
+    pub fn num_design_cols(&self) -> usize {
+        match &self.x_prop {
+            Some(x) => x.ncols() - 1,
+            None => self.z_cols.len(),
+        }
+    }
+
+    /// Estimate the effect of `treated` (a row set over the *full* table)
+    /// with whichever backend the context was built for. Equivalent to
+    /// [`crate::estimate::estimate_effect`] on the same inputs.
+    pub fn estimate(&self, treated: &BitSet) -> Option<CateResult> {
+        match self.backend {
+            EstimatorBackend::Regression => self.estimate_regression(treated),
+            EstimatorBackend::Ipw => self.estimate_ipw(treated),
+        }
+    }
+
+    fn estimate_regression(&self, treated: &BitSet) -> Option<CateResult> {
+        let n = self.rows.len();
+        let q = self.z_cols.len();
+        let p = q + 2;
+
+        // Single pass over the subpopulation: arm counts plus the
+        // treatment blocks tᵀy and tᵀZ of the normal equations.
+        let mut n_treated = 0usize;
+        let mut ty = 0.0;
+        let mut tz = vec![0.0; q];
+        for (i, &r) in self.rows.iter().enumerate() {
+            if treated.contains(r) {
+                n_treated += 1;
+                ty += self.y[i];
+                for (j, col) in self.z_cols.iter().enumerate() {
+                    tz[j] += col[i];
+                }
+            }
+        }
+        let n_control = n - n_treated;
+        if n_treated < self.min_arm || n_control < self.min_arm {
+            return None; // Overlap (Eq. 4) violated.
+        }
+
+        // Assemble XᵀX for X = [1, T, Z] from the cached fixed blocks.
+        let mut gram = Matrix::zeros(p, p);
+        gram[(0, 0)] = n as f64;
+        gram[(0, 1)] = n_treated as f64;
+        gram[(1, 0)] = n_treated as f64;
+        gram[(1, 1)] = n_treated as f64;
+        for j in 0..q {
+            gram[(0, 2 + j)] = self.sum_z[j];
+            gram[(2 + j, 0)] = self.sum_z[j];
+            gram[(1, 2 + j)] = tz[j];
+            gram[(2 + j, 1)] = tz[j];
+            for i in 0..q {
+                gram[(2 + i, 2 + j)] = self.zz[(i, j)];
+            }
+        }
+        let mut xty = Vec::with_capacity(p);
+        xty.push(self.sum_y);
+        xty.push(ty);
+        xty.extend_from_slice(&self.zy);
+
+        let fit = ols_from_gram(&gram, &xty, n, |beta| {
+            // Residual pass over virtual rows [1, t, z…] — same term order
+            // as the naive design-matrix loop, so RSS/TSS match bit for
+            // bit (the algebraic shortcut yᵀy − 2βᵀXᵀy + βᵀGβ cancels
+            // catastrophically on near-exact fits).
+            let ybar = self.sum_y / n as f64;
+            let mut rss = 0.0;
+            let mut tss = 0.0;
+            for (i, &r) in self.rows.iter().enumerate() {
+                let t = if treated.contains(r) { 1.0 } else { 0.0 };
+                let mut yhat = 0.0;
+                yhat += 1.0 * beta[0];
+                yhat += t * beta[1];
+                for (j, col) in self.z_cols.iter().enumerate() {
+                    yhat += col[i] * beta[2 + j];
+                }
+                let e = self.y[i] - yhat;
+                rss += e * e;
+                let d = self.y[i] - ybar;
+                tss += d * d;
+            }
+            (rss, tss)
+        })?;
+        Some(CateResult {
+            cate: fit.beta[1],
+            p_value: fit.p_value[1],
+            n,
+            n_treated,
+            n_control,
+        })
+    }
+
+    fn estimate_ipw(&self, treated: &BitSet) -> Option<CateResult> {
+        let n = self.rows.len();
+        let t: Vec<bool> = self.rows.iter().map(|&r| treated.contains(r)).collect();
+        let n_treated = t.iter().filter(|&&b| b).count();
+        let n_control = n - n_treated;
+        if n_treated < self.min_arm || n_control < self.min_arm {
+            return None;
+        }
+        let x = self.x_prop.as_ref().expect("built for the IPW backend");
+        ipw_from_parts(x, &self.y, &t, n_treated, n_control)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::{estimate_cate, estimate_effect};
+    use rand::Rng;
+    use table::TableBuilder;
+
+    /// Confounded data (same SCM as estimate.rs's tests): Z ~ {0..4},
+    /// T | Z, Y = 10T + 5Z + noise.
+    fn confounded(n: usize, seed: u64) -> (Table, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut z = Vec::with_capacity(n);
+        let mut t = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let zi: i64 = rng.gen_range(0..5);
+            let ti = rng.gen_bool(0.1 + 0.18 * zi as f64);
+            let noise: f64 = rng.gen_range(-1.0..1.0);
+            z.push(zi);
+            t.push(ti);
+            y.push(10.0 * ti as i64 as f64 + 5.0 * zi as f64 + noise);
+        }
+        let table = TableBuilder::new()
+            .int("z", z)
+            .unwrap()
+            .float("y", y)
+            .unwrap()
+            .build()
+            .unwrap();
+        (table, t)
+    }
+
+    #[test]
+    fn context_matches_naive_exactly() {
+        let (table, treated) = confounded(3_000, 7);
+        let opts = CateOptions::default();
+        let tbits = BitSet::from_mask(&treated);
+        let ctx = EstimationContext::new(&table, None, 1, &[0], &opts).unwrap();
+        let cached = ctx.estimate(&tbits).unwrap();
+        let naive = estimate_cate(&table, None, &treated, 1, &[0], &opts).unwrap();
+        assert_eq!(cached.cate, naive.cate, "bit-identical CATE");
+        assert_eq!(cached.p_value, naive.p_value, "bit-identical p-value");
+        assert_eq!(cached.n, naive.n);
+        assert_eq!(cached.n_treated, naive.n_treated);
+    }
+
+    #[test]
+    fn context_respects_subpop_and_sampling() {
+        let (table, treated) = confounded(6_000, 21);
+        let subpop: Vec<bool> = (0..6_000).map(|i| i % 3 != 0).collect();
+        let opts = CateOptions {
+            sample_cap: Some(1_500),
+            seed: 99,
+            ..CateOptions::default()
+        };
+        let sub_bits = BitSet::from_mask(&subpop);
+        let tbits = BitSet::from_mask(&treated);
+        let ctx = EstimationContext::new(&table, Some(&sub_bits), 1, &[0], &opts).unwrap();
+        assert_eq!(ctx.n(), 1_500);
+        let cached = ctx.estimate(&tbits).unwrap();
+        let naive = estimate_cate(&table, Some(&subpop), &treated, 1, &[0], &opts).unwrap();
+        assert_eq!(cached.cate, naive.cate);
+        assert_eq!(cached.p_value, naive.p_value);
+        assert_eq!(cached.n, 1_500);
+    }
+
+    #[test]
+    fn context_overlap_violation_returns_none() {
+        let (table, _) = confounded(100, 3);
+        let all = BitSet::full(100);
+        let ctx = EstimationContext::new(&table, None, 1, &[0], &CateOptions::default()).unwrap();
+        assert!(ctx.estimate(&all).is_none());
+    }
+
+    #[test]
+    fn categorical_outcome_rejected_at_build() {
+        let table = TableBuilder::new()
+            .cat("c", &["a"; 50])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(EstimationContext::new(&table, None, 0, &[], &CateOptions::default()).is_none());
+    }
+
+    #[test]
+    fn ipw_backend_matches_naive() {
+        let (table, treated) = confounded(4_000, 13);
+        let opts = CateOptions {
+            backend: EstimatorBackend::Ipw,
+            ..CateOptions::default()
+        };
+        let tbits = BitSet::from_mask(&treated);
+        let ctx = EstimationContext::new(&table, None, 1, &[0], &opts).unwrap();
+        let cached = ctx.estimate(&tbits).unwrap();
+        let naive = estimate_effect(&table, None, &treated, 1, &[0], &opts).unwrap();
+        assert_eq!(cached.cate, naive.cate);
+        assert_eq!(cached.p_value, naive.p_value);
+    }
+
+    #[test]
+    fn many_treatments_one_context() {
+        // The intended usage pattern: one context, many treatment columns.
+        let (table, _) = confounded(2_000, 31);
+        let opts = CateOptions::default();
+        let ctx = EstimationContext::new(&table, None, 1, &[0], &opts).unwrap();
+        for k in 2..6 {
+            let mask: Vec<bool> = (0..2_000).map(|i| i % k == 0).collect();
+            let cached = ctx.estimate(&BitSet::from_mask(&mask));
+            let naive = estimate_cate(&table, None, &mask, 1, &[0], &opts);
+            match (cached, naive) {
+                (Some(c), Some(nv)) => {
+                    assert_eq!(c.cate, nv.cate);
+                    assert_eq!(c.p_value, nv.p_value);
+                }
+                (c, nv) => assert_eq!(c.is_none(), nv.is_none()),
+            }
+        }
+    }
+}

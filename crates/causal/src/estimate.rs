@@ -183,8 +183,10 @@ pub fn estimate_cate(
 
 /// Append design columns for one confounder: raw values for numerics,
 /// one-hot dummies (reference = most frequent level, capped) for
-/// categoricals.
-fn append_confounder(
+/// categoricals. Shared by the naive estimators and
+/// [`crate::context::EstimationContext`] so every backend sees the exact
+/// same feature encoding.
+pub(crate) fn append_confounder(
     table: &Table,
     attr: usize,
     rows: &[usize],

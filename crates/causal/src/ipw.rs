@@ -12,7 +12,7 @@ use stats::dist::normal_two_sided;
 use stats::matrix::Matrix;
 use table::{Column, Table};
 
-use crate::estimate::{CateOptions, CateResult};
+use crate::estimate::{append_confounder, CateOptions, CateResult};
 use crate::logistic::logistic;
 
 /// Estimate the CATE by stabilized (Hájek) inverse propensity weighting:
@@ -50,7 +50,7 @@ pub fn estimate_cate_ipw(
     // Propensity model design: intercept + confounders (one-hot cats).
     let mut cols: Vec<Vec<f64>> = Vec::new();
     for &z in confounders {
-        append_design(table, z, &rows, opts.max_onehot_levels, &mut cols);
+        append_confounder(table, z, &rows, opts.max_onehot_levels, &mut cols);
     }
     let p = cols.len() + 1;
     let mut x = Matrix::zeros(n, p);
@@ -60,7 +60,23 @@ pub fn estimate_cate_ipw(
             x[(r, c + 1)] = col[r];
         }
     }
-    let fit = logistic(&x, &t, 40)?;
+    ipw_from_parts(&x, &y, &t, n_treated, n_control)
+}
+
+/// The treatment-dependent tail of the IPW estimator: logistic propensity
+/// fit on the prepared design `x = [1, Z]`, then the stabilized (Hájek)
+/// contrast with its influence-function p-value. Split out so
+/// [`crate::context::EstimationContext`] can reuse a cached design across
+/// many treatments.
+pub(crate) fn ipw_from_parts(
+    x: &Matrix,
+    y: &[f64],
+    t: &[bool],
+    n_treated: usize,
+    n_control: usize,
+) -> Option<CateResult> {
+    let n = y.len();
+    let fit = logistic(x, t, 40)?;
 
     // Hájek estimator.
     let (mut sw1, mut swy1, mut sw0, mut swy0) = (0.0, 0.0, 0.0, 0.0);
@@ -148,7 +164,7 @@ pub fn estimate_att_matching(
     // Standardized confounder vectors.
     let mut cols: Vec<Vec<f64>> = Vec::new();
     for &z in confounders {
-        append_design(table, z, &rows, opts.max_onehot_levels, &mut cols);
+        append_confounder(table, z, &rows, opts.max_onehot_levels, &mut cols);
     }
     for col in cols.iter_mut() {
         let m = col.iter().sum::<f64>() / n as f64;
@@ -200,39 +216,6 @@ pub fn estimate_att_matching(
         n_treated,
         n_control,
     })
-}
-
-/// One design column per numeric confounder, one-hot (reference dropped,
-/// capped) for categoricals — shared with the regression backend's
-/// encoding so the estimators see identical features.
-fn append_design(
-    table: &Table,
-    attr: usize,
-    rows: &[usize],
-    max_levels: usize,
-    cols: &mut Vec<Vec<f64>>,
-) {
-    let col = table.column(attr);
-    match col {
-        Column::Int(_) | Column::Float(_) => {
-            cols.push(rows.iter().map(|&r| col.get_f64(r)).collect());
-        }
-        Column::Cat { codes, dict } => {
-            let mut freq = vec![0usize; dict.len()];
-            for &r in rows {
-                freq[codes[r] as usize] += 1;
-            }
-            let mut levels: Vec<usize> = (0..dict.len()).filter(|&l| freq[l] > 0).collect();
-            levels.sort_by_key(|&l| std::cmp::Reverse(freq[l]));
-            for &level in levels.iter().skip(1).take(max_levels) {
-                cols.push(
-                    rows.iter()
-                        .map(|&r| if codes[r] as usize == level { 1.0 } else { 0.0 })
-                        .collect(),
-                );
-            }
-        }
-    }
 }
 
 #[cfg(test)]

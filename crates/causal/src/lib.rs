@@ -14,15 +14,22 @@
 //!   treatment from a treatment pattern, adjust for confounders by linear
 //!   regression with one-hot encodings, and read the effect plus its
 //!   t-test p-value off the treatment coefficient. Supports the §5.2 (d)
-//!   fixed-size-sample optimization.
+//!   fixed-size-sample optimization,
+//! * [`context::EstimationContext`] — the subpopulation-scoped estimation
+//!   cache: row list, outcome, confounder encoding and the fixed Gram
+//!   blocks are built once per (subpopulation, confounder set) and reused
+//!   across every candidate treatment, with bit-identical results to the
+//!   naive path.
 
 pub mod backdoor;
+pub mod context;
 pub mod dag;
 pub mod estimate;
 pub mod ipw;
 pub mod logistic;
 
 pub use backdoor::backdoor_set;
+pub use context::EstimationContext;
 pub use dag::{Dag, DagError};
 pub use estimate::{estimate_cate, CateOptions, CateResult};
 pub use ipw::{estimate_att_matching, estimate_cate_ipw};

@@ -201,10 +201,12 @@ impl<'a> Causumx<'a> {
         );
 
         let work = |gp: &GroupingPattern| -> (Explanation, usize) {
-            let subpop = gp.rows.to_mask();
+            // Subpopulations stay bitsets end-to-end — no byte-mask
+            // round-trip between the grouping miner and the lattice walk.
+            let subpop = &gp.rows;
             let mut evals = 0usize;
             let (positive, negative) = if exhaustive {
-                let all = miner.all_treatments(&subpop, self.config.lattice.max_level);
+                let all = miner.all_treatments(subpop, self.config.lattice.max_level);
                 evals += all.len();
                 let sig = |t: &&TreatmentResult| t.p_value <= self.config.lattice.max_p_value;
                 let pos = all
@@ -224,10 +226,10 @@ impl<'a> Causumx<'a> {
                 };
                 (pos, neg)
             } else {
-                let (pos, s1) = miner.top_treatment(&subpop, Direction::Positive);
+                let (pos, s1) = miner.top_treatment(subpop, Direction::Positive);
                 evals += s1.evaluated;
                 let neg = if self.config.mine_negative {
-                    let (neg, s2) = miner.top_treatment(&subpop, Direction::Negative);
+                    let (neg, s2) = miner.top_treatment(subpop, Direction::Negative);
                     evals += s2.evaluated;
                     neg
                 } else {
@@ -246,18 +248,37 @@ impl<'a> Causumx<'a> {
                 .map(|n| n.get())
                 .unwrap_or(4)
                 .min(groupings.len());
-            let chunk = groupings.len().div_ceil(threads);
+            // Work stealing via a shared atomic index: grouping patterns
+            // vary wildly in subpopulation size and lattice depth, so the
+            // static chunking this replaces let one expensive pattern
+            // serialize a whole chunk while other workers sat idle.
+            let next = std::sync::atomic::AtomicUsize::new(0);
             let work = &work;
-            std::thread::scope(|s| {
-                let handles: Vec<_> = groupings
-                    .chunks(chunk)
-                    .map(|chunk| s.spawn(move || chunk.iter().map(work).collect::<Vec<_>>()))
+            let next = &next;
+            let mut indexed: Vec<(usize, (Explanation, usize))> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        s.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                let Some(gp) = groupings.get(i) else {
+                                    break;
+                                };
+                                local.push((i, work(gp)));
+                            }
+                            local
+                        })
+                    })
                     .collect();
                 handles
                     .into_iter()
                     .flat_map(|h| h.join().expect("treatment-mining worker panicked"))
                     .collect()
-            })
+            });
+            // Deterministic output: restore grouping-pattern order.
+            indexed.sort_unstable_by_key(|(i, _)| *i);
+            indexed.into_iter().map(|(_, r)| r).collect()
         } else {
             groupings.iter().map(work).collect()
         };
@@ -289,7 +310,7 @@ impl<'a> Causumx<'a> {
         else {
             return Ok(None);
         };
-        let subpop = view.group_mask(gid);
+        let subpop = view.group_bits(gid);
         let t_attrs = treatment_attrs(self.table, &self.query.group_by, &[self.query.avg]);
         let miner = TreatmentMiner::new(
             self.table,
@@ -506,6 +527,72 @@ mod tests {
         let par = Causumx::new(&table, &dag, query, cfg).run().unwrap();
         assert_eq!(seq.total_weight, par.total_weight);
         assert_eq!(seq.covered, par.covered);
+        assert_eq!(seq.cate_evaluations, par.cate_evaluations);
+        let keys = |s: &Summary| {
+            let mut v: Vec<String> = s.explanations.iter().map(|e| e.grouping.key()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(keys(&seq), keys(&par));
+    }
+
+    /// The work-stealing scheduler must stay deterministic when there are
+    /// far more grouping patterns than worker threads and their costs are
+    /// skewed — the exact scenario the old static chunking served poorly.
+    #[test]
+    fn parallel_equals_sequential_many_skewed_patterns() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let n = 3_000;
+        // 12 countries with a highly skewed row distribution over 4
+        // regions, so grouping-pattern subpopulations differ in size by
+        // more than an order of magnitude.
+        let mut country = Vec::new();
+        let mut region = Vec::new();
+        let mut t = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let c = loop {
+                let c = rng.gen_range(0..12usize);
+                // Skew: low-index countries are much more common.
+                if rng.gen_range(0..12) >= c {
+                    break c;
+                }
+            };
+            let tr = rng.gen_bool(0.4);
+            country.push(format!("c{c}"));
+            region.push(format!("r{}", c / 3));
+            t.push(if tr { "on" } else { "off" }.to_string());
+            y.push((c / 3) as f64 * 4.0 + 5.0 * tr as i64 as f64 + rng.gen_range(-0.5..0.5));
+        }
+        let table = TableBuilder::new()
+            .cat_owned("country", country)
+            .unwrap()
+            .cat_owned("region", region)
+            .unwrap()
+            .cat_owned("t", t)
+            .unwrap()
+            .float("y", y)
+            .unwrap()
+            .build()
+            .unwrap();
+        let dag = Dag::new(
+            &["country", "region", "t", "y"],
+            &[("country", "y"), ("t", "y")],
+        )
+        .unwrap();
+        let query = GroupByAvgQuery::new(vec![0], 3);
+        let mut cfg = engine_config();
+        cfg.apriori_tau = 0.01; // many grouping patterns
+        cfg.parallel = false;
+        let seq = Causumx::new(&table, &dag, query.clone(), cfg.clone())
+            .run()
+            .unwrap();
+        cfg.parallel = true;
+        let par = Causumx::new(&table, &dag, query, cfg).run().unwrap();
+        assert_eq!(seq.total_weight, par.total_weight);
+        assert_eq!(seq.covered, par.covered);
+        assert_eq!(seq.candidates, par.candidates);
+        assert_eq!(seq.cate_evaluations, par.cate_evaluations);
         let keys = |s: &Summary| {
             let mut v: Vec<String> = s.explanations.iter().map(|e| e.grouping.key()).collect();
             v.sort();

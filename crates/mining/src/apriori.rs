@@ -39,7 +39,6 @@ pub fn apriori(
     max_len: usize,
 ) -> Vec<FrequentPattern> {
     let nrows = table.nrows();
-    let mut out: Vec<(ItemSet, BitSet)> = Vec::new();
 
     // Level 1: single items.
     let mut level: Vec<(ItemSet, BitSet)> = Vec::new();
@@ -58,8 +57,10 @@ pub fn apriori(
             }
         }
     }
-    out.extend(level.iter().cloned());
 
+    // Completed levels are *moved* into `out` once the next level has been
+    // joined from them — the itemsets and row bitsets are never cloned.
+    let mut out: Vec<(ItemSet, BitSet)> = Vec::new();
     let mut k = 1;
     while !level.is_empty() && k < max_len {
         let frequent_prev: HashSet<ItemSet> = level.iter().map(|(is, _)| is.clone()).collect();
@@ -88,17 +89,20 @@ pub fn apriori(
                 if !all_subsets_frequent(&cand, &frequent_prev) {
                     continue;
                 }
-                let mut rows = ra.clone();
-                rows.intersect_with(rb);
-                if rows.count() >= min_support {
+                // Support gate on the popcount alone: rejected candidates
+                // (the common case) never allocate an intersection bitset.
+                if ra.intersection_count(rb) >= min_support {
+                    let mut rows = ra.clone();
+                    rows.intersect_with(rb);
                     next.push((cand, rows));
                 }
             }
         }
-        out.extend(next.iter().cloned());
+        out.append(&mut level);
         level = next;
         k += 1;
     }
+    out.append(&mut level);
 
     out.into_iter()
         .map(|(items, rows)| {

@@ -12,9 +12,11 @@
 //! d). Traversal stops at the first level that does not improve on the best
 //! CATE recorded so far (lines 10–13 of Algorithm 2).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::RwLock;
 
 use causal::backdoor::{attrs_affecting_outcome, backdoor_set};
+use causal::context::EstimationContext;
 use causal::dag::Dag;
 use causal::estimate::{estimate_effect, CateOptions, CateResult};
 use table::bitset::BitSet;
@@ -74,6 +76,13 @@ pub struct LatticeOptions {
     /// Use the causal DAG to drop attributes with no path to the outcome
     /// (optimization a).
     pub prune_by_dag: bool,
+    /// Route estimations through the subpopulation-scoped
+    /// [`EstimationContext`] cache (row list, outcome, confounder encoding
+    /// and Gram blocks built once per subpopulation × confounder set).
+    /// `false` falls back to the naive cold-start estimator — results are
+    /// identical; the switch exists for equivalence tests and ablation
+    /// benchmarks.
+    pub use_estimation_cache: bool,
 }
 
 impl Default for LatticeOptions {
@@ -88,6 +97,7 @@ impl Default for LatticeOptions {
             numeric_bins: 4,
             max_atoms_per_attr: 16,
             prune_by_dag: true,
+            use_estimation_cache: true,
         }
     }
 }
@@ -135,7 +145,10 @@ struct Atom {
 /// The treatment-pattern miner: precomputes atomic predicates and their row
 /// masks once, then answers `top_treatment` queries per grouping pattern
 /// (these calls are `&self` and thread-safe, enabling the paper's
-/// optimization (c) — parallelism across grouping patterns — in the caller).
+/// optimization (c) — parallelism across grouping patterns — in the
+/// caller). Subpopulations travel as [`BitSet`]s end-to-end; within one
+/// query all estimations share a per-confounder-set [`EstimationContext`],
+/// so only the treatment column is re-gathered per candidate.
 pub struct TreatmentMiner<'a> {
     table: &'a Table,
     dag: &'a Dag,
@@ -147,6 +160,10 @@ pub struct TreatmentMiner<'a> {
     /// table attr id ↔ dag node id maps (by name).
     attr_to_dag: Vec<Option<usize>>,
     dag_to_attr: Vec<Option<usize>>,
+    /// Memoized backdoor sets per (sorted) treatment attribute set — the
+    /// seed re-walked the DAG on every single estimate call. `RwLock` keeps
+    /// the miner `Sync` for optimization (c)'s cross-pattern parallelism.
+    backdoor_cache: RwLock<HashMap<Vec<usize>, Vec<usize>>>,
 }
 
 impl<'a> TreatmentMiner<'a> {
@@ -205,6 +222,7 @@ impl<'a> TreatmentMiner<'a> {
             outcome_std,
             attr_to_dag,
             dag_to_attr,
+            backdoor_cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -222,7 +240,29 @@ impl<'a> TreatmentMiner<'a> {
     }
 
     /// Confounder attributes (backdoor set) for a treatment over `attrs`.
+    /// Memoized per attribute set: the DAG walk runs once, every further
+    /// estimate over the same attributes is a hash lookup.
     pub fn confounders_for(&self, attrs: &[usize]) -> Vec<usize> {
+        let mut key = attrs.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(hit) = self
+            .backdoor_cache
+            .read()
+            .expect("cache poisoned")
+            .get(&key)
+        {
+            return hit.clone();
+        }
+        let conf = self.compute_confounders(&key);
+        self.backdoor_cache
+            .write()
+            .expect("cache poisoned")
+            .insert(key, conf.clone());
+        conf
+    }
+
+    fn compute_confounders(&self, attrs: &[usize]) -> Vec<usize> {
         let Some(y) = self.attr_to_dag[self.outcome] else {
             return Vec::new();
         };
@@ -238,16 +278,10 @@ impl<'a> TreatmentMiner<'a> {
     }
 
     /// Evaluate the CATE of an arbitrary treatment pattern within `subpop`.
-    pub fn eval_pattern(&self, subpop: &[bool], pattern: &Pattern) -> Option<TreatmentResult> {
-        let treated = pattern.eval(self.table).ok()?;
-        let r = estimate_effect(
-            self.table,
-            Some(subpop),
-            &treated,
-            self.outcome,
-            &self.confounders_for(&pattern.attrs()),
-            &self.opts.cate_opts,
-        )?;
+    pub fn eval_pattern(&self, subpop: &BitSet, pattern: &Pattern) -> Option<TreatmentResult> {
+        let treated = BitSet::from_mask(&pattern.eval(self.table).ok()?);
+        let mut ctxs = CtxCache::new();
+        let r = self.estimate(&mut ctxs, subpop, &treated, &pattern.attrs())?;
         Some(TreatmentResult {
             pattern: pattern.clone(),
             cate: r.cate,
@@ -257,22 +291,51 @@ impl<'a> TreatmentMiner<'a> {
         })
     }
 
-    fn estimate(&self, subpop: &[bool], treated: &[bool], attrs: &[usize]) -> Option<CateResult> {
-        estimate_effect(
-            self.table,
-            Some(subpop),
-            treated,
-            self.outcome,
-            &self.confounders_for(attrs),
-            &self.opts.cate_opts,
-        )
+    /// One estimate, routed through the per-query context cache (or the
+    /// naive cold-start path when `use_estimation_cache` is off).
+    fn estimate(
+        &self,
+        ctxs: &mut CtxCache,
+        subpop: &BitSet,
+        treated: &BitSet,
+        attrs: &[usize],
+    ) -> Option<CateResult> {
+        let confounders = self.confounders_for(attrs);
+        if self.opts.use_estimation_cache {
+            ctxs.map
+                .entry(confounders)
+                .or_insert_with_key(|conf| {
+                    EstimationContext::new(
+                        self.table,
+                        Some(subpop),
+                        self.outcome,
+                        conf,
+                        &self.opts.cate_opts,
+                    )
+                })
+                .as_ref()?
+                .estimate(treated)
+        } else {
+            let mask = ctxs
+                .subpop_mask
+                .get_or_insert_with(|| subpop.to_mask())
+                .as_slice();
+            estimate_effect(
+                self.table,
+                Some(mask),
+                &treated.to_mask(),
+                self.outcome,
+                &confounders,
+                &self.opts.cate_opts,
+            )
+        }
     }
 
     /// Algorithm 2: the top treatment pattern for a subpopulation in the
     /// requested direction, plus traversal statistics.
     pub fn top_treatment(
         &self,
-        subpop: &[bool],
+        subpop: &BitSet,
         dir: Direction,
     ) -> (Option<TreatmentResult>, LatticeStats) {
         let (mut list, stats) = self.top_k_treatments(subpop, dir, 1);
@@ -287,12 +350,16 @@ impl<'a> TreatmentMiner<'a> {
     /// identical, only the record-keeping widens.
     pub fn top_k_treatments(
         &self,
-        subpop: &[bool],
+        subpop: &BitSet,
         dir: Direction,
         k: usize,
     ) -> (Vec<TreatmentResult>, LatticeStats) {
         let mut stats = LatticeStats::default();
-        let sub_bits = BitSet::from_mask(subpop);
+        let sub_bits = subpop;
+        let mut ctxs = CtxCache::new();
+        // Loop invariants hoisted out of the O(level²) candidate joins.
+        let sub_n = sub_bits.count();
+        let min_arm = self.opts.cate_opts.min_arm;
         let min_cate = self.opts.min_abs_cate_frac * self.outcome_std;
 
         #[derive(Clone)]
@@ -330,15 +397,12 @@ impl<'a> TreatmentMiner<'a> {
         let mut level: Vec<Node> = Vec::new();
         for (ai, atom) in self.atoms.iter().enumerate() {
             // Overlap precheck on bit counts before paying for a regression.
-            let treated_in_sub = atom.mask.intersection_count(&sub_bits);
-            let sub_n = sub_bits.count();
-            let min_arm = self.opts.cate_opts.min_arm;
+            let treated_in_sub = atom.mask.intersection_count(sub_bits);
             if treated_in_sub < min_arm || sub_n - treated_in_sub < min_arm {
                 continue;
             }
-            let treated = atom.mask.to_mask();
             stats.evaluated += 1;
-            let Some(r) = self.estimate(subpop, &treated, &[atom.attr]) else {
+            let Some(r) = self.estimate(&mut ctxs, sub_bits, &atom.mask, &[atom.attr]) else {
                 continue;
             };
             if !dir.matches(r.cate) || r.cate.abs() < min_cate {
@@ -394,17 +458,14 @@ impl<'a> TreatmentMiner<'a> {
                     }
                     let mut mask = a.mask.clone();
                     mask.intersect_with(&b.mask);
-                    let treated_in_sub = mask.intersection_count(&sub_bits);
-                    let sub_n = sub_bits.count();
-                    let min_arm = self.opts.cate_opts.min_arm;
+                    let treated_in_sub = mask.intersection_count(sub_bits);
                     if treated_in_sub < min_arm || sub_n - treated_in_sub < min_arm {
                         continue;
                     }
                     let attrs: Vec<usize> =
                         cand.iter().map(|&x| self.atoms[x as usize].attr).collect();
-                    let treated = mask.to_mask();
                     stats.evaluated += 1;
-                    let Some(r) = self.estimate(subpop, &treated, &attrs) else {
+                    let Some(r) = self.estimate(&mut ctxs, sub_bits, &mask, &attrs) else {
                         continue;
                     };
                     if !dir.matches(r.cate) || r.cate.abs() < min_cate {
@@ -460,8 +521,12 @@ impl<'a> TreatmentMiner<'a> {
     /// Brute-force enumeration of all treatment patterns up to `max_len`
     /// atoms, each evaluated. Exponential — used by the Brute-Force
     /// baseline and the Fig. 10 precision/recall study only.
-    pub fn all_treatments(&self, subpop: &[bool], max_len: usize) -> Vec<TreatmentResult> {
-        let sub_bits = BitSet::from_mask(subpop);
+    pub fn all_treatments(&self, subpop: &BitSet, max_len: usize) -> Vec<TreatmentResult> {
+        let sub_bits = subpop;
+        let mut ctxs = CtxCache::new();
+        // Loop invariants hoisted out of the exponential enumeration.
+        let sub_n = sub_bits.count();
+        let min_arm = self.opts.cate_opts.min_arm;
         let mut out = Vec::new();
         // Ids of current-frontier patterns; expand depth-first by index
         // ordering so each combination is generated once.
@@ -473,14 +538,11 @@ impl<'a> TreatmentMiner<'a> {
         while !frontier.is_empty() {
             let mut next = Vec::new();
             for (atoms, mask) in &frontier {
-                let treated_in_sub = mask.intersection_count(&sub_bits);
-                let sub_n = sub_bits.count();
-                let min_arm = self.opts.cate_opts.min_arm;
+                let treated_in_sub = mask.intersection_count(sub_bits);
                 if treated_in_sub >= min_arm && sub_n - treated_in_sub >= min_arm {
                     let attrs: Vec<usize> =
                         atoms.iter().map(|&x| self.atoms[x as usize].attr).collect();
-                    let treated = mask.to_mask();
-                    if let Some(r) = self.estimate(subpop, &treated, &attrs) {
+                    if let Some(r) = self.estimate(&mut ctxs, sub_bits, mask, &attrs) {
                         out.push(TreatmentResult {
                             pattern: self.pattern_of(atoms),
                             cate: r.cate,
@@ -539,6 +601,26 @@ impl<'a> TreatmentMiner<'a> {
         atoms
             .iter()
             .all(|&a| self.atoms_compatible(a as usize, cand))
+    }
+}
+
+/// Per-query cache of [`EstimationContext`]s, keyed by confounder set (the
+/// subpopulation is fixed for the duration of one lattice walk). A `None`
+/// entry records that the context could not be built (categorical
+/// outcome), so the failure is not retried per candidate.
+struct CtxCache {
+    map: HashMap<Vec<usize>, Option<EstimationContext>>,
+    /// Materialized subpopulation mask, built at most once — only the
+    /// naive fallback path (`use_estimation_cache = false`) needs it.
+    subpop_mask: Option<Vec<bool>>,
+}
+
+impl CtxCache {
+    fn new() -> Self {
+        CtxCache {
+            map: HashMap::new(),
+            subpop_mask: None,
+        }
     }
 }
 
@@ -754,7 +836,7 @@ mod tests {
     fn finds_best_positive_and_negative_atoms() {
         let (table, dag) = synth(2000, 42);
         let miner = TreatmentMiner::new(&table, &dag, 3, &[0, 1, 2], LatticeOptions::default());
-        let subpop = vec![true; table.nrows()];
+        let subpop = BitSet::full(table.nrows());
         let (pos, _) = miner.top_treatment(&subpop, Direction::Positive);
         let pos = pos.expect("positive treatment must exist");
         assert!(
@@ -822,7 +904,7 @@ mod tests {
             .unwrap();
         let dag = Dag::new(&["t1", "t2", "o"], &[("t1", "o"), ("t2", "o")]).unwrap();
         let miner = TreatmentMiner::new(&table, &dag, 2, &[0, 1], LatticeOptions::default());
-        let subpop = vec![true; n];
+        let subpop = BitSet::full(n);
         let (best, stats) = miner.top_treatment(&subpop, Direction::Positive);
         let best = best.unwrap();
         assert_eq!(
@@ -858,7 +940,7 @@ mod tests {
         };
         let miner = TreatmentMiner::new(&table, &dag, 1, &[0], opts);
         assert!(miner.num_atoms() > 0);
-        let subpop = vec![true; n];
+        let subpop = BitSet::full(n);
         let (best, _) = miner.top_treatment(&subpop, Direction::Positive);
         let best = best.unwrap();
         let disp = best.pattern.display(&table);
@@ -893,8 +975,8 @@ mod tests {
             .unwrap();
         let dag = Dag::new(&["grp", "t1", "o"], &[("grp", "o"), ("t1", "o")]).unwrap();
         let miner = TreatmentMiner::new(&table, &dag, 2, &[1], LatticeOptions::default());
-        let sub_a: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
-        let sub_b: Vec<bool> = (0..n).map(|i| i % 2 == 1).collect();
+        let sub_a = BitSet::from_mask(&(0..n).map(|i| i % 2 == 0).collect::<Vec<_>>());
+        let sub_b = BitSet::from_mask(&(0..n).map(|i| i % 2 == 1).collect::<Vec<_>>());
         let (pa, _) = miner.top_treatment(&sub_a, Direction::Positive);
         let (pb, _) = miner.top_treatment(&sub_b, Direction::Negative);
         let pa = pa.unwrap();
@@ -907,7 +989,7 @@ mod tests {
     fn brute_force_superset_of_greedy_best() {
         let (table, dag) = synth(1500, 13);
         let miner = TreatmentMiner::new(&table, &dag, 3, &[0, 1, 2], LatticeOptions::default());
-        let subpop = vec![true; table.nrows()];
+        let subpop = BitSet::full(table.nrows());
         let all = miner.all_treatments(&subpop, 2);
         assert!(!all.is_empty());
         let brute_best = all
@@ -924,7 +1006,7 @@ mod tests {
     fn top_k_sorted_and_distinct() {
         let (table, dag) = synth(2000, 42);
         let miner = TreatmentMiner::new(&table, &dag, 3, &[0, 1, 2], LatticeOptions::default());
-        let subpop = vec![true; table.nrows()];
+        let subpop = BitSet::full(table.nrows());
         let (top3, _) = miner.top_k_treatments(&subpop, Direction::Positive, 3);
         assert!(top3.len() >= 2, "multiple positive treatments exist");
         for w in top3.windows(2) {
@@ -942,7 +1024,7 @@ mod tests {
     fn empty_subpop_yields_none() {
         let (table, dag) = synth(200, 1);
         let miner = TreatmentMiner::new(&table, &dag, 3, &[0, 1], LatticeOptions::default());
-        let subpop = vec![false; table.nrows()];
+        let subpop = BitSet::new(table.nrows());
         let (r, _) = miner.top_treatment(&subpop, Direction::Positive);
         assert!(r.is_none());
     }

@@ -162,6 +162,19 @@ impl AggView {
         self.row_group.iter().map(|&x| x == g).collect()
     }
 
+    /// Rows belonging to group `g` as a bit set — the bitset-native
+    /// sibling of [`AggView::group_mask`], used where the consumer (e.g.
+    /// treatment mining) wants set algebra instead of a byte-per-row mask.
+    pub fn group_bits(&self, g: usize) -> BitSet {
+        let mut bits = BitSet::new(self.row_group.len());
+        for (row, &x) in self.row_group.iter().enumerate() {
+            if x == g {
+                bits.insert(row);
+            }
+        }
+        bits
+    }
+
     /// Groups covered by a grouping pattern (Definition 4.4): group `s` is
     /// covered iff *every* tuple contributing to `s` satisfies the pattern.
     /// For FD-valid grouping patterns this matches the representative-tuple

@@ -86,7 +86,7 @@ fn discovered_dags_agree_roughly_with_ground_truth_effects() {
         &t_attrs,
         mining::treatment::LatticeOptions::default(),
     );
-    let subpop = vec![true; ds.table.nrows()];
+    let subpop = table::bitset::BitSet::full(ds.table.nrows());
     let (best, _) = gt_miner.top_treatment(&subpop, mining::treatment::Direction::Positive);
     let best = best.expect("ground-truth best treatment");
 

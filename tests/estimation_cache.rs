@@ -1,0 +1,172 @@
+//! Equivalence guarantees of the subpopulation-scoped estimation cache.
+//!
+//! The perf rework (EstimationContext + bitset-native lattice walk +
+//! work-stealing parallelism) must be *behaviour-preserving*: these
+//! properties pin (1) context-cached CATE estimation against the naive
+//! `estimate_cate` path across random tables and confounder mixes, (2) the
+//! cached bitset-native `top_treatment` against the seed's mask-based
+//! cold-start behaviour, and (3) work-stealing parallel pipeline output
+//! against the sequential run.
+
+use proptest::prelude::*;
+
+use causal::context::EstimationContext;
+use causal::estimate::{estimate_cate, CateOptions};
+use causal::Dag;
+use causumx::{Causumx, CausumxConfig, Summary};
+use mining::treatment::{Direction, LatticeOptions, TreatmentMiner};
+use table::bitset::BitSet;
+use table::{Table, TableBuilder};
+
+/// A random-but-structured table: two categorical treatment candidates
+/// (`a`, `b`), one numeric attribute (`num`, a confounder of `a`), and an
+/// outcome with real effects plus data-driven noise.
+fn build_table(cats_a: &[u8], cats_b: &[u8], nums: &[i64], noise: &[i64]) -> Table {
+    let n = cats_a.len();
+    let a: Vec<String> = cats_a.iter().map(|&v| format!("a{}", v % 3)).collect();
+    let b: Vec<String> = cats_b.iter().map(|&v| format!("b{}", v % 2)).collect();
+    let num: Vec<i64> = nums.to_vec();
+    let y: Vec<f64> = (0..n)
+        .map(|i| {
+            3.0 * (cats_a[i] % 3 == 0) as i64 as f64 - 2.0 * (cats_b[i] % 2 == 1) as i64 as f64
+                + (nums[i] % 7) as f64 * 0.3
+                + (noise[i] % 11) as f64 * 0.05
+        })
+        .collect();
+    TableBuilder::new()
+        .cat_owned("a", a)
+        .unwrap()
+        .cat_owned("b", b)
+        .unwrap()
+        .int("num", num)
+        .unwrap()
+        .float("y", y)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+/// DAG with a real confounder: `num → a`, and `a, b, num → y`.
+fn dag() -> Dag {
+    Dag::new(
+        &["a", "b", "num", "y"],
+        &[("num", "a"), ("a", "y"), ("b", "y"), ("num", "y")],
+    )
+    .unwrap()
+}
+
+fn arb_rows() -> impl Strategy<Value = (Vec<u8>, Vec<u8>, Vec<i64>, Vec<i64>, Vec<bool>)> {
+    (60usize..160).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0u8..6, n),
+            prop::collection::vec(0u8..6, n),
+            prop::collection::vec(-20i64..20, n),
+            prop::collection::vec(-100i64..100, n),
+            prop::collection::vec(any::<bool>(), n),
+        )
+    })
+}
+
+proptest! {
+    /// (1) Context-cached estimation matches the naive path to 1e-9 on
+    /// CATE and p-value, for every confounder mix, with and without the
+    /// §5.2(d) sampling cap. (The implementation is bit-identical by
+    /// construction; 1e-9 is the contract.)
+    #[test]
+    fn context_estimation_matches_naive((ca, cb, nums, noise, subpop) in arb_rows()) {
+        let table = build_table(&ca, &cb, &nums, &noise);
+        let n = table.nrows();
+        let treated: Vec<bool> = ca.iter().map(|&v| v % 3 == 0).collect();
+        let tbits = BitSet::from_mask(&treated);
+        let sub_bits = BitSet::from_mask(&subpop);
+
+        for confounders in [vec![], vec![1], vec![2], vec![1, 2]] {
+            for cap in [None, Some(n / 2)] {
+                let opts = CateOptions { sample_cap: cap, ..CateOptions::default() };
+                let naive = estimate_cate(&table, Some(&subpop), &treated, 3, &confounders, &opts);
+                let cached = EstimationContext::new(&table, Some(&sub_bits), 3, &confounders, &opts)
+                    .and_then(|ctx| ctx.estimate(&tbits));
+                match (naive, cached) {
+                    (Some(nv), Some(cv)) => {
+                        prop_assert!((nv.cate - cv.cate).abs() < 1e-9,
+                            "cate {} vs {}", nv.cate, cv.cate);
+                        let p_match = (nv.p_value - cv.p_value).abs() < 1e-9
+                            || (nv.p_value.is_nan() && cv.p_value.is_nan());
+                        prop_assert!(p_match, "p {} vs {}", nv.p_value, cv.p_value);
+                        prop_assert_eq!(nv.n, cv.n);
+                        prop_assert_eq!(nv.n_treated, cv.n_treated);
+                        prop_assert_eq!(nv.n_control, cv.n_control);
+                    }
+                    (nv, cv) => prop_assert_eq!(nv.is_none(), cv.is_none()),
+                }
+            }
+        }
+    }
+
+    /// (2) The bitset-native, context-cached lattice walk returns exactly
+    /// the patterns and statistics of the seed's mask-based cold-start
+    /// behaviour (`use_estimation_cache = false` replays it).
+    #[test]
+    fn cached_miner_matches_naive_miner((ca, cb, nums, noise, subpop) in arb_rows()) {
+        let table = build_table(&ca, &cb, &nums, &noise);
+        let dag = dag();
+        let sub_bits = BitSet::from_mask(&subpop);
+
+        let cached = TreatmentMiner::new(&table, &dag, 3, &[0, 1], LatticeOptions::default());
+        let naive = TreatmentMiner::new(&table, &dag, 3, &[0, 1], LatticeOptions {
+            use_estimation_cache: false,
+            ..LatticeOptions::default()
+        });
+
+        for dir in [Direction::Positive, Direction::Negative] {
+            let (rc, sc) = cached.top_k_treatments(&sub_bits, dir, 3);
+            let (rn, sn) = naive.top_k_treatments(&sub_bits, dir, 3);
+            prop_assert_eq!(sc.evaluated, sn.evaluated, "same work counters");
+            prop_assert_eq!(sc.levels, sn.levels);
+            prop_assert_eq!(rc.len(), rn.len());
+            for (c, nv) in rc.iter().zip(&rn) {
+                prop_assert_eq!(c.pattern.key(), nv.pattern.key());
+                prop_assert_eq!(c.cate, nv.cate, "bit-identical CATE");
+                prop_assert_eq!(c.p_value, nv.p_value);
+                prop_assert_eq!(c.n_treated, nv.n_treated);
+                prop_assert_eq!(c.n_control, nv.n_control);
+            }
+        }
+
+        // Brute-force enumeration takes the same cached path.
+        let ac = cached.all_treatments(&sub_bits, 2);
+        let an = naive.all_treatments(&sub_bits, 2);
+        prop_assert_eq!(ac.len(), an.len());
+        for (c, nv) in ac.iter().zip(&an) {
+            prop_assert_eq!(c.pattern.key(), nv.pattern.key());
+            prop_assert_eq!(c.cate, nv.cate);
+        }
+    }
+}
+
+fn summary_fingerprint(s: &Summary) -> (usize, usize, String, usize) {
+    let mut keys: Vec<String> = s.explanations.iter().map(|e| e.grouping.key()).collect();
+    keys.sort();
+    (s.covered, s.candidates, keys.join(";"), s.cate_evaluations)
+}
+
+/// (3) Work-stealing parallel treatment mining produces the same summary
+/// as the sequential run, on a workload with many grouping patterns of
+/// very different sizes (the scenario static chunking degraded on).
+#[test]
+fn work_stealing_parallel_equals_sequential() {
+    for seed in [7u64, 21] {
+        let ds = datagen::so::generate(3_000, seed);
+        let mut cfg = CausumxConfig::default();
+        cfg.parallel = false;
+        let seq = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg.clone())
+            .run()
+            .unwrap();
+        cfg.parallel = true;
+        let par = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg)
+            .run()
+            .unwrap();
+        assert_eq!(seq.total_weight, par.total_weight, "seed {seed}");
+        assert_eq!(summary_fingerprint(&seq), summary_fingerprint(&par));
+    }
+}
