@@ -12,8 +12,8 @@
 //! cargo run -p bench --bin ablation --release [-- --scale small|paper --seed N]
 //! ```
 
-use bench::{fmt, paper_config, timed, ExpOptions, Report};
-use causumx::{Causumx, CausumxConfig};
+use bench::{fmt, paper_config, session_for, timed, ExpOptions, Report};
+use causumx::CausumxConfig;
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -53,8 +53,8 @@ fn main() {
         "coverage",
     ]);
     for (name, cfg) in variants {
-        let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
-        let (summary, ms) = timed(|| engine.run().expect("run"));
+        let session = session_for(&ds, cfg);
+        let (summary, ms) = timed(|| session.prepare(ds.query()).expect("prepare").run());
         report.row(&[
             name.to_string(),
             fmt(ms, 1),

@@ -10,7 +10,7 @@
 //! ```
 
 use bench::ExpOptions;
-use causumx::{render_summary, CausumxConfig};
+use causumx::{render_summary, ConfigBuilder};
 use mining::grouping::mine_grouping_patterns;
 use mining::treatment::{Direction, TreatmentMiner};
 use table::fd::fd_closure;
@@ -21,12 +21,7 @@ fn main() {
     let query = ds.query();
     let view = query.run(&ds.table).unwrap();
 
-    let config = {
-        let mut c = CausumxConfig::default();
-        c.k = 3;
-        c.theta = 1.0;
-        c
-    };
+    let config = ConfigBuilder::new().k(3).theta(1.0).build().unwrap();
 
     // Sensitive attributes only.
     let sensitive: Vec<usize> = ["Ethnicity", "Gender", "Age"]
@@ -55,7 +50,6 @@ fn main() {
     }
 
     // Select via the standard engine machinery.
-    let engine = causumx::Causumx::new(&ds.table, &ds.dag, query, config);
     let candidates = causumx::CandidateSet {
         view: view.clone(),
         explanations,
@@ -63,7 +57,8 @@ fn main() {
         treatment_ms: 0.0,
         cate_evaluations: 0,
     };
-    let summary = engine.select(&candidates, causumx::SelectionMethod::LpRounding);
+    let summary =
+        causumx::select_candidates(&config, &candidates, causumx::SelectionMethod::LpRounding);
 
     println!("Fig. 6 — SO, sensitive attributes only (k=3, θ=1):\n");
     print!("{}", render_summary(&ds.table, &view, &summary, "salary"));

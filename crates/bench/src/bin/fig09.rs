@@ -9,8 +9,8 @@
 //! cargo run -p bench --bin fig09 --release [-- --scale small|paper --seed N]
 //! ```
 
-use bench::{fmt, paper_config, ExpOptions, Report};
-use causumx::{Causumx, SelectionMethod};
+use bench::{fmt, paper_config, session_for, ExpOptions, Report};
+use causumx::{select_candidates, SelectionMethod};
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -27,17 +27,17 @@ fn main() {
         "required",
     ]);
 
-    // Mine candidates once; selection is re-run per k.
+    // Mine candidates once (one session, one prepared query); selection
+    // is re-run per k over the same candidate set.
     let base_cfg = paper_config();
-    let engine = Causumx::new(&ds.table, &ds.dag, query.clone(), base_cfg.clone());
-    let candidates = engine.mine_candidates().expect("mining");
+    let session = session_for(&ds, base_cfg.clone());
+    let candidates = session.prepare(query).expect("prepare").mine_candidates();
 
     for k in 1..=8usize {
         let mut cfg = base_cfg.clone();
         cfg.k = k;
-        let engine = Causumx::new(&ds.table, &ds.dag, query.clone(), cfg.clone());
-        let lp = engine.select(&candidates, SelectionMethod::LpRounding);
-        let greedy = engine.select(&candidates, SelectionMethod::Greedy);
+        let lp = select_candidates(&cfg, &candidates, SelectionMethod::LpRounding);
+        let greedy = select_candidates(&cfg, &candidates, SelectionMethod::Greedy);
         let required = (cfg.theta * lp.m as f64).ceil() as usize;
         report.row(&[
             k.to_string(),

@@ -8,8 +8,7 @@
 //! cargo run -p bench --bin fig10 --release [-- --seed N]
 //! ```
 
-use bench::{fmt, paper_config, ExpOptions, Report};
-use causumx::Causumx;
+use bench::{fmt, paper_config, session_for, ExpOptions, Report};
 use datagen::synthetic::{generate, SynthParams};
 use mining::grouping::mine_grouping_patterns;
 use mining::treatment::{Direction, TreatmentMiner};
@@ -52,9 +51,10 @@ fn main() {
         cfg.k = 5;
         cfg.theta = 0.75;
         cfg.lattice.max_level = 1;
-        let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
-        let fast = engine.run().expect("fast");
-        let brute = engine.run_brute_force().expect("brute");
+        let session = session_for(&ds, cfg);
+        let prepared = session.prepare(ds.query()).expect("prepare");
+        let fast = prepared.run();
+        let brute = prepared.run_brute_force();
         let rows_of = |s: &causumx::Summary| {
             let mut u = BitSet::new(ds.table.nrows());
             let view = ds.query().run(&ds.table).unwrap();

@@ -8,8 +8,7 @@
 //! cargo run -p bench --bin fig11 --release [-- --seed N]
 //! ```
 
-use bench::{fmt, paper_config, timed, ExpOptions, Report};
-use causumx::Causumx;
+use bench::{fmt, paper_config, session_for, timed, ExpOptions, Report};
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -31,8 +30,8 @@ fn main() {
             };
             let mut cfg = paper_config();
             cfg.lattice.cate_opts.sample_cap = sample_cap;
-            let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
-            let (_, causumx_ms) = timed(|| engine.run().expect("run"));
+            let session = session_for(&ds, cfg);
+            let (_, causumx_ms) = timed(|| session.prepare(ds.query()).expect("prepare").run());
 
             // Explanation-Table on the binarized outcome (it samples
             // internally in the original; our candidates are bounded, so

@@ -10,7 +10,7 @@
 //! ```
 
 use bench::{fmt, paper_config, timed, ExpOptions, Report};
-use causumx::Causumx;
+use causumx::Session;
 use table::fd::fd_closure;
 
 fn main() {
@@ -46,17 +46,17 @@ fn main() {
             let outcome = sub.attr(ds.outcome_name()).unwrap();
             let query = table::GroupByAvgQuery::new(group_by, outcome);
 
-            let cfg = paper_config();
-            let engine = Causumx::new(&sub, &ds.dag, query.clone(), cfg);
-            let (_, ms) = timed(|| engine.run().expect("run"));
+            let session = Session::new(sub.clone(), ds.dag.clone(), paper_config());
+            let (_, ms) = timed(|| session.prepare(query.clone()).expect("prepare").run());
 
             // Brute force only at the smallest attribute counts and only
             // on SO (as in the paper, it exceeds any cutoff beyond that).
             let bf = if name == "so" && frac_idx <= 2 {
                 let mut cfg = paper_config();
                 cfg.lattice.max_level = 2;
-                let engine = Causumx::new(&sub, &ds.dag, query, cfg);
-                let (_, bf_ms) = timed(|| engine.run_brute_force().expect("bf"));
+                let session = Session::new(sub, ds.dag.clone(), cfg);
+                let (_, bf_ms) =
+                    timed(|| session.prepare(query).expect("prepare").run_brute_force());
                 fmt(bf_ms, 1)
             } else {
                 "> cutoff".to_string()

@@ -7,8 +7,7 @@
 //! cargo run -p bench --bin fig13 --release [-- --seed N]
 //! ```
 
-use bench::{fmt, paper_config, timed, ExpOptions, Report};
-use causumx::Causumx;
+use bench::{fmt, paper_config, session_for, timed, ExpOptions, Report};
 use mining::treatment::TreatmentMiner;
 use table::fd::treatment_attrs;
 
@@ -36,8 +35,8 @@ fn main() {
                 cfg.lattice.clone(),
             );
             let atoms = miner.num_atoms();
-            let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
-            let (_, ms) = timed(|| engine.run().expect("run"));
+            let session = session_for(&ds, cfg);
+            let (_, ms) = timed(|| session.prepare(ds.query()).expect("prepare").run());
             report.row(&[name.to_string(), atoms.to_string(), fmt(ms, 1)]);
             eprintln!("  {name} atoms={atoms}: {ms:.0} ms");
         }

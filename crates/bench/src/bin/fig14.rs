@@ -6,8 +6,7 @@
 //! cargo run -p bench --bin fig14 --release [-- --scale small|paper --seed N]
 //! ```
 
-use bench::{fmt, paper_config, ExpOptions, Report};
-use causumx::Causumx;
+use bench::{fmt, paper_config, session_for, ExpOptions, Report};
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -21,8 +20,8 @@ fn main() {
     ]);
 
     for ds in datagen::all_datasets(&opts.scale, opts.seed) {
-        let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), paper_config());
-        let summary = engine.run().expect("run");
+        let session = session_for(&ds, paper_config());
+        let summary = session.prepare(ds.query()).expect("prepare").run();
         let t = summary.timings;
         let share = if t.total_ms() > 0.0 {
             t.treatment_ms / t.total_ms()

@@ -13,7 +13,7 @@
 use bench::{fmt, paper_config, ExpOptions, Report};
 use causal::dag::Dag;
 use causal::estimate::{estimate_cate, CateOptions};
-use causumx::Causumx;
+use causumx::Session;
 use discovery::{attr_names, fci, lingam, no_dag, numeric_columns, pc};
 use mining::treatment::{LatticeOptions, TreatmentMiner};
 use stats::rank::kendall_tau;
@@ -106,8 +106,8 @@ fn main() {
             if ds.name == "german" {
                 cfg.theta = 0.5;
             }
-            let engine = Causumx::new(&ds.table, dag, ds.query(), cfg);
-            let summary = engine.run().expect("run");
+            let session = Session::new(ds.table.clone(), dag.clone(), cfg);
+            let summary = session.prepare(ds.query()).expect("prepare").run();
             let tau = if *gname == "GT" {
                 1.0
             } else {

@@ -9,25 +9,23 @@
 //! cargo run -p bench --bin fig19 --release [-- --scale small|paper --seed N]
 //! ```
 
-use bench::{paper_config, ExpOptions};
-use causumx::{render_summary, Causumx};
+use bench::{paper_config, session_for, ExpOptions};
 
 fn main() {
     let opts = ExpOptions::from_args();
     let ds = datagen::adult::generate(opts.scale.adult, opts.seed);
-    let query = ds.query();
-    let view = query.run(&ds.table).unwrap();
-    println!(
-        "SELECT Occupation, AVG(Income) FROM Adult GROUP BY Occupation → {} groups\n",
-        view.num_groups()
-    );
 
     let mut cfg = paper_config();
     cfg.k = 3;
     cfg.theta = 1.0;
-    let engine = Causumx::new(&ds.table, &ds.dag, query, cfg);
-    let (summary, view) = engine.run_with_view().expect("run");
+    let session = session_for(&ds, cfg);
+    let query = session.prepare(ds.query()).expect("prepare");
+    println!(
+        "SELECT Occupation, AVG(Income) FROM Adult GROUP BY Occupation → {} groups\n",
+        query.view().num_groups()
+    );
+    let summary = query.run();
 
     println!("Fig. 19 — Adult explanation summary (k=3, θ=1):\n");
-    print!("{}", render_summary(&ds.table, &view, &summary, "income"));
+    print!("{}", query.report(&summary).render_text());
 }

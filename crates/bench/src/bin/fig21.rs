@@ -7,8 +7,8 @@
 //! cargo run -p bench --bin fig21 --release [-- --seed N]
 //! ```
 
-use bench::{fmt, paper_config, ExpOptions, Report};
-use causumx::Causumx;
+use bench::{fmt, paper_config, session_for, ExpOptions, Report};
+use causumx::select_candidates;
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -34,9 +34,13 @@ fn main() {
             if ds.name == "german" {
                 cfg.theta = 0.5;
             }
-            let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
-            let candidates = engine.mine_candidates().expect("mine");
-            let summary = engine.select(&candidates, causumx::SelectionMethod::LpRounding);
+            let session = session_for(ds, cfg.clone());
+            let candidates = session
+                .prepare(ds.query())
+                .expect("prepare")
+                .mine_candidates();
+            let summary =
+                select_candidates(&cfg, &candidates, causumx::SelectionMethod::LpRounding);
             report.row(&[
                 ds.name.to_string(),
                 fmt(tau, 2),

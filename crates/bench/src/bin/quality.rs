@@ -7,8 +7,7 @@
 //! ```
 
 use baselines::{binarize_outcome, explanation_table, frl, ids, xinsight};
-use bench::{fmt, paper_config, timed, ExpOptions, Report};
-use causumx::{render_summary, Causumx};
+use bench::{fmt, paper_config, session_for, timed, ExpOptions, Report};
 use table::fd::treatment_attrs;
 
 fn main() {
@@ -28,8 +27,9 @@ fn main() {
     let mut cfg = paper_config();
     cfg.k = 3;
     cfg.theta = 1.0;
-    let engine = Causumx::new(&ds.table, &ds.dag, query, cfg);
-    let (summary, ms) = timed(|| engine.run().expect("run"));
+    let session = session_for(&ds, cfg);
+    let prepared = session.prepare(query).expect("prepare");
+    let (summary, ms) = timed(|| prepared.run());
     report.row(&[
         "CauSumX".into(),
         fmt(ms, 0),
@@ -38,7 +38,7 @@ fn main() {
         "yes".into(),
     ]);
     println!("--- CauSumX summary ---");
-    print!("{}", render_summary(&ds.table, &view, &summary, "salary"));
+    print!("{}", prepared.report(&summary).render_text());
 
     // IDS.
     let (rules, ms) = timed(|| ids(&ds.table, &y, &cat_attrs, 5, 0.05, 2));

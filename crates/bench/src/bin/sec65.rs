@@ -8,8 +8,7 @@
 //! cargo run -p bench --bin sec65 --release [-- --seed N]
 //! ```
 
-use bench::{fmt, paper_config, timed, ExpOptions, Report};
-use causumx::Causumx;
+use bench::{fmt, paper_config, session_for, timed, ExpOptions, Report};
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -20,9 +19,10 @@ fn main() {
     for tau in [0.4, 0.2, 0.1, 0.05, 0.02] {
         let mut cfg = paper_config();
         cfg.apriori_tau = tau;
-        let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
-        let (candidates, _) = timed(|| engine.mine_candidates().expect("mine"));
-        let (_, total_ms) = timed(|| engine.run().expect("run"));
+        let session = session_for(&ds, cfg);
+        let prepared = session.prepare(ds.query()).expect("prepare");
+        let (candidates, _) = timed(|| prepared.mine_candidates());
+        let (_, total_ms) = timed(|| prepared.run());
         rep_a.row(&[
             fmt(tau, 2),
             candidates.explanations.len().to_string(),
@@ -40,8 +40,8 @@ fn main() {
     for k in [1usize, 2, 4, 6, 8] {
         let mut cfg = paper_config();
         cfg.k = k;
-        let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
-        let (summary, ms) = timed(|| engine.run().expect("run"));
+        let session = session_for(&ds, cfg);
+        let (summary, ms) = timed(|| session.prepare(ds.query()).expect("prepare").run());
         rep_b.row(&[
             k.to_string(),
             fmt(ms, 1),

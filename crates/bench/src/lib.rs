@@ -64,6 +64,13 @@ pub fn paper_config() -> CausumxConfig {
     CausumxConfig::default()
 }
 
+/// Bind a generated dataset to a [`causumx::Session`] under `config`,
+/// cloning the table and DAG so the [`datagen::Dataset`] stays usable for
+/// labels, schema lookups and re-binding under other configurations.
+pub fn session_for(ds: &datagen::Dataset, config: CausumxConfig) -> causumx::Session {
+    causumx::Session::new(ds.table.clone(), ds.dag.clone(), config)
+}
+
 /// Time a closure, returning (result, milliseconds).
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let t0 = Instant::now();

@@ -34,6 +34,9 @@
 //! is treatment-independent, so the context pre-assembles it once and each
 //! evaluation only re-fits the logistic regression on a fresh `t` gather.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -293,6 +296,68 @@ impl EstimationContext {
     }
 }
 
+/// A keyed store of [`EstimationContext`]s for one fixed subpopulation,
+/// indexed by confounder attribute set. One lattice walk (and, via the
+/// paired positive/negative walk, one *pair* of walks) touches only a
+/// handful of distinct backdoor sets, so memoizing the context per set
+/// means each `O(n·q²)` Gram build happens exactly once per subpopulation.
+///
+/// A `None` entry records that the context could not be built (categorical
+/// outcome), so the failure is not retried per candidate. `builds()`
+/// counts build *attempts* — the work counter the treatment miner reports
+/// in its lattice statistics.
+#[derive(Default)]
+pub struct ContextCache {
+    map: HashMap<Vec<usize>, Option<EstimationContext>>,
+    builds: usize,
+}
+
+impl ContextCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of `EstimationContext::new` calls performed (including
+    /// failed builds, which are also cached).
+    pub fn builds(&self) -> usize {
+        self.builds
+    }
+
+    /// Distinct confounder sets seen.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Context for `confounders`, building (and caching) it on first use.
+    /// All calls must pass the same `(table, subpop, outcome, opts)` — the
+    /// cache is scoped to one subpopulation. Takes the key by value: the
+    /// caller's backdoor lookup already yields an owned `Vec`, and this
+    /// sits on the per-CATE-evaluation hot path, so no defensive clone.
+    pub fn get_or_build(
+        &mut self,
+        table: &Table,
+        subpop: Option<&BitSet>,
+        outcome: usize,
+        confounders: Vec<usize>,
+        opts: &CateOptions,
+    ) -> Option<&EstimationContext> {
+        match self.map.entry(confounders) {
+            Entry::Occupied(o) => o.into_mut().as_ref(),
+            Entry::Vacant(v) => {
+                self.builds += 1;
+                let ctx = EstimationContext::new(table, subpop, outcome, v.key(), opts);
+                v.insert(ctx).as_ref()
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +455,32 @@ mod tests {
         let naive = estimate_effect(&table, None, &treated, 1, &[0], &opts).unwrap();
         assert_eq!(cached.cate, naive.cate);
         assert_eq!(cached.p_value, naive.p_value);
+    }
+
+    #[test]
+    fn context_cache_builds_each_set_once() {
+        let (table, treated) = confounded(1_000, 11);
+        let opts = CateOptions::default();
+        let mut cache = ContextCache::new();
+        let tbits = BitSet::from_mask(&treated);
+        for _ in 0..4 {
+            let ctx = cache.get_or_build(&table, None, 1, vec![0], &opts).unwrap();
+            assert!(ctx.estimate(&tbits).is_some());
+            let _ = cache.get_or_build(&table, None, 1, vec![], &opts).unwrap();
+        }
+        assert_eq!(cache.builds(), 2, "one build per distinct confounder set");
+        assert_eq!(cache.len(), 2);
+        // Failed builds (categorical outcome) are cached too.
+        let cat = TableBuilder::new()
+            .cat("c", &["a"; 50])
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut cache = ContextCache::new();
+        for _ in 0..3 {
+            assert!(cache.get_or_build(&cat, None, 0, vec![], &opts).is_none());
+        }
+        assert_eq!(cache.builds(), 1);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod ipw;
 pub mod logistic;
 
 pub use backdoor::backdoor_set;
-pub use context::EstimationContext;
+pub use context::{ContextCache, EstimationContext};
 pub use dag::{Dag, DagError};
 pub use estimate::{estimate_cate, CateOptions, CateResult};
 pub use ipw::{estimate_att_matching, estimate_cate_ipw};

@@ -1,6 +1,18 @@
 //! Configuration of the CauSumX pipeline.
+//!
+//! [`CausumxConfig`] is a plain parameter bag (kept `pub` for
+//! compatibility); new code should go through [`ConfigBuilder`], which
+//! validates every knob before the engine ever sees it:
+//!
+//! ```
+//! use causumx::ConfigBuilder;
+//! let config = ConfigBuilder::new().k(5).theta(0.75).build().unwrap();
+//! assert!(ConfigBuilder::new().theta(1.5).build().is_err());
+//! ```
 
 use mining::treatment::LatticeOptions;
+
+use crate::error::Error;
 
 /// How the final explanation set is selected from the candidates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +72,176 @@ impl Default for CausumxConfig {
     }
 }
 
+impl CausumxConfig {
+    /// Start a validating [`ConfigBuilder`] from the paper defaults.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::new()
+    }
+
+    /// Check every invariant the builder enforces. Exposed so configs
+    /// assembled by direct field access (the pre-builder style) can be
+    /// validated after the fact.
+    pub fn validate(&self) -> Result<(), Error> {
+        fn reject(param: &'static str, msg: String) -> Result<(), Error> {
+            Err(Error::Config { param, msg })
+        }
+        if self.k == 0 {
+            return reject("k", "size constraint k must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.theta) || self.theta.is_nan() {
+            return reject(
+                "theta",
+                format!("coverage threshold must lie in [0, 1], got {}", self.theta),
+            );
+        }
+        if !(0.0..=1.0).contains(&self.apriori_tau) || self.apriori_tau.is_nan() {
+            return reject(
+                "apriori_tau",
+                format!(
+                    "support threshold must lie in [0, 1], got {}",
+                    self.apriori_tau
+                ),
+            );
+        }
+        if self.max_grouping_len == 0 {
+            return reject("max_grouping_len", "must be at least 1".into());
+        }
+        if self.lattice.max_level == 0 {
+            return reject("max_level", "lattice depth must be at least 1".into());
+        }
+        if !(self.lattice.max_p_value > 0.0 && self.lattice.max_p_value <= 1.0) {
+            return reject(
+                "max_p_value",
+                format!(
+                    "significance gate must lie in (0, 1], got {}",
+                    self.lattice.max_p_value
+                ),
+            );
+        }
+        if !(self.lattice.top_frac > 0.0 && self.lattice.top_frac <= 1.0) {
+            return reject(
+                "top_frac",
+                format!(
+                    "per-level retention must lie in (0, 1], got {}",
+                    self.lattice.top_frac
+                ),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`CausumxConfig`]. Every setter is chainable;
+/// [`ConfigBuilder::build`] rejects out-of-domain values (`k = 0`,
+/// `θ ∉ [0, 1]`, `τ ∉ [0, 1]`, …) with a descriptive
+/// [`Error::Config`] naming the parameter.
+#[derive(Debug, Clone, Default)]
+pub struct ConfigBuilder {
+    cfg: CausumxConfig,
+}
+
+impl ConfigBuilder {
+    /// Builder initialized to the §6.1 paper defaults.
+    pub fn new() -> Self {
+        ConfigBuilder {
+            cfg: CausumxConfig::default(),
+        }
+    }
+
+    /// Size constraint: at most `k` explanation patterns.
+    pub fn k(mut self, k: usize) -> Self {
+        self.cfg.k = k;
+        self
+    }
+
+    /// Coverage constraint θ (fraction of output groups).
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.cfg.theta = theta;
+        self
+    }
+
+    /// Apriori support threshold τ as a fraction of `|D|`.
+    pub fn apriori_tau(mut self, tau: f64) -> Self {
+        self.cfg.apriori_tau = tau;
+        self
+    }
+
+    /// Maximum conjuncts in a grouping pattern.
+    pub fn max_grouping_len(mut self, len: usize) -> Self {
+        self.cfg.max_grouping_len = len;
+        self
+    }
+
+    /// Replace the full treatment-lattice option block.
+    pub fn lattice(mut self, lattice: LatticeOptions) -> Self {
+        self.cfg.lattice = lattice;
+        self
+    }
+
+    /// Lattice depth cap (convenience for `lattice.max_level`).
+    pub fn max_level(mut self, level: usize) -> Self {
+        self.cfg.lattice.max_level = level;
+        self
+    }
+
+    /// Significance gate on returned treatments (convenience for
+    /// `lattice.max_p_value`).
+    pub fn max_p_value(mut self, p: f64) -> Self {
+        self.cfg.lattice.max_p_value = p;
+        self
+    }
+
+    /// CATE sampling cap — optimization (d) (convenience for
+    /// `lattice.cate_opts.sample_cap`).
+    pub fn sample_cap(mut self, cap: Option<usize>) -> Self {
+        self.cfg.lattice.cate_opts.sample_cap = cap;
+        self
+    }
+
+    /// Minimum units per treatment arm (convenience for
+    /// `lattice.cate_opts.min_arm`).
+    pub fn min_arm(mut self, min_arm: usize) -> Self {
+        self.cfg.lattice.cate_opts.min_arm = min_arm;
+        self
+    }
+
+    /// Parallelize treatment mining across grouping patterns.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.cfg.parallel = parallel;
+        self
+    }
+
+    /// Rounding trials for the LP selection step.
+    pub fn rounding_rounds(mut self, rounds: usize) -> Self {
+        self.cfg.rounding_rounds = rounds;
+        self
+    }
+
+    /// RNG seed for the rounding step.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Final selection method.
+    pub fn selection(mut self, method: SelectionMethod) -> Self {
+        self.cfg.selection = method;
+        self
+    }
+
+    /// Mine both positive and negative treatments per grouping pattern.
+    pub fn mine_negative(mut self, both: bool) -> Self {
+        self.cfg.mine_negative = both;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<CausumxConfig, Error> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,5 +253,57 @@ mod tests {
         assert!((c.theta - 0.75).abs() < 1e-12);
         assert!((c.apriori_tau - 0.1).abs() < 1e-12);
         assert_eq!(c.selection, SelectionMethod::LpRounding);
+    }
+
+    #[test]
+    fn builder_defaults_validate() {
+        let c = ConfigBuilder::new().build().unwrap();
+        assert_eq!(c.k, 5);
+        let c2 = CausumxConfig::builder()
+            .k(3)
+            .theta(1.0)
+            .apriori_tau(0.05)
+            .max_level(2)
+            .parallel(false)
+            .build()
+            .unwrap();
+        assert_eq!(c2.k, 3);
+        assert_eq!(c2.lattice.max_level, 2);
+        assert!(!c2.parallel);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_domain() {
+        let param_of = |r: Result<CausumxConfig, Error>| match r {
+            Err(Error::Config { param, .. }) => param,
+            other => panic!("expected Config error, got {other:?}"),
+        };
+        assert_eq!(param_of(ConfigBuilder::new().k(0).build()), "k");
+        assert_eq!(param_of(ConfigBuilder::new().theta(1.5).build()), "theta");
+        assert_eq!(param_of(ConfigBuilder::new().theta(-0.1).build()), "theta");
+        assert_eq!(
+            param_of(ConfigBuilder::new().theta(f64::NAN).build()),
+            "theta"
+        );
+        assert_eq!(
+            param_of(ConfigBuilder::new().apriori_tau(-0.2).build()),
+            "apriori_tau"
+        );
+        assert_eq!(
+            param_of(ConfigBuilder::new().max_level(0).build()),
+            "max_level"
+        );
+        assert_eq!(
+            param_of(ConfigBuilder::new().max_p_value(0.0).build()),
+            "max_p_value"
+        );
+    }
+
+    #[test]
+    fn validate_catches_hand_built_configs() {
+        let mut c = CausumxConfig::default();
+        assert!(c.validate().is_ok());
+        c.apriori_tau = 2.0;
+        assert!(c.validate().is_err());
     }
 }

@@ -1,0 +1,112 @@
+//! The unified error type of the engine.
+//!
+//! Every fallible entry point of the crate — configuration building,
+//! query preparation (by name, index or SQL), and the deprecated one-shot
+//! pipeline — reports a single [`Error`]. Table-layer failures are wrapped
+//! verbatim, except SQL parse failures, which are promoted to the
+//! dedicated [`Error::Sql`] variant carrying the byte position of the
+//! offending token (the table crate's [`TableError::Sql`] is an encoding
+//! detail callers should not need to know about).
+
+use std::fmt;
+
+use table::TableError;
+
+/// Engine error: configuration, query-shape, SQL or table-layer failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Table-layer failure (unknown attribute, type mismatch, …).
+    Table(TableError),
+    /// SQL parse failure at byte `pos` of the source statement.
+    Sql {
+        /// Byte offset of the offending token within the statement.
+        pos: usize,
+        /// Human-readable description of the problem.
+        msg: String,
+    },
+    /// A configuration value rejected by [`crate::config::ConfigBuilder`].
+    Config {
+        /// The offending parameter (`"k"`, `"theta"`, …).
+        param: &'static str,
+        /// Why the value was rejected.
+        msg: String,
+    },
+    /// A query misses a required clause (no group-by attribute, no AVG
+    /// attribute) or is otherwise malformed before reaching the table
+    /// layer.
+    InvalidQuery(String),
+    /// The aggregate view has no groups (empty input after WHERE).
+    EmptyView,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Table(e) => write!(f, "query error: {e}"),
+            Error::Sql { pos, msg } => write!(f, "sql error at byte {pos}: {msg}"),
+            Error::Config { param, msg } => write!(f, "invalid config `{param}`: {msg}"),
+            Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            Error::EmptyView => write!(f, "aggregate view is empty"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Table(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TableError> for Error {
+    fn from(e: TableError) -> Self {
+        match e {
+            TableError::Sql { pos, msg } => Error::Sql { pos, msg },
+            other => Error::Table(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_table_errors_promote_to_sql_variant() {
+        let e: Error = TableError::Sql {
+            pos: 7,
+            msg: "unknown attribute `wages`".into(),
+        }
+        .into();
+        assert_eq!(
+            e,
+            Error::Sql {
+                pos: 7,
+                msg: "unknown attribute `wages`".into()
+            }
+        );
+        assert!(e.to_string().contains("byte 7"));
+    }
+
+    #[test]
+    fn other_table_errors_wrap() {
+        let e: Error = TableError::UnknownAttribute("x".into()).into();
+        assert!(matches!(e, Error::Table(TableError::UnknownAttribute(_))));
+        assert!(e.to_string().contains("unknown attribute"));
+    }
+
+    #[test]
+    fn display_covers_variants() {
+        let c = Error::Config {
+            param: "theta",
+            msg: "must lie in [0, 1], got 1.5".into(),
+        };
+        assert!(c.to_string().contains("theta"));
+        assert!(Error::EmptyView.to_string().contains("empty"));
+        assert!(Error::InvalidQuery("no group-by".into())
+            .to_string()
+            .contains("no group-by"));
+    }
+}

@@ -49,7 +49,7 @@ impl Explanation {
 }
 
 /// Wall-clock per phase of Algorithm 1 — the Fig. 14/20 breakdown.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StepTimings {
     /// Step 1: grouping-pattern mining (ms).
     pub grouping_ms: f64,

@@ -11,10 +11,15 @@
 //!
 //! ## Quick start
 //!
+//! The engine is session-oriented, matching the paper's interactive
+//! prototype (§4.2): bind a dataset and DAG once, then issue many queries
+//! against them. Construction precomputes per-dataset state; each
+//! [`PreparedQuery`] caches its view, group bitsets and treatment-atom
+//! space, so repeated `run`s and drill-downs do zero redundant work.
+//!
 //! ```
-//! use causumx::{Causumx, CausumxConfig};
-//! use table::{TableBuilder, GroupByAvgQuery};
-//! use causal::Dag;
+//! use causumx::{ConfigBuilder, Session};
+//! use table::TableBuilder;
 //!
 //! // A toy table: country → continent is an FD; education drives salary.
 //! let table = TableBuilder::new()
@@ -31,14 +36,19 @@
 //!     &["country", "continent", "education", "salary"],
 //!     &[("country", "salary"), ("education", "salary")],
 //! ).unwrap();
-//! let query = GroupByAvgQuery::new(vec![0], 3);
 //!
-//! let mut config = CausumxConfig::default();
-//! config.k = 2;
-//! config.theta = 1.0;
-//! config.lattice.cate_opts.min_arm = 2; // tiny toy data
-//! let summary = Causumx::new(&table, &dag, query, config).run().unwrap();
+//! let config = ConfigBuilder::new()
+//!     .k(2)
+//!     .theta(1.0)
+//!     .min_arm(2) // tiny toy data
+//!     .build().unwrap();
+//! let session = Session::new(table, dag, config);
+//!
+//! // Name-based query (SQL works too: session.sql("SELECT country, …")).
+//! let query = session.query().group_by("country").avg("salary").prepare().unwrap();
+//! let summary = query.run();
 //! assert!(summary.covered > 0);
+//! println!("{}", query.report(&summary).render_text());
 //! ```
 //!
 //! ## Architecture
@@ -51,13 +61,27 @@
 //!    across grouping patterns here (optimization c),
 //! 3. [`lpsolve::cover`] — Fig. 5 LP relaxation + randomized rounding
 //!    (§5.3), with greedy and exact alternatives for the paper's variants.
+//!
+//! [`Session`] orchestrates them and owns the cross-query caches (FD
+//! splits, backdoor memo); [`render::Report`] is the structured output.
+//! The pre-session one-shot engine ([`Causumx`]) remains as a deprecated
+//! shim for one release.
 
 pub mod config;
+pub mod error;
 pub mod explanation;
 pub mod pipeline;
 pub mod render;
+pub mod session;
 
-pub use config::{CausumxConfig, SelectionMethod};
+pub use config::{CausumxConfig, ConfigBuilder, SelectionMethod};
+pub use error::Error;
 pub use explanation::{Explanation, StepTimings, Summary};
-pub use pipeline::{CandidateSet, Causumx, CausumxError};
-pub use render::{render_summary, summary_json};
+pub use pipeline::{union_coverage, CandidateSet};
+pub use render::{render_summary, summary_json, Report, ReportExplanation, ReportTreatment};
+pub use session::{
+    select_candidates, AttrSplit, PreparedQuery, QueryBuilder, Session, SessionCounters,
+};
+
+#[allow(deprecated)]
+pub use pipeline::{Causumx, CausumxError};

@@ -1,49 +1,30 @@
-//! Algorithm 1 — the three-step CauSumX pipeline, plus the paper's
-//! `Brute-Force` / `Brute-Force-LP` / `Greedy-Last-Step` variants.
+//! The deprecated one-shot pipeline API, kept as a thin shim over
+//! [`crate::session::Session`] for one release.
+//!
+//! The seed's [`Causumx`] engine was one-shot per query: every `run` (and
+//! even every `explain_group`) re-derived the FD closure, treatment
+//! attributes, backdoor sets and the materialized view. The session API
+//! amortizes all of that; this module only adapts the old borrowed-data
+//! signatures onto it (cloning the table and DAG into an owned session at
+//! construction) so existing callers keep compiling while they migrate —
+//! see the `## Migrating` section of the workspace `README.md`.
 
-use std::fmt;
-use std::time::Instant;
+use std::marker::PhantomData;
 
 use causal::dag::Dag;
-use lpsolve::cover::{
-    exhaustive_best, greedy_cover, randomized_rounding, solve_lp_relaxation, CoverInstance,
-    CoverSolution,
-};
-use mining::grouping::{mine_grouping_patterns, GroupingPattern};
-use mining::treatment::{Direction, TreatmentMiner, TreatmentResult};
 use table::bitset::BitSet;
-use table::fd::{fd_closure, treatment_attrs};
 use table::query::{AggView, GroupByAvgQuery};
-use table::{Table, TableError};
+use table::Table;
 
 use crate::config::{CausumxConfig, SelectionMethod};
-use crate::explanation::{Explanation, StepTimings, Summary};
+use crate::error::Error;
+use crate::explanation::{Explanation, Summary};
+use crate::session::{select_candidates, Session};
+use mining::treatment::TreatmentResult;
 
-/// Pipeline errors.
-#[derive(Debug, Clone, PartialEq)]
-pub enum CausumxError {
-    /// Query evaluation failed.
-    Table(TableError),
-    /// The view has no groups (empty input after WHERE).
-    EmptyView,
-}
-
-impl fmt::Display for CausumxError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CausumxError::Table(e) => write!(f, "query error: {e}"),
-            CausumxError::EmptyView => write!(f, "aggregate view is empty"),
-        }
-    }
-}
-
-impl std::error::Error for CausumxError {}
-
-impl From<TableError> for CausumxError {
-    fn from(e: TableError) -> Self {
-        CausumxError::Table(e)
-    }
-}
+/// Pipeline errors — now an alias of the unified [`crate::Error`].
+#[deprecated(since = "0.2.0", note = "use `causumx::Error`")]
+pub type CausumxError = Error;
 
 /// Candidate explanation patterns — the output of steps 1+2 of Algorithm 1,
 /// before selection. Exposed so the variant algorithms and the benchmarks
@@ -62,17 +43,29 @@ pub struct CandidateSet {
     pub cate_evaluations: usize,
 }
 
-/// The CauSumX engine: borrows the data and background knowledge, owns the
-/// query and configuration.
+/// The original one-shot CauSumX engine: borrows the data and background
+/// knowledge, owns the query and configuration.
+///
+/// Deprecated: every call re-prepares the query from scratch. Use
+/// [`Session`] — bind the dataset once, [`Session::prepare`] the query
+/// once, then `run`/`explain_group` as often as needed with zero redundant
+/// view materializations, FD-closure or backdoor recomputations.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session::new(table, dag, config)` + `session.prepare(query)` (or `session.query()…`/`session.sql(…)`)"
+)]
 pub struct Causumx<'a> {
-    table: &'a Table,
-    dag: &'a Dag,
+    session: Session,
     query: GroupByAvgQuery,
-    config: CausumxConfig,
+    /// The old API borrowed the table and DAG; the lifetime is kept so
+    /// existing type annotations (`Causumx<'_>`) continue to compile.
+    _borrow: PhantomData<&'a Table>,
 }
 
+#[allow(deprecated)]
 impl<'a> Causumx<'a> {
-    /// Assemble an engine.
+    /// Assemble an engine (clones `table` and `dag` into an owned
+    /// [`Session`]).
     pub fn new(
         table: &'a Table,
         dag: &'a Dag,
@@ -80,306 +73,72 @@ impl<'a> Causumx<'a> {
         config: CausumxConfig,
     ) -> Self {
         Causumx {
-            table,
-            dag,
+            session: Session::new(table.clone(), dag.clone(), config),
             query,
-            config,
+            _borrow: PhantomData,
         }
     }
 
     /// Borrow the configuration.
     pub fn config(&self) -> &CausumxConfig {
-        &self.config
+        self.session.config()
     }
 
     /// Run the full pipeline (Algorithm 1).
-    pub fn run(&self) -> Result<Summary, CausumxError> {
-        let candidates = self.mine_candidates()?;
-        Ok(self.select(&candidates, self.config.selection))
+    pub fn run(&self) -> Result<Summary, Error> {
+        Ok(self.session.prepare(self.query.clone())?.run())
     }
 
     /// Run and also return the view (for rendering).
-    pub fn run_with_view(&self) -> Result<(Summary, AggView), CausumxError> {
-        let candidates = self.mine_candidates()?;
-        let summary = self.select(&candidates, self.config.selection);
-        Ok((summary, candidates.view))
+    pub fn run_with_view(&self) -> Result<(Summary, AggView), Error> {
+        let prepared = self.session.prepare(self.query.clone())?;
+        let summary = prepared.run();
+        Ok((summary, prepared.view().clone()))
     }
 
     /// The `Brute-Force` baseline: exhaustively enumerate grouping patterns
     /// (τ = 0) and treatment patterns (full lattice up to the configured
     /// depth), then select the exact optimum by branch-and-bound.
-    pub fn run_brute_force(&self) -> Result<Summary, CausumxError> {
-        let candidates = self.mine_candidates_brute()?;
-        Ok(self.select(&candidates, SelectionMethod::Exhaustive))
+    pub fn run_brute_force(&self) -> Result<Summary, Error> {
+        Ok(self.session.prepare(self.query.clone())?.run_brute_force())
     }
 
     /// The `Brute-Force-LP` variant: exhaustive candidates, LP-rounding
     /// selection.
-    pub fn run_brute_force_lp(&self) -> Result<Summary, CausumxError> {
-        let candidates = self.mine_candidates_brute()?;
-        Ok(self.select(&candidates, SelectionMethod::LpRounding))
+    pub fn run_brute_force_lp(&self) -> Result<Summary, Error> {
+        Ok(self
+            .session
+            .prepare(self.query.clone())?
+            .run_brute_force_lp())
     }
 
     /// Steps 1+2 of Algorithm 1: mine grouping patterns, then the top
     /// positive/negative treatment per grouping pattern (parallel across
     /// grouping patterns — optimization c).
-    pub fn mine_candidates(&self) -> Result<CandidateSet, CausumxError> {
-        let view = self.query.run(self.table)?;
-        if view.num_groups() == 0 {
-            return Err(CausumxError::EmptyView);
-        }
-
-        let t0 = Instant::now();
-        let gp_attrs = fd_closure(self.table, &self.query.group_by, &[self.query.avg]);
-        let groupings = mine_grouping_patterns(
-            self.table,
-            &view,
-            &gp_attrs,
-            self.config.apriori_tau,
-            self.config.max_grouping_len,
-        );
-        let grouping_ms = t0.elapsed().as_secs_f64() * 1e3;
-
-        let t1 = Instant::now();
-        let (explanations, cate_evaluations) = self.mine_treatments(&groupings, false);
-        let treatment_ms = t1.elapsed().as_secs_f64() * 1e3;
-
-        Ok(CandidateSet {
-            view,
-            explanations,
-            grouping_ms,
-            treatment_ms,
-            cate_evaluations,
-        })
-    }
-
-    /// Exhaustive candidate generation for the Brute-Force variants.
-    fn mine_candidates_brute(&self) -> Result<CandidateSet, CausumxError> {
-        let view = self.query.run(self.table)?;
-        if view.num_groups() == 0 {
-            return Err(CausumxError::EmptyView);
-        }
-        let t0 = Instant::now();
-        let gp_attrs = fd_closure(self.table, &self.query.group_by, &[self.query.avg]);
-        // τ → 0: every pattern with non-empty support is a candidate.
-        let groupings = mine_grouping_patterns(
-            self.table,
-            &view,
-            &gp_attrs,
-            0.0,
-            self.config.max_grouping_len,
-        );
-        let grouping_ms = t0.elapsed().as_secs_f64() * 1e3;
-
-        let t1 = Instant::now();
-        let (explanations, cate_evaluations) = self.mine_treatments(&groupings, true);
-        let treatment_ms = t1.elapsed().as_secs_f64() * 1e3;
-
-        Ok(CandidateSet {
-            view,
-            explanations,
-            grouping_ms,
-            treatment_ms,
-            cate_evaluations,
-        })
-    }
-
-    /// Step 2 over a fixed grouping-pattern list. `exhaustive` switches
-    /// between Algorithm 2 and full lattice enumeration.
-    fn mine_treatments(
-        &self,
-        groupings: &[GroupingPattern],
-        exhaustive: bool,
-    ) -> (Vec<Explanation>, usize) {
-        let t_attrs = treatment_attrs(self.table, &self.query.group_by, &[self.query.avg]);
-        let miner = TreatmentMiner::new(
-            self.table,
-            self.dag,
-            self.query.avg,
-            &t_attrs,
-            self.config.lattice.clone(),
-        );
-
-        let work = |gp: &GroupingPattern| -> (Explanation, usize) {
-            // Subpopulations stay bitsets end-to-end — no byte-mask
-            // round-trip between the grouping miner and the lattice walk.
-            let subpop = &gp.rows;
-            let mut evals = 0usize;
-            let (positive, negative) = if exhaustive {
-                let all = miner.all_treatments(subpop, self.config.lattice.max_level);
-                evals += all.len();
-                let sig = |t: &&TreatmentResult| t.p_value <= self.config.lattice.max_p_value;
-                let pos = all
-                    .iter()
-                    .filter(sig)
-                    .filter(|t| t.cate > 0.0)
-                    .max_by(|a, b| a.cate.partial_cmp(&b.cate).unwrap())
-                    .cloned();
-                let neg = if self.config.mine_negative {
-                    all.iter()
-                        .filter(sig)
-                        .filter(|t| t.cate < 0.0)
-                        .min_by(|a, b| a.cate.partial_cmp(&b.cate).unwrap())
-                        .cloned()
-                } else {
-                    None
-                };
-                (pos, neg)
-            } else {
-                let (pos, s1) = miner.top_treatment(subpop, Direction::Positive);
-                evals += s1.evaluated;
-                let neg = if self.config.mine_negative {
-                    let (neg, s2) = miner.top_treatment(subpop, Direction::Negative);
-                    evals += s2.evaluated;
-                    neg
-                } else {
-                    None
-                };
-                (pos, neg)
-            };
-            (
-                Explanation::new(gp.pattern.clone(), gp.coverage.clone(), positive, negative),
-                evals,
-            )
-        };
-
-        let results: Vec<(Explanation, usize)> = if self.config.parallel && groupings.len() > 1 {
-            let threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(groupings.len());
-            // Work stealing via a shared atomic index: grouping patterns
-            // vary wildly in subpopulation size and lattice depth, so the
-            // static chunking this replaces let one expensive pattern
-            // serialize a whole chunk while other workers sat idle.
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let work = &work;
-            let next = &next;
-            let mut indexed: Vec<(usize, (Explanation, usize))> = std::thread::scope(|s| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        s.spawn(move || {
-                            let mut local = Vec::new();
-                            loop {
-                                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                let Some(gp) = groupings.get(i) else {
-                                    break;
-                                };
-                                local.push((i, work(gp)));
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("treatment-mining worker panicked"))
-                    .collect()
-            });
-            // Deterministic output: restore grouping-pattern order.
-            indexed.sort_unstable_by_key(|(i, _)| *i);
-            indexed.into_iter().map(|(_, r)| r).collect()
-        } else {
-            groupings.iter().map(work).collect()
-        };
-
-        let mut evals = 0;
-        let mut explanations = Vec::new();
-        for (e, n) in results {
-            evals += n;
-            if e.has_treatment() {
-                explanations.push(e);
-            }
-        }
-        (explanations, evals)
+    pub fn mine_candidates(&self) -> Result<CandidateSet, Error> {
+        Ok(self.session.prepare(self.query.clone())?.mine_candidates())
     }
 
     /// Drill-down: the top-`k` positive and negative treatment patterns
-    /// for a *single* output group (by its display label) — the
-    /// prototype-UI affordance §4.2 describes ("analysts have the
-    /// flexibility to … view top-k positive/negative treatments for a
-    /// grouping pattern"). Returns `None` when the label does not match
-    /// any group of the view.
+    /// for a *single* output group (by its display label). Returns `None`
+    /// when the label does not match any group of the view.
     pub fn explain_group(
         &self,
         label: &str,
         k: usize,
-    ) -> Result<Option<(Vec<TreatmentResult>, Vec<TreatmentResult>)>, CausumxError> {
-        let view = self.query.run(self.table)?;
-        let Some(gid) = (0..view.num_groups()).find(|&g| view.group_label(self.table, g) == label)
-        else {
-            return Ok(None);
-        };
-        let subpop = view.group_bits(gid);
-        let t_attrs = treatment_attrs(self.table, &self.query.group_by, &[self.query.avg]);
-        let miner = TreatmentMiner::new(
-            self.table,
-            self.dag,
-            self.query.avg,
-            &t_attrs,
-            self.config.lattice.clone(),
-        );
-        let (pos, _) = miner.top_k_treatments(&subpop, Direction::Positive, k);
-        let (neg, _) = miner.top_k_treatments(&subpop, Direction::Negative, k);
-        Ok(Some((pos, neg)))
+    ) -> Result<Option<(Vec<TreatmentResult>, Vec<TreatmentResult>)>, Error> {
+        match self.session.prepare(self.query.clone()) {
+            Ok(prepared) => Ok(prepared.explain_group(label, k)),
+            // The pre-session API materialized the empty view and reported
+            // the label as simply not found.
+            Err(Error::EmptyView) => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 
     /// Step 3: selection by the requested method over mined candidates.
     pub fn select(&self, candidates: &CandidateSet, method: SelectionMethod) -> Summary {
-        let m = candidates.view.num_groups();
-        let t0 = Instant::now();
-        let inst = CoverInstance {
-            weights: candidates.explanations.iter().map(|e| e.weight).collect(),
-            covers: candidates
-                .explanations
-                .iter()
-                .map(|e| e.coverage.clone())
-                .collect(),
-            m,
-            k: self.config.k,
-            theta: self.config.theta,
-        };
-
-        let solution: Option<CoverSolution> = match method {
-            SelectionMethod::LpRounding => solve_lp_relaxation(&inst)
-                .and_then(|g| {
-                    randomized_rounding(&inst, &g, self.config.rounding_rounds, self.config.seed)
-                })
-                // LP infeasible ⇒ ILP infeasible; fall back to the best
-                // effort greedy so users still get output (flagged
-                // infeasible).
-                .or_else(|| greedy_cover(&inst)),
-            SelectionMethod::Greedy => greedy_cover(&inst),
-            SelectionMethod::Exhaustive => exhaustive_best(&inst).or_else(|| greedy_cover(&inst)),
-        };
-        let selection_ms = t0.elapsed().as_secs_f64() * 1e3;
-
-        let (explanations, covered, total_weight, feasible) = match solution {
-            Some(sol) => {
-                let chosen: Vec<Explanation> = sol
-                    .chosen
-                    .iter()
-                    .map(|&j| candidates.explanations[j].clone())
-                    .collect();
-                (chosen, sol.coverage, sol.total_weight, sol.feasible)
-            }
-            None => (Vec::new(), 0, 0.0, false),
-        };
-
-        Summary {
-            explanations,
-            m,
-            covered,
-            feasible,
-            total_weight,
-            candidates: candidates.explanations.len(),
-            cate_evaluations: candidates.cate_evaluations,
-            timings: StepTimings {
-                grouping_ms: candidates.grouping_ms,
-                treatment_ms: candidates.treatment_ms,
-                selection_ms,
-            },
-        }
+        select_candidates(self.session.config(), candidates, method)
     }
 }
 
@@ -393,15 +152,17 @@ pub fn union_coverage(explanations: &[Explanation], m: usize) -> BitSet {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
+    //! The deprecated shim must stay behaviorally identical to the
+    //! session API it wraps; the engine itself is tested in
+    //! [`crate::session`].
+
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use table::TableBuilder;
 
-    /// Stack-Overflow-shaped toy data: 4 countries with FDs to continent;
-    /// education raises salary in EU countries, student status lowers it
-    /// everywhere; Asia countries get a different dominant treatment.
     fn build() -> (Table, Dag) {
         let mut rng = StdRng::seed_from_u64(17);
         let countries = ["FR", "DE", "IN", "CN"];
@@ -409,16 +170,14 @@ mod tests {
             "FR" | "DE" => "EU",
             _ => "Asia",
         };
-        let n = 4000;
+        let n = 2000;
         let mut c_col = Vec::new();
         let mut k_col = Vec::new();
         let mut edu = Vec::new();
-        let mut student = Vec::new();
         let mut salary = Vec::new();
         for _ in 0..n {
             let c = countries[rng.gen_range(0..4)];
             let e = if rng.gen_bool(0.5) { "MSc" } else { "BSc" };
-            let s = if rng.gen_bool(0.25) { "yes" } else { "no" };
             let base = match c {
                 "FR" => 60.0,
                 "DE" => 65.0,
@@ -431,13 +190,9 @@ mod tests {
             if e == "MSc" {
                 y += if eu { 30.0 } else { 8.0 };
             }
-            if s == "yes" {
-                y -= if eu { 35.0 } else { 10.0 };
-            }
             c_col.push(c.to_string());
             k_col.push(continent(c).to_string());
             edu.push(e.to_string());
-            student.push(s.to_string());
             salary.push(y);
         }
         let table = TableBuilder::new()
@@ -447,235 +202,99 @@ mod tests {
             .unwrap()
             .cat_owned("education", edu)
             .unwrap()
-            .cat_owned("student", student)
-            .unwrap()
             .float("salary", salary)
             .unwrap()
             .build()
             .unwrap();
         let dag = Dag::new(
-            &["country", "continent", "education", "student", "salary"],
-            &[
-                ("country", "salary"),
-                ("education", "salary"),
-                ("student", "salary"),
-            ],
+            &["country", "continent", "education", "salary"],
+            &[("country", "salary"), ("education", "salary")],
         )
         .unwrap();
         (table, dag)
     }
 
     fn engine_config() -> CausumxConfig {
-        let mut c = CausumxConfig::default();
-        c.k = 3;
-        c.theta = 1.0;
-        c.parallel = false;
-        c
-    }
-
-    #[test]
-    fn end_to_end_covers_all_groups() {
-        let (table, dag) = build();
-        let query = GroupByAvgQuery::new(vec![0], 4);
-        let cx = Causumx::new(&table, &dag, query, engine_config());
-        let summary = cx.run().unwrap();
-        assert_eq!(summary.m, 4);
-        assert!(summary.feasible, "θ=1 should be satisfiable: {summary:?}");
-        assert_eq!(summary.covered, 4);
-        assert!(!summary.explanations.is_empty());
-        assert!(summary.total_weight > 0.0);
-    }
-
-    #[test]
-    fn eu_explanation_finds_education_and_student() {
-        let (table, dag) = build();
-        let query = GroupByAvgQuery::new(vec![0], 4);
-        let cx = Causumx::new(&table, &dag, query, engine_config());
-        let summary = cx.run().unwrap();
-        // Find the explanation covering the two EU countries.
-        let eu = summary
-            .explanations
-            .iter()
-            .find(|e| e.grouping.display(&table).contains("EU"))
-            .expect("an EU grouping pattern must be selected");
-        let pos = eu.positive.as_ref().expect("positive treatment");
-        assert!(
-            pos.pattern.display(&table).contains("education = MSc"),
-            "got {}",
-            pos.pattern.display(&table)
-        );
-        assert!(pos.cate > 20.0);
-        let neg = eu.negative.as_ref().expect("negative treatment");
-        assert!(
-            neg.pattern.display(&table).contains("student = yes"),
-            "got {}",
-            neg.pattern.display(&table)
-        );
-        assert!(neg.cate < -25.0);
-    }
-
-    #[test]
-    fn parallel_equals_sequential() {
-        let (table, dag) = build();
-        let query = GroupByAvgQuery::new(vec![0], 4);
-        let mut cfg = engine_config();
-        cfg.parallel = false;
-        let seq = Causumx::new(&table, &dag, query.clone(), cfg.clone())
-            .run()
-            .unwrap();
-        cfg.parallel = true;
-        let par = Causumx::new(&table, &dag, query, cfg).run().unwrap();
-        assert_eq!(seq.total_weight, par.total_weight);
-        assert_eq!(seq.covered, par.covered);
-        assert_eq!(seq.cate_evaluations, par.cate_evaluations);
-        let keys = |s: &Summary| {
-            let mut v: Vec<String> = s.explanations.iter().map(|e| e.grouping.key()).collect();
-            v.sort();
-            v
-        };
-        assert_eq!(keys(&seq), keys(&par));
-    }
-
-    /// The work-stealing scheduler must stay deterministic when there are
-    /// far more grouping patterns than worker threads and their costs are
-    /// skewed — the exact scenario the old static chunking served poorly.
-    #[test]
-    fn parallel_equals_sequential_many_skewed_patterns() {
-        let mut rng = StdRng::seed_from_u64(41);
-        let n = 3_000;
-        // 12 countries with a highly skewed row distribution over 4
-        // regions, so grouping-pattern subpopulations differ in size by
-        // more than an order of magnitude.
-        let mut country = Vec::new();
-        let mut region = Vec::new();
-        let mut t = Vec::new();
-        let mut y = Vec::new();
-        for _ in 0..n {
-            let c = loop {
-                let c = rng.gen_range(0..12usize);
-                // Skew: low-index countries are much more common.
-                if rng.gen_range(0..12) >= c {
-                    break c;
-                }
-            };
-            let tr = rng.gen_bool(0.4);
-            country.push(format!("c{c}"));
-            region.push(format!("r{}", c / 3));
-            t.push(if tr { "on" } else { "off" }.to_string());
-            y.push((c / 3) as f64 * 4.0 + 5.0 * tr as i64 as f64 + rng.gen_range(-0.5..0.5));
-        }
-        let table = TableBuilder::new()
-            .cat_owned("country", country)
-            .unwrap()
-            .cat_owned("region", region)
-            .unwrap()
-            .cat_owned("t", t)
-            .unwrap()
-            .float("y", y)
-            .unwrap()
+        crate::ConfigBuilder::new()
+            .k(3)
+            .theta(1.0)
+            .parallel(false)
             .build()
-            .unwrap();
-        let dag = Dag::new(
-            &["country", "region", "t", "y"],
-            &[("country", "y"), ("t", "y")],
-        )
-        .unwrap();
+            .unwrap()
+    }
+
+    #[test]
+    fn shim_matches_session() {
+        let (table, dag) = build();
         let query = GroupByAvgQuery::new(vec![0], 3);
-        let mut cfg = engine_config();
-        cfg.apriori_tau = 0.01; // many grouping patterns
-        cfg.parallel = false;
-        let seq = Causumx::new(&table, &dag, query.clone(), cfg.clone())
+        let shim = Causumx::new(&table, &dag, query.clone(), engine_config())
             .run()
             .unwrap();
-        cfg.parallel = true;
-        let par = Causumx::new(&table, &dag, query, cfg).run().unwrap();
-        assert_eq!(seq.total_weight, par.total_weight);
-        assert_eq!(seq.covered, par.covered);
-        assert_eq!(seq.candidates, par.candidates);
-        assert_eq!(seq.cate_evaluations, par.cate_evaluations);
-        let keys = |s: &Summary| {
-            let mut v: Vec<String> = s.explanations.iter().map(|e| e.grouping.key()).collect();
-            v.sort();
-            v
-        };
-        assert_eq!(keys(&seq), keys(&par));
+        let session = Session::new(table.clone(), dag.clone(), engine_config());
+        let direct = session.prepare(query).unwrap().run();
+        assert_eq!(shim.total_weight.to_bits(), direct.total_weight.to_bits());
+        assert_eq!(shim.covered, direct.covered);
+        assert_eq!(shim.cate_evaluations, direct.cate_evaluations);
     }
 
     #[test]
-    fn greedy_variant_runs() {
+    fn shim_run_with_view_and_explain_group() {
         let (table, dag) = build();
-        let query = GroupByAvgQuery::new(vec![0], 4);
-        let mut cfg = engine_config();
-        cfg.selection = SelectionMethod::Greedy;
-        let s = Causumx::new(&table, &dag, query, cfg).run().unwrap();
-        assert!(!s.explanations.is_empty());
+        let query = GroupByAvgQuery::new(vec![0], 3);
+        let cx = Causumx::new(&table, &dag, query, engine_config());
+        let (summary, view) = cx.run_with_view().unwrap();
+        assert_eq!(view.num_groups(), 4);
+        assert!(summary.covered > 0);
+        let (pos, _neg) = cx
+            .explain_group("FR", 3)
+            .unwrap()
+            .expect("FR is a group label");
+        assert!(!pos.is_empty());
+        assert!(cx.explain_group("Atlantis", 3).unwrap().is_none());
     }
 
     #[test]
-    fn brute_force_weight_at_least_causumx() {
+    fn shim_variants_and_selection() {
         let (table, dag) = build();
-        let query = GroupByAvgQuery::new(vec![0], 4);
+        let query = GroupByAvgQuery::new(vec![0], 3);
         let mut cfg = engine_config();
         cfg.lattice.max_level = 2;
         let cx = Causumx::new(&table, &dag, query, cfg);
         let fast = cx.run().unwrap();
         let brute = cx.run_brute_force().unwrap();
-        assert!(
-            brute.total_weight >= fast.total_weight - 1e-6,
-            "brute {} < fast {}",
-            brute.total_weight,
-            fast.total_weight
-        );
-        assert!(brute.feasible);
+        assert!(brute.total_weight >= fast.total_weight - 1e-6);
+        let candidates = cx.mine_candidates().unwrap();
+        let greedy = cx.select(&candidates, SelectionMethod::Greedy);
+        assert!(!greedy.explanations.is_empty());
     }
 
+    /// Legacy edge cases the shim must preserve: `explain_group` on a
+    /// WHERE-emptied view reports the label as not found (never
+    /// `EmptyView`), and an empty group-by list evaluates to one global
+    /// group instead of being rejected.
     #[test]
-    fn infeasible_theta_flagged() {
+    fn shim_preserves_legacy_edge_semantics() {
         let (table, dag) = build();
-        // Restrict grouping patterns to nothing by querying on country and
-        // demanding k=1 cover of 100% — the continent split covers at most
-        // 2 of 4 groups per pattern.
-        let query = GroupByAvgQuery::new(vec![0], 4);
+        let empty_where = GroupByAvgQuery::new(vec![0], 3).with_where(table::Pattern::single(
+            table::Pred::cmp(3, table::pattern::Op::Lt, -1e9),
+        ));
+        let cx = Causumx::new(&table, &dag, empty_where, engine_config());
+        assert!(cx.explain_group("FR", 3).unwrap().is_none());
+
+        let global = GroupByAvgQuery::new(vec![], 3);
         let mut cfg = engine_config();
-        cfg.k = 1;
-        cfg.theta = 1.0;
-        let s = Causumx::new(&table, &dag, query, cfg).run().unwrap();
-        assert!(!s.feasible);
-        assert!(s.covered < 4);
+        cfg.theta = 0.0;
+        let s = Causumx::new(&table, &dag, global, cfg).run().unwrap();
+        assert_eq!(s.m, 1, "GROUP BY nothing = one global group");
     }
 
     #[test]
-    fn explain_group_drill_down() {
+    fn union_coverage_unions() {
         let (table, dag) = build();
-        let query = GroupByAvgQuery::new(vec![0], 4);
+        let query = GroupByAvgQuery::new(vec![0], 3);
         let cx = Causumx::new(&table, &dag, query, engine_config());
-        let (pos, neg) = cx
-            .explain_group("FR", 3)
-            .unwrap()
-            .expect("FR is a group label");
-        assert!(!pos.is_empty() && !neg.is_empty());
-        // FR is an EU country: education should top the positive list.
-        assert!(
-            pos[0].pattern.display(&table).contains("education = MSc"),
-            "got {}",
-            pos[0].pattern.display(&table)
-        );
-        for w in pos.windows(2) {
-            assert!(w[0].cate >= w[1].cate);
-        }
-        // Unknown label → None.
-        assert!(cx.explain_group("Atlantis", 3).unwrap().is_none());
-    }
-
-    #[test]
-    fn timings_populated() {
-        let (table, dag) = build();
-        let query = GroupByAvgQuery::new(vec![0], 4);
-        let s = Causumx::new(&table, &dag, query, engine_config())
-            .run()
-            .unwrap();
-        assert!(s.timings.treatment_ms > 0.0);
-        assert!(s.timings.total_ms() >= s.timings.treatment_ms);
-        assert!(s.cate_evaluations > 0);
+        let s = cx.run().unwrap();
+        let u = union_coverage(&s.explanations, s.m);
+        assert_eq!(u.count(), s.covered);
     }
 }

@@ -1,16 +1,24 @@
-//! Natural-language rendering of explanation summaries.
+//! Structured reports and their renderings.
 //!
-//! The paper renders each explanation with fixed templates ("Those
-//! templates were generated via prompt questions to ChatGPT", §6) — i.e.
-//! the templates are static text, which we author directly. The output
-//! mirrors Fig. 2 / Fig. 7: one bullet per explanation, naming the grouping
-//! pattern, example groups, and the positive/negative treatments with
-//! effect sizes and p-value bounds.
+//! [`Report`] is the machine-facing output of a run: a plain-data mirror
+//! of a [`Summary`] with every pattern resolved to display strings, so
+//! bench binaries and service front-ends consume fields instead of
+//! scraping rendered text. It serializes itself to JSON with a hand-rolled
+//! writer (the core crate stays dependency-free) and renders the paper's
+//! Fig. 2 / Fig. 7 natural-language bullets via
+//! [`Report::render_text`] — the paper's templates are static text
+//! ("Those templates were generated via prompt questions to ChatGPT", §6),
+//! which we author directly.
+//!
+//! The free functions [`render_summary`] and [`summary_json`] are the
+//! pre-`Report` entry points, kept as thin wrappers.
+
+use std::fmt::Write as _;
 
 use table::query::AggView;
 use table::Table;
 
-use crate::explanation::Summary;
+use crate::explanation::{StepTimings, Summary};
 
 /// Render a `p < 10^e` bound like the paper's report lines.
 pub fn p_bound(p: f64) -> String {
@@ -24,76 +32,251 @@ pub fn p_bound(p: f64) -> String {
     format!("p < 1e{e}")
 }
 
-/// Turn a pattern into prose-ish text using attribute names.
-fn phrase(table: &Table, pattern: &table::Pattern) -> String {
-    pattern.display(table).replace(" AND ", " and ")
+/// One treatment side of a [`ReportExplanation`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportTreatment {
+    /// Display string of the treatment pattern (`"education = MSc"`).
+    pub pattern: String,
+    /// Estimated CATE.
+    pub cate: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Treated units used by the estimator.
+    pub n_treated: usize,
+    /// Control units.
+    pub n_control: usize,
 }
 
-/// Render a whole summary in the Fig. 2 bullet style.
+/// One selected explanation, fully resolved to display strings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportExplanation {
+    /// Display string of the grouping pattern (empty for "all groups").
+    pub grouping: String,
+    /// Labels of the covered output groups, sorted.
+    pub groups: Vec<String>,
+    /// Top positive treatment, if any.
+    pub positive: Option<ReportTreatment>,
+    /// Top negative treatment, if any.
+    pub negative: Option<ReportTreatment>,
+    /// Selection weight `|CATE⁺| + |CATE⁻|`.
+    pub weight: f64,
+}
+
+/// Structured result of a run: the summary-level metrics plus one
+/// [`ReportExplanation`] per selected explanation. Built by
+/// [`Report::new`] or [`crate::session::PreparedQuery::report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Name of the averaged (outcome) attribute.
+    pub outcome: String,
+    /// Number of groups in the view, `m`.
+    pub m: usize,
+    /// Groups covered by the union of selected grouping patterns.
+    pub covered: usize,
+    /// Whether `covered ≥ ⌈θ·m⌉`.
+    pub feasible: bool,
+    /// Total explainability Σ w_j.
+    pub total_weight: f64,
+    /// Candidate explanation patterns fed to selection.
+    pub candidates: usize,
+    /// CATE estimations performed during treatment mining.
+    pub cate_evaluations: usize,
+    /// Per-phase wall-clock.
+    pub timings: StepTimings,
+    /// The selected explanations.
+    pub explanations: Vec<ReportExplanation>,
+}
+
+impl Report {
+    /// Resolve a [`Summary`] against its table and view.
+    pub fn new(table: &Table, view: &AggView, summary: &Summary, outcome_name: &str) -> Self {
+        let explanations = summary
+            .explanations
+            .iter()
+            .map(|e| {
+                let mut groups: Vec<String> = e
+                    .coverage
+                    .iter()
+                    .map(|g| view.group_label(table, g))
+                    .collect();
+                groups.sort();
+                let treatment = |t: &mining::treatment::TreatmentResult| ReportTreatment {
+                    pattern: t.pattern.display(table),
+                    cate: t.cate,
+                    p_value: t.p_value,
+                    n_treated: t.n_treated,
+                    n_control: t.n_control,
+                };
+                ReportExplanation {
+                    grouping: e.grouping.display(table),
+                    groups,
+                    positive: e.positive.as_ref().map(treatment),
+                    negative: e.negative.as_ref().map(treatment),
+                    weight: e.weight,
+                }
+            })
+            .collect();
+        Report {
+            outcome: outcome_name.to_string(),
+            m: summary.m,
+            covered: summary.covered,
+            feasible: summary.feasible,
+            total_weight: summary.total_weight,
+            candidates: summary.candidates,
+            cate_evaluations: summary.cate_evaluations,
+            timings: summary.timings,
+            explanations,
+        }
+    }
+
+    /// Coverage as a fraction of `m`.
+    pub fn coverage_fraction(&self) -> f64 {
+        if self.m == 0 {
+            0.0
+        } else {
+            self.covered as f64 / self.m as f64
+        }
+    }
+
+    /// Render the Fig. 2-style natural-language bullets.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if self.explanations.is_empty() {
+            out.push_str("No explanation patterns satisfied the constraints.\n");
+            return out;
+        }
+        let outcome = &self.outcome;
+        for e in &self.explanations {
+            let examples: Vec<&str> = e.groups.iter().take(3).map(String::as_str).collect();
+            let group_desc = if e.grouping.is_empty() {
+                "all groups".to_string()
+            } else {
+                format!("groups where {}", e.grouping.replace(" AND ", " and "))
+            };
+            let _ = write!(
+                out,
+                "\u{2022} For {group_desc} (e.g., {}; {} group{}),",
+                examples.join(", "),
+                e.groups.len(),
+                if e.groups.len() == 1 { "" } else { "s" },
+            );
+            match &e.positive {
+                Some(t) => {
+                    let _ = write!(
+                        out,
+                        " the most substantial effect on high {outcome} (effect size {:.2}, {}) is observed for {}.",
+                        t.cate,
+                        p_bound(t.p_value),
+                        t.pattern.replace(" AND ", " and "),
+                    );
+                }
+                None => {
+                    let _ = write!(
+                        out,
+                        " no statistically significant positive treatment on {outcome} was found.",
+                    );
+                }
+            }
+            match &e.negative {
+                Some(t) => {
+                    let _ = write!(
+                        out,
+                        " Conversely, {} has the greatest adverse impact on {outcome} (effect size {:.2}, {}).",
+                        t.pattern.replace(" AND ", " and "),
+                        t.cate,
+                        p_bound(t.p_value),
+                    );
+                }
+                None => out.push_str(" No significant adverse treatment was found."),
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "[coverage {}/{} groups, total explainability {:.2}{}]",
+            self.covered,
+            self.m,
+            self.total_weight,
+            if self.feasible {
+                ""
+            } else {
+                ", coverage constraint NOT met"
+            },
+        );
+        out
+    }
+
+    /// Serialize as JSON. Hand-rolled to keep the core crate
+    /// dependency-free; the structure is stable and pinned by tests.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"outcome\":\"{}\",\"m\":{},\"covered\":{},\"feasible\":{},\
+             \"total_explainability\":{:.6},\"candidates\":{},\"cate_evaluations\":{},\
+             \"timings\":{{\"grouping_ms\":{:.3},\"treatment_ms\":{:.3},\"selection_ms\":{:.3}}},\
+             \"explanations\":[",
+            json_escape(&self.outcome),
+            self.m,
+            self.covered,
+            self.feasible,
+            self.total_weight,
+            self.candidates,
+            self.cate_evaluations,
+            self.timings.grouping_ms,
+            self.timings.treatment_ms,
+            self.timings.selection_ms,
+        );
+        for (i, e) in self.explanations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let groups: Vec<String> = e
+                .groups
+                .iter()
+                .map(|g| format!("\"{}\"", json_escape(g)))
+                .collect();
+            let _ = write!(
+                out,
+                "{{\"grouping\":\"{}\",\"groups\":[{}]",
+                json_escape(&e.grouping),
+                groups.join(",")
+            );
+            for (key, t) in [("positive", &e.positive), ("negative", &e.negative)] {
+                match t {
+                    Some(t) => {
+                        let _ = write!(
+                            out,
+                            ",\"{key}\":{{\"pattern\":\"{}\",\"cate\":{:.6},\"p_value\":{:e},\
+                             \"n_treated\":{},\"n_control\":{}}}",
+                            json_escape(&t.pattern),
+                            t.cate,
+                            t.p_value,
+                            t.n_treated,
+                            t.n_control
+                        );
+                    }
+                    None => {
+                        let _ = write!(out, ",\"{key}\":null");
+                    }
+                }
+            }
+            let _ = write!(out, ",\"weight\":{:.6}}}", e.weight);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Render a whole summary in the Fig. 2 bullet style (wrapper over
+/// [`Report::render_text`]).
 pub fn render_summary(
     table: &Table,
     view: &AggView,
     summary: &Summary,
     outcome_name: &str,
 ) -> String {
-    let mut out = String::new();
-    if summary.explanations.is_empty() {
-        out.push_str("No explanation patterns satisfied the constraints.\n");
-        return out;
-    }
-    for e in &summary.explanations {
-        let mut labels: Vec<String> = e
-            .coverage
-            .iter()
-            .map(|g| view.group_label(table, g))
-            .collect();
-        labels.sort();
-        let examples: Vec<&str> = labels.iter().take(3).map(String::as_str).collect();
-        let group_desc = if e.grouping.is_empty() {
-            "all groups".to_string()
-        } else {
-            format!("groups where {}", phrase(table, &e.grouping))
-        };
-        out.push_str(&format!(
-            "\u{2022} For {group_desc} (e.g., {}; {} group{}),",
-            examples.join(", "),
-            labels.len(),
-            if labels.len() == 1 { "" } else { "s" },
-        ));
-        match &e.positive {
-            Some(t) => out.push_str(&format!(
-                " the most substantial effect on high {outcome_name} (effect size {:.2}, {}) is observed for {}.",
-                t.cate,
-                p_bound(t.p_value),
-                phrase(table, &t.pattern),
-            )),
-            None => out.push_str(&format!(
-                " no statistically significant positive treatment on {outcome_name} was found.",
-            )),
-        }
-        match &e.negative {
-            Some(t) => out.push_str(&format!(
-                " Conversely, {} has the greatest adverse impact on {outcome_name} (effect size {:.2}, {}).",
-                phrase(table, &t.pattern),
-                t.cate,
-                p_bound(t.p_value),
-            )),
-            None => out.push_str(" No significant adverse treatment was found."),
-        }
-        out.push('\n');
-    }
-    out.push_str(&format!(
-        "[coverage {}/{} groups, total explainability {:.2}{}]\n",
-        summary.covered,
-        summary.m,
-        summary.total_weight,
-        if summary.feasible {
-            ""
-        } else {
-            ", coverage constraint NOT met"
-        },
-    ));
-    out
+    Report::new(table, view, summary, outcome_name).render_text()
 }
 
 /// Minimal JSON string escaping.
@@ -106,53 +289,20 @@ fn json_escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }
     out
 }
 
-/// Serialize a summary as JSON for downstream tooling (dashboards, the
-/// prototype UI the paper describes). Hand-rolled to keep the core crate
-/// dependency-free; the structure is stable and documented by the test.
+/// Serialize a summary as JSON (wrapper over [`Report::to_json`], naming
+/// the outcome after the view's averaged attribute).
 pub fn summary_json(table: &Table, view: &AggView, summary: &Summary) -> String {
-    let mut out = String::from("{");
-    out.push_str(&format!(
-        "\"m\":{},\"covered\":{},\"feasible\":{},\"total_explainability\":{:.6},\"explanations\":[",
-        summary.m, summary.covered, summary.feasible, summary.total_weight
-    ));
-    for (i, e) in summary.explanations.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let groups: Vec<String> = e
-            .coverage
-            .iter()
-            .map(|g| format!("\"{}\"", json_escape(&view.group_label(table, g))))
-            .collect();
-        out.push_str(&format!(
-            "{{\"grouping\":\"{}\",\"groups\":[{}]",
-            json_escape(&e.grouping.display(table)),
-            groups.join(",")
-        ));
-        for (key, t) in [("positive", &e.positive), ("negative", &e.negative)] {
-            match t {
-                Some(t) => out.push_str(&format!(
-                    ",\"{key}\":{{\"pattern\":\"{}\",\"cate\":{:.6},\"p_value\":{:e},\"n_treated\":{},\"n_control\":{}}}",
-                    json_escape(&t.pattern.display(table)),
-                    t.cate,
-                    t.p_value,
-                    t.n_treated,
-                    t.n_control
-                )),
-                None => out.push_str(&format!(",\"{key}\":null")),
-            }
-        }
-        out.push_str(&format!(",\"weight\":{:.6}}}", e.weight));
-    }
-    out.push_str("]}");
-    out
+    let outcome = table.schema().field(view.avg_attr).name.clone();
+    Report::new(table, view, summary, &outcome).to_json()
 }
 
 #[cfg(test)]
@@ -223,6 +373,8 @@ mod tests {
         assert!(j.contains("\"grouping\":\"continent = EU\""));
         assert!(j.contains("\"negative\":null"));
         assert!(j.contains("\"cate\":36.000000"));
+        assert!(j.contains("\"outcome\":\"salary\""));
+        assert!(j.contains("\"cate_evaluations\":10"));
         // Balanced braces/brackets as a cheap well-formedness check.
         let braces: i64 = j
             .chars()
@@ -233,6 +385,24 @@ mod tests {
             })
             .sum();
         assert_eq!(braces, 0);
+    }
+
+    #[test]
+    fn report_fields_mirror_summary() {
+        let (table, view, summary) = setup();
+        let report = Report::new(&table, &view, &summary, "salary");
+        assert_eq!(report.m, summary.m);
+        assert_eq!(report.covered, summary.covered);
+        assert_eq!(report.candidates, 1);
+        assert_eq!(report.explanations.len(), 1);
+        let e = &report.explanations[0];
+        assert_eq!(e.grouping, "continent = EU");
+        assert_eq!(e.groups, vec!["DE".to_string(), "FR".to_string()]);
+        let pos = e.positive.as_ref().unwrap();
+        assert_eq!(pos.pattern, "edu = MSc");
+        assert_eq!(pos.cate, 36.0);
+        assert!(e.negative.is_none());
+        assert!((report.coverage_fraction() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

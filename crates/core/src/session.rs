@@ -1,0 +1,1097 @@
+//! The session-oriented engine API.
+//!
+//! The paper's prototype is interactive: an analyst binds a dataset and a
+//! causal DAG once, then issues many group-by/AVG queries and drill-downs
+//! against them (§4.2). [`Session`] is that shape: it owns the [`Table`]
+//! and [`Dag`], and amortizes every piece of per-dataset state across
+//! queries —
+//!
+//! * the FD attribute split (grouping vs treatment attributes) is cached
+//!   per group-by set,
+//! * backdoor adjustment sets are memoized in one [`BackdoorMemo`] shared
+//!   by every query's treatment miner,
+//! * each prepared query materializes its aggregate view and
+//!   atomic-treatment space exactly once, no matter how often it is
+//!   re-run; per-group row bitsets are built lazily — all groups in a
+//!   single pass on the first drill-down — and cached.
+//!
+//! Queries are built by name through [`Session::query`], from SQL through
+//! [`Session::sql`], or from a raw [`GroupByAvgQuery`] through
+//! [`Session::prepare`]; all three resolve to a validated
+//! [`PreparedQuery`] whose `run`/`explain_group` methods are infallible.
+//!
+//! ```
+//! use causumx::{ConfigBuilder, Session};
+//! use table::TableBuilder;
+//!
+//! let table = TableBuilder::new()
+//!     .cat("country", &["US", "US", "FR", "FR", "IN", "IN"]).unwrap()
+//!     .cat("education", &["PhD", "BSc", "PhD", "BSc", "PhD", "BSc"]).unwrap()
+//!     .float("salary", vec![120.0, 80.0, 90.0, 60.0, 40.0, 20.0]).unwrap()
+//!     .build().unwrap();
+//! let dag = causal::Dag::new(
+//!     &["country", "education", "salary"],
+//!     &[("country", "salary"), ("education", "salary")],
+//! ).unwrap();
+//!
+//! let config = ConfigBuilder::new().k(2).theta(1.0).min_arm(2).build().unwrap();
+//! let session = Session::new(table, dag, config);
+//! let query = session.query().group_by("country").avg("salary").prepare().unwrap();
+//! let summary = query.run();
+//! assert_eq!(summary.m, 3);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+use causal::dag::Dag;
+use lpsolve::cover::{
+    exhaustive_best, greedy_cover, randomized_rounding, solve_lp_relaxation, CoverInstance,
+    CoverSolution,
+};
+use mining::grouping::{mine_grouping_patterns, GroupingPattern};
+use mining::treatment::{BackdoorMemo, TreatmentMiner, TreatmentResult};
+use table::fd::fd_closure;
+use table::pattern::Pattern;
+use table::query::{AggView, GroupByAvgQuery};
+use table::{Table, TableError};
+
+use crate::config::{CausumxConfig, SelectionMethod};
+use crate::error::Error;
+use crate::explanation::{Explanation, StepTimings, Summary};
+use crate::pipeline::CandidateSet;
+use crate::render::Report;
+
+/// The FD-driven attribute split of §4.1 for one group-by set: attributes
+/// functionally determined by the group-by (grouping-pattern candidates)
+/// vs everything else (treatment-pattern candidates).
+#[derive(Debug, Clone)]
+pub struct AttrSplit {
+    /// Attributes `W` with `A_gb → W` — eligible for grouping patterns.
+    pub grouping: Vec<usize>,
+    /// The complement — eligible for treatment patterns.
+    pub treatment: Vec<usize>,
+}
+
+/// Monotone work counters of a [`Session`] — the observability hook that
+/// lets callers (and the test suite) assert that repeated queries do zero
+/// redundant per-dataset work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// Aggregate views materialized (one per [`Session::prepare`]).
+    pub views_materialized: usize,
+    /// FD closures actually computed (cache misses).
+    pub fd_closures_computed: usize,
+    /// Backdoor DAG walks actually performed (memo misses).
+    pub backdoor_walks: usize,
+    /// Queries prepared.
+    pub queries_prepared: usize,
+    /// Full mining passes executed (`run`/`mine_candidates`).
+    pub runs: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    views_materialized: AtomicUsize,
+    fd_closures_computed: AtomicUsize,
+    queries_prepared: AtomicUsize,
+    runs: AtomicUsize,
+}
+
+/// A long-lived engine bound to one dataset and causal DAG, serving many
+/// queries. See the [module docs](self) for the caching contract.
+pub struct Session {
+    table: Table,
+    dag: Dag,
+    config: CausumxConfig,
+    /// FD split per `(sorted group-by set, avg attribute)`.
+    fd_cache: RwLock<HashMap<(Vec<usize>, usize), Arc<AttrSplit>>>,
+    /// Backdoor-set memo shared by every miner this session builds.
+    backdoor: Arc<BackdoorMemo>,
+    counters: Counters,
+}
+
+impl Session {
+    /// Bind a dataset and DAG under a configuration. The configuration is
+    /// accepted as-is; use [`crate::ConfigBuilder`] to obtain a validated
+    /// one.
+    pub fn new(table: Table, dag: Dag, config: CausumxConfig) -> Self {
+        Session {
+            table,
+            dag,
+            config,
+            fd_cache: RwLock::new(HashMap::new()),
+            backdoor: Arc::new(BackdoorMemo::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The bound table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The bound causal DAG.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &CausumxConfig {
+        &self.config
+    }
+
+    /// Replace the configuration. Dataset-level caches (FD splits,
+    /// backdoor memo) survive — they do not depend on the configuration;
+    /// queries prepared *before* the change keep their snapshot.
+    pub fn set_config(&mut self, config: CausumxConfig) {
+        self.config = config;
+    }
+
+    /// Snapshot of the session's work counters.
+    pub fn counters(&self) -> SessionCounters {
+        SessionCounters {
+            views_materialized: self.counters.views_materialized.load(Ordering::Relaxed),
+            fd_closures_computed: self.counters.fd_closures_computed.load(Ordering::Relaxed),
+            backdoor_walks: self.backdoor.walks(),
+            queries_prepared: self.counters.queries_prepared.load(Ordering::Relaxed),
+            runs: self.counters.runs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Start a name-based [`QueryBuilder`].
+    pub fn query(&self) -> QueryBuilder<'_> {
+        QueryBuilder {
+            session: self,
+            group_by: Vec::new(),
+            avg: None,
+            where_pattern: None,
+            where_sql: None,
+        }
+    }
+
+    /// Parse a full `SELECT …, AVG(…) FROM … [WHERE …] GROUP BY …`
+    /// statement and prepare it. Parse failures carry the byte position of
+    /// the offending token ([`Error::Sql`]).
+    pub fn sql(&self, statement: &str) -> Result<PreparedQuery<'_>, Error> {
+        let query = table::sql::parse_query(&self.table, statement)?;
+        self.prepare(query)
+    }
+
+    /// Validate a raw [`GroupByAvgQuery`] and precompute everything it
+    /// needs: the materialized view, per-group row bitsets, the FD
+    /// attribute split (cached across queries) and the treatment miner
+    /// (atom space + shared backdoor memo).
+    ///
+    /// An empty `group_by` is accepted here (it evaluates to a single
+    /// global group, as the raw query always did) — the name-based
+    /// [`QueryBuilder`] is stricter and requires at least one group-by
+    /// attribute.
+    pub fn prepare(&self, query: GroupByAvgQuery) -> Result<PreparedQuery<'_>, Error> {
+        let view = query.run(&self.table)?;
+        self.counters
+            .views_materialized
+            .fetch_add(1, Ordering::Relaxed);
+        if view.num_groups() == 0 {
+            return Err(Error::EmptyView);
+        }
+        let split = self.attr_split(&query);
+        let miner = TreatmentMiner::with_memo(
+            &self.table,
+            &self.dag,
+            query.avg,
+            &split.treatment,
+            self.config.lattice.clone(),
+            Arc::clone(&self.backdoor),
+        );
+        self.counters
+            .queries_prepared
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(PreparedQuery {
+            session: self,
+            config: self.config.clone(),
+            query,
+            view,
+            group_bits: OnceLock::new(),
+            split,
+            miner,
+        })
+    }
+
+    /// FD split for a group-by set, computed once per distinct set.
+    fn attr_split(&self, query: &GroupByAvgQuery) -> Arc<AttrSplit> {
+        let mut gb = query.group_by.clone();
+        gb.sort_unstable();
+        gb.dedup();
+        let key = (gb, query.avg);
+        if let Some(hit) = self.fd_cache.read().expect("fd cache poisoned").get(&key) {
+            return Arc::clone(hit);
+        }
+        let grouping = fd_closure(&self.table, &query.group_by, &[query.avg]);
+        let treatment: Vec<usize> = (0..self.table.ncols())
+            .filter(|a| !query.group_by.contains(a) && *a != query.avg && !grouping.contains(a))
+            .collect();
+        self.counters
+            .fd_closures_computed
+            .fetch_add(1, Ordering::Relaxed);
+        let split = Arc::new(AttrSplit {
+            grouping,
+            treatment,
+        });
+        self.fd_cache
+            .write()
+            .expect("fd cache poisoned")
+            .insert(key, Arc::clone(&split));
+        split
+    }
+}
+
+/// Which column a builder clause refers to: by name or by index.
+#[derive(Debug, Clone)]
+enum ColRef {
+    Name(String),
+    Index(usize),
+}
+
+/// Name-based query builder obtained from [`Session::query`].
+///
+/// ```text
+/// session.query().group_by("Country").avg("Salary").where_sql("Age < 30").prepare()?
+/// ```
+///
+/// Column references are resolved and validated at [`QueryBuilder::prepare`]
+/// time; errors name the offending attribute.
+pub struct QueryBuilder<'s> {
+    session: &'s Session,
+    group_by: Vec<ColRef>,
+    avg: Option<ColRef>,
+    where_pattern: Option<Pattern>,
+    where_sql: Option<String>,
+}
+
+impl<'s> QueryBuilder<'s> {
+    /// Add a group-by attribute by name.
+    pub fn group_by(mut self, name: &str) -> Self {
+        self.group_by.push(ColRef::Name(name.to_string()));
+        self
+    }
+
+    /// Add a group-by attribute by column index.
+    pub fn group_by_index(mut self, attr: usize) -> Self {
+        self.group_by.push(ColRef::Index(attr));
+        self
+    }
+
+    /// Set the averaged attribute by name.
+    pub fn avg(mut self, name: &str) -> Self {
+        self.avg = Some(ColRef::Name(name.to_string()));
+        self
+    }
+
+    /// Set the averaged attribute by column index.
+    pub fn avg_index(mut self, attr: usize) -> Self {
+        self.avg = Some(ColRef::Index(attr));
+        self
+    }
+
+    /// Attach a conjunctive WHERE clause as SQL (`"Age < 30 AND Country =
+    /// 'US'"`), parsed at prepare time.
+    pub fn where_sql(mut self, clause: &str) -> Self {
+        self.where_sql = Some(clause.to_string());
+        self
+    }
+
+    /// Attach a pre-built WHERE [`Pattern`].
+    pub fn where_pattern(mut self, phi: Pattern) -> Self {
+        self.where_pattern = Some(phi);
+        self
+    }
+
+    /// Resolve names, validate, and prepare the query.
+    pub fn prepare(self) -> Result<PreparedQuery<'s>, Error> {
+        let table = &self.session.table;
+        let resolve = |r: &ColRef| -> Result<usize, Error> {
+            match r {
+                ColRef::Name(name) => Ok(table.attr(name)?),
+                ColRef::Index(i) => {
+                    if *i < table.ncols() {
+                        Ok(*i)
+                    } else {
+                        Err(TableError::BadColumnIndex(*i).into())
+                    }
+                }
+            }
+        };
+        let group_by = self
+            .group_by
+            .iter()
+            .map(resolve)
+            .collect::<Result<Vec<usize>, Error>>()?;
+        if group_by.is_empty() {
+            return Err(Error::InvalidQuery(
+                "query must group by at least one attribute".into(),
+            ));
+        }
+        let avg = match &self.avg {
+            Some(r) => resolve(r)?,
+            None => {
+                return Err(Error::InvalidQuery(
+                    "query must specify the averaged attribute (avg)".into(),
+                ))
+            }
+        };
+        let mut query = GroupByAvgQuery::new(group_by, avg);
+        match (self.where_pattern, &self.where_sql) {
+            (Some(_), Some(_)) => {
+                return Err(Error::InvalidQuery(
+                    "use either where_sql or where_pattern, not both".into(),
+                ))
+            }
+            (Some(phi), None) => query = query.with_where(phi),
+            (None, Some(src)) => query = query.with_where(table::sql::parse_where(table, src)?),
+            (None, None) => {}
+        }
+        self.session.prepare(query)
+    }
+
+    /// Prepare and run once — convenience for one-shot callers.
+    pub fn run(self) -> Result<Summary, Error> {
+        Ok(self.prepare()?.run())
+    }
+}
+
+/// A validated, fully precomputed query bound to its [`Session`]. Running
+/// it (any number of times), drilling into groups, and rendering reports
+/// are all infallible — every failure mode was ruled out at prepare time.
+pub struct PreparedQuery<'s> {
+    session: &'s Session,
+    /// Configuration snapshot taken at prepare time.
+    config: CausumxConfig,
+    query: GroupByAvgQuery,
+    view: AggView,
+    /// Row bitset per output group, built all at once (one pass over the
+    /// view's row→group map) on the first drill-down and cached. Lazy:
+    /// `run()` never touches per-group bitsets, and eager construction
+    /// would cost `O(m·n)` bits of memory per prepared query up front.
+    group_bits: OnceLock<Vec<table::BitSet>>,
+    split: Arc<AttrSplit>,
+    miner: TreatmentMiner<'s>,
+}
+
+impl<'s> PreparedQuery<'s> {
+    /// The materialized aggregate view `Q(D)`.
+    pub fn view(&self) -> &AggView {
+        &self.view
+    }
+
+    /// The underlying query.
+    pub fn query(&self) -> &GroupByAvgQuery {
+        &self.query
+    }
+
+    /// The session this query is bound to.
+    pub fn session(&self) -> &'s Session {
+        self.session
+    }
+
+    /// The FD attribute split backing this query.
+    pub fn attr_split(&self) -> &AttrSplit {
+        &self.split
+    }
+
+    /// Row bitset of output group `g` (cached across calls; all groups
+    /// are built in one pass on first use).
+    pub fn group_bits(&self, g: usize) -> &table::BitSet {
+        &self.group_bits.get_or_init(|| self.view.group_bits_all())[g]
+    }
+
+    /// Run the full pipeline (Algorithm 1). Deterministic: repeated calls
+    /// return bit-identical summaries while reusing every piece of
+    /// prepared state (view, group bitsets, FD split, atom space,
+    /// backdoor memo).
+    pub fn run(&self) -> Summary {
+        let candidates = self.mine_candidates();
+        self.select(&candidates, self.config.selection)
+    }
+
+    /// The `Brute-Force` baseline: exhaustive grouping patterns (τ = 0)
+    /// and treatments (full lattice), exact branch-and-bound selection.
+    pub fn run_brute_force(&self) -> Summary {
+        let candidates = self.mine_candidates_brute();
+        self.select(&candidates, SelectionMethod::Exhaustive)
+    }
+
+    /// The `Brute-Force-LP` variant: exhaustive candidates, LP-rounding
+    /// selection.
+    pub fn run_brute_force_lp(&self) -> Summary {
+        let candidates = self.mine_candidates_brute();
+        self.select(&candidates, SelectionMethod::LpRounding)
+    }
+
+    /// Steps 1+2 of Algorithm 1 over the prepared state.
+    pub fn mine_candidates(&self) -> CandidateSet {
+        self.mine_candidates_inner(false)
+    }
+
+    fn mine_candidates_brute(&self) -> CandidateSet {
+        self.mine_candidates_inner(true)
+    }
+
+    fn mine_candidates_inner(&self, exhaustive: bool) -> CandidateSet {
+        self.session.counters.runs.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let tau = if exhaustive {
+            0.0
+        } else {
+            self.config.apriori_tau
+        };
+        let groupings = mine_grouping_patterns(
+            &self.session.table,
+            &self.view,
+            &self.split.grouping,
+            tau,
+            self.config.max_grouping_len,
+        );
+        let grouping_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let (explanations, cate_evaluations) = self.mine_treatments(&groupings, exhaustive);
+        let treatment_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        CandidateSet {
+            view: self.view.clone(),
+            explanations,
+            grouping_ms,
+            treatment_ms,
+            cate_evaluations,
+        }
+    }
+
+    /// Step 2 over a fixed grouping-pattern list. `exhaustive` switches
+    /// between Algorithm 2 and full lattice enumeration.
+    fn mine_treatments(
+        &self,
+        groupings: &[GroupingPattern],
+        exhaustive: bool,
+    ) -> (Vec<Explanation>, usize) {
+        let miner = &self.miner;
+        let config = &self.config;
+
+        let work = |gp: &GroupingPattern| -> (Explanation, usize) {
+            // Subpopulations stay bitsets end-to-end — no byte-mask
+            // round-trip between the grouping miner and the lattice walk.
+            let subpop = &gp.rows;
+            let mut evals = 0usize;
+            let (positive, negative) = if exhaustive {
+                let all = miner.all_treatments(subpop, config.lattice.max_level);
+                evals += all.len();
+                let sig = |t: &&TreatmentResult| t.p_value <= config.lattice.max_p_value;
+                let pos = all
+                    .iter()
+                    .filter(sig)
+                    .filter(|t| t.cate > 0.0)
+                    .max_by(|a, b| a.cate.partial_cmp(&b.cate).unwrap())
+                    .cloned();
+                let neg = if config.mine_negative {
+                    all.iter()
+                        .filter(sig)
+                        .filter(|t| t.cate < 0.0)
+                        .min_by(|a, b| a.cate.partial_cmp(&b.cate).unwrap())
+                        .cloned()
+                } else {
+                    None
+                };
+                (pos, neg)
+            } else {
+                // One estimation-context cache serves both the positive
+                // and the negative walk of this grouping pattern.
+                let mut paired = miner.top_treatments_paired(subpop, 1, config.mine_negative);
+                evals += paired.stats.evaluated;
+                (paired.positive.pop(), paired.negative.pop())
+            };
+            (
+                Explanation::new(gp.pattern.clone(), gp.coverage.clone(), positive, negative),
+                evals,
+            )
+        };
+
+        let results: Vec<(Explanation, usize)> = if config.parallel && groupings.len() > 1 {
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(groupings.len());
+            // Work stealing via a shared atomic index: grouping patterns
+            // vary wildly in subpopulation size and lattice depth, so
+            // static chunking would let one expensive pattern serialize a
+            // whole chunk while other workers sat idle.
+            let next = AtomicUsize::new(0);
+            let work = &work;
+            let next = &next;
+            let mut indexed: Vec<(usize, (Explanation, usize))> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        s.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(gp) = groupings.get(i) else {
+                                    break;
+                                };
+                                local.push((i, work(gp)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("treatment-mining worker panicked"))
+                    .collect()
+            });
+            // Deterministic output: restore grouping-pattern order.
+            indexed.sort_unstable_by_key(|(i, _)| *i);
+            indexed.into_iter().map(|(_, r)| r).collect()
+        } else {
+            groupings.iter().map(work).collect()
+        };
+
+        let mut evals = 0;
+        let mut explanations = Vec::new();
+        for (e, n) in results {
+            evals += n;
+            if e.has_treatment() {
+                explanations.push(e);
+            }
+        }
+        (explanations, evals)
+    }
+
+    /// Step 3: selection by the requested method over mined candidates,
+    /// under this query's configuration snapshot.
+    pub fn select(&self, candidates: &CandidateSet, method: SelectionMethod) -> Summary {
+        select_candidates(&self.config, candidates, method)
+    }
+
+    /// Drill-down: the top-`k` positive and negative treatment patterns
+    /// for a *single* output group (by its display label) — the
+    /// prototype-UI affordance §4.2 describes. Uses the precomputed view
+    /// and group bitsets (no query re-run) and one shared estimation
+    /// context for both directions. Returns `None` when the label does not
+    /// match any group of the view.
+    pub fn explain_group(
+        &self,
+        label: &str,
+        k: usize,
+    ) -> Option<(Vec<TreatmentResult>, Vec<TreatmentResult>)> {
+        let table = &self.session.table;
+        let gid =
+            (0..self.view.num_groups()).find(|&g| self.view.group_label(table, g) == label)?;
+        let paired = self
+            .miner
+            .top_treatments_paired(self.group_bits(gid), k, true);
+        Some((paired.positive, paired.negative))
+    }
+
+    /// Build a structured [`Report`] from a summary of this query.
+    pub fn report(&self, summary: &Summary) -> Report {
+        let outcome = self
+            .session
+            .table
+            .schema()
+            .field(self.query.avg)
+            .name
+            .clone();
+        Report::new(&self.session.table, &self.view, summary, &outcome)
+    }
+}
+
+/// Selection (step 3 of Algorithm 1) as a standalone function: pick at
+/// most `config.k` candidates covering at least `⌈θ·m⌉` groups with
+/// maximum total weight, by the requested method. Usable with candidates
+/// mined elsewhere (the sweep benchmarks re-select one candidate set
+/// under many configurations).
+pub fn select_candidates(
+    config: &CausumxConfig,
+    candidates: &CandidateSet,
+    method: SelectionMethod,
+) -> Summary {
+    let m = candidates.view.num_groups();
+    let t0 = Instant::now();
+    let inst = CoverInstance {
+        weights: candidates.explanations.iter().map(|e| e.weight).collect(),
+        covers: candidates
+            .explanations
+            .iter()
+            .map(|e| e.coverage.clone())
+            .collect(),
+        m,
+        k: config.k,
+        theta: config.theta,
+    };
+
+    let solution: Option<CoverSolution> = match method {
+        SelectionMethod::LpRounding => solve_lp_relaxation(&inst)
+            .and_then(|g| randomized_rounding(&inst, &g, config.rounding_rounds, config.seed))
+            // LP infeasible ⇒ ILP infeasible; fall back to the best
+            // effort greedy so users still get output (flagged
+            // infeasible).
+            .or_else(|| greedy_cover(&inst)),
+        SelectionMethod::Greedy => greedy_cover(&inst),
+        SelectionMethod::Exhaustive => exhaustive_best(&inst).or_else(|| greedy_cover(&inst)),
+    };
+    let selection_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let (explanations, covered, total_weight, feasible) = match solution {
+        Some(sol) => {
+            let chosen: Vec<Explanation> = sol
+                .chosen
+                .iter()
+                .map(|&j| candidates.explanations[j].clone())
+                .collect();
+            (chosen, sol.coverage, sol.total_weight, sol.feasible)
+        }
+        None => (Vec::new(), 0, 0.0, false),
+    };
+
+    Summary {
+        explanations,
+        m,
+        covered,
+        feasible,
+        total_weight,
+        candidates: candidates.explanations.len(),
+        cate_evaluations: candidates.cate_evaluations,
+        timings: StepTimings {
+            grouping_ms: candidates.grouping_ms,
+            treatment_ms: candidates.treatment_ms,
+            selection_ms,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use table::TableBuilder;
+
+    /// Stack-Overflow-shaped toy data: 4 countries with FDs to continent;
+    /// education raises salary in EU countries, student status lowers it
+    /// everywhere; Asia countries get a different dominant treatment.
+    fn build() -> (Table, Dag) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let countries = ["FR", "DE", "IN", "CN"];
+        let continent = |c: &str| match c {
+            "FR" | "DE" => "EU",
+            _ => "Asia",
+        };
+        let n = 4000;
+        let mut c_col = Vec::new();
+        let mut k_col = Vec::new();
+        let mut edu = Vec::new();
+        let mut student = Vec::new();
+        let mut salary = Vec::new();
+        for _ in 0..n {
+            let c = countries[rng.gen_range(0..4)];
+            let e = if rng.gen_bool(0.5) { "MSc" } else { "BSc" };
+            let s = if rng.gen_bool(0.25) { "yes" } else { "no" };
+            let base = match c {
+                "FR" => 60.0,
+                "DE" => 65.0,
+                "IN" => 20.0,
+                "CN" => 25.0,
+                _ => unreachable!(),
+            };
+            let eu = continent(c) == "EU";
+            let mut y = base + rng.gen_range(-2.0..2.0);
+            if e == "MSc" {
+                y += if eu { 30.0 } else { 8.0 };
+            }
+            if s == "yes" {
+                y -= if eu { 35.0 } else { 10.0 };
+            }
+            c_col.push(c.to_string());
+            k_col.push(continent(c).to_string());
+            edu.push(e.to_string());
+            student.push(s.to_string());
+            salary.push(y);
+        }
+        let table = TableBuilder::new()
+            .cat_owned("country", c_col)
+            .unwrap()
+            .cat_owned("continent", k_col)
+            .unwrap()
+            .cat_owned("education", edu)
+            .unwrap()
+            .cat_owned("student", student)
+            .unwrap()
+            .float("salary", salary)
+            .unwrap()
+            .build()
+            .unwrap();
+        let dag = Dag::new(
+            &["country", "continent", "education", "student", "salary"],
+            &[
+                ("country", "salary"),
+                ("education", "salary"),
+                ("student", "salary"),
+            ],
+        )
+        .unwrap();
+        (table, dag)
+    }
+
+    fn engine_config() -> CausumxConfig {
+        crate::ConfigBuilder::new()
+            .k(3)
+            .theta(1.0)
+            .parallel(false)
+            .build()
+            .unwrap()
+    }
+
+    fn build_session() -> Session {
+        let (table, dag) = build();
+        Session::new(table, dag, engine_config())
+    }
+
+    #[test]
+    fn end_to_end_covers_all_groups() {
+        let session = build_session();
+        let pq = session
+            .query()
+            .group_by("country")
+            .avg("salary")
+            .prepare()
+            .unwrap();
+        let summary = pq.run();
+        assert_eq!(summary.m, 4);
+        assert!(summary.feasible, "θ=1 should be satisfiable: {summary:?}");
+        assert_eq!(summary.covered, 4);
+        assert!(!summary.explanations.is_empty());
+        assert!(summary.total_weight > 0.0);
+    }
+
+    #[test]
+    fn eu_explanation_finds_education_and_student() {
+        let session = build_session();
+        let pq = session
+            .query()
+            .group_by("country")
+            .avg("salary")
+            .prepare()
+            .unwrap();
+        let summary = pq.run();
+        // Find the explanation covering the two EU countries.
+        let table = session.table();
+        let eu = summary
+            .explanations
+            .iter()
+            .find(|e| e.grouping.display(table).contains("EU"))
+            .expect("an EU grouping pattern must be selected");
+        let pos = eu.positive.as_ref().expect("positive treatment");
+        assert!(
+            pos.pattern.display(table).contains("education = MSc"),
+            "got {}",
+            pos.pattern.display(table)
+        );
+        assert!(pos.cate > 20.0);
+        let neg = eu.negative.as_ref().expect("negative treatment");
+        assert!(
+            neg.pattern.display(table).contains("student = yes"),
+            "got {}",
+            neg.pattern.display(table)
+        );
+        assert!(neg.cate < -25.0);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let (table, dag) = build();
+        let seq = Session::new(table.clone(), dag.clone(), engine_config());
+        let seq = seq.query().group_by("country").avg("salary").run().unwrap();
+        let mut cfg = engine_config();
+        cfg.parallel = true;
+        let par = Session::new(table, dag, cfg);
+        let par = par.query().group_by("country").avg("salary").run().unwrap();
+        assert_eq!(seq.total_weight, par.total_weight);
+        assert_eq!(seq.covered, par.covered);
+        assert_eq!(seq.cate_evaluations, par.cate_evaluations);
+        let keys = |s: &Summary| {
+            let mut v: Vec<String> = s.explanations.iter().map(|e| e.grouping.key()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(keys(&seq), keys(&par));
+    }
+
+    /// The work-stealing scheduler must stay deterministic when there are
+    /// far more grouping patterns than worker threads and their costs are
+    /// skewed — the exact scenario static chunking served poorly.
+    #[test]
+    fn parallel_equals_sequential_many_skewed_patterns() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let n = 3_000;
+        // 12 countries with a highly skewed row distribution over 4
+        // regions, so grouping-pattern subpopulations differ in size by
+        // more than an order of magnitude.
+        let mut country = Vec::new();
+        let mut region = Vec::new();
+        let mut t = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let c = loop {
+                let c = rng.gen_range(0..12usize);
+                // Skew: low-index countries are much more common.
+                if rng.gen_range(0..12) >= c {
+                    break c;
+                }
+            };
+            let tr = rng.gen_bool(0.4);
+            country.push(format!("c{c}"));
+            region.push(format!("r{}", c / 3));
+            t.push(if tr { "on" } else { "off" }.to_string());
+            y.push((c / 3) as f64 * 4.0 + 5.0 * tr as i64 as f64 + rng.gen_range(-0.5..0.5));
+        }
+        let table = TableBuilder::new()
+            .cat_owned("country", country)
+            .unwrap()
+            .cat_owned("region", region)
+            .unwrap()
+            .cat_owned("t", t)
+            .unwrap()
+            .float("y", y)
+            .unwrap()
+            .build()
+            .unwrap();
+        let dag = Dag::new(
+            &["country", "region", "t", "y"],
+            &[("country", "y"), ("t", "y")],
+        )
+        .unwrap();
+        let mut cfg = engine_config();
+        cfg.apriori_tau = 0.01; // many grouping patterns
+        cfg.parallel = false;
+        let seq = Session::new(table.clone(), dag.clone(), cfg.clone());
+        let seq = seq.query().group_by("country").avg("y").run().unwrap();
+        cfg.parallel = true;
+        let par = Session::new(table, dag, cfg);
+        let par = par.query().group_by("country").avg("y").run().unwrap();
+        assert_eq!(seq.total_weight, par.total_weight);
+        assert_eq!(seq.covered, par.covered);
+        assert_eq!(seq.candidates, par.candidates);
+        assert_eq!(seq.cate_evaluations, par.cate_evaluations);
+        let keys = |s: &Summary| {
+            let mut v: Vec<String> = s.explanations.iter().map(|e| e.grouping.key()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(keys(&seq), keys(&par));
+    }
+
+    #[test]
+    fn greedy_variant_runs() {
+        let (table, dag) = build();
+        let mut cfg = engine_config();
+        cfg.selection = SelectionMethod::Greedy;
+        let session = Session::new(table, dag, cfg);
+        let s = session
+            .query()
+            .group_by("country")
+            .avg("salary")
+            .run()
+            .unwrap();
+        assert!(!s.explanations.is_empty());
+    }
+
+    #[test]
+    fn brute_force_weight_at_least_causumx() {
+        let (table, dag) = build();
+        let mut cfg = engine_config();
+        cfg.lattice.max_level = 2;
+        let session = Session::new(table, dag, cfg);
+        let pq = session
+            .query()
+            .group_by("country")
+            .avg("salary")
+            .prepare()
+            .unwrap();
+        let fast = pq.run();
+        let brute = pq.run_brute_force();
+        assert!(
+            brute.total_weight >= fast.total_weight - 1e-6,
+            "brute {} < fast {}",
+            brute.total_weight,
+            fast.total_weight
+        );
+        assert!(brute.feasible);
+    }
+
+    #[test]
+    fn infeasible_theta_flagged() {
+        let (table, dag) = build();
+        // k=1 with θ=1 cannot be met: the continent split covers at most
+        // 2 of 4 country groups per pattern.
+        let mut cfg = engine_config();
+        cfg.k = 1;
+        cfg.theta = 1.0;
+        let session = Session::new(table, dag, cfg);
+        let s = session
+            .query()
+            .group_by("country")
+            .avg("salary")
+            .run()
+            .unwrap();
+        assert!(!s.feasible);
+        assert!(s.covered < 4);
+    }
+
+    #[test]
+    fn explain_group_drill_down() {
+        let session = build_session();
+        let pq = session
+            .query()
+            .group_by("country")
+            .avg("salary")
+            .prepare()
+            .unwrap();
+        let (pos, neg) = pq.explain_group("FR", 3).expect("FR is a group label");
+        assert!(!pos.is_empty() && !neg.is_empty());
+        // FR is an EU country: education should top the positive list.
+        let table = session.table();
+        assert!(
+            pos[0].pattern.display(table).contains("education = MSc"),
+            "got {}",
+            pos[0].pattern.display(table)
+        );
+        for w in pos.windows(2) {
+            assert!(w[0].cate >= w[1].cate);
+        }
+        // Unknown label → None.
+        assert!(pq.explain_group("Atlantis", 3).is_none());
+    }
+
+    #[test]
+    fn timings_populated() {
+        let session = build_session();
+        let s = session
+            .query()
+            .group_by("country")
+            .avg("salary")
+            .run()
+            .unwrap();
+        assert!(s.timings.treatment_ms > 0.0);
+        assert!(s.timings.total_ms() >= s.timings.treatment_ms);
+        assert!(s.cate_evaluations > 0);
+    }
+
+    #[test]
+    fn counters_track_cache_reuse() {
+        let session = build_session();
+        let pq = session
+            .query()
+            .group_by("country")
+            .avg("salary")
+            .prepare()
+            .unwrap();
+        let c0 = session.counters();
+        assert_eq!(c0.views_materialized, 1);
+        assert_eq!(c0.fd_closures_computed, 1);
+        assert_eq!(c0.queries_prepared, 1);
+
+        let s1 = pq.run();
+        let walks_after_first = session.counters().backdoor_walks;
+        assert!(walks_after_first > 0);
+
+        let s2 = pq.run();
+        let c2 = session.counters();
+        // Zero redundant work on the repeated run: no new view, FD
+        // closure or backdoor walk.
+        assert_eq!(c2.views_materialized, 1);
+        assert_eq!(c2.fd_closures_computed, 1);
+        assert_eq!(c2.backdoor_walks, walks_after_first);
+        assert_eq!(c2.runs, 2);
+        // And bit-identical results.
+        assert_eq!(s1.total_weight.to_bits(), s2.total_weight.to_bits());
+        assert_eq!(s1.cate_evaluations, s2.cate_evaluations);
+
+        // Re-preparing the same query hits the FD cache (the view is
+        // rebuilt — that is what PreparedQuery reuse avoids).
+        let _pq2 = session
+            .query()
+            .group_by("country")
+            .avg("salary")
+            .prepare()
+            .unwrap();
+        let c3 = session.counters();
+        assert_eq!(c3.views_materialized, 2);
+        assert_eq!(c3.fd_closures_computed, 1, "FD split cache hit");
+    }
+
+    #[test]
+    fn builder_name_errors() {
+        let session = build_session();
+        let err = session
+            .query()
+            .group_by("nope")
+            .avg("salary")
+            .prepare()
+            .err()
+            .unwrap();
+        assert!(matches!(err, Error::Table(TableError::UnknownAttribute(_))));
+        let err = session.query().avg("salary").prepare().err().unwrap();
+        assert!(matches!(err, Error::InvalidQuery(_)));
+        let err = session.query().group_by("country").prepare().err().unwrap();
+        assert!(matches!(err, Error::InvalidQuery(_)));
+        let err = session
+            .query()
+            .group_by_index(99)
+            .avg("salary")
+            .prepare()
+            .err()
+            .unwrap();
+        assert!(matches!(err, Error::Table(TableError::BadColumnIndex(99))));
+    }
+
+    #[test]
+    fn sql_and_builder_agree() {
+        let session = build_session();
+        let by_name = session
+            .query()
+            .group_by("country")
+            .avg("salary")
+            .where_sql("education = 'MSc'")
+            .prepare()
+            .unwrap();
+        let by_sql = session
+            .sql("SELECT country, AVG(salary) FROM t WHERE education = 'MSc' GROUP BY country")
+            .unwrap();
+        assert_eq!(by_name.view().num_groups(), by_sql.view().num_groups());
+        let a = by_name.run();
+        let b = by_sql.run();
+        assert_eq!(a.total_weight.to_bits(), b.total_weight.to_bits());
+        // SQL errors carry positions.
+        let err = session
+            .sql("SELECT country, AVG(salary) FROM t GROUP BY wages")
+            .err()
+            .unwrap();
+        assert!(matches!(err, Error::Sql { pos, .. } if pos > 0));
+    }
+
+    #[test]
+    fn empty_view_rejected_at_prepare() {
+        let session = build_session();
+        let err = session
+            .query()
+            .group_by("country")
+            .avg("salary")
+            .where_sql("salary < -1000000")
+            .prepare()
+            .err()
+            .unwrap();
+        assert_eq!(err, Error::EmptyView);
+    }
+}

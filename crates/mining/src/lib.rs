@@ -24,4 +24,7 @@ pub mod treatment;
 
 pub use apriori::{apriori, FrequentPattern};
 pub use grouping::{mine_grouping_patterns, GroupingPattern};
-pub use treatment::{Direction, LatticeOptions, LatticeStats, TreatmentMiner, TreatmentResult};
+pub use treatment::{
+    BackdoorMemo, Direction, LatticeOptions, LatticeStats, PairedTreatments, TreatmentMiner,
+    TreatmentResult,
+};

@@ -13,10 +13,11 @@
 //! CATE recorded so far (lines 10–13 of Algorithm 2).
 
 use std::collections::{HashMap, HashSet};
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use causal::backdoor::{attrs_affecting_outcome, backdoor_set};
-use causal::context::EstimationContext;
+use causal::context::ContextCache;
 use causal::dag::Dag;
 use causal::estimate::{estimate_effect, CateOptions, CateResult};
 use table::bitset::BitSet;
@@ -77,7 +78,8 @@ pub struct LatticeOptions {
     /// (optimization a).
     pub prune_by_dag: bool,
     /// Route estimations through the subpopulation-scoped
-    /// [`EstimationContext`] cache (row list, outcome, confounder encoding
+    /// [`causal::context::EstimationContext`] cache (row list, outcome,
+    /// confounder encoding
     /// and Gram blocks built once per subpopulation × confounder set).
     /// `false` falls back to the naive cold-start estimator — results are
     /// identical; the switch exists for equivalence tests and ablation
@@ -124,6 +126,97 @@ pub struct LatticeStats {
     pub evaluated: usize,
     /// Lattice levels materialized.
     pub levels: usize,
+    /// [`causal::context::EstimationContext`]s built — one per distinct
+    /// backdoor set touched by the walk(s) sharing the cache.
+    pub contexts_built: usize,
+}
+
+/// Top-`k` positive and negative treatments mined over one *shared*
+/// estimation cache — see [`TreatmentMiner::top_treatments_paired`].
+#[derive(Debug, Clone)]
+pub struct PairedTreatments {
+    /// Best positive treatments, sorted best-first.
+    pub positive: Vec<TreatmentResult>,
+    /// Best negative treatments, sorted best-first (empty when negative
+    /// mining was not requested).
+    pub negative: Vec<TreatmentResult>,
+    /// Combined work counters of both walks.
+    pub stats: LatticeStats,
+}
+
+/// Shared memo of backdoor adjustment sets, keyed by
+/// `(outcome, sorted treatment attribute set)`. One memo can back any
+/// number of [`TreatmentMiner`]s over the same DAG — a session serving many
+/// queries walks the DAG once per distinct key, ever. The `walks` counter
+/// records actual DAG traversals (cache misses), which is what session
+/// diagnostics assert on.
+#[derive(Debug, Default)]
+pub struct BackdoorMemo {
+    map: RwLock<HashMap<(usize, Vec<usize>), Vec<usize>>>,
+    walks: AtomicUsize,
+    /// Fingerprint of the (DAG, schema width) the memo was first attached
+    /// to — keys are attribute ids, which only mean the same thing across
+    /// miners over the same DAG and column layout, so attaching the memo
+    /// to a different graph is rejected loudly instead of silently
+    /// returning the wrong confounder sets.
+    fingerprint: OnceLock<u64>,
+}
+
+impl BackdoorMemo {
+    /// Empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of DAG walks performed (i.e. cache misses) so far.
+    pub fn walks(&self) -> usize {
+        self.walks.load(Ordering::Relaxed)
+    }
+
+    /// Distinct `(outcome, attribute set)` keys memoized.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("memo poisoned").len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bind the memo to a (DAG, table-width) fingerprint on first use;
+    /// panic if a later miner attaches it to a different one.
+    fn attach(&self, dag: &Dag, ncols: usize) {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        dag.names().hash(&mut h);
+        dag.edges().hash(&mut h);
+        ncols.hash(&mut h);
+        let fp = h.finish();
+        let bound = *self.fingerprint.get_or_init(|| fp);
+        assert_eq!(
+            bound, fp,
+            "BackdoorMemo shared across different DAGs/schemas — confounder sets would silently come from the wrong graph"
+        );
+    }
+
+    fn get_or_compute(
+        &self,
+        outcome: usize,
+        key: Vec<usize>,
+        compute: impl FnOnce(&[usize]) -> Vec<usize>,
+    ) -> Vec<usize> {
+        let full_key = (outcome, key);
+        if let Some(hit) = self.map.read().expect("memo poisoned").get(&full_key) {
+            return hit.clone();
+        }
+        let conf = compute(&full_key.1);
+        self.walks.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .write()
+            .expect("memo poisoned")
+            .insert(full_key, conf.clone());
+        conf
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,7 +240,8 @@ struct Atom {
 /// (these calls are `&self` and thread-safe, enabling the paper's
 /// optimization (c) — parallelism across grouping patterns — in the
 /// caller). Subpopulations travel as [`BitSet`]s end-to-end; within one
-/// query all estimations share a per-confounder-set [`EstimationContext`],
+/// query all estimations share a per-confounder-set
+/// [`causal::context::EstimationContext`],
 /// so only the treatment column is re-gathered per candidate.
 pub struct TreatmentMiner<'a> {
     table: &'a Table,
@@ -160,10 +254,11 @@ pub struct TreatmentMiner<'a> {
     /// table attr id ↔ dag node id maps (by name).
     attr_to_dag: Vec<Option<usize>>,
     dag_to_attr: Vec<Option<usize>>,
-    /// Memoized backdoor sets per (sorted) treatment attribute set — the
-    /// seed re-walked the DAG on every single estimate call. `RwLock` keeps
-    /// the miner `Sync` for optimization (c)'s cross-pattern parallelism.
-    backdoor_cache: RwLock<HashMap<Vec<usize>, Vec<usize>>>,
+    /// Memoized backdoor sets — the seed re-walked the DAG on every single
+    /// estimate call. Shared (`Arc`) so a session can hand the same memo to
+    /// every miner it builds; the interior `RwLock` keeps the miner `Sync`
+    /// for optimization (c)'s cross-pattern parallelism.
+    backdoor: Arc<BackdoorMemo>,
 }
 
 impl<'a> TreatmentMiner<'a> {
@@ -177,6 +272,28 @@ impl<'a> TreatmentMiner<'a> {
         treat_attrs: &[usize],
         opts: LatticeOptions,
     ) -> Self {
+        Self::with_memo(
+            table,
+            dag,
+            outcome,
+            treat_attrs,
+            opts,
+            Arc::new(BackdoorMemo::new()),
+        )
+    }
+
+    /// Like [`TreatmentMiner::new`] but sharing an externally owned
+    /// [`BackdoorMemo`], so backdoor sets computed by one miner (query)
+    /// are reused by every other miner over the same DAG.
+    pub fn with_memo(
+        table: &'a Table,
+        dag: &'a Dag,
+        outcome: usize,
+        treat_attrs: &[usize],
+        opts: LatticeOptions,
+        backdoor: Arc<BackdoorMemo>,
+    ) -> Self {
+        backdoor.attach(dag, table.ncols());
         let attr_to_dag: Vec<Option<usize>> = (0..table.ncols())
             .map(|a| dag.index_of(&table.schema().field(a).name))
             .collect();
@@ -222,7 +339,7 @@ impl<'a> TreatmentMiner<'a> {
             outcome_std,
             attr_to_dag,
             dag_to_attr,
-            backdoor_cache: RwLock::new(HashMap::new()),
+            backdoor,
         }
     }
 
@@ -241,25 +358,19 @@ impl<'a> TreatmentMiner<'a> {
 
     /// Confounder attributes (backdoor set) for a treatment over `attrs`.
     /// Memoized per attribute set: the DAG walk runs once, every further
-    /// estimate over the same attributes is a hash lookup.
+    /// estimate over the same attributes is a hash lookup — across *all*
+    /// miners sharing this memo (see [`TreatmentMiner::with_memo`]).
     pub fn confounders_for(&self, attrs: &[usize]) -> Vec<usize> {
         let mut key = attrs.to_vec();
         key.sort_unstable();
         key.dedup();
-        if let Some(hit) = self
-            .backdoor_cache
-            .read()
-            .expect("cache poisoned")
-            .get(&key)
-        {
-            return hit.clone();
-        }
-        let conf = self.compute_confounders(&key);
-        self.backdoor_cache
-            .write()
-            .expect("cache poisoned")
-            .insert(key, conf.clone());
-        conf
+        self.backdoor
+            .get_or_compute(self.outcome, key, |k| self.compute_confounders(k))
+    }
+
+    /// The backdoor memo backing [`TreatmentMiner::confounders_for`].
+    pub fn backdoor_memo(&self) -> &Arc<BackdoorMemo> {
+        &self.backdoor
     }
 
     fn compute_confounders(&self, attrs: &[usize]) -> Vec<usize> {
@@ -302,18 +413,14 @@ impl<'a> TreatmentMiner<'a> {
     ) -> Option<CateResult> {
         let confounders = self.confounders_for(attrs);
         if self.opts.use_estimation_cache {
-            ctxs.map
-                .entry(confounders)
-                .or_insert_with_key(|conf| {
-                    EstimationContext::new(
-                        self.table,
-                        Some(subpop),
-                        self.outcome,
-                        conf,
-                        &self.opts.cate_opts,
-                    )
-                })
-                .as_ref()?
+            ctxs.contexts
+                .get_or_build(
+                    self.table,
+                    Some(subpop),
+                    self.outcome,
+                    confounders,
+                    &self.opts.cate_opts,
+                )?
                 .estimate(treated)
         } else {
             let mask = ctxs
@@ -354,9 +461,56 @@ impl<'a> TreatmentMiner<'a> {
         dir: Direction,
         k: usize,
     ) -> (Vec<TreatmentResult>, LatticeStats) {
+        let mut ctxs = CtxCache::new();
+        let (result, mut stats) = self.top_k_with_cache(&mut ctxs, subpop, dir, k);
+        stats.contexts_built = ctxs.contexts.builds();
+        (result, stats)
+    }
+
+    /// Mine the top-`k` positive *and* (optionally) negative treatments
+    /// over one shared per-subpopulation estimation cache. The two walks of
+    /// the same grouping pattern touch the same backdoor sets, so each
+    /// [`causal::context::EstimationContext`] is built once and serves both
+    /// directions — results are identical to two independent
+    /// [`TreatmentMiner::top_k_treatments`] calls (context construction is
+    /// deterministic), the Gram-build work is simply not repeated.
+    pub fn top_treatments_paired(
+        &self,
+        subpop: &BitSet,
+        k: usize,
+        mine_negative: bool,
+    ) -> PairedTreatments {
+        let mut ctxs = CtxCache::new();
+        let (positive, mut stats) =
+            self.top_k_with_cache(&mut ctxs, subpop, Direction::Positive, k);
+        let negative = if mine_negative {
+            let (neg, s2) = self.top_k_with_cache(&mut ctxs, subpop, Direction::Negative, k);
+            stats.evaluated += s2.evaluated;
+            stats.levels = stats.levels.max(s2.levels);
+            neg
+        } else {
+            Vec::new()
+        };
+        stats.contexts_built = ctxs.contexts.builds();
+        PairedTreatments {
+            positive,
+            negative,
+            stats,
+        }
+    }
+
+    /// One directed lattice walk (Algorithm 2) over a caller-provided
+    /// estimation cache. `stats.contexts_built` is left untouched — the
+    /// cache is shared, so the caller attributes builds once.
+    fn top_k_with_cache(
+        &self,
+        ctxs: &mut CtxCache,
+        subpop: &BitSet,
+        dir: Direction,
+        k: usize,
+    ) -> (Vec<TreatmentResult>, LatticeStats) {
         let mut stats = LatticeStats::default();
         let sub_bits = subpop;
-        let mut ctxs = CtxCache::new();
         // Loop invariants hoisted out of the O(level²) candidate joins.
         let sub_n = sub_bits.count();
         let min_arm = self.opts.cate_opts.min_arm;
@@ -402,7 +556,7 @@ impl<'a> TreatmentMiner<'a> {
                 continue;
             }
             stats.evaluated += 1;
-            let Some(r) = self.estimate(&mut ctxs, sub_bits, &atom.mask, &[atom.attr]) else {
+            let Some(r) = self.estimate(ctxs, sub_bits, &atom.mask, &[atom.attr]) else {
                 continue;
             };
             if !dir.matches(r.cate) || r.cate.abs() < min_cate {
@@ -465,7 +619,7 @@ impl<'a> TreatmentMiner<'a> {
                     let attrs: Vec<usize> =
                         cand.iter().map(|&x| self.atoms[x as usize].attr).collect();
                     stats.evaluated += 1;
-                    let Some(r) = self.estimate(&mut ctxs, sub_bits, &mask, &attrs) else {
+                    let Some(r) = self.estimate(ctxs, sub_bits, &mask, &attrs) else {
                         continue;
                     };
                     if !dir.matches(r.cate) || r.cate.abs() < min_cate {
@@ -604,21 +758,20 @@ impl<'a> TreatmentMiner<'a> {
     }
 }
 
-/// Per-query cache of [`EstimationContext`]s, keyed by confounder set (the
-/// subpopulation is fixed for the duration of one lattice walk). A `None`
-/// entry records that the context could not be built (categorical
-/// outcome), so the failure is not retried per candidate.
+/// Per-subpopulation estimation cache: the [`ContextCache`] shared by all
+/// lattice walks over one subpopulation (positive *and* negative — see
+/// [`TreatmentMiner::top_treatments_paired`]), plus the materialized
+/// subpopulation mask only the naive fallback path
+/// (`use_estimation_cache = false`) needs.
 struct CtxCache {
-    map: HashMap<Vec<usize>, Option<EstimationContext>>,
-    /// Materialized subpopulation mask, built at most once — only the
-    /// naive fallback path (`use_estimation_cache = false`) needs it.
+    contexts: ContextCache,
     subpop_mask: Option<Vec<bool>>,
 }
 
 impl CtxCache {
     fn new() -> Self {
         CtxCache {
-            map: HashMap::new(),
+            contexts: ContextCache::new(),
             subpop_mask: None,
         }
     }
@@ -1018,6 +1171,111 @@ mod tests {
         // #1 of top-k equals the single top treatment.
         let (single, _) = miner.top_treatment(&subpop, Direction::Positive);
         assert_eq!(single.unwrap().pattern.key(), top3[0].pattern.key());
+    }
+
+    /// The paired walk must return exactly what two independent directed
+    /// walks return, while building each estimation context only once.
+    #[test]
+    fn paired_walk_matches_independent_walks() {
+        let (table, dag) = synth(2000, 42);
+        let miner = TreatmentMiner::new(&table, &dag, 3, &[0, 1, 2], LatticeOptions::default());
+        let subpop = BitSet::full(table.nrows());
+        let (pos, s_pos) = miner.top_k_treatments(&subpop, Direction::Positive, 3);
+        let (neg, s_neg) = miner.top_k_treatments(&subpop, Direction::Negative, 3);
+        let paired = miner.top_treatments_paired(&subpop, 3, true);
+        let keys = |ts: &[TreatmentResult]| -> Vec<(String, u64)> {
+            ts.iter()
+                .map(|t| (t.pattern.key(), t.cate.to_bits()))
+                .collect()
+        };
+        assert_eq!(keys(&paired.positive), keys(&pos), "bit-identical positive");
+        assert_eq!(keys(&paired.negative), keys(&neg), "bit-identical negative");
+        assert_eq!(paired.stats.evaluated, s_pos.evaluated + s_neg.evaluated);
+        // Shared cache: strictly fewer context builds than the two
+        // independent walks combined (both directions touch the same
+        // backdoor sets on this data).
+        assert!(
+            paired.stats.contexts_built < s_pos.contexts_built + s_neg.contexts_built,
+            "paired {} !< {} + {}",
+            paired.stats.contexts_built,
+            s_pos.contexts_built,
+            s_neg.contexts_built
+        );
+        assert!(paired.stats.contexts_built >= 1);
+    }
+
+    #[test]
+    fn paired_walk_without_negative() {
+        let (table, dag) = synth(1000, 8);
+        let miner = TreatmentMiner::new(&table, &dag, 3, &[0, 1, 2], LatticeOptions::default());
+        let subpop = BitSet::full(table.nrows());
+        let paired = miner.top_treatments_paired(&subpop, 1, false);
+        assert!(!paired.positive.is_empty());
+        assert!(paired.negative.is_empty());
+    }
+
+    /// Two miners sharing one memo: the second miner's walks are all hits.
+    #[test]
+    fn shared_backdoor_memo_walks_once() {
+        let (table, dag) = synth(800, 5);
+        let memo = Arc::new(BackdoorMemo::new());
+        let a = TreatmentMiner::with_memo(
+            &table,
+            &dag,
+            3,
+            &[0, 1, 2],
+            LatticeOptions::default(),
+            Arc::clone(&memo),
+        );
+        let _ = a.confounders_for(&[0]);
+        let _ = a.confounders_for(&[0, 1]);
+        let walks = memo.walks();
+        assert_eq!(walks, 2);
+        let b = TreatmentMiner::with_memo(
+            &table,
+            &dag,
+            3,
+            &[0, 1, 2],
+            LatticeOptions::default(),
+            Arc::clone(&memo),
+        );
+        assert_eq!(b.confounders_for(&[0]), a.confounders_for(&[0]));
+        assert_eq!(memo.walks(), walks, "second miner hits the shared memo");
+        // A different outcome is a different key — it must re-walk.
+        let c = TreatmentMiner::with_memo(
+            &table,
+            &dag,
+            2,
+            &[0, 1],
+            LatticeOptions::default(),
+            Arc::clone(&memo),
+        );
+        let _ = c.confounders_for(&[0]);
+        assert_eq!(memo.walks(), walks + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "BackdoorMemo shared across different DAGs")]
+    fn shared_memo_rejects_foreign_dag() {
+        let (table, dag) = synth(200, 2);
+        let other = Dag::new(&["t1", "t2", "t3", "o"], &[("t2", "o")]).unwrap();
+        let memo = Arc::new(BackdoorMemo::new());
+        let _a = TreatmentMiner::with_memo(
+            &table,
+            &dag,
+            3,
+            &[0, 1],
+            LatticeOptions::default(),
+            Arc::clone(&memo),
+        );
+        let _b = TreatmentMiner::with_memo(
+            &table,
+            &other,
+            3,
+            &[0, 1],
+            LatticeOptions::default(),
+            Arc::clone(&memo),
+        );
     }
 
     #[test]

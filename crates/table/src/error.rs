@@ -25,6 +25,9 @@ pub enum TableError {
     NonCategoricalGroupBy(String),
     /// CSV parse failure with line number.
     Csv { line: usize, msg: String },
+    /// SQL parse failure, pointing at the byte offset of the offending
+    /// token within the statement.
+    Sql { pos: usize, msg: String },
     /// A categorical code did not exist in the column dictionary.
     UnknownCategory { column: String, value: String },
     /// The operation requires a non-empty table.
@@ -54,6 +57,7 @@ impl fmt::Display for TableError {
                 write!(f, "group-by attribute `{name}` must be categorical")
             }
             TableError::Csv { line, msg } => write!(f, "csv parse error at line {line}: {msg}"),
+            TableError::Sql { pos, msg } => write!(f, "sql parse error at byte {pos}: {msg}"),
             TableError::UnknownCategory { column, value } => {
                 write!(f, "value `{value}` not in dictionary of column `{column}`")
             }

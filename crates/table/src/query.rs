@@ -175,6 +175,20 @@ impl AggView {
         bits
     }
 
+    /// Every group's row bitset, built in a single pass over `row_group` —
+    /// `O(n + m)` total where per-group [`AggView::group_bits`] calls would
+    /// be `O(n·m)`. Entry `g` equals `self.group_bits(g)`.
+    pub fn group_bits_all(&self) -> Vec<BitSet> {
+        let n = self.row_group.len();
+        let mut out: Vec<BitSet> = (0..self.num_groups()).map(|_| BitSet::new(n)).collect();
+        for (row, &g) in self.row_group.iter().enumerate() {
+            if g != usize::MAX {
+                out[g].insert(row);
+            }
+        }
+        out
+    }
+
     /// Groups covered by a grouping pattern (Definition 4.4): group `s` is
     /// covered iff *every* tuple contributing to `s` satisfies the pattern.
     /// For FD-valid grouping patterns this matches the representative-tuple
@@ -304,6 +318,28 @@ mod tests {
         let cov = view.coverage(&t, &p).unwrap();
         let mask = view.subpopulation_mask(&cov);
         assert_eq!(mask, vec![false, false, true, true, true, true]);
+    }
+
+    #[test]
+    fn group_bits_all_matches_per_group() {
+        let t = toy();
+        let q = GroupByAvgQuery::new(vec![0], 3).with_where(Pattern::single(Pred::cmp(
+            2,
+            Op::Lt,
+            35i64,
+        )));
+        let view = q.run(&t).unwrap();
+        let all = view.group_bits_all();
+        assert_eq!(all.len(), view.num_groups());
+        for (g, bits) in all.iter().enumerate() {
+            assert_eq!(*bits, view.group_bits(g), "group {g}");
+        }
+        // WHERE-filtered rows belong to no group.
+        let total: usize = all.iter().map(|b| b.count()).sum();
+        assert_eq!(
+            total,
+            view.row_group.iter().filter(|&&g| g != usize::MAX).count()
+        );
     }
 
     #[test]

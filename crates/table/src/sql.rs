@@ -9,6 +9,10 @@
 //! literals, and case-insensitive keywords. The FROM table name is
 //! accepted and ignored (the caller supplies the table), mirroring how the
 //! paper's prototype binds the query to a loaded dataframe.
+//!
+//! Every parse failure is a [`TableError::Sql`] carrying the byte offset
+//! of the offending token within the source statement, so interactive
+//! front-ends can point a caret at the problem.
 
 use crate::error::TableError;
 use crate::pattern::{Op, Pattern, Pred};
@@ -29,53 +33,84 @@ enum Token {
     Op(Op),
 }
 
-fn err(msg: impl Into<String>) -> TableError {
-    TableError::Csv {
-        line: 0,
-        msg: format!("sql: {}", msg.into()),
+/// A token plus the byte offset of its first character in the source.
+#[derive(Debug, Clone)]
+struct Tok {
+    t: Token,
+    pos: usize,
+}
+
+fn err_at(pos: usize, msg: impl Into<String>) -> TableError {
+    TableError::Sql {
+        pos,
+        msg: msg.into(),
     }
 }
 
-fn tokenize(src: &str) -> Result<Vec<Token>> {
+fn tokenize(src: &str) -> Result<Vec<Tok>> {
     let mut out = Vec::new();
-    let mut chars = src.chars().peekable();
-    while let Some(&c) = chars.peek() {
+    let mut chars = src.char_indices().peekable();
+    while let Some(&(pos, c)) = chars.peek() {
         match c {
             c if c.is_whitespace() => {
                 chars.next();
             }
             ',' => {
                 chars.next();
-                out.push(Token::Comma);
+                out.push(Tok {
+                    t: Token::Comma,
+                    pos,
+                });
             }
             '(' => {
                 chars.next();
-                out.push(Token::LParen);
+                out.push(Tok {
+                    t: Token::LParen,
+                    pos,
+                });
             }
             ')' => {
                 chars.next();
-                out.push(Token::RParen);
+                out.push(Tok {
+                    t: Token::RParen,
+                    pos,
+                });
             }
             '=' => {
                 chars.next();
-                out.push(Token::Op(Op::Eq));
+                out.push(Tok {
+                    t: Token::Op(Op::Eq),
+                    pos,
+                });
             }
             '<' => {
                 chars.next();
-                if chars.peek() == Some(&'=') {
+                if chars.peek().map(|&(_, d)| d) == Some('=') {
                     chars.next();
-                    out.push(Token::Op(Op::Le));
+                    out.push(Tok {
+                        t: Token::Op(Op::Le),
+                        pos,
+                    });
                 } else {
-                    out.push(Token::Op(Op::Lt));
+                    out.push(Tok {
+                        t: Token::Op(Op::Lt),
+                        pos,
+                    });
                 }
             }
             '>' => {
                 chars.next();
-                if chars.peek() == Some(&'=') {
+                if chars.peek().map(|&(_, d)| d) == Some('=') {
                     chars.next();
-                    out.push(Token::Op(Op::Ge));
+                    out.push(Tok {
+                        t: Token::Op(Op::Ge),
+                        pos,
+                    });
                 } else {
-                    out.push(Token::Op(Op::Gt));
+                    out.push(Tok {
+                        t: Token::Op(Op::Gt),
+                        pos,
+                    });
                 }
             }
             '\'' | '"' => {
@@ -84,18 +119,21 @@ fn tokenize(src: &str) -> Result<Vec<Token>> {
                 let mut s = String::new();
                 loop {
                     match chars.next() {
-                        Some(ch) if ch == quote => break,
-                        Some(ch) => s.push(ch),
-                        None => return Err(err("unterminated string literal")),
+                        Some((_, ch)) if ch == quote => break,
+                        Some((_, ch)) => s.push(ch),
+                        None => return Err(err_at(pos, "unterminated string literal")),
                     }
                 }
-                out.push(Token::Str(s));
+                out.push(Tok {
+                    t: Token::Str(s),
+                    pos,
+                });
             }
             c if c.is_ascii_digit() || c == '-' || c == '.' => {
                 let mut s = String::new();
                 s.push(c);
                 chars.next();
-                while let Some(&d) = chars.peek() {
+                while let Some(&(_, d)) = chars.peek() {
                     if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || d == '-' {
                         s.push(d);
                         chars.next();
@@ -103,13 +141,17 @@ fn tokenize(src: &str) -> Result<Vec<Token>> {
                         break;
                     }
                 }
-                out.push(Token::Num(
-                    s.parse().map_err(|_| err(format!("bad number `{s}`")))?,
-                ));
+                let v = s
+                    .parse()
+                    .map_err(|_| err_at(pos, format!("bad number `{s}`")))?;
+                out.push(Tok {
+                    t: Token::Num(v),
+                    pos,
+                });
             }
             c if c.is_alphanumeric() || c == '_' => {
                 let mut s = String::new();
-                while let Some(&d) = chars.peek() {
+                while let Some(&(_, d)) = chars.peek() {
                     if d.is_alphanumeric() || d == '_' {
                         s.push(d);
                         chars.next();
@@ -117,26 +159,46 @@ fn tokenize(src: &str) -> Result<Vec<Token>> {
                         break;
                     }
                 }
-                out.push(Token::Ident(s));
+                out.push(Tok {
+                    t: Token::Ident(s),
+                    pos,
+                });
             }
-            other => return Err(err(format!("unexpected character `{other}`"))),
+            other => return Err(err_at(pos, format!("unexpected character `{other}`"))),
         }
     }
     Ok(out)
 }
 
 struct Parser<'a> {
-    tokens: Vec<Token>,
+    tokens: Vec<Tok>,
     pos: usize,
+    /// Byte length of the source, reported as the position of
+    /// unexpected-end-of-input errors.
+    end: usize,
     table: &'a Table,
 }
 
 impl<'a> Parser<'a> {
-    fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+    fn new(table: &'a Table, src: &str) -> Result<Self> {
+        Ok(Parser {
+            tokens: tokenize(src)?,
+            pos: 0,
+            end: src.len(),
+            table,
+        })
     }
 
-    fn next(&mut self) -> Option<Token> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.t)
+    }
+
+    /// Byte position of the current token (or end-of-input).
+    fn here(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.end, |t| t.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
         let t = self.tokens.get(self.pos).cloned();
         if t.is_some() {
             self.pos += 1;
@@ -145,9 +207,13 @@ impl<'a> Parser<'a> {
     }
 
     fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        let pos = self.here();
         match self.next() {
-            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
-            other => Err(err(format!("expected {kw}, got {other:?}"))),
+            Some(Tok {
+                t: Token::Ident(s), ..
+            }) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            Some(tok) => Err(err_at(pos, format!("expected {kw}, got {:?}", tok.t))),
+            None => Err(err_at(pos, format!("expected {kw}, got end of input"))),
         }
     }
 
@@ -155,65 +221,140 @@ impl<'a> Parser<'a> {
         matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
     }
 
-    fn ident(&mut self) -> Result<String> {
+    /// Identifier with its byte position.
+    fn ident(&mut self) -> Result<(String, usize)> {
+        let pos = self.here();
         match self.next() {
-            Some(Token::Ident(s)) => Ok(s),
-            other => Err(err(format!("expected identifier, got {other:?}"))),
+            Some(Tok {
+                t: Token::Ident(s), ..
+            }) => Ok((s, pos)),
+            Some(tok) => Err(err_at(pos, format!("expected identifier, got {:?}", tok.t))),
+            None => Err(err_at(pos, "expected identifier, got end of input")),
         }
     }
 
+    /// Resolve an identifier to an attribute id; unknown names report the
+    /// identifier's own position.
     fn attr(&mut self) -> Result<usize> {
-        let name = self.ident()?;
-        self.table.attr(&name)
+        let (name, pos) = self.ident()?;
+        self.table
+            .attr(&name)
+            .map_err(|_| err_at(pos, format!("unknown attribute `{name}`")))
     }
 
     fn predicate(&mut self) -> Result<Pred> {
         let attr = self.attr()?;
+        let op_pos = self.here();
         let op = match self.next() {
-            Some(Token::Op(op)) => op,
-            other => return Err(err(format!("expected comparison operator, got {other:?}"))),
+            Some(Tok {
+                t: Token::Op(op), ..
+            }) => op,
+            other => {
+                return Err(err_at(
+                    op_pos,
+                    format!(
+                        "expected comparison operator, got {}",
+                        describe(other.as_ref())
+                    ),
+                ))
+            }
         };
+        let val_pos = self.here();
         let value = match self.next() {
-            Some(Token::Str(s)) => Scalar::Str(s),
-            Some(Token::Num(v)) => match self.table.schema().field(attr).dtype {
+            Some(Tok {
+                t: Token::Str(s), ..
+            }) => Scalar::Str(s),
+            Some(Tok {
+                t: Token::Num(v), ..
+            }) => match self.table.schema().field(attr).dtype {
                 DType::Int => Scalar::Int(v as i64),
                 DType::Float => Scalar::Float(v),
                 DType::Cat => Scalar::Str(v.to_string()),
             },
             // Bare identifiers on categorical columns read as values
             // (common in hand-typed WHERE clauses).
-            Some(Token::Ident(s)) => Scalar::Str(s),
-            other => return Err(err(format!("expected literal, got {other:?}"))),
+            Some(Tok {
+                t: Token::Ident(s), ..
+            }) => Scalar::Str(s),
+            other => {
+                return Err(err_at(
+                    val_pos,
+                    format!("expected literal, got {}", describe(other.as_ref())),
+                ))
+            }
         };
         Ok(Pred { attr, op, value })
     }
+
+    /// `pred [AND pred]*`.
+    fn conjunction(&mut self) -> Result<Pattern> {
+        let mut preds = vec![self.predicate()?];
+        while self.keyword_is("AND") {
+            self.next();
+            preds.push(self.predicate()?);
+        }
+        Ok(Pattern::new(preds))
+    }
+}
+
+fn describe(tok: Option<&Tok>) -> String {
+    match tok {
+        Some(t) => format!("{:?}", t.t),
+        None => "end of input".to_string(),
+    }
+}
+
+/// Parse a bare conjunctive WHERE clause (`attr op value [AND …]`) against
+/// `table` — the fragment accepted by
+/// `QueryBuilder::where_sql`. Positions in [`TableError::Sql`] errors are
+/// byte offsets within `src`.
+pub fn parse_where(table: &Table, src: &str) -> Result<Pattern> {
+    let mut p = Parser::new(table, src)?;
+    let pattern = p.conjunction()?;
+    if p.peek().is_some() {
+        return Err(err_at(p.here(), "trailing tokens after WHERE clause"));
+    }
+    Ok(pattern)
 }
 
 /// Parse a `SELECT …, AVG(…) FROM … [WHERE …] GROUP BY …` statement into a
 /// [`GroupByAvgQuery`] bound to `table`. Verifies that the SELECT list
 /// matches the GROUP BY list.
 pub fn parse_query(table: &Table, src: &str) -> Result<GroupByAvgQuery> {
-    let tokens = tokenize(src)?;
-    let mut p = Parser {
-        tokens,
-        pos: 0,
-        table,
-    };
+    let mut p = Parser::new(table, src)?;
 
     p.expect_keyword("SELECT")?;
     // Projection: idents and one AVG(attr).
-    let mut proj: Vec<String> = Vec::new();
+    let mut proj: Vec<(String, usize)> = Vec::new();
     let mut avg_attr: Option<usize> = None;
     loop {
         if p.keyword_is("AVG") {
+            let avg_pos = p.here();
             p.next();
-            match (p.next(), p.attr()?, p.next()) {
-                (Some(Token::LParen), a, Some(Token::RParen)) => {
-                    if avg_attr.replace(a).is_some() {
-                        return Err(err("multiple AVG aggregates"));
-                    }
-                }
-                _ => return Err(err("malformed AVG(...)")),
+            // Demand the parenthesis *before* resolving the attribute, so
+            // `AVG salary` reports "malformed AVG(...)" instead of a
+            // misleading unknown-attribute error at a later token.
+            if !matches!(
+                p.next(),
+                Some(Tok {
+                    t: Token::LParen,
+                    ..
+                })
+            ) {
+                return Err(err_at(avg_pos, "malformed AVG(...)"));
+            }
+            let a = p.attr()?;
+            if !matches!(
+                p.next(),
+                Some(Tok {
+                    t: Token::RParen,
+                    ..
+                })
+            ) {
+                return Err(err_at(avg_pos, "malformed AVG(...)"));
+            }
+            if avg_attr.replace(a).is_some() {
+                return Err(err_at(avg_pos, "multiple AVG aggregates"));
             }
         } else {
             proj.push(p.ident()?);
@@ -225,7 +366,7 @@ pub fn parse_query(table: &Table, src: &str) -> Result<GroupByAvgQuery> {
             _ => break,
         }
     }
-    let avg = avg_attr.ok_or_else(|| err("query must contain AVG(attr)"))?;
+    let avg = avg_attr.ok_or_else(|| err_at(0, "query must contain AVG(attr)"))?;
 
     p.expect_keyword("FROM")?;
     let _table_name = p.ident()?;
@@ -233,23 +374,19 @@ pub fn parse_query(table: &Table, src: &str) -> Result<GroupByAvgQuery> {
     let mut where_clause: Option<Pattern> = None;
     if p.keyword_is("WHERE") {
         p.next();
-        let mut preds = vec![p.predicate()?];
-        while p.keyword_is("AND") {
-            p.next();
-            preds.push(p.predicate()?);
-        }
-        where_clause = Some(Pattern::new(preds));
+        where_clause = Some(p.conjunction()?);
     }
 
     p.expect_keyword("GROUP")?;
     p.expect_keyword("BY")?;
+    let gb_pos = p.here();
     let mut group_by = vec![p.attr()?];
     while matches!(p.peek(), Some(Token::Comma)) {
         p.next();
         group_by.push(p.attr()?);
     }
     if p.peek().is_some() {
-        return Err(err("trailing tokens after GROUP BY"));
+        return Err(err_at(p.here(), "trailing tokens after GROUP BY"));
     }
 
     // SELECT list must equal the GROUP BY list (SQL92 semantics for this
@@ -258,15 +395,25 @@ pub fn parse_query(table: &Table, src: &str) -> Result<GroupByAvgQuery> {
         .iter()
         .map(|&a| table.schema().field(a).name.as_str())
         .collect();
-    if proj.len() != gb_names.len()
-        || !proj
+    let matches = proj.len() == gb_names.len()
+        && proj
             .iter()
             .zip(&gb_names)
-            .all(|(a, b)| a.eq_ignore_ascii_case(b))
-    {
-        return Err(err(format!(
-            "SELECT list {proj:?} must match GROUP BY {gb_names:?}"
-        )));
+            .all(|((a, _), b)| a.eq_ignore_ascii_case(b));
+    if !matches {
+        // Point at the first projection entry that disagrees (or at the
+        // GROUP BY list when the projection is merely shorter).
+        let pos = proj
+            .iter()
+            .zip(&gb_names)
+            .find(|((a, _), b)| !a.eq_ignore_ascii_case(b))
+            .map(|((_, pos), _)| *pos)
+            .unwrap_or(gb_pos);
+        let names: Vec<&str> = proj.iter().map(|(n, _)| n.as_str()).collect();
+        return Err(err_at(
+            pos,
+            format!("SELECT list {names:?} must match GROUP BY {gb_names:?}"),
+        ));
     }
 
     let mut q = GroupByAvgQuery::new(group_by, avg);
@@ -390,5 +537,65 @@ mod tests {
             "SELECT country, AVG(salary) FROM t WHERE continent = 'NA GROUP BY country"
         )
         .is_err());
+    }
+
+    #[test]
+    fn errors_carry_byte_positions() {
+        let t = toy();
+        let src = "SELECT country, AVG(salary) FROM t GROUP BY wages";
+        let Err(TableError::Sql { pos, msg }) = parse_query(&t, src) else {
+            panic!("expected Sql error");
+        };
+        assert_eq!(pos, src.find("wages").unwrap(), "points at `wages`");
+        assert!(msg.contains("wages"), "{msg}");
+
+        let src = "SELECT country, AVG(salary) FROM t GROUP BY country HAVING x";
+        let Err(TableError::Sql { pos, .. }) = parse_query(&t, src) else {
+            panic!("expected Sql error");
+        };
+        assert_eq!(pos, src.find("HAVING").unwrap(), "points at trailing token");
+
+        // Truncated statement: position is end of input.
+        let src = "SELECT country, AVG(salary) FROM t GROUP";
+        let Err(TableError::Sql { pos, .. }) = parse_query(&t, src) else {
+            panic!("expected Sql error");
+        };
+        assert_eq!(pos, src.len());
+    }
+
+    #[test]
+    fn malformed_avg_reported_as_such() {
+        let t = toy();
+        let src = "SELECT country, AVG salary FROM t GROUP BY country";
+        let Err(TableError::Sql { pos, msg }) = parse_query(&t, src) else {
+            panic!("expected Sql error");
+        };
+        assert!(msg.contains("malformed AVG"), "{msg}");
+        assert_eq!(pos, src.find("AVG").unwrap());
+    }
+
+    #[test]
+    fn parse_where_fragment() {
+        let t = toy();
+        let phi = parse_where(&t, "age < 35 AND continent = 'NA'").unwrap();
+        assert_eq!(phi.preds().len(), 2);
+        let sat = phi.eval(&t).unwrap();
+        assert_eq!(sat, vec![true, false, false, false]);
+
+        let Err(TableError::Sql { pos, .. }) = parse_where(&t, "age < 35 extra") else {
+            panic!("expected Sql error");
+        };
+        assert_eq!(pos, "age < 35 ".len());
+        assert!(parse_where(&t, "wages = 1").is_err());
+    }
+
+    #[test]
+    fn select_mismatch_points_at_offender() {
+        let t = toy();
+        let src = "SELECT continent, AVG(salary) FROM t GROUP BY country";
+        let Err(TableError::Sql { pos, .. }) = parse_query(&t, src) else {
+            panic!("expected Sql error");
+        };
+        assert_eq!(pos, src.find("continent").unwrap());
     }
 }

@@ -5,11 +5,12 @@
 //! ```
 //!
 //! Generates the Accidents stand-in, runs `SELECT City, AVG(Severity) …
-//! GROUP BY City`, and asks for a 4-insight summary (one per census
-//! region, as the paper's Fig. 7 shows: Northeast/Midwest/South/West with
-//! weather- and infrastructure-based treatments).
+//! GROUP BY City` through a session, and asks for a 4-insight summary
+//! (one per census region, as the paper's Fig. 7 shows:
+//! Northeast/Midwest/South/West with weather- and infrastructure-based
+//! treatments).
 
-use causumx::{render_summary, Causumx, CausumxConfig};
+use causumx::{ConfigBuilder, Session};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,22 +19,26 @@ fn main() {
 
     eprintln!("generating Accidents dataset: {n} rows (seed {seed})…");
     let ds = datagen::accidents::generate(n, seed);
-    let query = ds.query();
-    let view = query.run(&ds.table).unwrap();
+    let config = ConfigBuilder::new()
+        .k(4) // one insight per region (Fig. 7)
+        .theta(1.0)
+        .build()
+        .unwrap();
+    let session = Session::new(ds.table, ds.dag, config);
+    let query = session
+        .query()
+        .group_by("City")
+        .avg("Severity")
+        .prepare()
+        .unwrap();
     println!(
         "SELECT City, AVG(Severity) FROM Accidents GROUP BY City → {} groups",
-        view.num_groups()
+        query.view().num_groups()
     );
 
-    let mut config = CausumxConfig::default();
-    config.k = 4; // one insight per region (Fig. 7)
-    config.theta = 1.0;
-
-    let engine = Causumx::new(&ds.table, &ds.dag, query, config);
-    let (summary, view) = engine.run_with_view().unwrap();
-
+    let summary = query.run();
     println!("\nCauSumX summary (k=4, θ=1):\n");
-    print!("{}", render_summary(&ds.table, &view, &summary, "severity"));
+    print!("{}", query.report(&summary).render_text());
     println!(
         "\ncandidates={} cate-evaluations={} | grouping {:.0} ms, treatments {:.0} ms, selection {:.0} ms",
         summary.candidates,

@@ -10,7 +10,7 @@
 //! paper) purposes whose treatments are not statistically significant stay
 //! unexplained.
 
-use causumx::{render_summary, Causumx, CausumxConfig};
+use causumx::{ConfigBuilder, Session};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -19,27 +19,28 @@ fn main() {
 
     eprintln!("generating German dataset: {n} rows (seed {seed})…");
     let ds = datagen::german::generate(n, seed);
-    let query = ds.query();
-    let view = query.run(&ds.table).unwrap();
+    let config = ConfigBuilder::new()
+        .k(5) // paper default size constraint
+        .theta(0.5) // some purposes are too small to explain
+        .max_p_value(0.01) // the paper reports p < 1e-2 gates
+        .build()
+        .unwrap();
+    let session = Session::new(ds.table, ds.dag, config);
+    let query = session
+        .query()
+        .group_by("Purpose")
+        .avg("Risk")
+        .prepare()
+        .unwrap();
     println!(
         "SELECT Purpose, AVG(Risk) FROM German GROUP BY Purpose → {} groups\n",
-        view.num_groups()
+        query.view().num_groups()
     );
-    println!("{}", view.render(&ds.table));
+    println!("{}", query.view().render(session.table()));
 
-    let mut config = CausumxConfig::default();
-    config.k = 5; // paper default size constraint
-    config.theta = 0.5; // some purposes are too small to explain
-    config.lattice.max_p_value = 0.01; // the paper reports p < 1e-2 gates
-
-    let engine = Causumx::new(&ds.table, &ds.dag, query, config);
-    let (summary, view) = engine.run_with_view().unwrap();
-
+    let summary = query.run();
     println!("CauSumX summary (k=5, θ=0.5):\n");
-    print!(
-        "{}",
-        render_summary(&ds.table, &view, &summary, "risk score")
-    );
+    print!("{}", query.report(&summary).render_text());
     println!(
         "\ncandidates={} cate-evaluations={} | grouping {:.0} ms, treatments {:.0} ms, selection {:.0} ms",
         summary.candidates,

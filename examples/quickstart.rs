@@ -1,79 +1,25 @@
-//! Quickstart: summarized causal explanations on a hand-built toy table.
+//! Quickstart: the 10-line, name-based session API.
 //!
 //! ```sh
 //! cargo run -p causumx --example quickstart --release
 //! ```
 //!
-//! Builds a 12-row salary table with one FD (country → continent), runs the
-//! default CauSumX pipeline with `k = 2, θ = 1`, and prints the Fig. 2-style
-//! natural-language summary.
+//! Binds the Stack-Overflow stand-in dataset to a [`causumx::Session`],
+//! issues `SELECT Country, AVG(Salary) … GROUP BY Country` by attribute
+//! name, and prints the Fig. 2-style report.
 
-use causumx::{render_summary, Causumx, CausumxConfig};
-use table::{GroupByAvgQuery, TableBuilder};
+use causumx::{ConfigBuilder, Session};
 
 fn main() {
-    // A miniature Stack-Overflow-like dataset.
-    let table = TableBuilder::new()
-        .cat(
-            "country",
-            &[
-                "US", "US", "US", "US", "FR", "FR", "FR", "FR", "IN", "IN", "IN", "IN", "US", "US",
-                "US", "US", "FR", "FR", "FR", "FR", "IN", "IN", "IN", "IN",
-            ],
-        )
-        .unwrap()
-        .cat(
-            "continent",
-            &[
-                "NA", "NA", "NA", "NA", "EU", "EU", "EU", "EU", "Asia", "Asia", "Asia", "Asia",
-                "NA", "NA", "NA", "NA", "EU", "EU", "EU", "EU", "Asia", "Asia", "Asia", "Asia",
-            ],
-        )
-        .unwrap()
-        .cat(
-            "education",
-            &[
-                "PhD", "BSc", "PhD", "BSc", "PhD", "BSc", "PhD", "BSc", "PhD", "BSc", "PhD", "BSc",
-                "PhD", "BSc", "PhD", "BSc", "PhD", "BSc", "PhD", "BSc", "PhD", "BSc", "PhD", "BSc",
-            ],
-        )
-        .unwrap()
-        .float(
-            "salary",
-            vec![
-                120.0, 80.0, 125.0, 82.0, 90.0, 60.0, 95.0, 61.0, 40.0, 20.0, 42.0, 21.0, 118.0,
-                79.0, 122.0, 81.0, 92.0, 62.0, 94.0, 63.0, 41.0, 22.0, 43.0, 19.0,
-            ],
-        )
-        .unwrap()
-        .build()
+    let ds = datagen::so::generate(4_000, 42);
+    let config = ConfigBuilder::new().k(3).theta(1.0).build().unwrap();
+    let session = Session::new(ds.table, ds.dag, config);
+    let query = session
+        .query()
+        .group_by("Country")
+        .avg("Salary")
+        .prepare()
         .unwrap();
-
-    // Background knowledge: education causally drives salary; country sets
-    // the baseline.
-    let dag = causal::Dag::new(
-        &["country", "continent", "education", "salary"],
-        &[("country", "salary"), ("education", "salary")],
-    )
-    .unwrap();
-
-    // SELECT country, AVG(salary) FROM t GROUP BY country;
-    let query = GroupByAvgQuery::new(vec![0], 3);
-    let view = query.run(&table).unwrap();
-    println!("Aggregate view:\n{}", view.render(&table));
-
-    let mut config = CausumxConfig::default();
-    config.k = 3;
-    config.theta = 1.0;
-    config.lattice.cate_opts.min_arm = 2; // the toy table is tiny
-
-    let engine = Causumx::new(&table, &dag, query, config);
-    let (summary, view) = engine.run_with_view().unwrap();
-
-    println!("CauSumX explanation summary:");
-    print!("{}", render_summary(&table, &view, &summary, "salary"));
-    println!(
-        "\n(phases: grouping {:.1} ms, treatments {:.1} ms, selection {:.1} ms)",
-        summary.timings.grouping_ms, summary.timings.treatment_ms, summary.timings.selection_ms
-    );
+    let summary = query.run();
+    print!("{}", query.report(&summary).render_text());
 }

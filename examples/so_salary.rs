@@ -4,14 +4,14 @@
 //! cargo run -p causumx --example so_salary --release [-- <rows> <seed>]
 //! ```
 //!
-//! Generates the SO stand-in dataset (Example 1.1), runs
-//! `SELECT Country, AVG(Salary) … GROUP BY Country`, and asks CauSumX for a
-//! 3-insight summary covering all 20 countries (`k = 3, θ = 1`) — exactly
-//! the configuration of Example 1.2. Expect insights keyed on continent /
-//! GDP / Gini grouping patterns with education-, role- and age-based
-//! treatments, mirroring the paper's Fig. 2.
+//! Generates the SO stand-in dataset (Example 1.1), binds it to a
+//! session, runs `SELECT Country, AVG(Salary) … GROUP BY Country`, and
+//! asks for a 3-insight summary covering all 20 countries (`k = 3, θ = 1`)
+//! — exactly the configuration of Example 1.2. Expect insights keyed on
+//! continent / GDP / Gini grouping patterns with education-, role- and
+//! age-based treatments, mirroring the paper's Fig. 2.
 
-use causumx::{render_summary, Causumx, CausumxConfig};
+use causumx::{ConfigBuilder, Session};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -20,23 +20,27 @@ fn main() {
 
     eprintln!("generating SO dataset: {n} rows (seed {seed})…");
     let ds = datagen::so::generate(n, seed);
-    let query = ds.query();
-    let view = query.run(&ds.table).unwrap();
+    let config = ConfigBuilder::new()
+        .k(3) // "no more than three insights" (Example 1.2)
+        .theta(1.0) // "while covering all groups"
+        .build()
+        .unwrap();
+    let session = Session::new(ds.table, ds.dag, config);
+    let query = session
+        .query()
+        .group_by("Country")
+        .avg("Salary")
+        .prepare()
+        .unwrap();
     println!(
         "SELECT Country, AVG(Salary) FROM SO GROUP BY Country → {} groups\n",
-        view.num_groups()
+        query.view().num_groups()
     );
-    println!("{}", view.render(&ds.table));
+    println!("{}", query.view().render(session.table()));
 
-    let mut config = CausumxConfig::default();
-    config.k = 3; // "no more than three insights" (Example 1.2)
-    config.theta = 1.0; // "while covering all groups"
-
-    let engine = Causumx::new(&ds.table, &ds.dag, query, config);
-    let (summary, view) = engine.run_with_view().unwrap();
-
+    let summary = query.run();
     println!("CauSumX summary (k=3, θ=1):\n");
-    print!("{}", render_summary(&ds.table, &view, &summary, "salary"));
+    print!("{}", query.report(&summary).render_text());
     println!(
         "\ncandidates={} cate-evaluations={} | grouping {:.0} ms, treatments {:.0} ms, selection {:.0} ms",
         summary.candidates,

@@ -6,11 +6,11 @@
 //! ```
 //!
 //! Parses a `SELECT …, AVG(…) FROM … [WHERE …] GROUP BY …` statement with
-//! the in-crate SQL front-end, runs it over the Stack Overflow stand-in,
-//! and explains the resulting aggregate view.
+//! [`causumx::Session::sql`], runs it over the Stack Overflow stand-in,
+//! and explains the resulting aggregate view. Parse errors point a caret
+//! at the offending byte of the statement.
 
-use causumx::{render_summary, Causumx, CausumxConfig};
-use table::sql::parse_query;
+use causumx::{ConfigBuilder, Error, Session};
 
 fn main() {
     let default_sql = "SELECT Country, AVG(Salary) FROM SO GROUP BY Country".to_string();
@@ -18,22 +18,22 @@ fn main() {
 
     eprintln!("generating SO dataset (6000 rows)…");
     let ds = datagen::so::generate(6_000, 42);
+    let config = ConfigBuilder::new().k(3).theta(1.0).build().unwrap();
+    let session = Session::new(ds.table, ds.dag, config);
 
-    let query = match parse_query(&ds.table, &sql) {
+    let query = match session.sql(&sql) {
         Ok(q) => q,
+        Err(Error::Sql { pos, msg }) => {
+            eprintln!("cannot parse query: {msg}\n  {sql}\n  {}^", " ".repeat(pos));
+            std::process::exit(1);
+        }
         Err(e) => {
-            eprintln!("cannot parse query: {e}");
+            eprintln!("cannot prepare query: {e}");
             std::process::exit(1);
         }
     };
-    let view = query.run(&ds.table).expect("query evaluation");
-    println!("{sql}\n→ {} groups\n", view.num_groups());
+    println!("{sql}\n→ {} groups\n", query.view().num_groups());
 
-    let mut config = CausumxConfig::default();
-    config.k = 3;
-    config.theta = 1.0;
-    let engine = Causumx::new(&ds.table, &ds.dag, query, config);
-    let (summary, view) = engine.run_with_view().expect("pipeline");
-
-    print!("{}", render_summary(&ds.table, &view, &summary, "salary"));
+    let summary = query.run();
+    print!("{}", query.report(&summary).render_text());
 }

@@ -105,12 +105,15 @@ fn causumx_vs_rule_learners_different_targets() {
     // education/age/role/student while IDS may pick any high-precision
     // correlate.
     let ds = datagen::so::generate(4_000, 107);
-    let mut cfg = causumx::CausumxConfig::default();
-    cfg.k = 3;
-    cfg.theta = 1.0;
-    let summary = causumx::Causumx::new(&ds.table, &ds.dag, ds.query(), cfg)
-        .run()
+    let cfg = causumx::ConfigBuilder::new()
+        .k(3)
+        .theta(1.0)
+        .build()
         .unwrap();
+    let summary = causumx::Session::new(ds.table.clone(), ds.dag.clone(), cfg)
+        .prepare(ds.query())
+        .unwrap()
+        .run();
     let causal_attrs = [
         "Education",
         "Age",

@@ -1,7 +1,7 @@
 //! Discovery → CauSumX integration: the full §6.6 loop of discovering a
 //! DAG from data and feeding it to the explanation pipeline.
 
-use causumx::{Causumx, CausumxConfig};
+use causumx::{ConfigBuilder, Session};
 use discovery::{attr_names, fci, lingam, no_dag, numeric_columns, pc};
 
 fn sampled(ds: &datagen::Dataset, rows: usize) -> table::Table {
@@ -15,11 +15,11 @@ fn pc_dag_drives_pipeline_end_to_end() {
     let sub = sampled(&ds, 1_200);
     let dag = pc(&numeric_columns(&sub), &attr_names(&sub), 0.01);
     assert!(dag.topological_order().is_some());
-    let mut cfg = CausumxConfig::default();
-    cfg.theta = 0.5;
-    let summary = Causumx::new(&ds.table, &dag, ds.query(), cfg)
-        .run()
-        .unwrap();
+    let cfg = ConfigBuilder::new().theta(0.5).build().unwrap();
+    let summary = Session::new(ds.table.clone(), dag, cfg)
+        .prepare(ds.query())
+        .unwrap()
+        .run();
     assert!(
         summary.covered > 0,
         "discovered-DAG run must explain something"
@@ -32,11 +32,11 @@ fn fci_dag_drives_pipeline_end_to_end() {
     let ds = datagen::adult::generate(2_500, 67);
     let sub = sampled(&ds, 1_200);
     let dag = fci(&numeric_columns(&sub), &attr_names(&sub), 0.01);
-    let mut cfg = CausumxConfig::default();
-    cfg.theta = 0.5;
-    let summary = Causumx::new(&ds.table, &dag, ds.query(), cfg)
-        .run()
-        .unwrap();
+    let cfg = ConfigBuilder::new().theta(0.5).build().unwrap();
+    let summary = Session::new(ds.table.clone(), dag, cfg)
+        .prepare(ds.query())
+        .unwrap()
+        .run();
     assert!(summary.covered > 0);
 }
 
@@ -45,11 +45,11 @@ fn lingam_dag_drives_pipeline_end_to_end() {
     let ds = datagen::impus::generate(2_500, 71);
     let sub = sampled(&ds, 1_200);
     let dag = lingam(&numeric_columns(&sub), &attr_names(&sub));
-    let mut cfg = CausumxConfig::default();
-    cfg.theta = 0.5;
-    let summary = Causumx::new(&ds.table, &dag, ds.query(), cfg)
-        .run()
-        .unwrap();
+    let cfg = ConfigBuilder::new().theta(0.5).build().unwrap();
+    let summary = Session::new(ds.table.clone(), dag, cfg)
+        .prepare(ds.query())
+        .unwrap()
+        .run();
     assert!(summary.covered > 0);
 }
 
@@ -57,11 +57,11 @@ fn lingam_dag_drives_pipeline_end_to_end() {
 fn no_dag_baseline_runs_but_unadjusted() {
     let ds = datagen::adult::generate(2_500, 73);
     let dag = no_dag(&attr_names(&ds.table), ds.outcome_name());
-    let mut cfg = CausumxConfig::default();
-    cfg.theta = 0.5;
-    let summary = Causumx::new(&ds.table, &dag, ds.query(), cfg)
-        .run()
-        .unwrap();
+    let cfg = ConfigBuilder::new().theta(0.5).build().unwrap();
+    let summary = Session::new(ds.table.clone(), dag, cfg)
+        .prepare(ds.query())
+        .unwrap()
+        .run();
     // Every attribute is a root parent of the outcome ⇒ no confounders
     // are ever adjusted for; the summary still exists.
     assert!(summary.covered > 0);

@@ -1,8 +1,13 @@
 //! End-to-end integration tests: the full Algorithm-1 pipeline on every
 //! dataset generator, checking the Definition 4.5 contract on the output.
 
-use causumx::{Causumx, CausumxConfig, SelectionMethod, Summary};
+use causumx::{CausumxConfig, ConfigBuilder, SelectionMethod, Session, Summary};
 use table::bitset::BitSet;
+
+/// Bind a dataset to a fresh session (cloning so `ds` stays usable).
+fn session(ds: &datagen::Dataset, cfg: CausumxConfig) -> Session {
+    Session::new(ds.table.clone(), ds.dag.clone(), cfg)
+}
 
 fn check_contract(ds: &datagen::Dataset, cfg: &CausumxConfig, summary: &Summary) {
     // Size constraint.
@@ -67,12 +72,8 @@ fn check_contract(ds: &datagen::Dataset, cfg: &CausumxConfig, summary: &Summary)
 #[test]
 fn so_pipeline_contract() {
     let ds = datagen::so::generate(4_000, 3);
-    let mut cfg = CausumxConfig::default();
-    cfg.k = 3;
-    cfg.theta = 1.0;
-    let summary = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg.clone())
-        .run()
-        .unwrap();
+    let cfg = ConfigBuilder::new().k(3).theta(1.0).build().unwrap();
+    let summary = session(&ds, cfg.clone()).prepare(ds.query()).unwrap().run();
     assert!(summary.feasible, "SO at θ=1 must be coverable: {summary:?}");
     check_contract(&ds, &cfg, &summary);
 }
@@ -81,9 +82,7 @@ fn so_pipeline_contract() {
 fn adult_pipeline_contract() {
     let ds = datagen::adult::generate(4_000, 5);
     let cfg = CausumxConfig::default();
-    let summary = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg.clone())
-        .run()
-        .unwrap();
+    let summary = session(&ds, cfg.clone()).prepare(ds.query()).unwrap().run();
     assert!(summary.feasible);
     check_contract(&ds, &cfg, &summary);
 }
@@ -91,11 +90,8 @@ fn adult_pipeline_contract() {
 #[test]
 fn german_pipeline_contract_no_fds() {
     let ds = datagen::german::generate(1_000, 7);
-    let mut cfg = CausumxConfig::default();
-    cfg.theta = 0.4;
-    let summary = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg.clone())
-        .run()
-        .unwrap();
+    let cfg = ConfigBuilder::new().theta(0.4).build().unwrap();
+    let summary = session(&ds, cfg.clone()).prepare(ds.query()).unwrap().run();
     check_contract(&ds, &cfg, &summary);
     // German grouping patterns are per-group (no FDs): coverage 1 each.
     for e in &summary.explanations {
@@ -107,9 +103,7 @@ fn german_pipeline_contract_no_fds() {
 fn impus_pipeline_contract() {
     let ds = datagen::impus::generate(6_000, 11);
     let cfg = CausumxConfig::default();
-    let summary = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg.clone())
-        .run()
-        .unwrap();
+    let summary = session(&ds, cfg.clone()).prepare(ds.query()).unwrap().run();
     check_contract(&ds, &cfg, &summary);
 }
 
@@ -117,9 +111,7 @@ fn impus_pipeline_contract() {
 fn accidents_pipeline_contract() {
     let ds = datagen::accidents::generate(6_000, 13);
     let cfg = CausumxConfig::default();
-    let summary = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg.clone())
-        .run()
-        .unwrap();
+    let summary = session(&ds, cfg.clone()).prepare(ds.query()).unwrap().run();
     assert!(summary.feasible);
     check_contract(&ds, &cfg, &summary);
 }
@@ -138,12 +130,8 @@ fn synthetic_recovers_ground_truth_treatment() {
         },
         17,
     );
-    let mut cfg = CausumxConfig::default();
-    cfg.k = 4;
-    cfg.theta = 0.5;
-    let summary = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg.clone())
-        .run()
-        .unwrap();
+    let cfg = ConfigBuilder::new().k(4).theta(0.5).build().unwrap();
+    let summary = session(&ds, cfg.clone()).prepare(ds.query()).unwrap().run();
     check_contract(&ds, &cfg, &summary);
     let e = &summary.explanations[0];
     let pos = e.positive.as_ref().expect("positive treatment");
@@ -160,9 +148,10 @@ fn synthetic_recovers_ground_truth_treatment() {
 fn rendering_nonempty_for_feasible_summary() {
     let ds = datagen::so::generate(3_000, 19);
     let cfg = CausumxConfig::default();
-    let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
-    let (summary, view) = engine.run_with_view().unwrap();
-    let text = causumx::render_summary(&ds.table, &view, &summary, "salary");
+    let s = session(&ds, cfg);
+    let prepared = s.prepare(ds.query()).unwrap();
+    let summary = prepared.run();
+    let text = prepared.report(&summary).render_text();
     assert!(text.contains("effect size"));
     assert!(text.contains("coverage"));
 }
@@ -178,9 +167,8 @@ fn where_clause_respected() {
         .with_where(table::Pattern::single(table::Pred::eq(cont, "Europe")));
     let view = query.run(&ds.table).unwrap();
     assert!(view.num_groups() < 20);
-    let mut cfg = CausumxConfig::default();
-    cfg.theta = 0.5;
-    let summary = Causumx::new(&ds.table, &ds.dag, query, cfg).run().unwrap();
+    let cfg = ConfigBuilder::new().theta(0.5).build().unwrap();
+    let summary = session(&ds, cfg).prepare(query).unwrap().run();
     assert!(summary.m == view.num_groups());
     assert!(summary.covered <= summary.m);
 }
@@ -188,11 +176,8 @@ fn where_clause_respected() {
 #[test]
 fn positive_only_mode() {
     let ds = datagen::so::generate(3_000, 29);
-    let mut cfg = CausumxConfig::default();
-    cfg.mine_negative = false;
-    let summary = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg)
-        .run()
-        .unwrap();
+    let cfg = ConfigBuilder::new().mine_negative(false).build().unwrap();
+    let summary = session(&ds, cfg).prepare(ds.query()).unwrap().run();
     for e in &summary.explanations {
         assert!(e.negative.is_none());
         assert!(e.positive.is_some());
@@ -203,11 +188,12 @@ fn positive_only_mode() {
 fn selection_methods_agree_on_structure() {
     let ds = datagen::adult::generate(3_000, 31);
     let cfg = CausumxConfig::default();
-    let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
-    let candidates = engine.mine_candidates().unwrap();
-    let lp = engine.select(&candidates, SelectionMethod::LpRounding);
-    let greedy = engine.select(&candidates, SelectionMethod::Greedy);
-    let exact = engine.select(&candidates, SelectionMethod::Exhaustive);
+    let s = session(&ds, cfg);
+    let prepared = s.prepare(ds.query()).unwrap();
+    let candidates = prepared.mine_candidates();
+    let lp = prepared.select(&candidates, SelectionMethod::LpRounding);
+    let greedy = prepared.select(&candidates, SelectionMethod::Greedy);
+    let exact = prepared.select(&candidates, SelectionMethod::Exhaustive);
     // The exact optimum dominates both heuristics (when feasible).
     if exact.feasible {
         assert!(exact.total_weight >= lp.total_weight - 1e-6);

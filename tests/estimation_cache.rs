@@ -13,7 +13,7 @@ use proptest::prelude::*;
 use causal::context::EstimationContext;
 use causal::estimate::{estimate_cate, CateOptions};
 use causal::Dag;
-use causumx::{Causumx, CausumxConfig, Summary};
+use causumx::{Session, Summary};
 use mining::treatment::{Direction, LatticeOptions, TreatmentMiner};
 use table::bitset::BitSet;
 use table::{Table, TableBuilder};
@@ -28,7 +28,8 @@ fn build_table(cats_a: &[u8], cats_b: &[u8], nums: &[i64], noise: &[i64]) -> Tab
     let num: Vec<i64> = nums.to_vec();
     let y: Vec<f64> = (0..n)
         .map(|i| {
-            3.0 * (cats_a[i] % 3 == 0) as i64 as f64 - 2.0 * (cats_b[i] % 2 == 1) as i64 as f64
+            3.0 * (cats_a[i].is_multiple_of(3)) as i64 as f64
+                - 2.0 * (cats_b[i] % 2 == 1) as i64 as f64
                 + (nums[i] % 7) as f64 * 0.3
                 + (noise[i] % 11) as f64 * 0.05
         })
@@ -157,15 +158,19 @@ fn summary_fingerprint(s: &Summary) -> (usize, usize, String, usize) {
 fn work_stealing_parallel_equals_sequential() {
     for seed in [7u64, 21] {
         let ds = datagen::so::generate(3_000, seed);
-        let mut cfg = CausumxConfig::default();
-        cfg.parallel = false;
-        let seq = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg.clone())
-            .run()
+        let mut cfg = causumx::ConfigBuilder::new()
+            .parallel(false)
+            .build()
             .unwrap();
+        let seq = Session::new(ds.table.clone(), ds.dag.clone(), cfg.clone())
+            .prepare(ds.query())
+            .unwrap()
+            .run();
         cfg.parallel = true;
-        let par = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg)
-            .run()
-            .unwrap();
+        let par = Session::new(ds.table.clone(), ds.dag.clone(), cfg)
+            .prepare(ds.query())
+            .unwrap()
+            .run();
         assert_eq!(seq.total_weight, par.total_weight, "seed {seed}");
         assert_eq!(summary_fingerprint(&seq), summary_fingerprint(&par));
     }

@@ -5,7 +5,7 @@
 
 use causal::estimate::{estimate_cate, estimate_effect, CateOptions, EstimatorBackend};
 use causal::ipw::{estimate_att_matching, estimate_cate_ipw};
-use causumx::{Causumx, CausumxConfig};
+use causumx::{CausumxConfig, Session};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use table::{Table, TableBuilder};
@@ -96,9 +96,10 @@ fn pipeline_runs_with_ipw_backend() {
     let mut cfg = CausumxConfig::default();
     cfg.lattice.cate_opts.backend = EstimatorBackend::Ipw;
     cfg.theta = 0.5;
-    let summary = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg)
-        .run()
-        .unwrap();
+    let summary = Session::new(ds.table.clone(), ds.dag.clone(), cfg)
+        .prepare(ds.query())
+        .unwrap()
+        .run();
     assert!(
         summary.covered > 0,
         "IPW-backed pipeline must produce output"
@@ -112,13 +113,16 @@ fn pipeline_runs_with_ipw_backend() {
 fn ipw_and_regression_pipelines_agree_on_direction() {
     let ds = datagen::so::generate(3_000, 23);
     let run = |backend| {
-        let mut cfg = CausumxConfig::default();
-        cfg.k = 2;
-        cfg.theta = 0.75;
+        let mut cfg = causumx::ConfigBuilder::new()
+            .k(2)
+            .theta(0.75)
+            .build()
+            .unwrap();
         cfg.lattice.cate_opts.backend = backend;
-        Causumx::new(&ds.table, &ds.dag, ds.query(), cfg)
-            .run()
+        Session::new(ds.table.clone(), ds.dag.clone(), cfg)
+            .prepare(ds.query())
             .unwrap()
+            .run()
     };
     let reg = run(EstimatorBackend::Regression);
     let ipw = run(EstimatorBackend::Ipw);

@@ -1,0 +1,335 @@
+//! Integration tests for the session-oriented API: config-builder
+//! validation, name/index/SQL query equivalence, prepared-query reuse
+//! (zero redundant work, bit-identical results) and the structured JSON
+//! report.
+
+use causumx::{ConfigBuilder, Error, Session};
+use table::{Table, TableBuilder};
+
+/// Toy SO-shaped table with a country → continent FD and an education
+/// effect on salary, plus an age column for WHERE clauses.
+fn toy() -> (Table, causal::Dag) {
+    let n = 240;
+    let countries = ["US", "FR", "IN"];
+    let continent = |c: &str| match c {
+        "US" => "NA",
+        "FR" => "EU",
+        _ => "Asia",
+    };
+    let mut country = Vec::new();
+    let mut cont = Vec::new();
+    let mut edu = Vec::new();
+    let mut age = Vec::new();
+    let mut salary = Vec::new();
+    for i in 0..n {
+        let c = countries[i % 3];
+        let e = if i % 2 == 0 { "PhD" } else { "BSc" };
+        let a = 22 + ((i * 7) % 40) as i64;
+        let base = match c {
+            "US" => 120.0,
+            "FR" => 90.0,
+            _ => 40.0,
+        };
+        country.push(c.to_string());
+        cont.push(continent(c).to_string());
+        edu.push(e.to_string());
+        age.push(a);
+        salary.push(base + if e == "PhD" { 30.0 } else { 0.0 } + (i % 5) as f64);
+    }
+    let table = TableBuilder::new()
+        .cat_owned("country", country)
+        .unwrap()
+        .cat_owned("continent", cont)
+        .unwrap()
+        .cat_owned("education", edu)
+        .unwrap()
+        .int("age", age)
+        .unwrap()
+        .float("salary", salary)
+        .unwrap()
+        .build()
+        .unwrap();
+    let dag = causal::Dag::new(
+        &["country", "continent", "education", "age", "salary"],
+        &[
+            ("country", "salary"),
+            ("education", "salary"),
+            ("age", "salary"),
+        ],
+    )
+    .unwrap();
+    (table, dag)
+}
+
+fn toy_session() -> Session {
+    let (table, dag) = toy();
+    let config = ConfigBuilder::new()
+        .k(3)
+        .theta(1.0)
+        .min_arm(2)
+        .parallel(false)
+        .build()
+        .unwrap();
+    Session::new(table, dag, config)
+}
+
+#[test]
+fn config_builder_validation_errors() {
+    for (build, want_param) in [
+        (ConfigBuilder::new().k(0).build(), "k"),
+        (ConfigBuilder::new().theta(1.01).build(), "theta"),
+        (ConfigBuilder::new().theta(-0.5).build(), "theta"),
+        (
+            ConfigBuilder::new().apriori_tau(-1.0).build(),
+            "apriori_tau",
+        ),
+        (ConfigBuilder::new().apriori_tau(7.0).build(), "apriori_tau"),
+        (ConfigBuilder::new().max_level(0).build(), "max_level"),
+        (ConfigBuilder::new().max_p_value(1.5).build(), "max_p_value"),
+    ] {
+        match build {
+            Err(Error::Config { param, msg }) => {
+                assert_eq!(param, want_param);
+                assert!(!msg.is_empty());
+            }
+            other => panic!("expected Config error for {want_param}, got {other:?}"),
+        }
+    }
+    // Valid settings build.
+    let cfg = ConfigBuilder::new()
+        .k(5)
+        .theta(0.75)
+        .apriori_tau(0.1)
+        .build()
+        .unwrap();
+    assert_eq!(cfg.k, 5);
+}
+
+/// The same query expressed by name, by index, and as SQL must produce
+/// identical summaries.
+#[test]
+fn name_index_sql_equivalence() {
+    let session = toy_session();
+    let by_name = session
+        .query()
+        .group_by("country")
+        .avg("salary")
+        .prepare()
+        .unwrap();
+    let by_index = session
+        .query()
+        .group_by_index(0)
+        .avg_index(4)
+        .prepare()
+        .unwrap();
+    let by_sql = session
+        .sql("SELECT country, AVG(salary) FROM toy GROUP BY country")
+        .unwrap();
+
+    let a = by_name.run();
+    let b = by_index.run();
+    let c = by_sql.run();
+    for s in [&a, &b, &c] {
+        assert_eq!(s.m, 3);
+    }
+    assert_eq!(a.total_weight.to_bits(), b.total_weight.to_bits());
+    assert_eq!(a.total_weight.to_bits(), c.total_weight.to_bits());
+    assert_eq!(a.covered, b.covered);
+    assert_eq!(a.covered, c.covered);
+    assert_eq!(a.cate_evaluations, b.cate_evaluations);
+    assert_eq!(a.cate_evaluations, c.cate_evaluations);
+    let keys = |s: &causumx::Summary| {
+        let mut v: Vec<String> = s.explanations.iter().map(|e| e.grouping.key()).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(keys(&a), keys(&b));
+    assert_eq!(keys(&a), keys(&c));
+}
+
+/// WHERE clauses agree between the builder fragment and full SQL.
+#[test]
+fn where_sql_equivalence() {
+    let session = toy_session();
+    let via_builder = session
+        .query()
+        .group_by("country")
+        .avg("salary")
+        .where_sql("age < 40")
+        .prepare()
+        .unwrap();
+    let via_sql = session
+        .sql("SELECT country, AVG(salary) FROM toy WHERE age < 40 GROUP BY country")
+        .unwrap();
+    assert_eq!(
+        via_builder.view().counts,
+        via_sql.view().counts,
+        "identical filtered views"
+    );
+    let a = via_builder.run();
+    let b = via_sql.run();
+    assert_eq!(a.total_weight.to_bits(), b.total_weight.to_bits());
+}
+
+/// Serving the same prepared query repeatedly does zero redundant
+/// per-dataset work and returns bit-identical results — the headline
+/// contract of the session redesign.
+#[test]
+fn prepared_reuse_no_redundant_work() {
+    let ds = datagen::so::generate(3_000, 42);
+    let config = ConfigBuilder::new().k(3).theta(1.0).build().unwrap();
+    let query = ds.query();
+    let session = Session::new(ds.table, ds.dag, config);
+    let prepared = session.prepare(query).unwrap();
+
+    let after_prepare = session.counters();
+    assert_eq!(after_prepare.views_materialized, 1);
+    assert_eq!(after_prepare.fd_closures_computed, 1);
+    assert_eq!(after_prepare.queries_prepared, 1);
+    assert_eq!(after_prepare.backdoor_walks, 0, "no mining yet");
+
+    let first = prepared.run();
+    let after_first = session.counters();
+    assert!(after_first.backdoor_walks > 0);
+
+    let second = prepared.run();
+    let after_second = session.counters();
+
+    // Zero redundant view materializations, FD-closure or backdoor
+    // recomputations on the repeated run.
+    assert_eq!(after_second.views_materialized, 1);
+    assert_eq!(after_second.fd_closures_computed, 1);
+    assert_eq!(after_second.backdoor_walks, after_first.backdoor_walks);
+    assert_eq!(after_second.runs, 2);
+
+    // Bit-identical results across repeated run()s.
+    assert_eq!(first.total_weight.to_bits(), second.total_weight.to_bits());
+    assert_eq!(first.covered, second.covered);
+    assert_eq!(first.cate_evaluations, second.cate_evaluations);
+    assert_eq!(first.explanations.len(), second.explanations.len());
+    for (a, b) in first.explanations.iter().zip(&second.explanations) {
+        assert_eq!(a.grouping.key(), b.grouping.key());
+        assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        match (&a.positive, &b.positive) {
+            (Some(x), Some(y)) => {
+                assert_eq!(x.pattern.key(), y.pattern.key());
+                assert_eq!(x.cate.to_bits(), y.cate.to_bits());
+                assert_eq!(x.p_value.to_bits(), y.p_value.to_bits());
+            }
+            (None, None) => {}
+            _ => panic!("positive treatment mismatch"),
+        }
+    }
+
+    // Drill-downs also reuse the prepared state: no new views.
+    let label = prepared.view().group_label(session.table(), 0);
+    assert!(prepared.explain_group(&label, 2).is_some());
+    assert_eq!(session.counters().views_materialized, 1);
+
+    // A *second* query on the same session reuses the FD split and the
+    // backdoor memo (same group-by set, same outcome).
+    let again = session
+        .query()
+        .group_by("Country")
+        .avg("Salary")
+        .prepare()
+        .unwrap();
+    let c = session.counters();
+    assert_eq!(c.fd_closures_computed, 1, "FD split cache hit");
+    let walks_before = c.backdoor_walks;
+    let _ = again.run();
+    assert_eq!(
+        session.counters().backdoor_walks,
+        walks_before,
+        "backdoor memo shared across queries"
+    );
+}
+
+/// Extract the number following `"key":` in a JSON string.
+fn json_num(json: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat).unwrap_or_else(|| panic!("missing {key}")) + pat.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().unwrap()
+}
+
+/// The structured report's JSON round-trips the key fields of the
+/// summary it was built from.
+#[test]
+fn report_json_round_trips_key_fields() {
+    let session = toy_session();
+    let prepared = session
+        .query()
+        .group_by("country")
+        .avg("salary")
+        .prepare()
+        .unwrap();
+    let summary = prepared.run();
+    let report = prepared.report(&summary);
+    assert_eq!(report.m, summary.m);
+    assert_eq!(report.covered, summary.covered);
+    assert_eq!(report.explanations.len(), summary.explanations.len());
+
+    let json = report.to_json();
+    assert_eq!(json_num(&json, "m") as usize, summary.m);
+    assert_eq!(json_num(&json, "covered") as usize, summary.covered);
+    assert_eq!(
+        json_num(&json, "cate_evaluations") as usize,
+        summary.cate_evaluations
+    );
+    assert!((json_num(&json, "total_explainability") - summary.total_weight).abs() < 1e-5);
+    assert!(json.contains("\"outcome\":\"salary\""));
+    // Per-explanation fields survive: first explanation's weight and the
+    // (escaped) grouping string appear verbatim.
+    if let Some(e) = report.explanations.first() {
+        assert!(json.contains(&format!("\"grouping\":\"{}\"", e.grouping)));
+        assert!((json_num(&json, "weight") - e.weight).abs() < 1e-5);
+        if let Some(t) = &e.positive {
+            assert!(json.contains(&format!("\"pattern\":\"{}\"", t.pattern)));
+        }
+    }
+    // Balanced braces as a cheap well-formedness check.
+    let depth: i64 = json
+        .chars()
+        .map(|c| match c {
+            '{' => 1,
+            '}' => -1,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(depth, 0);
+    // And the text rendering agrees on the headline numbers.
+    let text = report.render_text();
+    assert!(text.contains(&format!("coverage {}/{}", summary.covered, summary.m)));
+}
+
+/// Errors surface with useful structure: SQL position, unknown names,
+/// empty views.
+#[test]
+fn error_surface() {
+    let session = toy_session();
+    let sql = "SELECT country, AVG(salary) FROM toy GROUP BY wages";
+    match session.sql(sql) {
+        Err(Error::Sql { pos, msg }) => {
+            assert_eq!(pos, sql.find("wages").unwrap());
+            assert!(msg.contains("wages"));
+        }
+        other => panic!("expected Sql error, got {:?}", other.err()),
+    }
+    assert!(matches!(
+        session.query().group_by("nope").avg("salary").prepare(),
+        Err(Error::Table(table::TableError::UnknownAttribute(_)))
+    ));
+    assert!(matches!(
+        session
+            .query()
+            .group_by("country")
+            .avg("salary")
+            .where_sql("age > 10000")
+            .prepare(),
+        Err(Error::EmptyView)
+    ));
+}

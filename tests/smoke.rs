@@ -1,8 +1,10 @@
 //! Workspace-surface smoke test: the public API contract of the
 //! quick-start in `crates/core/src/lib.rs`, pinned independently of the
-//! doctest so a docs edit can never silently drop the guarantee.
+//! doctest so a docs edit can never silently drop the guarantee — plus
+//! the compatibility guarantee that the deprecated one-shot `Causumx`
+//! shim keeps compiling and behaving identically for one release.
 
-use causumx::{Causumx, CausumxConfig};
+use causumx::{ConfigBuilder, Session};
 use table::{GroupByAvgQuery, TableBuilder};
 
 /// The doctest's toy table: country → continent is an FD; education
@@ -50,13 +52,14 @@ fn toy() -> (table::Table, causal::Dag, GroupByAvgQuery) {
 #[test]
 fn quickstart_contract_covered_groups() {
     let (table, dag, query) = toy();
-    let mut config = CausumxConfig::default();
-    config.k = 2;
-    config.theta = 1.0;
-    config.lattice.cate_opts.min_arm = 2; // tiny toy data
-    let summary = Causumx::new(&table, &dag, query, config.clone())
-        .run()
+    let config = ConfigBuilder::new()
+        .k(2)
+        .theta(1.0)
+        .min_arm(2) // tiny toy data
+        .build()
         .unwrap();
+    let session = Session::new(table, dag, config.clone());
+    let summary = session.prepare(query).unwrap().run();
 
     // The headline contract from the crate-level doctest.
     assert!(summary.covered > 0, "toy run must cover at least one group");
@@ -77,15 +80,42 @@ fn quickstart_contract_covered_groups() {
 #[test]
 fn quickstart_is_deterministic() {
     let (table, dag, query) = toy();
-    let mut config = CausumxConfig::default();
-    config.k = 2;
-    config.theta = 1.0;
-    config.lattice.cate_opts.min_arm = 2;
-    let a = Causumx::new(&table, &dag, query.clone(), config.clone())
-        .run()
+    let config = ConfigBuilder::new()
+        .k(2)
+        .theta(1.0)
+        .min_arm(2)
+        .build()
         .unwrap();
-    let b = Causumx::new(&table, &dag, query, config).run().unwrap();
+    let session = Session::new(table, dag, config);
+    let prepared = session.prepare(query).unwrap();
+    let a = prepared.run();
+    let b = prepared.run();
     assert_eq!(a.covered, b.covered);
     assert_eq!(a.total_weight, b.total_weight);
     assert_eq!(a.explanations.len(), b.explanations.len());
+}
+
+/// The deprecated one-shot entry point must keep compiling and return the
+/// same result as the session it wraps.
+#[test]
+#[allow(deprecated)]
+fn deprecated_causumx_shim_still_works() {
+    use causumx::Causumx;
+    let (table, dag, query) = toy();
+    let config = ConfigBuilder::new()
+        .k(2)
+        .theta(1.0)
+        .min_arm(2)
+        .build()
+        .unwrap();
+    let old = Causumx::new(&table, &dag, query.clone(), config.clone())
+        .run()
+        .unwrap();
+    let new = Session::new(table, dag, config)
+        .prepare(query)
+        .unwrap()
+        .run();
+    assert_eq!(old.covered, new.covered);
+    assert_eq!(old.total_weight.to_bits(), new.total_weight.to_bits());
+    assert_eq!(old.cate_evaluations, new.cate_evaluations);
 }

@@ -1,14 +1,20 @@
 //! Cross-variant integration tests: Brute-Force vs CauSumX vs
 //! Greedy-Last-Step dominance and consistency properties (§6.4).
 
-use causumx::{Causumx, CausumxConfig, SelectionMethod};
+use causumx::{select_candidates, CausumxConfig, ConfigBuilder, SelectionMethod, Session};
+
+/// Bind a dataset to a fresh session (cloning so `ds` stays usable).
+fn session(ds: &datagen::Dataset, cfg: CausumxConfig) -> Session {
+    Session::new(ds.table.clone(), ds.dag.clone(), cfg)
+}
 
 fn small_config() -> CausumxConfig {
-    let mut cfg = CausumxConfig::default();
-    cfg.k = 3;
-    cfg.theta = 0.75;
-    cfg.lattice.max_level = 2;
-    cfg
+    ConfigBuilder::new()
+        .k(3)
+        .theta(0.75)
+        .max_level(2)
+        .build()
+        .unwrap()
 }
 
 #[test]
@@ -22,9 +28,10 @@ fn brute_force_dominates_on_synthetic() {
         },
         5,
     );
-    let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), small_config());
-    let fast = engine.run().unwrap();
-    let brute = engine.run_brute_force().unwrap();
+    let s = session(&ds, small_config());
+    let prepared = s.prepare(ds.query()).unwrap();
+    let fast = prepared.run();
+    let brute = prepared.run_brute_force();
     assert!(
         brute.total_weight >= fast.total_weight - 1e-6,
         "brute {} < causumx {}",
@@ -48,9 +55,10 @@ fn brute_force_lp_between_heuristic_and_exact() {
         },
         9,
     );
-    let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), small_config());
-    let exact = engine.run_brute_force().unwrap();
-    let lp = engine.run_brute_force_lp().unwrap();
+    let s = session(&ds, small_config());
+    let prepared = s.prepare(ds.query()).unwrap();
+    let exact = prepared.run_brute_force();
+    let lp = prepared.run_brute_force_lp();
     // LP rounding over the same exhaustive candidates cannot beat exact.
     assert!(lp.total_weight <= exact.total_weight + 1e-6);
     // And with 64 rounds on a small instance it should land close.
@@ -65,9 +73,10 @@ fn brute_force_lp_between_heuristic_and_exact() {
 #[test]
 fn deterministic_given_seed() {
     let ds = datagen::so::generate(2_500, 41);
-    let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), small_config());
-    let a = engine.run().unwrap();
-    let b = engine.run().unwrap();
+    let s = session(&ds, small_config());
+    let prepared = s.prepare(ds.query()).unwrap();
+    let a = prepared.run();
+    let b = prepared.run();
     assert_eq!(a.total_weight, b.total_weight);
     assert_eq!(a.covered, b.covered);
     let keys = |s: &causumx::Summary| {
@@ -82,10 +91,11 @@ fn deterministic_given_seed() {
 #[test]
 fn greedy_never_exceeds_exhaustive_same_candidates() {
     let ds = datagen::adult::generate(2_500, 43);
-    let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), small_config());
-    let candidates = engine.mine_candidates().unwrap();
-    let greedy = engine.select(&candidates, SelectionMethod::Greedy);
-    let exact = engine.select(&candidates, SelectionMethod::Exhaustive);
+    let s = session(&ds, small_config());
+    let prepared = s.prepare(ds.query()).unwrap();
+    let candidates = prepared.mine_candidates();
+    let greedy = prepared.select(&candidates, SelectionMethod::Greedy);
+    let exact = prepared.select(&candidates, SelectionMethod::Exhaustive);
     if exact.feasible {
         assert!(exact.total_weight >= greedy.total_weight - 1e-6);
     }
@@ -96,14 +106,13 @@ fn k_monotonicity_of_exact_selection() {
     // Larger k can only improve the exact optimum.
     let ds = datagen::so::generate(2_500, 47);
     let base = small_config();
-    let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), base.clone());
-    let candidates = engine.mine_candidates().unwrap();
+    let sess = session(&ds, base.clone());
+    let candidates = sess.prepare(ds.query()).unwrap().mine_candidates();
     let mut prev = 0.0;
     for k in 1..=5 {
         let mut cfg = base.clone();
         cfg.k = k;
-        let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
-        let s = engine.select(&candidates, SelectionMethod::Exhaustive);
+        let s = select_candidates(&cfg, &candidates, SelectionMethod::Exhaustive);
         assert!(
             s.total_weight >= prev - 1e-9,
             "k={k}: {} < {}",
@@ -118,14 +127,13 @@ fn k_monotonicity_of_exact_selection() {
 fn theta_tightening_never_raises_exact_weight() {
     let ds = datagen::so::generate(2_500, 53);
     let base = small_config();
-    let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), base.clone());
-    let candidates = engine.mine_candidates().unwrap();
+    let sess = session(&ds, base.clone());
+    let candidates = sess.prepare(ds.query()).unwrap().mine_candidates();
     let mut prev = f64::INFINITY;
     for theta in [0.0, 0.5, 0.9] {
         let mut cfg = base.clone();
         cfg.theta = theta;
-        let engine = Causumx::new(&ds.table, &ds.dag, ds.query(), cfg);
-        let s = engine.select(&candidates, SelectionMethod::Exhaustive);
+        let s = select_candidates(&cfg, &candidates, SelectionMethod::Exhaustive);
         if s.feasible {
             assert!(s.total_weight <= prev + 1e-9);
             prev = s.total_weight;

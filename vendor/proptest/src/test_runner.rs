@@ -85,7 +85,7 @@ mod tests {
         let mut calls = 0u32;
         run_cases(&Config::with_cases(10), "t", |_| {
             calls += 1;
-            if calls % 3 == 0 {
+            if calls.is_multiple_of(3) {
                 Err(TestCaseError::Reject)
             } else {
                 Ok(())

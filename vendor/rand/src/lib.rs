@@ -162,7 +162,7 @@ impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
 /// bias of `next_u64 % span` without a rejection loop.
 fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
     debug_assert!(span > 0);
-    ((rng.next_u64() as u128 * span) >> 64) as u128
+    (rng.next_u64() as u128 * span) >> 64
 }
 
 macro_rules! impl_uniform_int {
