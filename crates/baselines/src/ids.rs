@@ -96,7 +96,7 @@ pub fn ids(
             if chosen.contains(&ci) {
                 continue;
             }
-            let new_correct = c.correct.count() - c.correct.intersection_count(&covered_correct);
+            let new_correct = c.correct.difference_count(&covered_correct);
             let overlap = c.cover.intersection_count(&covered_any);
             let gain = new_correct as f64
                 - LAMBDA_OVERLAP * overlap as f64

@@ -1,9 +1,11 @@
 //! Criterion micro-benchmarks of the hot kernels: group-by evaluation,
-//! pattern evaluation, Apriori, CATE estimation, the treatment lattice,
-//! and the simplex/rounding selection step.
+//! pattern evaluation, Apriori, CATE estimation (naive, context build,
+//! dense vs sparse per-treatment estimates), bitset popcount kernels, the
+//! treatment lattice, and the simplex/rounding selection step.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use causal::context::EstimationContext;
 use causal::estimate::{estimate_cate, CateOptions};
 use lpsolve::cover::{randomized_rounding, solve_lp_relaxation, CoverInstance};
 use mining::apriori::apriori;
@@ -82,6 +84,85 @@ fn bench_cate(c: &mut Criterion) {
     group.finish();
 }
 
+/// `EstimationContext` economics: the one-off build cost per
+/// (subpopulation, confounder set) vs the per-treatment estimate cost it
+/// amortizes — with the dense full-width scan and the sparse local gather
+/// side by side (the local path is what the projected lattice walk pays).
+fn bench_estimation_context(c: &mut Criterion) {
+    let ds = datagen::so::generate(8_000, 1);
+    let edu = ds.table.attr("Education").unwrap();
+    let treated = BitSet::from_mask(
+        &Pattern::single(Pred::eq(edu, "Masters"))
+            .eval(&ds.table)
+            .unwrap(),
+    );
+    // A skewed ~half-table subpopulation, like a grouping pattern's.
+    let subpop = {
+        let mut b = BitSet::new(ds.table.nrows());
+        for i in 0..ds.table.nrows() {
+            if i % 7 != 0 && i % 3 != 1 {
+                b.insert(i);
+            }
+        }
+        b
+    };
+    let conf: Vec<usize> = ["Age", "Gender", "EducationParents"]
+        .iter()
+        .map(|a| ds.table.attr(a).unwrap())
+        .collect();
+    let opts = CateOptions::default();
+
+    let mut group = c.benchmark_group("estimation_context");
+    group.bench_function("build_8k_q3", |b| {
+        b.iter(|| {
+            EstimationContext::new(&ds.table, Some(&subpop), ds.outcome, &conf, &opts)
+                .unwrap()
+                .n()
+        })
+    });
+    let ctx = EstimationContext::new(&ds.table, Some(&subpop), ds.outcome, &conf, &opts).unwrap();
+    group.bench_function("estimate_dense_8k_q3", |b| {
+        b.iter(|| ctx.estimate(&treated).unwrap().cate)
+    });
+    let local = treated.project(&subpop);
+    group.bench_function("estimate_sparse_8k_q3", |b| {
+        b.iter(|| ctx.estimate_local(&local).unwrap().cate)
+    });
+    group.finish();
+}
+
+/// Word-batched popcount kernels vs the scalar reference, at the widths
+/// the pipeline actually sees (4k/30k-row tables, 200k-row scale target).
+fn bench_bitset_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitset_intersection_count");
+    for &nbits in &[4_000usize, 30_000, 200_000] {
+        let mut a = BitSet::new(nbits);
+        let mut b = BitSet::new(nbits);
+        for i in 0..nbits {
+            if i % 3 != 0 {
+                a.insert(i);
+            }
+            if i % 5 < 3 {
+                b.insert(i);
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("scalar", nbits), &nbits, |bench, _| {
+            bench.iter(|| a.intersection_count_scalar(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("batched", nbits), &nbits, |bench, _| {
+            bench.iter(|| a.intersection_count(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("difference", nbits), &nbits, |bench, _| {
+            bench.iter(|| a.difference_count(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("project", nbits), &nbits, |bench, _| {
+            let p = table::bitset::Projector::new(&b);
+            bench.iter(|| p.project(&a).count())
+        });
+    }
+    group.finish();
+}
+
 fn bench_lattice(c: &mut Criterion) {
     let ds = datagen::so::generate(4_000, 1);
     let t_attrs = treatment_attrs(&ds.table, &ds.group_by, &[ds.outcome]);
@@ -141,6 +222,8 @@ criterion_group!(
         bench_apriori,
         bench_grouping_mining,
         bench_cate,
+        bench_estimation_context,
+        bench_bitset_kernels,
         bench_lattice,
         bench_selection
 );

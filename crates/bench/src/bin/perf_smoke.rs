@@ -24,6 +24,14 @@
 //! backdoor memo). The `warm_speedup` factor in the JSON is the
 //! repeated-query dividend of the session API.
 //!
+//! It also runs a **local-kernel scenario**: the same pipeline with
+//! serial (`level_parallelism = 1`) vs auto-parallel within-level
+//! candidate estimation, asserting the two summaries are bit-identical
+//! (the projected walk's determinism contract). When `--baseline` names a
+//! prior artifact, the per-size `cate_evaluations` and `total_weight` are
+//! additionally asserted against it — the local-kernel rework must not
+//! change a single reported number, only the clock.
+//!
 //! Timings are wall-clock and machine-dependent; `cate_evaluations`,
 //! candidate counts and coverage are deterministic for a fixed seed, which
 //! is what the CI gate checks indirectly (the JSON must parse and the
@@ -123,10 +131,32 @@ fn main() {
     // Session scenario: the same query served twice by one session.
     let session_point = run_session_scenario(if quick { 4_000 } else { 12_000 }, seed);
 
+    // Local-kernel scenario: serial vs parallel level evaluation.
+    let local_point = run_local_kernel_scenario(if quick { 4_000 } else { 12_000 }, seed);
+
     let prior = baseline_path
         .as_deref()
-        .map(read_prior_treatment_ms)
+        .map(read_prior_sizes)
         .unwrap_or_default();
+    // The rework contract: identical work counters and bit-identical
+    // summaries (the baseline stores total_weight at 1e-6 precision, so
+    // that is the strongest cross-artifact check available).
+    for p in &points {
+        if let Some(prev) = prior.iter().find(|b| b.n == p.n) {
+            assert_eq!(
+                p.cate_evaluations, prev.cate_evaluations,
+                "cate_evaluations changed at n={} vs baseline",
+                p.n
+            );
+            assert!(
+                (p.total_weight - prev.total_weight).abs() < 1e-6,
+                "total_weight changed at n={}: {} vs baseline {}",
+                p.n,
+                p.total_weight,
+                prev.total_weight
+            );
+        }
+    }
 
     let mut report = Report::new(&[
         "n",
@@ -140,7 +170,7 @@ fn main() {
         "speedup",
     ]);
     for p in &points {
-        let prior_ms = prior.iter().find(|(n, _)| *n == p.n).map(|&(_, ms)| ms);
+        let prior_ms = prior.iter().find(|b| b.n == p.n).map(|b| b.treatment_ms);
         report.row(&[
             p.n.to_string(),
             fmt(p.grouping_ms, 1),
@@ -164,8 +194,13 @@ fn main() {
         session_point.warm_ms,
         session_point.cold_ms / session_point.warm_ms,
     );
+    println!(
+        "local-kernel scenario (n = {}): treatment step {:.1} ms serial levels vs {:.1} ms \
+         auto-parallel levels, {} cate evaluations, bit-identical summaries\n",
+        local_point.n, local_point.serial_ms, local_point.parallel_ms, local_point.cate_evaluations,
+    );
 
-    let json = render_json(seed, quick, &points, &prior, &session_point);
+    let json = render_json(seed, quick, &points, &prior, &session_point, &local_point);
     let path = out_path.map(std::path::PathBuf::from).unwrap_or_else(|| {
         let dir = results_dir();
         let _ = std::fs::create_dir_all(&dir);
@@ -246,14 +281,66 @@ fn run_session_scenario(n: usize, seed: u64) -> SessionPoint {
     }
 }
 
+/// Measurements of the local-kernel scenario: the treatment-mining step
+/// with serial vs auto-parallel within-level evaluation. On a single-core
+/// host the two collapse to the same code path; the scenario still
+/// asserts the determinism contract (bit-identical summaries, equal work
+/// counters) that makes the parallel fan-out safe to enable anywhere.
+struct LocalKernelPoint {
+    n: usize,
+    /// Treatment step, `level_parallelism = 1` (best of 3).
+    serial_ms: f64,
+    /// Treatment step, `level_parallelism = 0` = one worker per core
+    /// (best of 3).
+    parallel_ms: f64,
+    cate_evaluations: usize,
+}
+
+fn run_local_kernel_scenario(n: usize, seed: u64) -> LocalKernelPoint {
+    let ds = so::generate(n, seed);
+    let query = ds.query();
+    let run_with = |level_threads: usize| -> (f64, causumx::Summary) {
+        let mut best_ms = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..3 {
+            let cfg = causumx::ConfigBuilder::new()
+                .level_parallelism(level_threads)
+                .build()
+                .expect("valid config");
+            let session = Session::new(ds.table.clone(), ds.dag.clone(), cfg);
+            let summary = session.prepare(query.clone()).expect("prepare").run();
+            best_ms = best_ms.min(summary.timings.treatment_ms);
+            last = Some(summary);
+        }
+        (best_ms, last.expect("three repetitions"))
+    };
+    let (serial_ms, serial) = run_with(1);
+    let (parallel_ms, parallel) = run_with(0);
+    assert_eq!(
+        serial.total_weight.to_bits(),
+        parallel.total_weight.to_bits(),
+        "level parallelism must not change the summary"
+    );
+    assert_eq!(serial.cate_evaluations, parallel.cate_evaluations);
+    assert_eq!(serial.covered, parallel.covered);
+    assert_eq!(serial.candidates, parallel.candidates);
+    LocalKernelPoint {
+        n,
+        serial_ms,
+        parallel_ms,
+        cate_evaluations: serial.cate_evaluations,
+    }
+}
+
 /// Hand-rolled JSON (no serde in the offline container). One `sizes`
-/// entry per line so [`read_prior_treatment_ms`] can scan it back.
+/// entry per line so [`read_prior_sizes`] can scan it back.
 fn render_json(
     seed: u64,
     quick: bool,
     points: &[SizePoint],
-    prior: &[(usize, f64)],
+    prior: &[PriorSize],
     session: &SessionPoint,
+    local: &LocalKernelPoint,
 ) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
@@ -263,7 +350,7 @@ fn render_json(
     let _ = writeln!(s, "  \"quick\": {quick},");
     let _ = writeln!(s, "  \"sizes\": [");
     for (i, p) in points.iter().enumerate() {
-        let prior_ms = prior.iter().find(|(n, _)| *n == p.n).map(|&(_, ms)| ms);
+        let prior_ms = prior.iter().find(|b| b.n == p.n).map(|b| b.treatment_ms);
         let comma = if i + 1 < points.len() { "," } else { "" };
         let mut extra = String::new();
         if let Some(ms) = prior_ms {
@@ -296,7 +383,7 @@ fn render_json(
     let _ = writeln!(
         s,
         "  \"session\": {{\"n\": {}, \"prepare_ms\": {:.3}, \"cold_ms\": {:.3}, \
-         \"warm_ms\": {:.3}, \"warm_speedup\": {:.3}, \"cate_evaluations\": {}}}",
+         \"warm_ms\": {:.3}, \"warm_speedup\": {:.3}, \"cate_evaluations\": {}}},",
         session.n,
         session.prepare_ms,
         session.cold_ms,
@@ -304,27 +391,48 @@ fn render_json(
         session.cold_ms / session.warm_ms,
         session.cate_evaluations,
     );
+    let _ = writeln!(
+        s,
+        "  \"local_kernel\": {{\"n\": {}, \"serial_level_ms\": {:.3}, \
+         \"parallel_level_ms\": {:.3}, \"cate_evaluations\": {}, \"bit_identical\": true}}",
+        local.n, local.serial_ms, local.parallel_ms, local.cate_evaluations,
+    );
     let _ = writeln!(s, "}}");
     s
 }
 
-/// Extract `(n, treatment_ms)` pairs from a previous run's JSON. The file
-/// is our own single-entry-per-line format, so a line scan suffices — no
-/// JSON parser needed in the offline container.
-fn read_prior_treatment_ms(path: &str) -> Vec<(usize, f64)> {
+/// A prior run's per-size record, scanned back from its JSON.
+struct PriorSize {
+    n: usize,
+    treatment_ms: f64,
+    cate_evaluations: usize,
+    total_weight: f64,
+}
+
+/// Extract per-size records from a previous run's JSON. The file is our
+/// own single-entry-per-line format, so a line scan suffices — no JSON
+/// parser needed in the offline container.
+fn read_prior_sizes(path: &str) -> Vec<PriorSize> {
     let Ok(text) = std::fs::read_to_string(path) else {
         eprintln!("[baseline {path} unreadable; skipping comparison]");
         return Vec::new();
     };
     let mut out = Vec::new();
     for line in text.lines() {
-        let Some(n) = field_num(line, "\"n\":") else {
+        let (Some(n), Some(ms), Some(evals), Some(w)) = (
+            field_num(line, "\"n\":"),
+            field_num(line, "\"treatment_ms\":"),
+            field_num(line, "\"cate_evaluations\":"),
+            field_num(line, "\"total_weight\":"),
+        ) else {
             continue;
         };
-        let Some(ms) = field_num(line, "\"treatment_ms\":") else {
-            continue;
-        };
-        out.push((n as usize, ms));
+        out.push(PriorSize {
+            n: n as usize,
+            treatment_ms: ms,
+            cate_evaluations: evals as usize,
+            total_weight: w,
+        });
     }
     out
 }

@@ -21,14 +21,27 @@
 //!       ⎣ Zᵀ1    Zᵀt    ZᵀZ   ⎦            ⎣ Zᵀy ⎦
 //! ```
 //!
-//! Per candidate treatment only the `t`-blocks are accumulated (`O(n·q)`
-//! over the treated rows) and the solve runs through
-//! [`stats::ols::ols_from_gram`]; the `O(n·p²)` Gram pass, the full-table
-//! row scan and the one-hot re-encoding disappear from the hot loop. All
-//! block sums accumulate in ascending row order with the same skip-exact-
-//! zero semantics as [`stats::matrix::Matrix::gram`], so the fit — CATE,
-//! standard errors, p-values — is bit-identical to the naive path, not
-//! merely close.
+//! Per candidate treatment only the `t`-blocks are accumulated and the
+//! solve runs through [`stats::ols::ols_from_gram`]; the `O(n·p²)` Gram
+//! pass, the full-table row scan and the one-hot re-encoding disappear
+//! from the hot loop. The treatment-independent total sum of squares
+//! `Σ(y−ȳ)²` is likewise accumulated once at build and served to every
+//! fit. All block sums accumulate in ascending row order with the same
+//! skip-exact-zero semantics as [`stats::matrix::Matrix::gram`], so the
+//! fit — CATE, standard errors, p-values — is bit-identical to the naive
+//! path, not merely close.
+//!
+//! Treatments arrive in either of two coordinate systems:
+//!
+//! * [`EstimationContext::estimate`] takes a row set over the *full
+//!   table* and scans the cached row list testing membership (`O(n)`
+//!   probes);
+//! * [`EstimationContext::estimate_local`] takes a set in the
+//!   subpopulation's *local* coordinates (bit `i` = the `i`-th
+//!   subpopulation row, see [`table::bitset::Projector`]) and gathers the
+//!   `t`-blocks sparsely by iterating only its set bits (`O(|T|·q)`).
+//!   Ascending bit order visits the identical rows in the identical order
+//!   as the dense scan, so both entry points produce bit-identical fits.
 //!
 //! The IPW backend reuses the same cache: the propensity design `[1, Z]`
 //! is treatment-independent, so the context pre-assembles it once and each
@@ -42,12 +55,22 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use stats::matrix::Matrix;
-use stats::ols::ols_from_gram;
+use stats::ols::ols_from_gram_at;
 use table::bitset::BitSet;
 use table::{Column, Table};
 
 use crate::estimate::{append_confounder, CateOptions, CateResult, EstimatorBackend};
 use crate::ipw::ipw_from_parts;
+
+/// Sampled-position ↔ local-coordinate maps, present only when the
+/// §5.2(d) sampling actually dropped rows (otherwise sampled position `i`
+/// *is* local index `i` and the maps are elided).
+struct LocalIdx {
+    /// Local (subpopulation-rank) index of each sampled position.
+    loc: Vec<u32>,
+    /// Sampled position of each local index, `u32::MAX` when unsampled.
+    pos_of_local: Vec<u32>,
+}
 
 /// Treatment-independent state of CATE estimation, cached per
 /// `(subpopulation, confounder set)` pair. See the module docs.
@@ -57,6 +80,11 @@ pub struct EstimationContext {
     /// Subpopulation row ids (after the §5.2(d) sampling for the
     /// regression backend), ascending.
     rows: Vec<usize>,
+    /// Width of the local coordinate space: the subpopulation size
+    /// *before* sampling (= table width when unscoped).
+    sub_n: usize,
+    /// Sampling maps (see [`LocalIdx`]); `None` = identity.
+    local: Option<LocalIdx>,
     /// Outcome gathered over `rows`.
     y: Vec<f64>,
     /// Encoded confounder design columns over `rows` (numerics raw,
@@ -64,6 +92,10 @@ pub struct EstimationContext {
     z_cols: Vec<Vec<f64>>,
     /// `Σ y` over `rows`.
     sum_y: f64,
+    /// `Σ (y − ȳ)²` over `rows` — the treatment-independent TSS, hoisted
+    /// out of the per-candidate residual pass (same ascending-order
+    /// accumulation, so R² stays bit-identical).
+    tss: f64,
     /// `1ᵀZ` — per-column sums of `z_cols`.
     sum_z: Vec<f64>,
     /// `ZᵀZ` — the fixed `q×q` Gram block.
@@ -93,23 +125,43 @@ impl EstimationContext {
         opts: &CateOptions,
     ) -> Option<Self> {
         let nrows = table.nrows();
-        let mut rows: Vec<usize> = match subpop {
+        debug_assert!(nrows < u32::MAX as usize, "row ids must fit u32");
+        // (global row, local rank) pairs — the local rank of a row is its
+        // position among the subpopulation's rows in ascending order.
+        let mut pairs: Vec<(usize, u32)> = match subpop {
             Some(bits) => {
                 debug_assert_eq!(bits.capacity(), nrows);
-                bits.iter().collect()
+                bits.iter()
+                    .enumerate()
+                    .map(|(l, r)| (r, l as u32))
+                    .collect()
             }
-            None => (0..nrows).collect(),
+            None => (0..nrows).map(|r| (r, r as u32)).collect(),
         };
+        let sub_n = pairs.len();
         if opts.backend == EstimatorBackend::Regression {
             if let Some(cap) = opts.sample_cap {
-                if rows.len() > cap {
+                if pairs.len() > cap {
+                    // Fisher–Yates over the pair vector consumes the RNG
+                    // exactly as the seed's shuffle over the bare row
+                    // vector did (same length, same positional swaps), so
+                    // the sampled row list is bit-identical.
                     let mut rng = StdRng::seed_from_u64(opts.seed);
-                    rows.shuffle(&mut rng);
-                    rows.truncate(cap);
-                    rows.sort_unstable(); // deterministic design ordering
+                    pairs.shuffle(&mut rng);
+                    pairs.truncate(cap);
+                    pairs.sort_unstable(); // deterministic design ordering
                 }
             }
         }
+        let rows: Vec<usize> = pairs.iter().map(|&(r, _)| r).collect();
+        let local = (rows.len() < sub_n).then(|| {
+            let loc: Vec<u32> = pairs.iter().map(|&(_, l)| l).collect();
+            let mut pos_of_local = vec![u32::MAX; sub_n];
+            for (i, &l) in loc.iter().enumerate() {
+                pos_of_local[l as usize] = i as u32;
+            }
+            LocalIdx { loc, pos_of_local }
+        });
 
         let ycol = table.column(outcome);
         if matches!(ycol, Column::Cat { .. }) {
@@ -126,8 +178,16 @@ impl EstimationContext {
         let q = z_cols.len();
         // Gram blocks are regression-only; the IPW backend never reads
         // them, so skip the O(n·q²) pass there.
-        let (sum_y, sum_z, zz, zy) = if opts.backend == EstimatorBackend::Regression {
-            let sum_y = y.iter().sum();
+        let (sum_y, tss, sum_z, zz, zy) = if opts.backend == EstimatorBackend::Regression {
+            let sum_y: f64 = y.iter().sum();
+            // TSS accumulates in the exact ascending order the naive
+            // residual pass used, once, here.
+            let ybar = sum_y / n as f64;
+            let mut tss = 0.0;
+            for &yi in &y {
+                let d = yi - ybar;
+                tss += d * d;
+            }
             let sum_z: Vec<f64> = z_cols.iter().map(|c| c.iter().sum()).collect();
             // ZᵀZ / Zᵀy accumulate in ascending row order per entry — the
             // same per-entry addition sequence as Matrix::gram /
@@ -149,9 +209,9 @@ impl EstimationContext {
                 .iter()
                 .map(|c| c.iter().zip(&y).map(|(a, b)| a * b).sum())
                 .collect();
-            (sum_y, sum_z, zz, zy)
+            (sum_y, tss, sum_z, zz, zy)
         } else {
-            (0.0, Vec::new(), Matrix::zeros(0, 0), Vec::new())
+            (0.0, 0.0, Vec::new(), Matrix::zeros(0, 0), Vec::new())
         };
 
         let x_prop = (opts.backend == EstimatorBackend::Ipw).then(|| {
@@ -174,9 +234,12 @@ impl EstimationContext {
             backend: opts.backend,
             min_arm: opts.min_arm,
             rows,
+            sub_n,
+            local,
             y,
             z_cols,
             sum_y,
+            tss,
             sum_z,
             zz,
             zy,
@@ -187,6 +250,13 @@ impl EstimationContext {
     /// Rows used by every estimate from this context (after sampling).
     pub fn n(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Width of the local coordinate space accepted by
+    /// [`EstimationContext::estimate_local`]: the subpopulation size
+    /// before sampling.
+    pub fn local_width(&self) -> usize {
+        self.sub_n
     }
 
     /// Number of cached confounder design columns.
@@ -207,11 +277,34 @@ impl EstimationContext {
         }
     }
 
-    fn estimate_regression(&self, treated: &BitSet) -> Option<CateResult> {
-        let n = self.rows.len();
-        let q = self.z_cols.len();
-        let p = q + 2;
+    /// Estimate the effect of `treated` given in the subpopulation's
+    /// *local* coordinates (`capacity == local_width()`; bit `i` = the
+    /// `i`-th subpopulation row in ascending row order — the coordinates
+    /// produced by a [`table::bitset::Projector`] over the subpopulation).
+    /// Bit-identical to [`EstimationContext::estimate`] on the unprojected
+    /// set: the treatment blocks are gathered sparsely over the set bits
+    /// in ascending order, which visits the identical rows in the
+    /// identical order as the dense membership scan.
+    pub fn estimate_local(&self, treated: &BitSet) -> Option<CateResult> {
+        debug_assert_eq!(treated.capacity(), self.sub_n);
+        match self.backend {
+            EstimatorBackend::Regression => self.estimate_regression_local(treated),
+            EstimatorBackend::Ipw => {
+                let t: Vec<bool> = match &self.local {
+                    None => (0..self.rows.len()).map(|i| treated.contains(i)).collect(),
+                    Some(m) => m
+                        .loc
+                        .iter()
+                        .map(|&l| treated.contains(l as usize))
+                        .collect(),
+                };
+                self.ipw_with_indicator(t)
+            }
+        }
+    }
 
+    fn estimate_regression(&self, treated: &BitSet) -> Option<CateResult> {
+        let q = self.z_cols.len();
         // Single pass over the subpopulation: arm counts plus the
         // treatment blocks tᵀy and tᵀZ of the normal equations.
         let mut n_treated = 0usize;
@@ -226,6 +319,86 @@ impl EstimationContext {
                 }
             }
         }
+        self.solve_regression(n_treated, ty, tz, |yhat, b1| {
+            for (i, &r) in self.rows.iter().enumerate() {
+                let t = if treated.contains(r) { 1.0 } else { 0.0 };
+                yhat[i] += t * b1;
+            }
+        })
+    }
+
+    fn estimate_regression_local(&self, treated: &BitSet) -> Option<CateResult> {
+        let q = self.z_cols.len();
+        // Sparse gather: only the set bits of the local treatment mask are
+        // visited (ascending = identical accumulation order to the dense
+        // scan), so the t-blocks cost O(|T|·q) instead of O(n·q).
+        let mut n_treated = 0usize;
+        let mut ty = 0.0;
+        let mut tz = vec![0.0; q];
+        match &self.local {
+            None => {
+                n_treated = treated.count();
+                let n_control = self.rows.len() - n_treated;
+                if n_treated < self.min_arm || n_control < self.min_arm {
+                    return None; // Overlap (Eq. 4) violated.
+                }
+                for l in treated.iter() {
+                    ty += self.y[l];
+                    for (j, col) in self.z_cols.iter().enumerate() {
+                        tz[j] += col[l];
+                    }
+                }
+                // Sparse t·β₁ application: only treated elements receive
+                // the (nonzero) term; the skipped `+ 0.0·β₁` adds can at
+                // most flip a sign of zero, which the squared residuals
+                // erase — RSS is bit-identical to the dense pass.
+                self.solve_regression(n_treated, ty, tz, |yhat, b1| {
+                    for l in treated.iter() {
+                        yhat[l] += b1;
+                    }
+                })
+            }
+            Some(map) => {
+                for l in treated.iter() {
+                    let pos = map.pos_of_local[l];
+                    if pos != u32::MAX {
+                        let i = pos as usize;
+                        n_treated += 1;
+                        ty += self.y[i];
+                        for (j, col) in self.z_cols.iter().enumerate() {
+                            tz[j] += col[i];
+                        }
+                    }
+                }
+                self.solve_regression(n_treated, ty, tz, |yhat, b1| {
+                    for (i, &l) in map.loc.iter().enumerate() {
+                        let t = if treated.contains(l as usize) {
+                            1.0
+                        } else {
+                            0.0
+                        };
+                        yhat[i] += t * b1;
+                    }
+                })
+            }
+        }
+    }
+
+    /// Shared back half of the regression estimate: overlap gate, Gram
+    /// assembly from the cached fixed blocks plus the caller-gathered
+    /// t-blocks, and the solve. `apply_t(yhat, β₁)` adds the `t·β₁` term
+    /// of every sampled position into the prediction buffer — dense or
+    /// sparse, whichever the caller's coordinates make cheap.
+    fn solve_regression(
+        &self,
+        n_treated: usize,
+        ty: f64,
+        tz: Vec<f64>,
+        apply_t: impl FnOnce(&mut [f64], f64),
+    ) -> Option<CateResult> {
+        let n = self.rows.len();
+        let q = self.z_cols.len();
+        let p = q + 2;
         let n_control = n - n_treated;
         if n_treated < self.min_arm || n_control < self.min_arm {
             return None; // Overlap (Eq. 4) violated.
@@ -251,28 +424,33 @@ impl EstimationContext {
         xty.push(ty);
         xty.extend_from_slice(&self.zy);
 
-        let fit = ols_from_gram(&gram, &xty, n, |beta| {
-            // Residual pass over virtual rows [1, t, z…] — same term order
-            // as the naive design-matrix loop, so RSS/TSS match bit for
-            // bit (the algebraic shortcut yᵀy − 2βᵀXᵀy + βᵀGβ cancels
-            // catastrophically on near-exact fits).
-            let ybar = self.sum_y / n as f64;
-            let mut rss = 0.0;
-            let mut tss = 0.0;
-            for (i, &r) in self.rows.iter().enumerate() {
-                let t = if treated.contains(r) { 1.0 } else { 0.0 };
-                let mut yhat = 0.0;
-                yhat += 1.0 * beta[0];
-                yhat += t * beta[1];
-                for (j, col) in self.z_cols.iter().enumerate() {
-                    yhat += col[i] * beta[2 + j];
+        // Inference only at index 1 — the treatment coefficient is the
+        // only one estimation consumes; its se/p-value come out of the
+        // same factor/solve path bit for bit.
+        let fit = ols_from_gram_at(&gram, &xty, n, 1, |beta| {
+            // Residual pass over virtual rows [1, t, z…], evaluated
+            // column-major into a ŷ buffer: each element sees the exact
+            // per-term addition sequence of the naive row-major loop
+            // (init = 1·β₀, then t·β₁, then z_j·β_{2+j} in column order),
+            // so RSS matches bit for bit while the z passes run over
+            // contiguous columns the compiler can vectorize. TSS is the
+            // treatment-independent accumulator hoisted to build time.
+            // (The algebraic shortcut yᵀy − 2βᵀXᵀy + βᵀGβ would cancel
+            // catastrophically on near-exact fits; the data pass stays.)
+            let mut yhat = vec![beta[0]; n];
+            apply_t(&mut yhat, beta[1]);
+            for (j, col) in self.z_cols.iter().enumerate() {
+                let bj = beta[2 + j];
+                for (v, &z) in yhat.iter_mut().zip(col) {
+                    *v += z * bj;
                 }
-                let e = self.y[i] - yhat;
-                rss += e * e;
-                let d = self.y[i] - ybar;
-                tss += d * d;
             }
-            (rss, tss)
+            let mut rss = 0.0;
+            for (&yi, &vh) in self.y.iter().zip(&yhat) {
+                let e = yi - vh;
+                rss += e * e;
+            }
+            (rss, self.tss)
         })?;
         Some(CateResult {
             cate: fit.beta[1],
@@ -284,8 +462,12 @@ impl EstimationContext {
     }
 
     fn estimate_ipw(&self, treated: &BitSet) -> Option<CateResult> {
-        let n = self.rows.len();
         let t: Vec<bool> = self.rows.iter().map(|&r| treated.contains(r)).collect();
+        self.ipw_with_indicator(t)
+    }
+
+    fn ipw_with_indicator(&self, t: Vec<bool>) -> Option<CateResult> {
+        let n = self.rows.len();
         let n_treated = t.iter().filter(|&&b| b).count();
         let n_control = n - n_treated;
         if n_treated < self.min_arm || n_control < self.min_arm {
@@ -332,6 +514,15 @@ impl ContextCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Already-built context for `confounders`, if any. `None` both when
+    /// the set was never built and when its build failed. Immutable — this
+    /// is the lookup the parallel level evaluation uses after a serial
+    /// pre-build pass, so worker threads can share `&EstimationContext`s
+    /// without touching the cache.
+    pub fn get(&self, confounders: &[usize]) -> Option<&EstimationContext> {
+        self.map.get(confounders)?.as_ref()
     }
 
     /// Context for `confounders`, building (and caching) it on first use.

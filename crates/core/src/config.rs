@@ -211,6 +211,15 @@ impl ConfigBuilder {
         self
     }
 
+    /// Worker threads for within-level candidate estimation in the
+    /// lattice walk (convenience for `lattice.level_parallelism`): `0` =
+    /// one per available core, `1` = serial. Results are identical at any
+    /// setting — the level merge is index-ordered.
+    pub fn level_parallelism(mut self, threads: usize) -> Self {
+        self.cfg.lattice.level_parallelism = threads;
+        self
+    }
+
     /// Rounding trials for the LP selection step.
     pub fn rounding_rounds(mut self, rounds: usize) -> Self {
         self.cfg.rounding_rounds = rounds;

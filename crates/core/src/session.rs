@@ -478,6 +478,7 @@ impl<'s> PreparedQuery<'s> {
     ) -> (Vec<Explanation>, usize) {
         let miner = &self.miner;
         let config = &self.config;
+        let parallel_outer = config.parallel && groupings.len() > 1;
 
         let work = |gp: &GroupingPattern| -> (Explanation, usize) {
             // Subpopulations stay bitsets end-to-end — no byte-mask
@@ -506,8 +507,23 @@ impl<'s> PreparedQuery<'s> {
                 (pos, neg)
             } else {
                 // One estimation-context cache serves both the positive
-                // and the negative walk of this grouping pattern.
-                let mut paired = miner.top_treatments_paired(subpop, 1, config.mine_negative);
+                // and the negative walk of this grouping pattern. When
+                // this closure runs inside the cross-pattern worker pool
+                // below, per-level fan-out is forced serial so the two
+                // parallelism layers don't multiply into cores² threads;
+                // the sequential branch keeps the configured within-level
+                // workers (the walk is bit-identical either way).
+                let level_threads = if parallel_outer {
+                    1
+                } else {
+                    config.lattice.level_parallelism
+                };
+                let mut paired = miner.top_treatments_paired_with(
+                    subpop,
+                    1,
+                    config.mine_negative,
+                    level_threads,
+                );
                 evals += paired.stats.evaluated;
                 (paired.positive.pop(), paired.negative.pop())
             };
@@ -517,7 +533,7 @@ impl<'s> PreparedQuery<'s> {
             )
         };
 
-        let results: Vec<(Explanation, usize)> = if config.parallel && groupings.len() > 1 {
+        let results: Vec<(Explanation, usize)> = if parallel_outer {
             let threads = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4)

@@ -224,9 +224,9 @@ pub fn greedy_cover(inst: &CoverInstance) -> Option<CoverSolution> {
             if chosen.contains(&j) {
                 continue;
             }
-            let mut u = covered.clone();
-            u.union_with(&inst.covers[j]);
-            let gain = (u.count() - covered.count()) as f64;
+            // Coverage gain = |covers[j] ∖ covered|, counted word-batched
+            // without materializing the union.
+            let gain = inst.covers[j].difference_count(&covered) as f64;
             let score = inst.weights[j] * (1.0 + gain);
             if score > best_score {
                 best_score = score;
@@ -263,11 +263,22 @@ pub fn exhaustive_best(inst: &CoverInstance) -> Option<CoverSolution> {
 
     // Suffix sums of the top-k weights for bounding.
     let sorted_weights: Vec<f64> = order.iter().map(|&j| inst.weights[j]).collect();
+    // Suffix unions of the candidate covers (in branch order): everything
+    // a subtree rooted at `pos` could still cover. Lets the recursion
+    // prune coverage-infeasible subtrees exactly — no node below can
+    // reach `need`, so none could ever be recorded.
+    let mut suffix_cover: Vec<BitSet> = vec![BitSet::new(inst.m); l + 1];
+    for pos in (0..l).rev() {
+        let mut u = suffix_cover[pos + 1].clone();
+        u.union_with(&inst.covers[order[pos]]);
+        suffix_cover[pos] = u;
+    }
 
     struct Ctx<'a> {
         inst: &'a CoverInstance,
         order: &'a [usize],
         weights: &'a [f64],
+        suffix_cover: &'a [BitSet],
         need: usize,
         best: Option<(f64, Vec<usize>, usize)>,
     }
@@ -298,6 +309,12 @@ pub fn exhaustive_best(inst: &CoverInstance) -> Option<CoverSolution> {
         if chosen.len() == k || pos == ctx.order.len() {
             return;
         }
+        // Coverage-infeasibility prune: even taking every remaining
+        // pattern cannot reach the θ·m requirement, so no descendant is
+        // recordable (counted without materializing the union).
+        if covered.union_count(&ctx.suffix_cover[pos]) < ctx.need {
+            return;
+        }
         // Branch: include order[pos].
         let j = ctx.order[pos];
         let mut u = covered.clone();
@@ -313,6 +330,7 @@ pub fn exhaustive_best(inst: &CoverInstance) -> Option<CoverSolution> {
         inst,
         order: &order,
         weights: &sorted_weights,
+        suffix_cover: &suffix_cover,
         need,
         best: None,
     };

@@ -20,7 +20,7 @@ use causal::backdoor::{attrs_affecting_outcome, backdoor_set};
 use causal::context::ContextCache;
 use causal::dag::Dag;
 use causal::estimate::{estimate_effect, CateOptions, CateResult};
-use table::bitset::BitSet;
+use table::bitset::{BitSet, Projector};
 use table::pattern::{Op, Pattern, Pred};
 use table::{Column, Scalar, Table};
 
@@ -85,6 +85,13 @@ pub struct LatticeOptions {
     /// identical; the switch exists for equivalence tests and ablation
     /// benchmarks.
     pub use_estimation_cache: bool,
+    /// Worker threads for within-level candidate estimation: `0` = one
+    /// per available core, `1` = serial, `n` = exactly `n`. Candidate
+    /// generation (the Apriori joins) stays serial either way, estimation
+    /// fans out over pre-built shared contexts with a work-stealing
+    /// index, and results are merged back in candidate order — the walk
+    /// is bit-deterministic at every setting.
+    pub level_parallelism: usize,
 }
 
 impl Default for LatticeOptions {
@@ -100,6 +107,7 @@ impl Default for LatticeOptions {
             max_atoms_per_attr: 16,
             prune_by_dag: true,
             use_estimation_cache: true,
+            level_parallelism: 0,
         }
     }
 }
@@ -462,7 +470,8 @@ impl<'a> TreatmentMiner<'a> {
         k: usize,
     ) -> (Vec<TreatmentResult>, LatticeStats) {
         let mut ctxs = CtxCache::new();
-        let (result, mut stats) = self.top_k_with_cache(&mut ctxs, subpop, dir, k);
+        let (result, mut stats) =
+            self.top_k_with_cache(&mut ctxs, subpop, dir, k, self.opts.level_parallelism);
         stats.contexts_built = ctxs.contexts.builds();
         (result, stats)
     }
@@ -480,11 +489,29 @@ impl<'a> TreatmentMiner<'a> {
         k: usize,
         mine_negative: bool,
     ) -> PairedTreatments {
+        self.top_treatments_paired_with(subpop, k, mine_negative, self.opts.level_parallelism)
+    }
+
+    /// [`TreatmentMiner::top_treatments_paired`] with a per-call override
+    /// of the within-level worker count (`0` = one per core, `1` =
+    /// serial). Callers that already parallelize *across* subpopulations
+    /// — e.g. the pipeline's work-stealing pattern pool — pass `1` here
+    /// so the two layers don't multiply into cores² threads; interactive
+    /// single-subpopulation drill-downs keep the per-core default.
+    /// Results are identical at any setting.
+    pub fn top_treatments_paired_with(
+        &self,
+        subpop: &BitSet,
+        k: usize,
+        mine_negative: bool,
+        level_parallelism: usize,
+    ) -> PairedTreatments {
         let mut ctxs = CtxCache::new();
         let (positive, mut stats) =
-            self.top_k_with_cache(&mut ctxs, subpop, Direction::Positive, k);
+            self.top_k_with_cache(&mut ctxs, subpop, Direction::Positive, k, level_parallelism);
         let negative = if mine_negative {
-            let (neg, s2) = self.top_k_with_cache(&mut ctxs, subpop, Direction::Negative, k);
+            let (neg, s2) =
+                self.top_k_with_cache(&mut ctxs, subpop, Direction::Negative, k, level_parallelism);
             stats.evaluated += s2.evaluated;
             stats.levels = stats.levels.max(s2.levels);
             neg
@@ -500,31 +527,45 @@ impl<'a> TreatmentMiner<'a> {
     }
 
     /// One directed lattice walk (Algorithm 2) over a caller-provided
-    /// estimation cache. `stats.contexts_built` is left untouched — the
-    /// cache is shared, so the caller attributes builds once.
+    /// estimation cache, in **subpopulation-local coordinates**: every
+    /// atom mask is projected down to `|subpop|` bits once per
+    /// subpopulation (shared across the paired walks via the cache), so
+    /// the O(level²) joins intersect local masks, the overlap prechecks
+    /// are plain popcounts, and estimation gathers sparsely through
+    /// [`causal::context::EstimationContext::estimate_local`].
+    /// `stats.contexts_built` is left untouched — the cache is shared, so
+    /// the caller attributes builds once.
     fn top_k_with_cache(
         &self,
         ctxs: &mut CtxCache,
         subpop: &BitSet,
         dir: Direction,
         k: usize,
+        level_parallelism: usize,
     ) -> (Vec<TreatmentResult>, LatticeStats) {
         let mut stats = LatticeStats::default();
-        let sub_bits = subpop;
+        let CtxCache {
+            contexts,
+            local,
+            subpop_mask,
+        } = ctxs;
+        let space = &*local.get_or_insert_with(|| LocalSpace::new(subpop, &self.atoms));
+        debug_assert_eq!(space.projector.universe(), subpop);
+        if !self.opts.use_estimation_cache && subpop_mask.is_none() {
+            *subpop_mask = Some(subpop.to_mask());
+        }
+        let subpop_mask = subpop_mask.as_deref();
         // Loop invariants hoisted out of the O(level²) candidate joins.
-        let sub_n = sub_bits.count();
+        let sub_n = space.projector.len();
         let min_arm = self.opts.cate_opts.min_arm;
         let min_cate = self.opts.min_abs_cate_frac * self.outcome_std;
-
-        #[derive(Clone)]
-        struct Node {
-            atoms: Vec<u16>,
-            mask: BitSet, // full-table rows satisfying the pattern
-            cate: f64,
-            p: f64,
-            n_treated: usize,
-            n_control: usize,
-        }
+        let walk = WalkCtx {
+            space,
+            subpop_mask,
+            dir,
+            min_cate,
+            level_parallelism,
+        };
 
         let k = k.max(1);
         // Best-first list of at most k significant nodes. Returns whether
@@ -547,30 +588,25 @@ impl<'a> TreatmentMiner<'a> {
             improved_top
         };
 
-        // Level 1: all atoms (GenChildren, lines 2–4).
-        let mut level: Vec<Node> = Vec::new();
-        for (ai, atom) in self.atoms.iter().enumerate() {
-            // Overlap precheck on bit counts before paying for a regression.
-            let treated_in_sub = atom.mask.intersection_count(sub_bits);
-            if treated_in_sub < min_arm || sub_n - treated_in_sub < min_arm {
-                continue;
-            }
-            stats.evaluated += 1;
-            let Some(r) = self.estimate(ctxs, sub_bits, &atom.mask, &[atom.attr]) else {
-                continue;
-            };
-            if !dir.matches(r.cate) || r.cate.abs() < min_cate {
-                continue;
-            }
-            level.push(Node {
-                atoms: vec![ai as u16],
-                mask: atom.mask.clone(),
-                cate: r.cate,
-                p: r.p_value,
-                n_treated: r.n_treated,
-                n_control: r.n_control,
-            });
-        }
+        // Level 1: all atoms (GenChildren, lines 2–4). Overlap precheck
+        // on local popcounts before paying for a regression.
+        let cands: Vec<Cand> = space
+            .atoms_local
+            .iter()
+            .enumerate()
+            .filter_map(|(ai, local_mask)| {
+                let treated_in_sub = local_mask.count();
+                if treated_in_sub < min_arm || sub_n - treated_in_sub < min_arm {
+                    return None;
+                }
+                Some(Cand {
+                    atoms: vec![ai as u16],
+                    mask: local_mask.clone(),
+                })
+            })
+            .collect();
+        let (mut level, evals) = self.evaluate_level(contexts, &walk, cands);
+        stats.evaluated += evals;
         stats.levels = 1;
         retain_top(
             &mut level,
@@ -584,19 +620,21 @@ impl<'a> TreatmentMiner<'a> {
         }
 
         // Levels 2..: expand only children whose parents all survived.
+        // Candidate generation (joins, dedup, parent checks, overlap
+        // prechecks) stays serial; estimation fans out per level.
         while !level.is_empty() && stats.levels < self.opts.max_level {
             let kept: HashSet<Vec<u16>> = level.iter().map(|n| n.atoms.clone()).collect();
-            let mut next: Vec<Node> = Vec::new();
             let mut seen: HashSet<Vec<u16>> = HashSet::new();
-            let k = stats.levels;
+            let lvl = stats.levels;
 
+            let mut cands: Vec<Cand> = Vec::new();
             for i in 0..level.len() {
                 for j in i + 1..level.len() {
                     let (a, b) = (&level[i], &level[j]);
-                    if a.atoms[..k - 1] != b.atoms[..k - 1] {
+                    if a.atoms[..lvl - 1] != b.atoms[..lvl - 1] {
                         continue;
                     }
-                    let (la, lb) = (a.atoms[k - 1], b.atoms[k - 1]);
+                    let (la, lb) = (a.atoms[lvl - 1], b.atoms[lvl - 1]);
                     if !self.atoms_compatible(la as usize, lb as usize) {
                         continue;
                     }
@@ -612,34 +650,21 @@ impl<'a> TreatmentMiner<'a> {
                     }
                     let mut mask = a.mask.clone();
                     mask.intersect_with(&b.mask);
-                    let treated_in_sub = mask.intersection_count(sub_bits);
+                    let treated_in_sub = mask.count();
                     if treated_in_sub < min_arm || sub_n - treated_in_sub < min_arm {
                         continue;
                     }
-                    let attrs: Vec<usize> =
-                        cand.iter().map(|&x| self.atoms[x as usize].attr).collect();
-                    stats.evaluated += 1;
-                    let Some(r) = self.estimate(ctxs, sub_bits, &mask, &attrs) else {
-                        continue;
-                    };
-                    if !dir.matches(r.cate) || r.cate.abs() < min_cate {
-                        continue;
-                    }
-                    next.push(Node {
-                        atoms: cand,
-                        mask,
-                        cate: r.cate,
-                        p: r.p_value,
-                        n_treated: r.n_treated,
-                        n_control: r.n_control,
-                    });
+                    cands.push(Cand { atoms: cand, mask });
                 }
             }
 
+            let (next, evals) = self.evaluate_level(contexts, &walk, cands);
+            stats.evaluated += evals;
             if next.is_empty() {
                 break;
             }
             stats.levels += 1;
+            let mut next = next;
             retain_top(
                 &mut next,
                 dir,
@@ -670,6 +695,141 @@ impl<'a> TreatmentMiner<'a> {
             })
             .collect();
         (result, stats)
+    }
+
+    /// Estimate one level's candidates and keep those matching the
+    /// requested direction above the near-zero threshold, preserving
+    /// candidate order. Returns the surviving nodes plus the number of
+    /// estimations performed (all candidates — failed estimates count as
+    /// work, matching the serial accounting).
+    ///
+    /// Confounder resolution and context construction run serially up
+    /// front (in candidate order, so build counts and memo walks are
+    /// identical to the lazy path); the estimations themselves fan out
+    /// over `level_parallelism` workers stealing from a shared index (`0`
+    /// = one per core, capped so each worker has at least two candidates
+    /// — a level too small to amortize thread spawns runs serially), each
+    /// reading pre-built `&EstimationContext`s, and the results are
+    /// merged back by candidate index — bit-deterministic at any thread
+    /// count.
+    fn evaluate_level(
+        &self,
+        contexts: &mut ContextCache,
+        walk: &WalkCtx<'_>,
+        cands: Vec<Cand>,
+    ) -> (Vec<Node>, usize) {
+        let WalkCtx {
+            space,
+            subpop_mask,
+            dir,
+            min_cate,
+            level_parallelism,
+        } = *walk;
+        if cands.is_empty() {
+            return (Vec::new(), 0);
+        }
+        let evals = cands.len();
+        // Serial pre-pass: memoized backdoor lookups + context builds.
+        let keys: Vec<Vec<usize>> = cands
+            .iter()
+            .map(|c| {
+                let attrs: Vec<usize> = c
+                    .atoms
+                    .iter()
+                    .map(|&x| self.atoms[x as usize].attr)
+                    .collect();
+                self.confounders_for(&attrs)
+            })
+            .collect();
+        if self.opts.use_estimation_cache {
+            for key in &keys {
+                let _ = contexts.get_or_build(
+                    self.table,
+                    Some(space.projector.universe()),
+                    self.outcome,
+                    key.clone(),
+                    &self.opts.cate_opts,
+                );
+            }
+        }
+        let contexts = &*contexts;
+
+        let eval = |i: usize| -> Option<CateResult> {
+            if self.opts.use_estimation_cache {
+                contexts.get(&keys[i])?.estimate_local(&cands[i].mask)
+            } else {
+                // Ablation path: unproject back to full-table width and
+                // rerun the cold-start estimator.
+                let global = space.projector.unproject(&cands[i].mask);
+                estimate_effect(
+                    self.table,
+                    subpop_mask,
+                    &global.to_mask(),
+                    self.outcome,
+                    &keys[i],
+                    &self.opts.cate_opts,
+                )
+            }
+        };
+
+        let threads = match level_parallelism {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            t => t,
+        }
+        .min(evals / 2);
+        let results: Vec<Option<CateResult>> = if threads > 1 {
+            let next = AtomicUsize::new(0);
+            let next = &next;
+            let eval = &eval;
+            let mut results = vec![None; evals];
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        s.spawn(move || {
+                            let mut out: Vec<(usize, Option<CateResult>)> = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= evals {
+                                    break;
+                                }
+                                out.push((i, eval(i)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (i, r) in h.join().expect("level-evaluation worker panicked") {
+                        results[i] = r;
+                    }
+                }
+            });
+            results
+        } else {
+            (0..evals).map(eval).collect()
+        };
+
+        let nodes: Vec<Node> = cands
+            .into_iter()
+            .zip(results)
+            .filter_map(|(cand, r)| {
+                let r = r?;
+                if !dir.matches(r.cate) || r.cate.abs() < min_cate {
+                    return None;
+                }
+                Some(Node {
+                    atoms: cand.atoms,
+                    mask: cand.mask,
+                    cate: r.cate,
+                    p: r.p_value,
+                    n_treated: r.n_treated,
+                    n_control: r.n_control,
+                })
+            })
+            .collect();
+        (nodes, evals)
     }
 
     /// Brute-force enumeration of all treatment patterns up to `max_len`
@@ -760,11 +920,13 @@ impl<'a> TreatmentMiner<'a> {
 
 /// Per-subpopulation estimation cache: the [`ContextCache`] shared by all
 /// lattice walks over one subpopulation (positive *and* negative — see
-/// [`TreatmentMiner::top_treatments_paired`]), plus the materialized
-/// subpopulation mask only the naive fallback path
-/// (`use_estimation_cache = false`) needs.
+/// [`TreatmentMiner::top_treatments_paired`]), the subpopulation-local
+/// projection of the atom space (built on the first walk, reused by the
+/// second), plus the materialized subpopulation mask only the naive
+/// fallback path (`use_estimation_cache = false`) needs.
 struct CtxCache {
     contexts: ContextCache,
+    local: Option<LocalSpace>,
     subpop_mask: Option<Vec<bool>>,
 }
 
@@ -772,9 +934,61 @@ impl CtxCache {
     fn new() -> Self {
         CtxCache {
             contexts: ContextCache::new(),
+            local: None,
             subpop_mask: None,
         }
     }
+}
+
+/// The atom space re-indexed into one subpopulation's local coordinates:
+/// the global→local rank map plus every atom mask projected down to
+/// `|subpop|` bits. Built once per subpopulation; every join intersection,
+/// overlap precheck and estimation gather in the lattice walk then runs at
+/// local width.
+struct LocalSpace {
+    projector: Projector,
+    atoms_local: Vec<BitSet>,
+}
+
+impl LocalSpace {
+    fn new(subpop: &BitSet, atoms: &[Atom]) -> Self {
+        let projector = Projector::new(subpop);
+        let atoms_local = atoms.iter().map(|a| projector.project(&a.mask)).collect();
+        LocalSpace {
+            projector,
+            atoms_local,
+        }
+    }
+}
+
+/// A lattice node that survived estimation (local-coordinate mask).
+#[derive(Clone)]
+struct Node {
+    atoms: Vec<u16>,
+    mask: BitSet, // subpopulation rows satisfying the pattern, local width
+    cate: f64,
+    p: f64,
+    n_treated: usize,
+    n_control: usize,
+}
+
+/// A generated-but-unestimated lattice candidate (local-coordinate mask).
+struct Cand {
+    atoms: Vec<u16>,
+    mask: BitSet,
+}
+
+/// Invariants of one directed lattice walk, bundled for the per-level
+/// evaluation: the projected atom space, the materialized subpopulation
+/// mask (ablation path only), the search direction, the near-zero-CATE
+/// gate, and the within-level worker count.
+#[derive(Clone, Copy)]
+struct WalkCtx<'a> {
+    space: &'a LocalSpace,
+    subpop_mask: Option<&'a [bool]>,
+    dir: Direction,
+    min_cate: f64,
+    level_parallelism: usize,
 }
 
 fn all_parents_kept(cand: &[u16], kept: &HashSet<Vec<u16>>) -> bool {

@@ -156,14 +156,17 @@ impl Matrix {
         Some(l)
     }
 
-    /// Solve `self * x = b` for SPD `self` via Cholesky; when the system is
-    /// numerically singular a tiny ridge `λI` is added (λ escalating from
-    /// 1e-10 relative to the trace) — the standard remedy for collinear
-    /// one-hot designs.
-    pub fn solve_spd(&self, b: &[f64]) -> Option<Vec<f64>> {
-        assert_eq!(self.rows, b.len());
+    /// Cholesky factor of `self` with the escalating-ridge fallback for
+    /// numerically singular systems (λ from 1e-10 relative to the trace,
+    /// ×100 per attempt — the standard remedy for collinear one-hot
+    /// designs). The factor is deterministic, so any number of
+    /// [`Matrix::cholesky_solve`] calls against it produce exactly the
+    /// bits that separate `solve_spd` calls would — factor once, solve
+    /// many.
+    pub fn spd_factor(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols);
         if let Some(l) = self.cholesky() {
-            return Some(l.cholesky_solve(b));
+            return Some(l);
         }
         let n = self.rows;
         let trace: f64 = (0..n).map(|i| self[(i, i)]).sum::<f64>().max(1.0);
@@ -174,22 +177,31 @@ impl Matrix {
                 a[(i, i)] += lambda;
             }
             if let Some(l) = a.cholesky() {
-                return Some(l.cholesky_solve(b));
+                return Some(l);
             }
             lambda *= 100.0;
         }
         None
     }
 
-    /// Inverse of an SPD matrix via Cholesky (column-by-column solve), with
-    /// the same ridge fallback as [`Matrix::solve_spd`].
+    /// Solve `self * x = b` for SPD `self` via Cholesky with the
+    /// [`Matrix::spd_factor`] ridge fallback.
+    pub fn solve_spd(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, b.len());
+        Some(self.spd_factor()?.cholesky_solve(b))
+    }
+
+    /// Inverse of an SPD matrix via Cholesky (one factorization, then a
+    /// column-by-column substitution), with the same ridge fallback as
+    /// [`Matrix::solve_spd`].
     pub fn inverse_spd(&self) -> Option<Matrix> {
         let n = self.rows;
+        let l = self.spd_factor()?;
         let mut inv = Matrix::zeros(n, n);
         for c in 0..n {
             let mut e = vec![0.0; n];
             e[c] = 1.0;
-            let col = self.solve_spd(&e)?;
+            let col = l.cholesky_solve(&e);
             for r in 0..n {
                 inv[(r, c)] = col[r];
             }
@@ -197,8 +209,9 @@ impl Matrix {
         Some(inv)
     }
 
-    /// Forward/back substitution given `self` is the lower Cholesky factor.
-    fn cholesky_solve(&self, b: &[f64]) -> Vec<f64> {
+    /// Forward/back substitution given `self` is the lower Cholesky factor
+    /// (as returned by [`Matrix::cholesky`] / [`Matrix::spd_factor`]).
+    pub fn cholesky_solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.rows;
         // Forward: L z = b
         let mut z = vec![0.0; n];

@@ -76,14 +76,17 @@ pub fn ols_from_gram(
     if n == 0 || p == 0 || gram.nrows() != p || xty.len() != p {
         return None;
     }
-    let beta = gram.solve_spd(xty)?;
+    let l = gram.spd_factor()?;
+    let beta = l.cholesky_solve(xty);
     let (rss, tss) = residuals(&beta);
 
     let df = n as f64 - p as f64;
     let (s2, se, p_value) = if df > 0.0 {
         let s2 = rss / df;
-        let inv = gram.inverse_spd()?;
-        let se: Vec<f64> = (0..p).map(|j| (s2 * inv[(j, j)]).max(0.0).sqrt()).collect();
+        let mut se = Vec::with_capacity(p);
+        for j in 0..p {
+            se.push((s2 * inv_diag(&l, p, j)).max(0.0).sqrt());
+        }
         let p_value: Vec<f64> = beta
             .iter()
             .zip(&se)
@@ -111,6 +114,63 @@ pub fn ols_from_gram(
         s2,
         r2,
     })
+}
+
+/// Like [`ols_from_gram`], but computes inference (standard error,
+/// p-value) only for coefficient `target`; every other entry of
+/// `se`/`p_value` is NaN. This is the CATE hot path: estimation consumes
+/// exactly `beta[1]` and `p_value[1]`, so the `p − 1` unused
+/// `(XᵀX)⁻¹`-column substitutions and Student-t evaluations per fit are
+/// pure waste. The target entries are bit-identical to the full fit's —
+/// same Cholesky factor, same column solve, same t-test.
+pub fn ols_from_gram_at(
+    gram: &Matrix,
+    xty: &[f64],
+    n: usize,
+    target: usize,
+    residuals: impl FnOnce(&[f64]) -> (f64, f64),
+) -> Option<OlsFit> {
+    let p = gram.ncols();
+    if n == 0 || p == 0 || gram.nrows() != p || xty.len() != p || target >= p {
+        return None;
+    }
+    let l = gram.spd_factor()?;
+    let beta = l.cholesky_solve(xty);
+    let (rss, tss) = residuals(&beta);
+
+    let df = n as f64 - p as f64;
+    let (s2, se, p_value) = if df > 0.0 {
+        let s2 = rss / df;
+        let mut se = vec![f64::NAN; p];
+        let mut p_value = vec![f64::NAN; p];
+        let se_t = (s2 * inv_diag(&l, p, target)).max(0.0).sqrt();
+        se[target] = se_t;
+        if se_t > 0.0 {
+            p_value[target] = student_t_sf(beta[target] / se_t, df);
+        }
+        (s2, se, p_value)
+    } else {
+        (f64::NAN, vec![f64::NAN; p], vec![f64::NAN; p])
+    };
+
+    let r2 = if tss > 0.0 { 1.0 - rss / tss } else { 0.0 };
+    Some(OlsFit {
+        beta,
+        se,
+        p_value,
+        df,
+        s2,
+        r2,
+    })
+}
+
+/// `[(XᵀX)⁻¹]_{jj}` from the Cholesky factor `l`: solve for the `j`-th
+/// inverse column and read its diagonal entry — the exact operations the
+/// full inverse performs for that column.
+fn inv_diag(l: &Matrix, p: usize, j: usize) -> f64 {
+    let mut e = vec![0.0; p];
+    e[j] = 1.0;
+    l.cholesky_solve(&e)[j]
 }
 
 /// Build a design matrix from column vectors, prepending an intercept.

@@ -4,6 +4,20 @@
 //! `Cov(P_g)` of grouping patterns (Definition 4.4), where fast union,
 //! intersection, count and equality are on the hot path of both the Apriori
 //! miner and the LP/greedy summarizers.
+//!
+//! Two families of operations matter for performance:
+//!
+//! * **word-batched kernels** — [`BitSet::count`],
+//!   [`BitSet::intersection_count`], [`BitSet::intersect_with`],
+//!   [`BitSet::difference_count`] and [`BitSet::union_count`] process the
+//!   word array in 4-word chunks (with a scalar tail), which the compiler
+//!   turns into straight-line popcount code without per-iteration
+//!   bookkeeping;
+//! * **projection** — [`Projector`] re-indexes row sets from full-table
+//!   coordinates into the local coordinates of a subpopulation (the rank of
+//!   each row among the subpopulation's rows), so that a lattice walk over
+//!   a small subpopulation intersects `|subpop|`-bit masks instead of
+//!   `|D|`-bit ones.
 
 /// Fixed-capacity bit set backed by `u64` words.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -76,7 +90,16 @@ impl BitSet {
 
     /// Number of set bits.
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        let mut chunks = self.words.chunks_exact(4);
+        let mut acc = 0usize;
+        for c in chunks.by_ref() {
+            acc += (c[0].count_ones() + c[1].count_ones() + c[2].count_ones() + c[3].count_ones())
+                as usize;
+        }
+        for &w in chunks.remainder() {
+            acc += w.count_ones() as usize;
+        }
+        acc
     }
 
     /// True when no bit is set.
@@ -95,13 +118,79 @@ impl BitSet {
     /// In-place intersection.
     pub fn intersect_with(&mut self, other: &BitSet) {
         debug_assert_eq!(self.nbits, other.nbits);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
+        let mut a = self.words.chunks_exact_mut(4);
+        let mut b = other.words.chunks_exact(4);
+        for (ca, cb) in a.by_ref().zip(b.by_ref()) {
+            ca[0] &= cb[0];
+            ca[1] &= cb[1];
+            ca[2] &= cb[2];
+            ca[3] &= cb[3];
+        }
+        for (wa, wb) in a.into_remainder().iter_mut().zip(b.remainder()) {
+            *wa &= wb;
         }
     }
 
     /// Size of the intersection without materializing it.
     pub fn intersection_count(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.nbits, other.nbits);
+        let mut a = self.words.chunks_exact(4);
+        let mut b = other.words.chunks_exact(4);
+        let mut acc = 0usize;
+        for (ca, cb) in a.by_ref().zip(b.by_ref()) {
+            acc += ((ca[0] & cb[0]).count_ones()
+                + (ca[1] & cb[1]).count_ones()
+                + (ca[2] & cb[2]).count_ones()
+                + (ca[3] & cb[3]).count_ones()) as usize;
+        }
+        for (wa, wb) in a.remainder().iter().zip(b.remainder()) {
+            acc += (wa & wb).count_ones() as usize;
+        }
+        acc
+    }
+
+    /// Size of `self ∖ other` without materializing it.
+    pub fn difference_count(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.nbits, other.nbits);
+        let mut a = self.words.chunks_exact(4);
+        let mut b = other.words.chunks_exact(4);
+        let mut acc = 0usize;
+        for (ca, cb) in a.by_ref().zip(b.by_ref()) {
+            acc += ((ca[0] & !cb[0]).count_ones()
+                + (ca[1] & !cb[1]).count_ones()
+                + (ca[2] & !cb[2]).count_ones()
+                + (ca[3] & !cb[3]).count_ones()) as usize;
+        }
+        for (wa, wb) in a.remainder().iter().zip(b.remainder()) {
+            acc += (wa & !wb).count_ones() as usize;
+        }
+        acc
+    }
+
+    /// Size of `self ∪ other` without materializing it.
+    pub fn union_count(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.nbits, other.nbits);
+        let mut a = self.words.chunks_exact(4);
+        let mut b = other.words.chunks_exact(4);
+        let mut acc = 0usize;
+        for (ca, cb) in a.by_ref().zip(b.by_ref()) {
+            acc += ((ca[0] | cb[0]).count_ones()
+                + (ca[1] | cb[1]).count_ones()
+                + (ca[2] | cb[2]).count_ones()
+                + (ca[3] | cb[3]).count_ones()) as usize;
+        }
+        for (wa, wb) in a.remainder().iter().zip(b.remainder()) {
+            acc += (wa | wb).count_ones() as usize;
+        }
+        acc
+    }
+
+    /// Scalar reference implementation of [`BitSet::intersection_count`] —
+    /// kept for the kernel benchmarks and property tests that pin the
+    /// word-batched path against it.
+    #[doc(hidden)]
+    pub fn intersection_count_scalar(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.nbits, other.nbits);
         self.words
             .iter()
             .zip(&other.words)
@@ -111,10 +200,20 @@ impl BitSet {
 
     /// Whether `self ⊆ other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.nbits, other.nbits);
         self.words
             .iter()
             .zip(&other.words)
             .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Re-index this set into the local coordinates of `universe`: bit `i`
+    /// of the result is set iff the `i`-th smallest element of `universe`
+    /// is in `self`. Elements of `self` outside `universe` are dropped.
+    /// One-shot convenience for [`Projector::project`]; build a
+    /// [`Projector`] once when projecting many sets onto the same universe.
+    pub fn project(&self, universe: &BitSet) -> BitSet {
+        Projector::new(universe).project(self)
     }
 
     /// Iterate over set bit positions in increasing order.
@@ -140,6 +239,120 @@ impl BitSet {
             m[i] = true;
         }
         m
+    }
+}
+
+/// A reusable global→local rank map for one universe set.
+///
+/// The universe (e.g. a subpopulation's row set) defines a dense local
+/// index space `0..universe.count()`: the local index of a universe element
+/// is its rank among the universe's elements in increasing order. The
+/// projector precomputes per-word rank prefixes once, so projecting a
+/// global set costs one popcount per set bit of the intersection plus one
+/// AND per word — no per-bit scan of the universe.
+///
+/// [`Projector::project`] maps full-width sets down (dropping bits outside
+/// the universe); [`Projector::unproject`] scatters a local set back to
+/// full width. `unproject(project(s))` equals `s ∩ universe`, and
+/// `project(unproject(l))` is the identity.
+#[derive(Debug, Clone)]
+pub struct Projector {
+    universe: BitSet,
+    /// `rank[wi]` = number of universe bits in words `0..wi`.
+    rank: Vec<usize>,
+    n_local: usize,
+}
+
+impl Projector {
+    /// Build the rank map for `universe`.
+    pub fn new(universe: &BitSet) -> Self {
+        let mut rank = Vec::with_capacity(universe.words.len());
+        let mut acc = 0usize;
+        for &w in &universe.words {
+            rank.push(acc);
+            acc += w.count_ones() as usize;
+        }
+        Projector {
+            universe: universe.clone(),
+            rank,
+            n_local: acc,
+        }
+    }
+
+    /// The universe this projector was built from.
+    pub fn universe(&self) -> &BitSet {
+        &self.universe
+    }
+
+    /// Width of the local index space (`universe.count()`).
+    pub fn len(&self) -> usize {
+        self.n_local
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_local == 0
+    }
+
+    /// Local index (rank within the universe) of global bit `i`, or `None`
+    /// when `i` is not in the universe.
+    pub fn local_of(&self, i: usize) -> Option<usize> {
+        if !self.universe.contains(i) {
+            return None;
+        }
+        let below = self.universe.words[i / 64] & ((1u64 << (i % 64)) - 1);
+        Some(self.rank[i / 64] + below.count_ones() as usize)
+    }
+
+    /// Project a full-width set into local coordinates (see type docs).
+    pub fn project(&self, global: &BitSet) -> BitSet {
+        debug_assert_eq!(global.nbits, self.universe.nbits);
+        let mut out = BitSet::new(self.n_local);
+        for (wi, (&g, &u)) in global.words.iter().zip(&self.universe.words).enumerate() {
+            let mut m = g & u;
+            if m == 0 {
+                continue;
+            }
+            let base = self.rank[wi];
+            while m != 0 {
+                let b = m.trailing_zeros();
+                let below = u & ((1u64 << b) - 1);
+                out.insert(base + below.count_ones() as usize);
+                m &= m - 1;
+            }
+        }
+        out
+    }
+
+    /// Scatter a local set back to full-table width.
+    pub fn unproject(&self, local: &BitSet) -> BitSet {
+        debug_assert_eq!(local.nbits, self.n_local);
+        let mut out = BitSet::new(self.universe.nbits);
+        let mut it = local.iter().peekable();
+        for (wi, &u) in self.universe.words.iter().enumerate() {
+            let base = self.rank[wi];
+            let in_word = u.count_ones() as usize;
+            if in_word == 0 {
+                continue;
+            }
+            let mut w = u;
+            let mut r = base;
+            while w != 0 {
+                match it.peek() {
+                    Some(&l) if l < base + in_word => {
+                        let tz = w.trailing_zeros() as usize;
+                        if l == r {
+                            out.insert(wi * 64 + tz);
+                            it.next();
+                        }
+                        w &= w - 1;
+                        r += 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        out
     }
 }
 
@@ -179,6 +392,9 @@ mod tests {
             b.insert(i);
         }
         assert_eq!(a.intersection_count(&b), 25);
+        assert_eq!(a.difference_count(&b), 25);
+        assert_eq!(b.difference_count(&a), 25);
+        assert_eq!(a.union_count(&b), 75);
         let mut u = a.clone();
         u.union_with(&b);
         assert_eq!(u.count(), 75);
@@ -187,6 +403,45 @@ mod tests {
         assert_eq!(i.count(), 25);
         assert!(i.is_subset(&a) && i.is_subset(&b));
         assert!(!a.is_subset(&b));
+    }
+
+    /// The word-batched kernels must agree with per-bit ground truth on
+    /// widths that exercise every chunk/tail split (0–4 full chunks ± a
+    /// partial word).
+    #[test]
+    fn batched_kernels_match_naive_all_tail_shapes() {
+        for nbits in [0, 1, 63, 64, 65, 127, 128, 255, 256, 257, 300, 517] {
+            let mut a = BitSet::new(nbits);
+            let mut b = BitSet::new(nbits);
+            for i in 0..nbits {
+                if i % 3 == 0 || i % 7 == 1 {
+                    a.insert(i);
+                }
+                if i % 2 == 0 || i % 5 == 3 {
+                    b.insert(i);
+                }
+            }
+            let inter = (0..nbits)
+                .filter(|&i| a.contains(i) && b.contains(i))
+                .count();
+            let diff = (0..nbits)
+                .filter(|&i| a.contains(i) && !b.contains(i))
+                .count();
+            let uni = (0..nbits)
+                .filter(|&i| a.contains(i) || b.contains(i))
+                .count();
+            assert_eq!(a.count(), (0..nbits).filter(|&i| a.contains(i)).count());
+            assert_eq!(a.intersection_count(&b), inter, "nbits={nbits}");
+            assert_eq!(a.intersection_count_scalar(&b), inter);
+            assert_eq!(a.difference_count(&b), diff, "nbits={nbits}");
+            assert_eq!(a.union_count(&b), uni, "nbits={nbits}");
+            let mut m = a.clone();
+            m.intersect_with(&b);
+            assert_eq!(m.count(), inter, "nbits={nbits}");
+            for i in 0..nbits {
+                assert_eq!(m.contains(i), a.contains(i) && b.contains(i));
+            }
+        }
     }
 
     #[test]
@@ -206,5 +461,100 @@ mod tests {
         assert_eq!(a, b);
         b.insert(4);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn projector_ranks_and_roundtrip() {
+        // Universe = every third bit of a 200-bit space.
+        let n = 200;
+        let mut universe = BitSet::new(n);
+        for i in (0..n).step_by(3) {
+            universe.insert(i);
+        }
+        let p = Projector::new(&universe);
+        assert_eq!(p.len(), universe.count());
+        assert_eq!(p.universe(), &universe);
+
+        // local_of agrees with the rank computed by enumeration.
+        for (rank, i) in universe.iter().enumerate() {
+            assert_eq!(p.local_of(i), Some(rank));
+        }
+        assert_eq!(p.local_of(1), None);
+
+        // Project a set straddling the universe.
+        let mut g = BitSet::new(n);
+        for i in [0, 1, 3, 66, 99, 150, 198, 199] {
+            g.insert(i);
+        }
+        let local = p.project(&g);
+        assert_eq!(local.capacity(), p.len());
+        let expected: Vec<usize> = universe
+            .iter()
+            .enumerate()
+            .filter(|&(_, i)| g.contains(i))
+            .map(|(rank, _)| rank)
+            .collect();
+        assert_eq!(local.iter().collect::<Vec<_>>(), expected);
+
+        // Round-trips: unproject ∘ project = ∩ universe; project ∘
+        // unproject = id.
+        let back = p.unproject(&local);
+        let mut expect_back = g.clone();
+        expect_back.intersect_with(&universe);
+        assert_eq!(back, expect_back);
+        assert_eq!(p.project(&back), local);
+
+        // One-shot convenience matches the reusable projector.
+        assert_eq!(g.project(&universe), local);
+    }
+
+    #[test]
+    fn projector_preserves_intersection_structure() {
+        // Projection is a lattice homomorphism on subsets of the universe:
+        // project(a ∩ b) == project(a) ∩ project(b), and counts restricted
+        // to the universe are preserved.
+        let n = 150;
+        let mut universe = BitSet::new(n);
+        let mut a = BitSet::new(n);
+        let mut b = BitSet::new(n);
+        for i in 0..n {
+            if i % 2 == 0 || i % 5 == 0 {
+                universe.insert(i);
+            }
+            if i % 3 != 1 {
+                a.insert(i);
+            }
+            if i % 4 != 2 {
+                b.insert(i);
+            }
+        }
+        let p = Projector::new(&universe);
+        let (la, lb) = (p.project(&a), p.project(&b));
+        let mut ab = a.clone();
+        ab.intersect_with(&b);
+        let mut lab = la.clone();
+        lab.intersect_with(&lb);
+        assert_eq!(p.project(&ab), lab);
+        assert_eq!(la.count(), a.intersection_count(&universe));
+        assert_eq!(lab.count(), ab.intersection_count(&universe));
+    }
+
+    #[test]
+    fn projector_empty_and_full_universe() {
+        let g = {
+            let mut g = BitSet::new(100);
+            g.insert(7);
+            g.insert(70);
+            g
+        };
+        // Empty universe → zero-width locals.
+        let p = Projector::new(&BitSet::new(100));
+        assert!(p.is_empty());
+        assert_eq!(p.project(&g).capacity(), 0);
+        assert_eq!(p.unproject(&BitSet::new(0)), BitSet::new(100));
+        // Full universe → projection is the identity.
+        let p = Projector::new(&BitSet::full(100));
+        assert_eq!(p.project(&g), g);
+        assert_eq!(p.unproject(&g), g);
     }
 }

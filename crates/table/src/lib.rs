@@ -40,7 +40,7 @@ pub mod summary;
 pub mod table;
 pub mod value;
 
-pub use bitset::BitSet;
+pub use bitset::{BitSet, Projector};
 pub use column::Column;
 pub use error::TableError;
 pub use pattern::{Op, Pattern, Pred};

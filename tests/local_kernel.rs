@@ -1,0 +1,251 @@
+//! Equivalence guarantees of the subpopulation-local evaluation kernel.
+//!
+//! The local-kernel rework (projected bitsets, sparse t-block gathers,
+//! hoisted TSS, single-factor inference, parallel level evaluation) must
+//! be *behaviour-preserving*. These tests pin:
+//!
+//! 1. sparse-gather local estimation ([`EstimationContext::estimate_local`]
+//!    on a [`Projector`]-projected mask) against the dense full-width scan
+//!    ([`EstimationContext::estimate`]) — bit-identical, across all
+//!    confounder mixes, with and without the §5.2(d) sampling cap, on both
+//!    estimator backends;
+//! 2. the projected lattice walk against the full-width cold-start walk
+//!    (`use_estimation_cache = false`), including the paired
+//!    positive+negative walk;
+//! 3. parallel within-level evaluation against the serial walk — exact
+//!    `TreatmentResult` ordering at every thread count, and end-to-end
+//!    summary bit-identity through the session pipeline.
+
+use proptest::prelude::*;
+
+use causal::context::EstimationContext;
+use causal::estimate::{CateOptions, EstimatorBackend};
+use causal::Dag;
+use causumx::{ConfigBuilder, Session};
+use mining::treatment::{Direction, LatticeOptions, TreatmentMiner, TreatmentResult};
+use table::bitset::{BitSet, Projector};
+use table::{Table, TableBuilder};
+
+/// Random-but-structured table: two categorical treatment candidates, one
+/// numeric confounder, and an outcome with real effects plus noise.
+fn build_table(cats_a: &[u8], cats_b: &[u8], nums: &[i64], noise: &[i64]) -> Table {
+    let n = cats_a.len();
+    let a: Vec<String> = cats_a.iter().map(|&v| format!("a{}", v % 3)).collect();
+    let b: Vec<String> = cats_b.iter().map(|&v| format!("b{}", v % 2)).collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| {
+            3.0 * (cats_a[i].is_multiple_of(3)) as i64 as f64
+                - 2.0 * (cats_b[i] % 2 == 1) as i64 as f64
+                + (nums[i] % 7) as f64 * 0.3
+                + (noise[i] % 11) as f64 * 0.05
+        })
+        .collect();
+    TableBuilder::new()
+        .cat_owned("a", a)
+        .unwrap()
+        .cat_owned("b", b)
+        .unwrap()
+        .int("num", nums.to_vec())
+        .unwrap()
+        .float("y", y)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn dag() -> Dag {
+    Dag::new(
+        &["a", "b", "num", "y"],
+        &[("num", "a"), ("a", "y"), ("b", "y"), ("num", "y")],
+    )
+    .unwrap()
+}
+
+fn arb_rows() -> impl Strategy<Value = (Vec<u8>, Vec<u8>, Vec<i64>, Vec<i64>, Vec<bool>)> {
+    (60usize..160).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0u8..6, n),
+            prop::collection::vec(0u8..6, n),
+            prop::collection::vec(-20i64..20, n),
+            prop::collection::vec(-100i64..100, n),
+            prop::collection::vec(any::<bool>(), n),
+        )
+    })
+}
+
+proptest! {
+    /// (1) `estimate_local` on the projected treatment mask is
+    /// bit-identical to `estimate` on the full-width mask — every
+    /// confounder mix, with and without sampling, both backends.
+    #[test]
+    fn sparse_gather_matches_dense_scan((ca, cb, nums, noise, subpop) in arb_rows()) {
+        let table = build_table(&ca, &cb, &nums, &noise);
+        let n = table.nrows();
+        let treated: Vec<bool> = ca.iter().map(|&v| v % 3 == 0).collect();
+        let tbits = BitSet::from_mask(&treated);
+        let sub_bits = BitSet::from_mask(&subpop);
+        let projector = Projector::new(&sub_bits);
+        let tlocal = projector.project(&tbits);
+
+        for confounders in [vec![], vec![1], vec![2], vec![1, 2]] {
+            for (backend, cap) in [
+                (EstimatorBackend::Regression, None),
+                (EstimatorBackend::Regression, Some(n / 2)),
+                (EstimatorBackend::Ipw, None),
+            ] {
+                let opts = CateOptions { sample_cap: cap, backend, ..CateOptions::default() };
+                let Some(ctx) =
+                    EstimationContext::new(&table, Some(&sub_bits), 3, &confounders, &opts)
+                else { continue };
+                prop_assert_eq!(ctx.local_width(), sub_bits.count());
+                let dense = ctx.estimate(&tbits);
+                let sparse = ctx.estimate_local(&tlocal);
+                match (dense, sparse) {
+                    (Some(d), Some(s)) => {
+                        prop_assert_eq!(d.cate.to_bits(), s.cate.to_bits(),
+                            "cate {} vs {}", d.cate, s.cate);
+                        let p_match = d.p_value.to_bits() == s.p_value.to_bits()
+                            || (d.p_value.is_nan() && s.p_value.is_nan());
+                        prop_assert!(p_match, "p {} vs {}", d.p_value, s.p_value);
+                        prop_assert_eq!(d.n, s.n);
+                        prop_assert_eq!(d.n_treated, s.n_treated);
+                        prop_assert_eq!(d.n_control, s.n_control);
+                    }
+                    (d, s) => prop_assert_eq!(d.is_none(), s.is_none()),
+                }
+            }
+        }
+    }
+
+    /// (2) The projected walk returns exactly what the full-width
+    /// cold-start walk returns, for the paired positive+negative mining.
+    #[test]
+    fn projected_walk_matches_full_width_walk((ca, cb, nums, noise, subpop) in arb_rows()) {
+        let table = build_table(&ca, &cb, &nums, &noise);
+        let dag = dag();
+        let sub_bits = BitSet::from_mask(&subpop);
+
+        let projected = TreatmentMiner::new(&table, &dag, 3, &[0, 1], LatticeOptions::default());
+        let full_width = TreatmentMiner::new(&table, &dag, 3, &[0, 1], LatticeOptions {
+            use_estimation_cache: false,
+            ..LatticeOptions::default()
+        });
+        let a = projected.top_treatments_paired(&sub_bits, 3, true);
+        let b = full_width.top_treatments_paired(&sub_bits, 3, true);
+        prop_assert_eq!(a.stats.evaluated, b.stats.evaluated);
+        prop_assert_eq!(a.stats.levels, b.stats.levels);
+        prop_assert_eq!(fingerprint(&a.positive), fingerprint(&b.positive));
+        prop_assert_eq!(fingerprint(&a.negative), fingerprint(&b.negative));
+    }
+
+    /// (3a) Parallel within-level evaluation preserves the exact
+    /// `TreatmentResult` ordering of the serial walk.
+    #[test]
+    fn parallel_level_matches_serial_level((ca, cb, nums, noise, subpop) in arb_rows()) {
+        let table = build_table(&ca, &cb, &nums, &noise);
+        let dag = dag();
+        let sub_bits = BitSet::from_mask(&subpop);
+
+        let serial = TreatmentMiner::new(&table, &dag, 3, &[0, 1], LatticeOptions {
+            level_parallelism: 1,
+            ..LatticeOptions::default()
+        });
+        let (rs, ss) = serial.top_k_treatments(&sub_bits, Direction::Positive, 4);
+        for threads in [2usize, 4] {
+            let par = TreatmentMiner::new(&table, &dag, 3, &[0, 1], LatticeOptions {
+                level_parallelism: threads,
+                ..LatticeOptions::default()
+            });
+            let (rp, sp) = par.top_k_treatments(&sub_bits, Direction::Positive, 4);
+            prop_assert_eq!(sp.evaluated, ss.evaluated, "threads {}", threads);
+            prop_assert_eq!(sp.levels, ss.levels);
+            prop_assert_eq!(sp.contexts_built, ss.contexts_built);
+            prop_assert_eq!(fingerprint(&rp), fingerprint(&rs), "threads {}", threads);
+        }
+    }
+}
+
+/// Exact (pattern, CATE bits, p bits, arms) sequence — order-sensitive.
+fn fingerprint(ts: &[TreatmentResult]) -> Vec<(String, u64, u64, usize, usize)> {
+    ts.iter()
+        .map(|t| {
+            (
+                t.pattern.key(),
+                t.cate.to_bits(),
+                t.p_value.to_bits(),
+                t.n_treated,
+                t.n_control,
+            )
+        })
+        .collect()
+}
+
+/// (3b) End-to-end: the session pipeline is bit-identical between serial
+/// and parallel level evaluation, stacked on top of cross-pattern
+/// parallelism, on realistic generated data.
+#[test]
+fn pipeline_bit_identical_across_level_parallelism() {
+    let ds = datagen::so::generate(3_000, 11);
+    let run = |level_threads: usize, cross_pattern: bool| {
+        let cfg = ConfigBuilder::new()
+            .parallel(cross_pattern)
+            .level_parallelism(level_threads)
+            .build()
+            .unwrap();
+        Session::new(ds.table.clone(), ds.dag.clone(), cfg)
+            .prepare(ds.query())
+            .unwrap()
+            .run()
+    };
+    let base = run(1, false);
+    for (threads, cross) in [(0, false), (3, false), (3, true), (1, true)] {
+        let other = run(threads, cross);
+        assert_eq!(
+            base.total_weight.to_bits(),
+            other.total_weight.to_bits(),
+            "level_parallelism={threads} parallel={cross}"
+        );
+        assert_eq!(base.cate_evaluations, other.cate_evaluations);
+        assert_eq!(base.covered, other.covered);
+        assert_eq!(base.candidates, other.candidates);
+        let keys = |s: &causumx::Summary| -> Vec<String> {
+            s.explanations.iter().map(|e| e.grouping.key()).collect()
+        };
+        assert_eq!(keys(&base), keys(&other), "exact explanation order");
+    }
+}
+
+/// The projection round-trip the walk relies on: projected atom
+/// intersections and counts agree with full-width intersections restricted
+/// to the subpopulation.
+#[test]
+fn projection_commutes_with_walk_algebra() {
+    let n = 500;
+    let mut sub = BitSet::new(n);
+    let mut a = BitSet::new(n);
+    let mut b = BitSet::new(n);
+    for i in 0..n {
+        if i % 3 != 0 {
+            sub.insert(i);
+        }
+        if i % 2 == 0 {
+            a.insert(i);
+        }
+        if i % 5 < 3 {
+            b.insert(i);
+        }
+    }
+    let p = Projector::new(&sub);
+    let (la, lb) = (p.project(&a), p.project(&b));
+    assert_eq!(la.count(), a.intersection_count(&sub));
+    let mut ab = a.clone();
+    ab.intersect_with(&b);
+    let mut lab = la.clone();
+    lab.intersect_with(&lb);
+    assert_eq!(p.project(&ab), lab);
+    assert_eq!(lab.count(), ab.intersection_count(&sub));
+    let mut back = p.unproject(&lab);
+    assert!(back.is_subset(&sub));
+    back.intersect_with(&a); // no-op: already ⊆ a
+    assert_eq!(back.count(), lab.count());
+}
