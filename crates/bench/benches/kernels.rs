@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use causal::context::EstimationContext;
+use causal::context::{ContextCache, EstimationContext, SubpopPanel};
 use causal::estimate::{estimate_cate, CateOptions};
 use lpsolve::cover::{randomized_rounding, solve_lp_relaxation, CoverInstance};
 use mining::apriori::apriori;
@@ -131,6 +131,56 @@ fn bench_estimation_context(c: &mut Criterion) {
     group.finish();
 }
 
+/// Confounder-panel economics: the contexts of several overlapping
+/// backdoor sets built cold (one `O(n·q²)` pass per set — the PR 4 path)
+/// vs assembled from one shared [`SubpopPanel`] (each row gather, column
+/// encode and cross-Gram block computed once per subpopulation), plus the
+/// marginal cost of a fully warm `O(q²)` assembly.
+fn bench_confounder_panel(c: &mut Criterion) {
+    let ds = datagen::so::generate(8_000, 1);
+    let subpop = {
+        let mut b = BitSet::new(ds.table.nrows());
+        for i in 0..ds.table.nrows() {
+            if i % 7 != 0 && i % 3 != 1 {
+                b.insert(i);
+            }
+        }
+        b
+    };
+    let attr = |name: &str| ds.table.attr(name).unwrap();
+    // Overlapping sets, as a paired lattice walk's backdoor lookups yield.
+    let sets: Vec<Vec<usize>> = vec![
+        vec![attr("Age")],
+        vec![attr("Age"), attr("Gender")],
+        vec![attr("Age"), attr("EducationParents")],
+        vec![attr("Age"), attr("Gender"), attr("EducationParents")],
+    ];
+    let opts = CateOptions::default();
+    let build_all = |use_panel: bool| -> usize {
+        let mut cache = ContextCache::with_panel(use_panel);
+        sets.iter()
+            .map(|s| {
+                cache
+                    .get_or_build(&ds.table, Some(&subpop), ds.outcome, s.clone(), &opts)
+                    .map_or(0, |ctx| ctx.n())
+            })
+            .sum()
+    };
+
+    let mut group = c.benchmark_group("confounder_panel");
+    group.bench_function("cold_builds_4sets_8k", |b| b.iter(|| build_all(false)));
+    group.bench_function("panel_builds_4sets_8k", |b| b.iter(|| build_all(true)));
+    // Warm assembly: every attribute and pair block already materialized.
+    let mut panel = SubpopPanel::new(&ds.table, Some(&subpop), ds.outcome, &opts);
+    for s in &sets {
+        let _ = panel.assemble(&ds.table, s);
+    }
+    group.bench_function("warm_assemble_q3_8k", |b| {
+        b.iter(|| panel.assemble(&ds.table, &sets[3]).unwrap().n())
+    });
+    group.finish();
+}
+
 /// Word-batched popcount kernels vs the scalar reference, at the widths
 /// the pipeline actually sees (4k/30k-row tables, 200k-row scale target).
 fn bench_bitset_kernels(c: &mut Criterion) {
@@ -223,6 +273,7 @@ criterion_group!(
         bench_grouping_mining,
         bench_cate,
         bench_estimation_context,
+        bench_confounder_panel,
         bench_bitset_kernels,
         bench_lattice,
         bench_selection

@@ -32,6 +32,12 @@
 //! additionally asserted against it — the local-kernel rework must not
 //! change a single reported number, only the clock.
 //!
+//! The **confounder-panel scenario** A/Bs `use_confounder_panel`: the
+//! treatment step with per-subpopulation panel assembly (the default)
+//! vs the cold per-confounder-set context builds it replaced (the PR 4
+//! path), asserting bit-identical summaries — the panel must only move
+//! the clock, never a reported number.
+//!
 //! Timings are wall-clock and machine-dependent; `cate_evaluations`,
 //! candidate counts and coverage are deterministic for a fixed seed, which
 //! is what the CI gate checks indirectly (the JSON must parse and the
@@ -134,6 +140,9 @@ fn main() {
     // Local-kernel scenario: serial vs parallel level evaluation.
     let local_point = run_local_kernel_scenario(if quick { 4_000 } else { 12_000 }, seed);
 
+    // Confounder-panel scenario: panel assembly vs cold context builds.
+    let panel_point = run_confounder_panel_scenario(if quick { 4_000 } else { 12_000 }, seed);
+
     let prior = baseline_path
         .as_deref()
         .map(read_prior_sizes)
@@ -199,8 +208,25 @@ fn main() {
          auto-parallel levels, {} cate evaluations, bit-identical summaries\n",
         local_point.n, local_point.serial_ms, local_point.parallel_ms, local_point.cate_evaluations,
     );
+    println!(
+        "confounder-panel scenario (n = {}): treatment step {:.1} ms panel vs {:.1} ms cold \
+         context builds (\u{00d7}{:.2}), {} cate evaluations, bit-identical summaries\n",
+        panel_point.n,
+        panel_point.panel_ms,
+        panel_point.cold_ms,
+        panel_point.cold_ms / panel_point.panel_ms,
+        panel_point.cate_evaluations,
+    );
 
-    let json = render_json(seed, quick, &points, &prior, &session_point, &local_point);
+    let json = render_json(
+        seed,
+        quick,
+        &points,
+        &prior,
+        &session_point,
+        &local_point,
+        &panel_point,
+    );
     let path = out_path.map(std::path::PathBuf::from).unwrap_or_else(|| {
         let dir = results_dir();
         let _ = std::fs::create_dir_all(&dir);
@@ -296,6 +322,57 @@ struct LocalKernelPoint {
     cate_evaluations: usize,
 }
 
+/// Measurements of the confounder-panel scenario: the treatment-mining
+/// step with the per-subpopulation panel (default) vs the cold
+/// per-confounder-set context builds (`use_confounder_panel = false`,
+/// i.e. the pre-panel hot path). The scenario asserts the ablation
+/// contract: identical work counters and bit-identical summaries — the
+/// panel is a pure reorganization of the same floating-point sums.
+struct ConfounderPanelPoint {
+    n: usize,
+    /// Treatment step with panel assembly (best of 3).
+    panel_ms: f64,
+    /// Treatment step with cold per-set builds (best of 3).
+    cold_ms: f64,
+    cate_evaluations: usize,
+}
+
+fn run_confounder_panel_scenario(n: usize, seed: u64) -> ConfounderPanelPoint {
+    let ds = so::generate(n, seed);
+    let query = ds.query();
+    let run_with = |panel: bool| -> (f64, causumx::Summary) {
+        let mut best_ms = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..3 {
+            let cfg = causumx::ConfigBuilder::new()
+                .use_confounder_panel(panel)
+                .build()
+                .expect("valid config");
+            let session = Session::new(ds.table.clone(), ds.dag.clone(), cfg);
+            let summary = session.prepare(query.clone()).expect("prepare").run();
+            best_ms = best_ms.min(summary.timings.treatment_ms);
+            last = Some(summary);
+        }
+        (best_ms, last.expect("three repetitions"))
+    };
+    let (panel_ms, with_panel) = run_with(true);
+    let (cold_ms, cold) = run_with(false);
+    assert_eq!(
+        with_panel.total_weight.to_bits(),
+        cold.total_weight.to_bits(),
+        "the confounder panel must not change the summary"
+    );
+    assert_eq!(with_panel.cate_evaluations, cold.cate_evaluations);
+    assert_eq!(with_panel.covered, cold.covered);
+    assert_eq!(with_panel.candidates, cold.candidates);
+    ConfounderPanelPoint {
+        n,
+        panel_ms,
+        cold_ms,
+        cate_evaluations: with_panel.cate_evaluations,
+    }
+}
+
 fn run_local_kernel_scenario(n: usize, seed: u64) -> LocalKernelPoint {
     let ds = so::generate(n, seed);
     let query = ds.query();
@@ -334,6 +411,7 @@ fn run_local_kernel_scenario(n: usize, seed: u64) -> LocalKernelPoint {
 
 /// Hand-rolled JSON (no serde in the offline container). One `sizes`
 /// entry per line so [`read_prior_sizes`] can scan it back.
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     seed: u64,
     quick: bool,
@@ -341,6 +419,7 @@ fn render_json(
     prior: &[PriorSize],
     session: &SessionPoint,
     local: &LocalKernelPoint,
+    panel: &ConfounderPanelPoint,
 ) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
@@ -394,8 +473,19 @@ fn render_json(
     let _ = writeln!(
         s,
         "  \"local_kernel\": {{\"n\": {}, \"serial_level_ms\": {:.3}, \
-         \"parallel_level_ms\": {:.3}, \"cate_evaluations\": {}, \"bit_identical\": true}}",
+         \"parallel_level_ms\": {:.3}, \"cate_evaluations\": {}, \"bit_identical\": true}},",
         local.n, local.serial_ms, local.parallel_ms, local.cate_evaluations,
+    );
+    let _ = writeln!(
+        s,
+        "  \"confounder_panel\": {{\"n\": {}, \"panel_ms\": {:.3}, \
+         \"cold_context_ms\": {:.3}, \"panel_speedup\": {:.3}, \"cate_evaluations\": {}, \
+         \"bit_identical\": true}}",
+        panel.n,
+        panel.panel_ms,
+        panel.cold_ms,
+        panel.cold_ms / panel.panel_ms,
+        panel.cate_evaluations,
     );
     let _ = writeln!(s, "}}");
     s

@@ -46,16 +46,48 @@
 //! The IPW backend reuses the same cache: the propensity design `[1, Z]`
 //! is treatment-independent, so the context pre-assembles it once and each
 //! evaluation only re-fits the logistic regression on a fresh `t` gather.
+//!
+//! # The per-subpopulation confounder panel
+//!
+//! One lattice walk touches several *distinct* backdoor sets, and those
+//! sets overlap: `{Age}`, `{Age, Gender}` and `{Age, Country}` share the
+//! subpopulation row list, the outcome gather, the TSS, the encoded `Age`
+//! columns and the `Age×Age` Gram block. Building each
+//! [`EstimationContext`] cold repeats all of that per set.
+//!
+//! [`SubpopPanel`] hoists the sharing one level up: built once per
+//! subpopulation, it materializes the sampled row list, `y`, `Σy`, TSS,
+//! and — lazily, on first use — each confounder attribute's encoded
+//! design columns with their `1ᵀZ_a` / `Z_aᵀy` vectors, plus every
+//! requested pairwise cross-Gram block `Z_aᵀZ_b` (including `a = b` and
+//! the `×1`/`×y` borders above). [`SubpopPanel::assemble`] then builds the
+//! context for a concrete confounder set by *stitching* the relevant
+//! blocks — `O(q²)` placement instead of the `O(n·q²)` accumulation pass —
+//! and sharing the row/outcome/column buffers via [`Arc`].
+//!
+//! Every block is an independent ascending-row-order accumulation: entry
+//! `(i, j)` of the assembled `ZᵀZ` is the same `Σ_r z_i[r]·z_j[r]` sum,
+//! added in the same order, whether it was accumulated inside one cold
+//! context build or once in the panel and copied into place (for `a > b`
+//! pairs the stored block is read transposed — `z_i·z_j` and `z_j·z_i`
+//! are the same f64 product, so even that is bit-exact). The assembled
+//! context is therefore **bit-identical** to the cold-built one; the
+//! property tests in `tests/confounder_panel.rs` pin this.
+//!
+//! [`ContextCache`] owns the panel (see [`ContextCache::with_panel`]);
+//! `LatticeOptions::use_confounder_panel` is the ablation knob that
+//! switches the cache back to cold per-set builds.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use stats::matrix::Matrix;
-use stats::ols::ols_from_gram_at;
+use stats::ols::{gram_from_blocks, ols_from_gram_at};
 use table::bitset::BitSet;
 use table::{Column, Table};
 
@@ -72,58 +104,33 @@ struct LocalIdx {
     pos_of_local: Vec<u32>,
 }
 
-/// Treatment-independent state of CATE estimation, cached per
-/// `(subpopulation, confounder set)` pair. See the module docs.
-pub struct EstimationContext {
-    backend: EstimatorBackend,
-    min_arm: usize,
+/// The treatment- *and* confounder-independent scope of one
+/// `(subpopulation, outcome, opts)` triple: sampled row list, local
+/// maps, outcome gather and its sums. Derived by exactly one function
+/// ([`ScopeState::build`]) so the cold [`EstimationContext::new`] build
+/// and the [`SubpopPanel`] can never drift apart — the bit-identity
+/// contract requires both to sample, gather and accumulate identically.
+struct ScopeState {
     /// Subpopulation row ids (after the §5.2(d) sampling for the
     /// regression backend), ascending.
-    rows: Vec<usize>,
-    /// Width of the local coordinate space: the subpopulation size
-    /// *before* sampling (= table width when unscoped).
+    rows: Arc<Vec<usize>>,
+    /// Local coordinate width: subpopulation size before sampling.
     sub_n: usize,
     /// Sampling maps (see [`LocalIdx`]); `None` = identity.
-    local: Option<LocalIdx>,
-    /// Outcome gathered over `rows`.
-    y: Vec<f64>,
-    /// Encoded confounder design columns over `rows` (numerics raw,
-    /// categoricals one-hot with the reference level dropped).
-    z_cols: Vec<Vec<f64>>,
-    /// `Σ y` over `rows`.
+    local: Option<Arc<LocalIdx>>,
+    /// Outcome gathered over `rows`; `None` when the outcome attribute
+    /// is categorical (every estimate would be `None`).
+    y: Option<Arc<Vec<f64>>>,
+    /// `Σy` over `rows` (regression backend with numeric outcome only).
     sum_y: f64,
-    /// `Σ (y − ȳ)²` over `rows` — the treatment-independent TSS, hoisted
-    /// out of the per-candidate residual pass (same ascending-order
-    /// accumulation, so R² stays bit-identical).
+    /// `Σ(y − ȳ)²` over `rows` — the treatment-independent TSS (same
+    /// gating as `sum_y`). Accumulated once, in the exact ascending
+    /// order the naive residual pass used.
     tss: f64,
-    /// `1ᵀZ` — per-column sums of `z_cols`.
-    sum_z: Vec<f64>,
-    /// `ZᵀZ` — the fixed `q×q` Gram block.
-    zz: Matrix,
-    /// `Zᵀy`.
-    zy: Vec<f64>,
-    /// Propensity design `[1, Z]` for the IPW backend (assembled lazily
-    /// only when `backend == Ipw`).
-    x_prop: Option<Matrix>,
 }
 
-impl EstimationContext {
-    /// Build the cache for one subpopulation (`None` = whole table) and
-    /// confounder set. Returns `None` when the outcome attribute is
-    /// categorical — every per-treatment estimate would be `None` anyway.
-    ///
-    /// Sampling (`opts.sample_cap`) is applied here, once, for the
-    /// regression backend — reproducing the naive path, which samples the
-    /// identical row list with the identical seed on every call. The IPW
-    /// backend does not sample (matching
-    /// [`crate::ipw::estimate_cate_ipw`]).
-    pub fn new(
-        table: &Table,
-        subpop: Option<&BitSet>,
-        outcome: usize,
-        confounders: &[usize],
-        opts: &CateOptions,
-    ) -> Option<Self> {
+impl ScopeState {
+    fn build(table: &Table, subpop: Option<&BitSet>, outcome: usize, opts: &CateOptions) -> Self {
         let nrows = table.nrows();
         debug_assert!(nrows < u32::MAX as usize, "row ids must fit u32");
         // (global row, local rank) pairs — the local rank of a row is its
@@ -160,70 +167,165 @@ impl EstimationContext {
             for (i, &l) in loc.iter().enumerate() {
                 pos_of_local[l as usize] = i as u32;
             }
-            LocalIdx { loc, pos_of_local }
+            Arc::new(LocalIdx { loc, pos_of_local })
         });
 
         let ycol = table.column(outcome);
-        if matches!(ycol, Column::Cat { .. }) {
-            return None;
-        }
-        let y: Vec<f64> = rows.iter().map(|&r| ycol.get_f64(r)).collect();
+        let y: Option<Vec<f64>> = (!matches!(ycol, Column::Cat { .. }))
+            .then(|| rows.iter().map(|&r| ycol.get_f64(r)).collect());
+        let (sum_y, tss) = match &y {
+            Some(y) if opts.backend == EstimatorBackend::Regression => {
+                let sum_y: f64 = y.iter().sum();
+                let ybar = sum_y / rows.len() as f64;
+                let mut tss = 0.0;
+                for &yi in y {
+                    let d = yi - ybar;
+                    tss += d * d;
+                }
+                (sum_y, tss)
+            }
+            _ => (0.0, 0.0),
+        };
 
-        let mut z_cols: Vec<Vec<f64>> = Vec::new();
+        ScopeState {
+            rows: Arc::new(rows),
+            sub_n,
+            local,
+            y: y.map(Arc::new),
+            sum_y,
+            tss,
+        }
+    }
+}
+
+/// Ascending-order sum of one design column — the `1ᵀz` Gram border.
+/// Shared by the cold build and the panel so the accumulation order can
+/// never drift between them.
+fn col_sum(c: &[f64]) -> f64 {
+    c.iter().sum()
+}
+
+/// Ascending-row dot product of two equal-length columns — the single
+/// accumulation every `ZᵀZ` entry and `zᵀy` border goes through, on both
+/// construction paths. Folds from `0.0` in index order, the exact
+/// per-entry addition sequence of [`stats::matrix::Matrix::gram`] /
+/// `tr_mul_vec` over a materialized design.
+fn col_dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        s += x * y;
+    }
+    s
+}
+
+/// Densify the propensity design `[1, Z]` for the IPW backend. Shared by
+/// the cold build and the panel assembly — same values, same layout.
+fn densify_prop(n: usize, z_cols: &[Arc<Vec<f64>>]) -> Matrix {
+    let mut x = Matrix::zeros(n, z_cols.len() + 1);
+    for r in 0..n {
+        x[(r, 0)] = 1.0;
+        for (c, col) in z_cols.iter().enumerate() {
+            x[(r, c + 1)] = col[r];
+        }
+    }
+    x
+}
+
+/// Treatment-independent state of CATE estimation, cached per
+/// `(subpopulation, confounder set)` pair. See the module docs.
+///
+/// Built either cold by [`EstimationContext::new`] (one `O(n·q²)` pass)
+/// or assembled from a [`SubpopPanel`]'s precomputed blocks (`O(q²)`
+/// stitching, sharing the row list / outcome / encoded columns with every
+/// other context of the same subpopulation). Both construction paths
+/// yield bit-identical estimates.
+pub struct EstimationContext {
+    backend: EstimatorBackend,
+    min_arm: usize,
+    /// Subpopulation row ids (after the §5.2(d) sampling for the
+    /// regression backend), ascending. Shared with the panel (and hence
+    /// with sibling contexts) when panel-assembled.
+    rows: Arc<Vec<usize>>,
+    /// Width of the local coordinate space: the subpopulation size
+    /// *before* sampling (= table width when unscoped).
+    sub_n: usize,
+    /// Sampling maps (see [`LocalIdx`]); `None` = identity.
+    local: Option<Arc<LocalIdx>>,
+    /// Outcome gathered over `rows`.
+    y: Arc<Vec<f64>>,
+    /// Encoded confounder design columns over `rows` (numerics raw,
+    /// categoricals one-hot with the reference level dropped). Each
+    /// column is shared with the panel when panel-assembled.
+    z_cols: Vec<Arc<Vec<f64>>>,
+    /// `Σ y` over `rows`.
+    sum_y: f64,
+    /// `Σ (y − ȳ)²` over `rows` — the treatment-independent TSS, hoisted
+    /// out of the per-candidate residual pass (same ascending-order
+    /// accumulation, so R² stays bit-identical).
+    tss: f64,
+    /// `1ᵀZ` — per-column sums of `z_cols`.
+    sum_z: Vec<f64>,
+    /// `ZᵀZ` — the fixed `q×q` Gram block.
+    zz: Matrix,
+    /// `Zᵀy`.
+    zy: Vec<f64>,
+    /// Propensity design `[1, Z]` for the IPW backend (assembled lazily
+    /// only when `backend == Ipw`).
+    x_prop: Option<Matrix>,
+}
+
+impl EstimationContext {
+    /// Build the cache for one subpopulation (`None` = whole table) and
+    /// confounder set. Returns `None` when the outcome attribute is
+    /// categorical — every per-treatment estimate would be `None` anyway.
+    ///
+    /// Sampling (`opts.sample_cap`) is applied here, once, for the
+    /// regression backend — reproducing the naive path, which samples the
+    /// identical row list with the identical seed on every call. The IPW
+    /// backend does not sample (matching
+    /// [`crate::ipw::estimate_cate_ipw`]).
+    pub fn new(
+        table: &Table,
+        subpop: Option<&BitSet>,
+        outcome: usize,
+        confounders: &[usize],
+        opts: &CateOptions,
+    ) -> Option<Self> {
+        let scope = ScopeState::build(table, subpop, outcome, opts);
+        let y = scope.y?; // categorical outcome
+
+        let mut raw: Vec<Vec<f64>> = Vec::new();
         for &z in confounders {
-            append_confounder(table, z, &rows, opts.max_onehot_levels, &mut z_cols);
+            append_confounder(table, z, &scope.rows, opts.max_onehot_levels, &mut raw);
         }
+        let mut z_cols: Vec<Arc<Vec<f64>>> = raw.into_iter().map(Arc::new).collect();
 
-        let n = rows.len();
+        let n = scope.rows.len();
         let q = z_cols.len();
         // Gram blocks are regression-only; the IPW backend never reads
         // them, so skip the O(n·q²) pass there.
-        let (sum_y, tss, sum_z, zz, zy) = if opts.backend == EstimatorBackend::Regression {
-            let sum_y: f64 = y.iter().sum();
-            // TSS accumulates in the exact ascending order the naive
-            // residual pass used, once, here.
-            let ybar = sum_y / n as f64;
-            let mut tss = 0.0;
-            for &yi in &y {
-                let d = yi - ybar;
-                tss += d * d;
-            }
-            let sum_z: Vec<f64> = z_cols.iter().map(|c| c.iter().sum()).collect();
-            // ZᵀZ / Zᵀy accumulate in ascending row order per entry — the
+        let (sum_z, zz, zy) = if opts.backend == EstimatorBackend::Regression {
+            let sum_z: Vec<f64> = z_cols.iter().map(|c| col_sum(c)).collect();
+            // ZᵀZ / Zᵀy run through the shared `col_dot` kernel — the
             // same per-entry addition sequence as Matrix::gram /
             // tr_mul_vec over the full design, which is what makes the
             // fits bit-identical.
             let mut zz = Matrix::zeros(q, q);
             for i in 0..q {
                 for j in i..q {
-                    let mut s = 0.0;
-                    let (ci, cj) = (&z_cols[i], &z_cols[j]);
-                    for r in 0..n {
-                        s += ci[r] * cj[r];
-                    }
+                    let s = col_dot(&z_cols[i], &z_cols[j]);
                     zz[(i, j)] = s;
                     zz[(j, i)] = s;
                 }
             }
-            let zy: Vec<f64> = z_cols
-                .iter()
-                .map(|c| c.iter().zip(&y).map(|(a, b)| a * b).sum())
-                .collect();
-            (sum_y, tss, sum_z, zz, zy)
+            let zy: Vec<f64> = z_cols.iter().map(|c| col_dot(c, &y)).collect();
+            (sum_z, zz, zy)
         } else {
-            (0.0, 0.0, Vec::new(), Matrix::zeros(0, 0), Vec::new())
+            (Vec::new(), Matrix::zeros(0, 0), Vec::new())
         };
 
-        let x_prop = (opts.backend == EstimatorBackend::Ipw).then(|| {
-            let mut x = Matrix::zeros(n, q + 1);
-            for r in 0..n {
-                x[(r, 0)] = 1.0;
-                for (c, col) in z_cols.iter().enumerate() {
-                    x[(r, c + 1)] = col[r];
-                }
-            }
-            x
-        });
+        let x_prop = (opts.backend == EstimatorBackend::Ipw).then(|| densify_prop(n, &z_cols));
         if opts.backend == EstimatorBackend::Ipw {
             // The propensity design is a dense copy of the same values;
             // keeping z_cols too would double the memory for nothing.
@@ -233,13 +335,13 @@ impl EstimationContext {
         Some(EstimationContext {
             backend: opts.backend,
             min_arm: opts.min_arm,
-            rows,
-            sub_n,
-            local,
+            rows: scope.rows,
+            sub_n: scope.sub_n,
+            local: scope.local,
             y,
             z_cols,
-            sum_y,
-            tss,
+            sum_y: scope.sum_y,
+            tss: scope.tss,
             sum_z,
             zz,
             zy,
@@ -397,32 +499,24 @@ impl EstimationContext {
         apply_t: impl FnOnce(&mut [f64], f64),
     ) -> Option<CateResult> {
         let n = self.rows.len();
-        let q = self.z_cols.len();
-        let p = q + 2;
         let n_control = n - n_treated;
         if n_treated < self.min_arm || n_control < self.min_arm {
             return None; // Overlap (Eq. 4) violated.
         }
 
-        // Assemble XᵀX for X = [1, T, Z] from the cached fixed blocks.
-        let mut gram = Matrix::zeros(p, p);
-        gram[(0, 0)] = n as f64;
-        gram[(0, 1)] = n_treated as f64;
-        gram[(1, 0)] = n_treated as f64;
-        gram[(1, 1)] = n_treated as f64;
-        for j in 0..q {
-            gram[(0, 2 + j)] = self.sum_z[j];
-            gram[(2 + j, 0)] = self.sum_z[j];
-            gram[(1, 2 + j)] = tz[j];
-            gram[(2 + j, 1)] = tz[j];
-            for i in 0..q {
-                gram[(2 + i, 2 + j)] = self.zz[(i, j)];
-            }
-        }
-        let mut xty = Vec::with_capacity(p);
-        xty.push(self.sum_y);
-        xty.push(ty);
-        xty.extend_from_slice(&self.zy);
+        // Assemble XᵀX / Xᵀy for X = [1, T, Z] from the cached fixed
+        // blocks plus the caller-gathered t-blocks (pure placement — see
+        // `stats::ols::gram_from_blocks`).
+        let (gram, xty) = gram_from_blocks(
+            n,
+            n_treated,
+            self.sum_y,
+            ty,
+            &self.sum_z,
+            &tz,
+            &self.zz,
+            &self.zy,
+        );
 
         // Inference only at index 1 — the treatment coefficient is the
         // only one estimation consumes; its se/p-value come out of the
@@ -441,7 +535,7 @@ impl EstimationContext {
             apply_t(&mut yhat, beta[1]);
             for (j, col) in self.z_cols.iter().enumerate() {
                 let bj = beta[2 + j];
-                for (v, &z) in yhat.iter_mut().zip(col) {
+                for (v, &z) in yhat.iter_mut().zip(col.iter()) {
                     *v += z * bj;
                 }
             }
@@ -478,6 +572,245 @@ impl EstimationContext {
     }
 }
 
+/// Per-attribute design blocks of a [`SubpopPanel`]: the encoded columns
+/// of one confounder attribute over the panel's (sampled) rows, plus the
+/// treatment-independent Gram borders they contribute.
+struct AttrBlocks {
+    /// Encoded design columns (numeric raw / categorical one-hot, exactly
+    /// [`append_confounder`]'s output), shared with assembled contexts.
+    cols: Vec<Arc<Vec<f64>>>,
+    /// `1ᵀZ_a` — per-column sums (regression backend only).
+    sum_z: Vec<f64>,
+    /// `Z_aᵀy` (regression backend only).
+    zy: Vec<f64>,
+}
+
+/// The shared confounder panel of one subpopulation — every
+/// treatment-independent quantity that distinct backdoor sets of the same
+/// subpopulation would otherwise rebuild per [`EstimationContext`]: the
+/// sampled row list, the outcome vector with `Σy`/TSS, each encoded
+/// attribute's design columns (with their `1ᵀZ_a`/`Z_aᵀy` borders), and
+/// the pairwise cross-Gram blocks `Z_aᵀZ_b`. Attribute and pair blocks
+/// materialize lazily on first use; [`SubpopPanel::assemble`] stitches a
+/// context for a concrete confounder set in `O(q²)` from them. See the
+/// [module docs](self) for the bit-identity argument.
+pub struct SubpopPanel {
+    backend: EstimatorBackend,
+    min_arm: usize,
+    max_onehot_levels: usize,
+    /// Sampled subpopulation row ids, ascending — identical to what every
+    /// cold [`EstimationContext::new`] of this scope derives.
+    rows: Arc<Vec<usize>>,
+    /// Local coordinate width (subpopulation size before sampling).
+    sub_n: usize,
+    /// Sampling maps; `None` = identity (see [`LocalIdx`]).
+    local: Option<Arc<LocalIdx>>,
+    /// `false` when the outcome attribute is categorical — every assembly
+    /// returns `None`, mirroring [`EstimationContext::new`].
+    outcome_ok: bool,
+    /// Outcome gathered over `rows` (empty when `!outcome_ok`).
+    y: Arc<Vec<f64>>,
+    /// `Σy` over `rows` (regression backend only).
+    sum_y: f64,
+    /// `Σ(y − ȳ)²` over `rows` (regression backend only).
+    tss: f64,
+    /// Lazily materialized per-attribute blocks.
+    attrs: HashMap<usize, AttrBlocks>,
+    /// Lazily materialized cross-Gram blocks, keyed `(min(a,b), max(a,b))`
+    /// and stored row-major as `q_lo × q_hi`.
+    pairs: HashMap<(usize, usize), Vec<f64>>,
+}
+
+impl SubpopPanel {
+    /// Build the panel's subpopulation-level state: row list (with the
+    /// §5.2(d) sampling applied exactly as [`EstimationContext::new`]
+    /// applies it), outcome gather, `Σy` and TSS. Attribute and pair
+    /// blocks are deferred to first use — which attributes matter depends
+    /// on the backdoor sets the walk actually touches.
+    pub fn new(table: &Table, subpop: Option<&BitSet>, outcome: usize, opts: &CateOptions) -> Self {
+        // The one shared scope derivation — see [`ScopeState::build`].
+        let scope = ScopeState::build(table, subpop, outcome, opts);
+        let outcome_ok = scope.y.is_some();
+        SubpopPanel {
+            backend: opts.backend,
+            min_arm: opts.min_arm,
+            max_onehot_levels: opts.max_onehot_levels,
+            rows: scope.rows,
+            sub_n: scope.sub_n,
+            local: scope.local,
+            outcome_ok,
+            y: scope.y.unwrap_or_default(),
+            sum_y: scope.sum_y,
+            tss: scope.tss,
+            attrs: HashMap::new(),
+            pairs: HashMap::new(),
+        }
+    }
+
+    /// Rows every assembled context estimates over (after sampling).
+    pub fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Distinct confounder attributes materialized so far.
+    pub fn attrs_built(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Distinct cross-Gram blocks materialized so far.
+    pub fn pairs_built(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Materialize the design blocks of one attribute (no-op when cached).
+    fn ensure_attr(&mut self, table: &Table, attr: usize) {
+        if self.attrs.contains_key(&attr) {
+            return;
+        }
+        let mut raw: Vec<Vec<f64>> = Vec::new();
+        append_confounder(table, attr, &self.rows, self.max_onehot_levels, &mut raw);
+        let (sum_z, zy) = if self.backend == EstimatorBackend::Regression {
+            // The same shared border kernels the cold build runs.
+            let sum_z: Vec<f64> = raw.iter().map(|c| col_sum(c)).collect();
+            let zy: Vec<f64> = raw.iter().map(|c| col_dot(c, &self.y)).collect();
+            (sum_z, zy)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        self.attrs.insert(
+            attr,
+            AttrBlocks {
+                cols: raw.into_iter().map(Arc::new).collect(),
+                sum_z,
+                zy,
+            },
+        );
+    }
+
+    /// Materialize the cross-Gram block of an attribute pair (no-op when
+    /// cached). Both attributes must already be materialized.
+    fn ensure_pair(&mut self, a: usize, b: usize) {
+        let key = (a.min(b), a.max(b));
+        if self.pairs.contains_key(&key) {
+            return;
+        }
+        let (lo, hi) = key;
+        let ca = &self.attrs[&lo].cols;
+        let cb = &self.attrs[&hi].cols;
+        let (qa, qb) = (ca.len(), cb.len());
+        let mut block = vec![0.0; qa * qb];
+        if lo == hi {
+            // Diagonal block: upper triangle accumulated through the
+            // shared `col_dot` kernel, mirrored — the same per-entry sums
+            // the cold build computes and mirrors.
+            for i in 0..qa {
+                for j in i..qa {
+                    let s = col_dot(&ca[i], &ca[j]);
+                    block[i * qa + j] = s;
+                    block[j * qa + i] = s;
+                }
+            }
+        } else {
+            for i in 0..qa {
+                for j in 0..qb {
+                    block[i * qb + j] = col_dot(&ca[i], &cb[j]);
+                }
+            }
+        }
+        self.pairs.insert(key, block);
+    }
+
+    /// Assemble the [`EstimationContext`] for one confounder set by
+    /// stitching the panel's blocks — bit-identical to
+    /// [`EstimationContext::new`] on the same `(table, subpop, outcome,
+    /// opts)` scope, at `O(q²)` placement cost for already-materialized
+    /// blocks. Returns `None` when the outcome attribute is categorical.
+    pub fn assemble(&mut self, table: &Table, confounders: &[usize]) -> Option<EstimationContext> {
+        if !self.outcome_ok {
+            return None;
+        }
+        for &a in confounders {
+            self.ensure_attr(table, a);
+        }
+        if self.backend == EstimatorBackend::Regression {
+            for (i, &a) in confounders.iter().enumerate() {
+                for &b in &confounders[i..] {
+                    self.ensure_pair(a, b);
+                }
+            }
+        }
+
+        // Stitch the per-attribute borders in confounder order — the
+        // order the cold build encodes them in.
+        let mut z_cols: Vec<Arc<Vec<f64>>> = Vec::new();
+        let mut sum_z: Vec<f64> = Vec::new();
+        let mut zy: Vec<f64> = Vec::new();
+        let mut offsets = Vec::with_capacity(confounders.len());
+        for &a in confounders {
+            let blk = &self.attrs[&a];
+            offsets.push(z_cols.len());
+            z_cols.extend(blk.cols.iter().cloned());
+            sum_z.extend_from_slice(&blk.sum_z);
+            zy.extend_from_slice(&blk.zy);
+        }
+        let q = z_cols.len();
+
+        let zz = if self.backend == EstimatorBackend::Regression {
+            let mut zz = Matrix::zeros(q, q);
+            for (ai, &a) in confounders.iter().enumerate() {
+                let qa = self.attrs[&a].cols.len();
+                let oa = offsets[ai];
+                for (bj, &b) in confounders.iter().enumerate().skip(ai) {
+                    let qb = self.attrs[&b].cols.len();
+                    let ob = offsets[bj];
+                    let block = &self.pairs[&(a.min(b), a.max(b))];
+                    for i in 0..qa {
+                        for j in 0..qb {
+                            // Stored q_lo × q_hi; read transposed when the
+                            // set orders the pair descending (same f64 —
+                            // the products commute bit-exactly).
+                            let v = if a <= b {
+                                block[i * qb + j]
+                            } else {
+                                block[j * qa + i]
+                            };
+                            zz[(oa + i, ob + j)] = v;
+                            zz[(ob + j, oa + i)] = v;
+                        }
+                    }
+                }
+            }
+            zz
+        } else {
+            Matrix::zeros(0, 0)
+        };
+
+        let x_prop =
+            (self.backend == EstimatorBackend::Ipw).then(|| densify_prop(self.rows.len(), &z_cols));
+        if self.backend == EstimatorBackend::Ipw {
+            // Mirror the cold build: the propensity design holds the same
+            // values densely, so the column handles are dropped.
+            z_cols = Vec::new();
+        }
+
+        Some(EstimationContext {
+            backend: self.backend,
+            min_arm: self.min_arm,
+            rows: Arc::clone(&self.rows),
+            sub_n: self.sub_n,
+            local: self.local.clone(),
+            y: Arc::clone(&self.y),
+            z_cols,
+            sum_y: self.sum_y,
+            tss: self.tss,
+            sum_z,
+            zz,
+            zy,
+            x_prop,
+        })
+    }
+}
+
 /// A keyed store of [`EstimationContext`]s for one fixed subpopulation,
 /// indexed by confounder attribute set. One lattice walk (and, via the
 /// paired positive/negative walk, one *pair* of walks) touches only a
@@ -488,20 +821,86 @@ impl EstimationContext {
 /// outcome), so the failure is not retried per candidate. `builds()`
 /// counts build *attempts* — the work counter the treatment miner reports
 /// in its lattice statistics.
-#[derive(Default)]
+///
+/// By default the cache routes builds through a shared [`SubpopPanel`]
+/// (see the [module docs](self)): the first build materializes the
+/// subpopulation-level state once, and every context is assembled from
+/// panel blocks. [`ContextCache::with_panel`]`(false)` restores cold
+/// per-set builds — the `use_confounder_panel = false` ablation path.
+///
+/// ```
+/// use causal::context::ContextCache;
+/// use causal::estimate::CateOptions;
+/// use table::bitset::BitSet;
+/// use table::TableBuilder;
+///
+/// let table = TableBuilder::new()
+///     .int("z", (0..40).map(|i| i % 5).collect::<Vec<i64>>()).unwrap()
+///     .float("y", (0..40).map(|i| (i % 7) as f64).collect()).unwrap()
+///     .build().unwrap();
+/// let treated = BitSet::from_mask(&(0..40).map(|i| i % 2 == 0).collect::<Vec<bool>>());
+/// let opts = CateOptions::default();
+///
+/// let mut cache = ContextCache::new();
+/// // First use materializes the shared panel and assembles the {z}
+/// // context; the repeat is a hash lookup on the same context.
+/// let a = cache.get_or_build(&table, None, 1, vec![0], &opts)
+///     .unwrap().estimate(&treated).unwrap();
+/// let b = cache.get_or_build(&table, None, 1, vec![0], &opts)
+///     .unwrap().estimate(&treated).unwrap();
+/// assert_eq!(cache.builds(), 1);
+/// assert_eq!(a.cate.to_bits(), b.cate.to_bits());
+///
+/// // A second confounder set reuses the panel's row list, outcome and
+/// // z-blocks instead of re-gathering them.
+/// cache.get_or_build(&table, None, 1, vec![], &opts).unwrap();
+/// assert_eq!(cache.builds(), 2);
+/// assert_eq!(cache.panel().unwrap().attrs_built(), 1);
+/// ```
 pub struct ContextCache {
     map: HashMap<Vec<usize>, Option<EstimationContext>>,
     builds: usize,
+    /// Route builds through the shared panel?
+    use_panel: bool,
+    /// The panel, created on the first build (panel mode only).
+    panel: Option<SubpopPanel>,
+}
+
+impl Default for ContextCache {
+    fn default() -> Self {
+        Self::with_panel(true)
+    }
 }
 
 impl ContextCache {
-    /// Empty cache.
+    /// Empty cache, panel-backed (the default build path).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Number of `EstimationContext::new` calls performed (including
-    /// failed builds, which are also cached).
+    /// Empty cache with the panel explicitly enabled or disabled.
+    /// `with_panel(false)` builds every context cold per confounder set —
+    /// results are bit-identical either way; the switch exists for
+    /// ablation benchmarks and equivalence tests.
+    pub fn with_panel(use_panel: bool) -> Self {
+        ContextCache {
+            map: HashMap::new(),
+            builds: 0,
+            use_panel,
+            panel: None,
+        }
+    }
+
+    /// The shared subpopulation panel, if one has been materialized
+    /// (panel mode only, after the first build).
+    pub fn panel(&self) -> Option<&SubpopPanel> {
+        self.panel.as_ref()
+    }
+
+    /// Number of context build attempts performed — cold
+    /// [`EstimationContext::new`] calls or [`SubpopPanel::assemble`]
+    /// calls, whichever mode the cache is in (including failed builds,
+    /// which are also cached). Identical accounting on both paths.
     pub fn builds(&self) -> usize {
         self.builds
     }
@@ -527,9 +926,15 @@ impl ContextCache {
 
     /// Context for `confounders`, building (and caching) it on first use.
     /// All calls must pass the same `(table, subpop, outcome, opts)` — the
-    /// cache is scoped to one subpopulation. Takes the key by value: the
-    /// caller's backdoor lookup already yields an owned `Vec`, and this
-    /// sits on the per-CATE-evaluation hot path, so no defensive clone.
+    /// cache (and its panel) is scoped to one subpopulation. Takes the key
+    /// by value: the caller's backdoor lookup already yields an owned
+    /// `Vec`, and this sits on the per-CATE-evaluation hot path, so no
+    /// defensive clone.
+    ///
+    /// In panel mode (the default) the first call materializes the
+    /// [`SubpopPanel`] and every context is assembled from its blocks;
+    /// otherwise each distinct set is built cold. Both paths produce
+    /// bit-identical contexts and identical `builds()` accounting.
     pub fn get_or_build(
         &mut self,
         table: &Table,
@@ -542,7 +947,13 @@ impl ContextCache {
             Entry::Occupied(o) => o.into_mut().as_ref(),
             Entry::Vacant(v) => {
                 self.builds += 1;
-                let ctx = EstimationContext::new(table, subpop, outcome, v.key(), opts);
+                let ctx = if self.use_panel {
+                    self.panel
+                        .get_or_insert_with(|| SubpopPanel::new(table, subpop, outcome, opts))
+                        .assemble(table, v.key())
+                } else {
+                    EstimationContext::new(table, subpop, outcome, v.key(), opts)
+                };
                 v.insert(ctx).as_ref()
             }
         }

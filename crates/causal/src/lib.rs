@@ -19,7 +19,13 @@
 //!   cache: row list, outcome, confounder encoding and the fixed Gram
 //!   blocks are built once per (subpopulation, confounder set) and reused
 //!   across every candidate treatment, with bit-identical results to the
-//!   naive path.
+//!   naive path,
+//! * [`context::SubpopPanel`] — the per-subpopulation confounder panel
+//!   one level up: row list, outcome, TSS, per-attribute encodings and
+//!   pairwise cross-Gram blocks shared across *all* confounder sets of a
+//!   subpopulation, so each context build becomes an `O(q²)` assembly.
+
+#![warn(missing_docs)]
 
 pub mod backdoor;
 pub mod context;
@@ -29,7 +35,7 @@ pub mod ipw;
 pub mod logistic;
 
 pub use backdoor::backdoor_set;
-pub use context::{ContextCache, EstimationContext};
+pub use context::{ContextCache, EstimationContext, SubpopPanel};
 pub use dag::{Dag, DagError};
 pub use estimate::{estimate_cate, CateOptions, CateResult};
 pub use ipw::{estimate_att_matching, estimate_cate_ipw};

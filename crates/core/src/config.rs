@@ -220,6 +220,17 @@ impl ConfigBuilder {
         self
     }
 
+    /// Share one per-subpopulation confounder panel across all backdoor
+    /// sets, assembling each estimation context from precomputed blocks
+    /// (convenience for `lattice.use_confounder_panel`; default `true`).
+    /// `false` replays the cold per-set context builds — results are
+    /// bit-identical; the knob exists for ablation benchmarks, mirroring
+    /// `lattice.use_estimation_cache`.
+    pub fn use_confounder_panel(mut self, enabled: bool) -> Self {
+        self.cfg.lattice.use_confounder_panel = enabled;
+        self
+    }
+
     /// Rounding trials for the LP selection step.
     pub fn rounding_rounds(mut self, rounds: usize) -> Self {
         self.cfg.rounding_rounds = rounds;

@@ -189,6 +189,26 @@ impl Session {
     /// global group, as the raw query always did) — the name-based
     /// [`QueryBuilder`] is stricter and requires at least one group-by
     /// attribute.
+    ///
+    /// ```
+    /// use causumx::{ConfigBuilder, Session};
+    /// use table::query::GroupByAvgQuery;
+    /// use table::TableBuilder;
+    ///
+    /// let table = TableBuilder::new()
+    ///     .cat("country", &["US", "US", "FR", "FR"]).unwrap()
+    ///     .float("salary", vec![10.0, 20.0, 30.0, 40.0]).unwrap()
+    ///     .build().unwrap();
+    /// let dag = causal::Dag::new(&["country", "salary"], &[("country", "salary")]).unwrap();
+    /// let session = Session::new(table, dag, ConfigBuilder::new().build().unwrap());
+    ///
+    /// // Raw index-based query: GROUP BY column 0, AVG(column 1).
+    /// let prepared = session.prepare(GroupByAvgQuery::new(vec![0], 1))?;
+    /// assert_eq!(prepared.view().num_groups(), 2);
+    /// let summary = prepared.run();   // infallible from here on
+    /// assert_eq!(summary.m, 2);
+    /// # Ok::<(), causumx::Error>(())
+    /// ```
     pub fn prepare(&self, query: GroupByAvgQuery) -> Result<PreparedQuery<'_>, Error> {
         let view = query.run(&self.table)?;
         self.counters
@@ -255,14 +275,36 @@ enum ColRef {
     Index(usize),
 }
 
-/// Name-based query builder obtained from [`Session::query`].
-///
-/// ```text
-/// session.query().group_by("Country").avg("Salary").where_sql("Age < 30").prepare()?
-/// ```
-///
-/// Column references are resolved and validated at [`QueryBuilder::prepare`]
+/// Name-based query builder obtained from [`Session::query`]. Column
+/// references are resolved and validated at [`QueryBuilder::prepare`]
 /// time; errors name the offending attribute.
+///
+/// ```
+/// use causumx::{ConfigBuilder, Session};
+/// use table::TableBuilder;
+///
+/// let table = TableBuilder::new()
+///     .cat("country", &["US", "US", "FR", "FR"]).unwrap()
+///     .int("age", vec![25, 40, 31, 52]).unwrap()
+///     .float("salary", vec![10.0, 20.0, 30.0, 40.0]).unwrap()
+///     .build().unwrap();
+/// let dag = causal::Dag::new(
+///     &["country", "age", "salary"],
+///     &[("country", "salary"), ("age", "salary")],
+/// ).unwrap();
+/// let session = Session::new(table, dag, ConfigBuilder::new().build().unwrap());
+///
+/// let query = session.query()
+///     .group_by("country")
+///     .avg("salary")
+///     .where_sql("age < 50")
+///     .prepare()?;
+/// assert_eq!(query.view().num_groups(), 2);
+///
+/// // Unknown names fail at prepare time with a descriptive error.
+/// assert!(session.query().group_by("nope").avg("salary").prepare().is_err());
+/// # Ok::<(), causumx::Error>(())
+/// ```
 pub struct QueryBuilder<'s> {
     session: &'s Session,
     group_by: Vec<ColRef>,

@@ -18,6 +18,8 @@
 //!   parallelism across grouping patterns — lives in the `causumx` crate
 //!   where the per-grouping-pattern loop runs.
 
+#![warn(missing_docs)]
+
 pub mod apriori;
 pub mod grouping;
 pub mod treatment;

@@ -85,6 +85,15 @@ pub struct LatticeOptions {
     /// identical; the switch exists for equivalence tests and ablation
     /// benchmarks.
     pub use_estimation_cache: bool,
+    /// Share one [`causal::context::SubpopPanel`] across all confounder
+    /// sets of a subpopulation, so each [`causal::context::EstimationContext`]
+    /// is assembled from precomputed blocks (row list, outcome, TSS,
+    /// per-attribute encodings, pairwise cross-Gram blocks) instead of an
+    /// `O(n·q²)` cold build per set. `false` replays the per-set cold
+    /// builds — results are bit-identical; the switch exists for ablation
+    /// benchmarks (mirrors `use_estimation_cache`, and is a no-op when
+    /// that is `false`).
+    pub use_confounder_panel: bool,
     /// Worker threads for within-level candidate estimation: `0` = one
     /// per available core, `1` = serial, `n` = exactly `n`. Candidate
     /// generation (the Apriori joins) stays serial either way, estimation
@@ -107,6 +116,7 @@ impl Default for LatticeOptions {
             max_atoms_per_attr: 16,
             prune_by_dag: true,
             use_estimation_cache: true,
+            use_confounder_panel: true,
             level_parallelism: 0,
         }
     }
@@ -399,7 +409,7 @@ impl<'a> TreatmentMiner<'a> {
     /// Evaluate the CATE of an arbitrary treatment pattern within `subpop`.
     pub fn eval_pattern(&self, subpop: &BitSet, pattern: &Pattern) -> Option<TreatmentResult> {
         let treated = BitSet::from_mask(&pattern.eval(self.table).ok()?);
-        let mut ctxs = CtxCache::new();
+        let mut ctxs = CtxCache::new(&self.opts);
         let r = self.estimate(&mut ctxs, subpop, &treated, &pattern.attrs())?;
         Some(TreatmentResult {
             pattern: pattern.clone(),
@@ -469,7 +479,7 @@ impl<'a> TreatmentMiner<'a> {
         dir: Direction,
         k: usize,
     ) -> (Vec<TreatmentResult>, LatticeStats) {
-        let mut ctxs = CtxCache::new();
+        let mut ctxs = CtxCache::new(&self.opts);
         let (result, mut stats) =
             self.top_k_with_cache(&mut ctxs, subpop, dir, k, self.opts.level_parallelism);
         stats.contexts_built = ctxs.contexts.builds();
@@ -506,7 +516,7 @@ impl<'a> TreatmentMiner<'a> {
         mine_negative: bool,
         level_parallelism: usize,
     ) -> PairedTreatments {
-        let mut ctxs = CtxCache::new();
+        let mut ctxs = CtxCache::new(&self.opts);
         let (positive, mut stats) =
             self.top_k_with_cache(&mut ctxs, subpop, Direction::Positive, k, level_parallelism);
         let negative = if mine_negative {
@@ -837,7 +847,7 @@ impl<'a> TreatmentMiner<'a> {
     /// baseline and the Fig. 10 precision/recall study only.
     pub fn all_treatments(&self, subpop: &BitSet, max_len: usize) -> Vec<TreatmentResult> {
         let sub_bits = subpop;
-        let mut ctxs = CtxCache::new();
+        let mut ctxs = CtxCache::new(&self.opts);
         // Loop invariants hoisted out of the exponential enumeration.
         let sub_n = sub_bits.count();
         let min_arm = self.opts.cate_opts.min_arm;
@@ -931,9 +941,9 @@ struct CtxCache {
 }
 
 impl CtxCache {
-    fn new() -> Self {
+    fn new(opts: &LatticeOptions) -> Self {
         CtxCache {
-            contexts: ContextCache::new(),
+            contexts: ContextCache::with_panel(opts.use_confounder_panel),
             local: None,
             subpop_mask: None,
         }

@@ -15,6 +15,8 @@
 //!   chi-square independence test for contingency tables,
 //! * [`rank`] — Kendall's τ rank correlation (§6.6 sample-size experiment).
 
+#![warn(missing_docs)]
+
 pub mod corr;
 pub mod dist;
 pub mod matrix;
@@ -24,5 +26,5 @@ pub mod rank;
 pub use corr::{fisher_z_test, partial_correlation, pearson};
 pub use dist::{chi2_sf, normal_cdf, student_t_sf};
 pub use matrix::Matrix;
-pub use ols::{ols, OlsFit};
+pub use ols::{gram_from_blocks, ols, ols_from_gram, ols_from_gram_at, OlsFit};
 pub use rank::kendall_tau;

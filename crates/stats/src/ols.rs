@@ -123,6 +123,34 @@ pub fn ols_from_gram(
 /// `(XᵀX)⁻¹`-column substitutions and Student-t evaluations per fit are
 /// pure waste. The target entries are bit-identical to the full fit's —
 /// same Cholesky factor, same column solve, same t-test.
+///
+/// ```
+/// use stats::ols::{design_with_intercept, ols_from_gram_at};
+///
+/// // y = 2 + 3x, fitted from precomputed normal equations; inference is
+/// // requested for the slope (column 1) only.
+/// let n = 12;
+/// let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+/// let y: Vec<f64> = x.iter().map(|&v| 2.0 + 3.0 * v + (v % 2.0) * 0.1).collect();
+/// let design = design_with_intercept(&[x], n);
+/// let gram = design.gram();
+/// let xty = design.tr_mul_vec(&y);
+/// let fit = ols_from_gram_at(&gram, &xty, n, 1, |beta| {
+///     // The caller supplies (RSS, TSS) from the data.
+///     let ybar = y.iter().sum::<f64>() / n as f64;
+///     let mut rss = 0.0;
+///     let mut tss = 0.0;
+///     for r in 0..n {
+///         let yhat: f64 = design.row(r).iter().zip(beta).map(|(a, b)| a * b).sum();
+///         rss += (y[r] - yhat).powi(2);
+///         tss += (y[r] - ybar).powi(2);
+///     }
+///     (rss, tss)
+/// }).unwrap();
+/// assert!((fit.beta[1] - 3.0).abs() < 0.05);
+/// assert!(fit.p_value[1] < 1e-9, "slope is significant");
+/// assert!(fit.se[0].is_nan(), "inference was computed only at index 1");
+/// ```
 pub fn ols_from_gram_at(
     gram: &Matrix,
     xty: &[f64],
@@ -162,6 +190,64 @@ pub fn ols_from_gram_at(
         s2,
         r2,
     })
+}
+
+/// Assemble the normal equations `(XᵀX, Xᵀy)` of the bordered design
+/// `X = [1, T, Z]` from precomputed blocks — the entry point callers pair
+/// with [`ols_from_gram_at`] when the blocks are cached across many fits
+/// (CATE estimation: the `Z`-blocks are treatment-independent and the
+/// `t`-blocks are gathered per candidate).
+///
+/// Inputs, in the block layout of the `(q + 2) × (q + 2)` Gram:
+///
+/// * `n` — rows of the design (the `1ᵀ1` corner),
+/// * `n_treated` — `Σt = tᵀt = 1ᵀt` (all three coincide for binary `t`),
+/// * `sum_y` / `ty` — `1ᵀy` and `tᵀy`,
+/// * `sum_z` / `tz` — `1ᵀZ` and `tᵀZ` (length `q`),
+/// * `zz` / `zy` — the fixed `q×q` block `ZᵀZ` and `Zᵀy`.
+///
+/// Pure placement: every output entry is one of the input floats, so a
+/// Gram stitched from independently accumulated blocks is bit-identical
+/// to one accumulated over the materialized design — provided each block
+/// replayed the naive ascending-row addition order.
+// One parameter per block of the normal equations — bundling them into a
+// struct would just move the field list one call site up.
+#[allow(clippy::too_many_arguments)]
+pub fn gram_from_blocks(
+    n: usize,
+    n_treated: usize,
+    sum_y: f64,
+    ty: f64,
+    sum_z: &[f64],
+    tz: &[f64],
+    zz: &Matrix,
+    zy: &[f64],
+) -> (Matrix, Vec<f64>) {
+    let q = sum_z.len();
+    debug_assert_eq!(tz.len(), q);
+    debug_assert_eq!(zy.len(), q);
+    debug_assert_eq!(zz.nrows(), q);
+    debug_assert_eq!(zz.ncols(), q);
+    let p = q + 2;
+    let mut gram = Matrix::zeros(p, p);
+    gram[(0, 0)] = n as f64;
+    gram[(0, 1)] = n_treated as f64;
+    gram[(1, 0)] = n_treated as f64;
+    gram[(1, 1)] = n_treated as f64;
+    for j in 0..q {
+        gram[(0, 2 + j)] = sum_z[j];
+        gram[(2 + j, 0)] = sum_z[j];
+        gram[(1, 2 + j)] = tz[j];
+        gram[(2 + j, 1)] = tz[j];
+        for i in 0..q {
+            gram[(2 + i, 2 + j)] = zz[(i, j)];
+        }
+    }
+    let mut xty = Vec::with_capacity(p);
+    xty.push(sum_y);
+    xty.push(ty);
+    xty.extend_from_slice(zy);
+    (gram, xty)
 }
 
 /// `[(XᵀX)⁻¹]_{jj}` from the Cholesky factor `l`: solve for the `j`-th
@@ -300,6 +386,39 @@ mod tests {
         assert_eq!(full.beta, from_gram.beta);
         assert_eq!(full.p_value, from_gram.p_value);
         assert_eq!(full.s2, from_gram.s2);
+    }
+
+    #[test]
+    fn gram_from_blocks_matches_materialized_design() {
+        // X = [1, t, z] with binary t; blocks accumulated independently
+        // must stitch into the exact Gram of the materialized design.
+        let n = 24;
+        let t: Vec<f64> = (0..n).map(|i| ((i % 3) == 0) as i64 as f64).collect();
+        let z: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 1.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| 0.5 + (i % 7) as f64 * 0.25).collect();
+        let design = design_with_intercept(&[t.clone(), z.clone()], n);
+        let full_gram = design.gram();
+        let full_xty = design.tr_mul_vec(&y);
+
+        let n_treated = t.iter().filter(|&&v| v == 1.0).count();
+        let ty: f64 = t.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let sum_y: f64 = y.iter().sum();
+        let sum_z = [z.iter().sum::<f64>()];
+        let tz = [t.iter().zip(&z).map(|(a, b)| a * b).sum::<f64>()];
+        let mut zz = Matrix::zeros(1, 1);
+        zz[(0, 0)] = z.iter().map(|v| v * v).sum();
+        let zy = [z.iter().zip(&y).map(|(a, b)| a * b).sum::<f64>()];
+        let (gram, xty) = gram_from_blocks(n, n_treated, sum_y, ty, &sum_z, &tz, &zz, &zy);
+        for i in 0..3 {
+            assert_eq!(xty[i].to_bits(), full_xty[i].to_bits(), "xty[{i}]");
+            for j in 0..3 {
+                assert_eq!(
+                    gram[(i, j)].to_bits(),
+                    full_gram[(i, j)].to_bits(),
+                    "gram[({i},{j})]"
+                );
+            }
+        }
     }
 
     #[test]

@@ -255,6 +255,29 @@ impl BitSet {
 /// the universe); [`Projector::unproject`] scatters a local set back to
 /// full width. `unproject(project(s))` equals `s ∩ universe`, and
 /// `project(unproject(l))` is the identity.
+///
+/// ```
+/// use table::bitset::{BitSet, Projector};
+///
+/// // Universe = the even rows of a 10-row table.
+/// let universe = BitSet::from_mask(&[true, false, true, false, true,
+///                                    false, true, false, true, false]);
+/// let p = Projector::new(&universe);
+/// assert_eq!(p.len(), 5);
+///
+/// // Rows {2, 3, 4} project to local ranks {1, 2}: row 3 is outside the
+/// // universe and drops, rows 2 and 4 are its 2nd and 3rd elements.
+/// let mut s = BitSet::new(10);
+/// for i in [2, 3, 4] { s.insert(i); }
+/// let local = p.project(&s);
+/// assert_eq!(local.iter().collect::<Vec<_>>(), vec![1, 2]);
+///
+/// // Unprojection scatters back: local {1, 2} → global {2, 4}.
+/// let back = p.unproject(&local);
+/// assert_eq!(back.iter().collect::<Vec<_>>(), vec![2, 4]);
+/// assert_eq!(p.local_of(4), Some(2));
+/// assert_eq!(p.local_of(3), None);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Projector {
     universe: BitSet,

@@ -56,7 +56,12 @@ impl Dict {
 #[derive(Debug, Clone)]
 pub enum Column {
     /// Dictionary-encoded categorical column.
-    Cat { codes: Vec<u32>, dict: Arc<Dict> },
+    Cat {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// The shared value dictionary the codes index into.
+        dict: Arc<Dict>,
+    },
     /// Integer column.
     Int(Vec<i64>),
     /// Float column.

@@ -11,25 +11,46 @@ pub enum TableError {
     BadColumnIndex(usize),
     /// Columns passed to a builder had inconsistent lengths.
     LengthMismatch {
+        /// Expected row count (the first column's length).
         expected: usize,
+        /// Offending column's row count.
         got: usize,
+        /// Offending column's name.
         column: String,
     },
     /// A predicate/value was applied to a column of an incompatible type.
     TypeMismatch {
+        /// Column the operation targeted.
         column: String,
+        /// Type the operation required.
         expected: &'static str,
+        /// Type the column actually has.
         got: &'static str,
     },
     /// Group-by attributes must be categorical.
     NonCategoricalGroupBy(String),
     /// CSV parse failure with line number.
-    Csv { line: usize, msg: String },
+    Csv {
+        /// 1-based source line of the failure.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
     /// SQL parse failure, pointing at the byte offset of the offending
     /// token within the statement.
-    Sql { pos: usize, msg: String },
+    Sql {
+        /// Byte offset of the offending token in the statement.
+        pos: usize,
+        /// What went wrong.
+        msg: String,
+    },
     /// A categorical code did not exist in the column dictionary.
-    UnknownCategory { column: String, value: String },
+    UnknownCategory {
+        /// Column whose dictionary was probed.
+        column: String,
+        /// The value that was not found.
+        value: String,
+    },
     /// The operation requires a non-empty table.
     EmptyTable,
 }

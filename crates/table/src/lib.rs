@@ -27,6 +27,8 @@
 //! on fully-populated (or imputed) data, and the generators in `datagen`
 //! always emit complete tuples.
 
+#![warn(missing_docs)]
+
 pub mod bitset;
 pub mod column;
 pub mod csv;

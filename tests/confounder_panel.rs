@@ -1,0 +1,238 @@
+//! Bit-identity guarantees of the per-subpopulation confounder panel.
+//!
+//! The panel rework (PR 5) must be *behaviour-preserving*: a
+//! [`causal::context::EstimationContext`] assembled from
+//! [`causal::context::SubpopPanel`] blocks has to match a cold-built one
+//! bit for bit — not merely to a tolerance — because the selection stage
+//! compares CATEs and any last-bit drift could flip a comparison and
+//! change the reported explanation set. These properties pin:
+//!
+//! 1. panel-assembled vs cold-built contexts across all confounder mixes
+//!    (including permuted set orderings, which exercise the transposed
+//!    cross-block read), with and without the §5.2(d) sampling cap;
+//! 2. one panel serving many sets inside a [`causal::context::ContextCache`]
+//!    against the cold per-set cache, for both estimator backends;
+//! 3. the full miner and pipeline with `use_confounder_panel` on vs off,
+//!    at `level_parallelism ∈ {1, 4}` — summaries bit-identical in every
+//!    combination.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+use causal::context::{ContextCache, EstimationContext, SubpopPanel};
+use causal::estimate::{CateOptions, CateResult, EstimatorBackend};
+use causumx::{ConfigBuilder, Session, Summary};
+use mining::treatment::{LatticeOptions, TreatmentMiner, TreatmentResult};
+use table::bitset::BitSet;
+use table::{Table, TableBuilder};
+
+/// A random-but-structured table (same shape as `tests/estimation_cache.rs`):
+/// two categorical treatment candidates (`a`, `b`), one numeric confounder
+/// (`num`), and an outcome with real effects plus data-driven noise.
+fn build_table(cats_a: &[u8], cats_b: &[u8], nums: &[i64], noise: &[i64]) -> Table {
+    let n = cats_a.len();
+    let a: Vec<String> = cats_a.iter().map(|&v| format!("a{}", v % 3)).collect();
+    let b: Vec<String> = cats_b.iter().map(|&v| format!("b{}", v % 2)).collect();
+    let num: Vec<i64> = nums.to_vec();
+    let y: Vec<f64> = (0..n)
+        .map(|i| {
+            3.0 * (cats_a[i].is_multiple_of(3)) as i64 as f64
+                - 2.0 * (cats_b[i] % 2 == 1) as i64 as f64
+                + (nums[i] % 7) as f64 * 0.3
+                + (noise[i] % 11) as f64 * 0.05
+        })
+        .collect();
+    TableBuilder::new()
+        .cat_owned("a", a)
+        .unwrap()
+        .cat_owned("b", b)
+        .unwrap()
+        .int("num", num)
+        .unwrap()
+        .float("y", y)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn arb_rows() -> impl Strategy<Value = (Vec<u8>, Vec<u8>, Vec<i64>, Vec<i64>, Vec<bool>)> {
+    (60usize..160).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0u8..6, n),
+            prop::collection::vec(0u8..6, n),
+            prop::collection::vec(-20i64..20, n),
+            prop::collection::vec(-100i64..100, n),
+            prop::collection::vec(any::<bool>(), n),
+        )
+    })
+}
+
+/// Full bit-identity of two optional estimates: same availability, and
+/// bit-equal CATE / p-value (NaN ⇔ NaN) with equal counts.
+fn assert_bit_identical(a: Option<CateResult>, b: Option<CateResult>) -> Result<(), TestCaseError> {
+    match (a, b) {
+        (Some(x), Some(y)) => {
+            prop_assert_eq!(x.cate.to_bits(), y.cate.to_bits(), "CATE bits differ");
+            let p_match = x.p_value.to_bits() == y.p_value.to_bits()
+                || (x.p_value.is_nan() && y.p_value.is_nan());
+            prop_assert!(
+                p_match,
+                "p-value bits differ: {} vs {}",
+                x.p_value,
+                y.p_value
+            );
+            prop_assert_eq!(x.n, y.n);
+            prop_assert_eq!(x.n_treated, y.n_treated);
+            prop_assert_eq!(x.n_control, y.n_control);
+        }
+        (x, y) => prop_assert_eq!(x.is_none(), y.is_none()),
+    }
+    Ok(())
+}
+
+/// Confounder mixes exercised everywhere below: the empty set, singletons,
+/// the pair in both orders (the descending order reads the panel's
+/// cross-Gram block transposed), and a set with the categorical first.
+fn confounder_mixes() -> Vec<Vec<usize>> {
+    vec![vec![], vec![1], vec![2], vec![1, 2], vec![2, 1], vec![0, 2]]
+}
+
+proptest! {
+    /// (1) A panel-assembled context estimates bit-identically to a cold
+    /// [`EstimationContext::new`] build, for every confounder mix, with
+    /// and without the sampling cap.
+    #[test]
+    fn panel_assembly_matches_cold_build((ca, cb, nums, noise, subpop) in arb_rows()) {
+        let table = build_table(&ca, &cb, &nums, &noise);
+        let n = table.nrows();
+        let treated: Vec<bool> = ca.iter().map(|&v| v % 3 == 0).collect();
+        let tbits = BitSet::from_mask(&treated);
+        let sub_bits = BitSet::from_mask(&subpop);
+
+        for cap in [None, Some(n / 2)] {
+            let opts = CateOptions { sample_cap: cap, ..CateOptions::default() };
+            // One panel serves every mix — exactly the miner's usage.
+            let mut panel = SubpopPanel::new(&table, Some(&sub_bits), 3, &opts);
+            for confounders in confounder_mixes() {
+                let cold = EstimationContext::new(&table, Some(&sub_bits), 3, &confounders, &opts)
+                    .and_then(|ctx| ctx.estimate(&tbits));
+                let assembled = panel
+                    .assemble(&table, &confounders)
+                    .and_then(|ctx| ctx.estimate(&tbits));
+                assert_bit_identical(assembled, cold)?;
+            }
+            // The panel materialized each attribute once, not once per set.
+            prop_assert!(panel.attrs_built() <= 3);
+        }
+    }
+
+    /// (2) A panel-backed [`ContextCache`] matches the cold per-set cache
+    /// bit for bit, for both estimator backends, over repeated lookups.
+    #[test]
+    fn panel_cache_matches_cold_cache((ca, cb, nums, noise, subpop) in arb_rows()) {
+        let table = build_table(&ca, &cb, &nums, &noise);
+        let treated: Vec<bool> = ca.iter().map(|&v| v % 3 == 0).collect();
+        let tbits = BitSet::from_mask(&treated);
+        let sub_bits = BitSet::from_mask(&subpop);
+
+        for backend in [EstimatorBackend::Regression, EstimatorBackend::Ipw] {
+            let opts = CateOptions { backend, ..CateOptions::default() };
+            let mut with_panel = ContextCache::with_panel(true);
+            let mut cold = ContextCache::with_panel(false);
+            for _ in 0..2 {
+                for confounders in confounder_mixes() {
+                    let a = with_panel
+                        .get_or_build(&table, Some(&sub_bits), 3, confounders.clone(), &opts)
+                        .and_then(|ctx| ctx.estimate(&tbits));
+                    let b = cold
+                        .get_or_build(&table, Some(&sub_bits), 3, confounders, &opts)
+                        .and_then(|ctx| ctx.estimate(&tbits));
+                    assert_bit_identical(a, b)?;
+                }
+            }
+            // Identical `builds()` accounting on both paths.
+            prop_assert_eq!(with_panel.builds(), cold.builds());
+            prop_assert!(with_panel.panel().is_some());
+            prop_assert!(cold.panel().is_none());
+        }
+    }
+}
+
+fn treatment_keys(ts: &[TreatmentResult]) -> Vec<(String, u64, u64)> {
+    ts.iter()
+        .map(|t| (t.pattern.key(), t.cate.to_bits(), t.p_value.to_bits()))
+        .collect()
+}
+
+/// (3a) The lattice walk with the panel on vs off returns bit-identical
+/// treatments and identical work counters, at serial and 4-way
+/// within-level parallelism.
+#[test]
+fn miner_panel_ablation_bit_identical() {
+    let ds = datagen::so::generate(2_000, 11);
+    let t_attrs = table::fd::treatment_attrs(&ds.table, &ds.group_by, &[ds.outcome]);
+    let opts_on = LatticeOptions::default();
+    let opts_off = LatticeOptions {
+        use_confounder_panel: false,
+        ..LatticeOptions::default()
+    };
+    let on = TreatmentMiner::new(&ds.table, &ds.dag, ds.outcome, &t_attrs, opts_on);
+    let off = TreatmentMiner::new(&ds.table, &ds.dag, ds.outcome, &t_attrs, opts_off);
+    let subpop = BitSet::full(ds.table.nrows());
+    for threads in [1usize, 4] {
+        let a = on.top_treatments_paired_with(&subpop, 3, true, threads);
+        let b = off.top_treatments_paired_with(&subpop, 3, true, threads);
+        assert_eq!(
+            treatment_keys(&a.positive),
+            treatment_keys(&b.positive),
+            "positive walk, {threads} threads"
+        );
+        assert_eq!(
+            treatment_keys(&a.negative),
+            treatment_keys(&b.negative),
+            "negative walk, {threads} threads"
+        );
+        assert_eq!(a.stats.evaluated, b.stats.evaluated);
+        assert_eq!(a.stats.contexts_built, b.stats.contexts_built);
+    }
+}
+
+fn run_pipeline(panel: bool, level_parallelism: usize, seed: u64) -> Summary {
+    let ds = datagen::so::generate(3_000, seed);
+    let cfg = ConfigBuilder::new()
+        .use_confounder_panel(panel)
+        .level_parallelism(level_parallelism)
+        .parallel(false)
+        .build()
+        .unwrap();
+    Session::new(ds.table.clone(), ds.dag.clone(), cfg)
+        .prepare(ds.query())
+        .unwrap()
+        .run()
+}
+
+/// (3b) End-to-end pipeline summaries are bit-identical across the
+/// `use_confounder_panel` × `level_parallelism ∈ {1, 4}` grid.
+#[test]
+fn pipeline_panel_ablation_bit_identical() {
+    for seed in [7u64, 21] {
+        let reference = run_pipeline(true, 1, seed);
+        for (panel, threads) in [(true, 4), (false, 1), (false, 4)] {
+            let other = run_pipeline(panel, threads, seed);
+            assert_eq!(
+                reference.total_weight.to_bits(),
+                other.total_weight.to_bits(),
+                "seed {seed}, panel {panel}, {threads} threads"
+            );
+            assert_eq!(reference.cate_evaluations, other.cate_evaluations);
+            assert_eq!(reference.covered, other.covered);
+            assert_eq!(reference.candidates, other.candidates);
+            let keys = |s: &Summary| {
+                let mut v: Vec<String> = s.explanations.iter().map(|e| e.grouping.key()).collect();
+                v.sort();
+                v
+            };
+            assert_eq!(keys(&reference), keys(&other));
+        }
+    }
+}
