@@ -35,7 +35,7 @@ fn main() {
         }),
         ("no (c) parallelism", {
             let mut c = paper_config();
-            c.parallel = false;
+            c.threads = Some(1);
             c
         }),
         ("with (d) sampling cap 2k", {

@@ -9,13 +9,25 @@
 //!
 //! Flags:
 //!
-//! * `--quick` — smallest size only, one repetition (the CI smoke gate),
+//! * `--quick` — smallest size only, one repetition, no million-row
+//!   point (the CI smoke gate),
 //! * `--seed N` — data seed (default 42),
 //! * `--out PATH` — JSON output path (default `results/bench_pipeline.json`),
 //! * `--baseline PATH` — a JSON file produced by an earlier `perf_smoke`
 //!   run; its per-size `treatment_ms` numbers are embedded as
 //!   `prior_treatment_ms` together with the resulting speedup factors, so
-//!   a before/after pair lives in one artifact.
+//!   a before/after pair lives in one artifact. Counters and weights of
+//!   matching sizes (including the million-row scale point) are
+//!   hard-asserted against it,
+//! * `--ten-million` — extend the scale sweep to a 10 M-row synthetic
+//!   point (minutes of wall clock; for workstation runs, not CI).
+//!
+//! Peak RSS (`VmHWM`, via [`bench::peak_rss_bytes`]) is recorded as a
+//! first-class metric: each per-size entry and each scale point carries
+//! `peak_rss_mb`. The value is a *process-wide* high-water mark, so
+//! within one invocation it is monotone across the ascending sizes — a
+//! per-size reading attributes the peak up to that point, which is what
+//! a memory-regression gate needs.
 //!
 //! Besides the per-size pipeline table, the bench runs a **session
 //! scenario**: one [`causumx::Session`] serving the same query twice —
@@ -37,6 +49,14 @@
 //! vs the cold per-confounder-set context builds it replaced (the PR 4
 //! path), asserting bit-identical summaries — the panel must only move
 //! the clock, never a reported number.
+//!
+//! The **scheduler scenario** drives the unified work-stealing
+//! scheduler on a skewed many-pattern workload (low `apriori_tau`, so
+//! grouping patterns differ in cost by orders of magnitude) with
+//! `threads = 1` vs auto workers, asserting bit-identical summaries and
+//! reporting the speedup. On a single-core host the factor is ~1.0 by
+//! construction; the committed artifact records the contract, a
+//! multi-core host records the win.
 //!
 //! Timings are wall-clock and machine-dependent; `cate_evaluations`,
 //! candidate counts and coverage are deterministic for a fixed seed, which
@@ -61,11 +81,14 @@ struct SizePoint {
     covered: usize,
     m: usize,
     total_weight: f64,
+    /// Process peak RSS after this size's runs (MiB); `None` off Linux.
+    peak_rss_mb: Option<f64>,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let ten_million = args.iter().any(|a| a == "--ten-million");
     let mut seed = 42u64;
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
@@ -123,6 +146,7 @@ fn main() {
                 covered: summary.covered,
                 m: summary.m,
                 total_weight: summary.total_weight,
+                peak_rss_mb: None,
             };
             if best
                 .as_ref()
@@ -131,8 +155,13 @@ fn main() {
                 best = Some(p);
             }
         }
-        points.push(best.expect("at least one repetition"));
+        let mut best = best.expect("at least one repetition");
+        best.peak_rss_mb = bench::peak_rss_mb();
+        points.push(best);
     }
+
+    // Million-row scale sweep (synthetic generator; skipped in --quick).
+    let scale_points = run_scale_points(seed, quick, ten_million);
 
     // Session scenario: the same query served twice by one session.
     let session_point = run_session_scenario(if quick { 4_000 } else { 12_000 }, seed);
@@ -143,6 +172,9 @@ fn main() {
     // Confounder-panel scenario: panel assembly vs cold context builds.
     let panel_point = run_confounder_panel_scenario(if quick { 4_000 } else { 12_000 }, seed);
 
+    // Scheduler scenario: skewed many-pattern workload, serial vs auto.
+    let sched_point = run_scheduler_scenario(if quick { 4_000 } else { 12_000 }, seed);
+
     let prior = baseline_path
         .as_deref()
         .map(read_prior_sizes)
@@ -150,7 +182,7 @@ fn main() {
     // The rework contract: identical work counters and bit-identical
     // summaries (the baseline stores total_weight at 1e-6 precision, so
     // that is the strongest cross-artifact check available).
-    for p in &points {
+    for p in points.iter().chain(&scale_points) {
         if let Some(prev) = prior.iter().find(|b| b.n == p.n) {
             assert_eq!(
                 p.cate_evaluations, prev.cate_evaluations,
@@ -175,6 +207,7 @@ fn main() {
         "cate_evals",
         "candidates",
         "covered",
+        "peak_rss_mb",
         "prior_treatment_ms",
         "speedup",
     ]);
@@ -188,6 +221,7 @@ fn main() {
             p.cate_evaluations.to_string(),
             p.candidates.to_string(),
             format!("{}/{}", p.covered, p.m),
+            p.peak_rss_mb.map_or("-".into(), |v| fmt(v, 1)),
             prior_ms.map_or("-".into(), |v| fmt(v, 1)),
             prior_ms.map_or("-".into(), |v| fmt(v / p.treatment_ms, 2)),
         ]);
@@ -217,15 +251,37 @@ fn main() {
         panel_point.cold_ms / panel_point.panel_ms,
         panel_point.cate_evaluations,
     );
+    println!(
+        "scheduler scenario (n = {}, {} auto workers): pipeline {:.1} ms serial vs {:.1} ms \
+         auto (\u{00d7}{:.2}), bit-identical summaries\n",
+        sched_point.n,
+        sched_point.workers,
+        sched_point.serial_ms,
+        sched_point.auto_ms,
+        sched_point.serial_ms / sched_point.auto_ms,
+    );
+    for p in &scale_points {
+        println!(
+            "scale point (synthetic, n = {}): treatment {:.1} ms, {} cate evaluations, \
+             peak RSS {}\n",
+            p.n,
+            p.treatment_ms,
+            p.cate_evaluations,
+            p.peak_rss_mb
+                .map_or("n/a".into(), |v| format!("{v:.1} MiB")),
+        );
+    }
 
     let json = render_json(
         seed,
         quick,
         &points,
+        &scale_points,
         &prior,
         &session_point,
         &local_point,
         &panel_point,
+        &sched_point,
     );
     let path = out_path.map(std::path::PathBuf::from).unwrap_or_else(|| {
         let dir = results_dir();
@@ -381,7 +437,7 @@ fn run_local_kernel_scenario(n: usize, seed: u64) -> LocalKernelPoint {
         let mut last = None;
         for _ in 0..3 {
             let cfg = causumx::ConfigBuilder::new()
-                .level_parallelism(level_threads)
+                .threads(level_threads)
                 .build()
                 .expect("valid config");
             let session = Session::new(ds.table.clone(), ds.dag.clone(), cfg);
@@ -409,6 +465,106 @@ fn run_local_kernel_scenario(n: usize, seed: u64) -> LocalKernelPoint {
     }
 }
 
+/// Measurements of the scheduler scenario: the full pipeline on a skewed
+/// many-pattern workload (`apriori_tau = 0.05` mines far more grouping
+/// patterns than the default, with subpopulation sizes spread over
+/// orders of magnitude) with one worker vs auto workers on the unified
+/// scheduler. Bit-identity between the two is asserted, so the scenario
+/// doubles as the end-to-end determinism gate of the committed artifact.
+struct SchedPoint {
+    n: usize,
+    /// Auto-resolved worker count on this host.
+    workers: usize,
+    /// Pipeline total, `threads = 1` (best of 3).
+    serial_ms: f64,
+    /// Pipeline total, `threads = 0` = one worker per core (best of 3).
+    auto_ms: f64,
+    cate_evaluations: usize,
+}
+
+fn run_scheduler_scenario(n: usize, seed: u64) -> SchedPoint {
+    let ds = so::generate(n, seed);
+    let query = ds.query();
+    let run_with = |threads: usize| -> (f64, causumx::Summary) {
+        let mut best_ms = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..3 {
+            let cfg = causumx::ConfigBuilder::new()
+                .apriori_tau(0.05)
+                .threads(threads)
+                .build()
+                .expect("valid config");
+            let session = Session::new(ds.table.clone(), ds.dag.clone(), cfg);
+            let (summary, ms) =
+                bench::timed(|| session.prepare(query.clone()).expect("prepare").run());
+            best_ms = best_ms.min(ms);
+            last = Some(summary);
+        }
+        (best_ms, last.expect("three repetitions"))
+    };
+    let (serial_ms, serial) = run_with(1);
+    let (auto_ms, auto) = run_with(0);
+    assert_eq!(
+        serial.total_weight.to_bits(),
+        auto.total_weight.to_bits(),
+        "the scheduler must not change the summary at any worker count"
+    );
+    assert_eq!(serial.cate_evaluations, auto.cate_evaluations);
+    assert_eq!(serial.covered, auto.covered);
+    assert_eq!(serial.candidates, auto.candidates);
+    SchedPoint {
+        n,
+        workers: mining::sched::available_workers(),
+        serial_ms,
+        auto_ms,
+        cate_evaluations: serial.cate_evaluations,
+    }
+}
+
+/// Million-row scale sweep on [`datagen::synthetic`]: 1 M rows always
+/// (unless `--quick`), 10 M behind `--ten-million`. One repetition per
+/// point — at this scale the signal dwarfs scheduler noise, and the
+/// counters are what the baseline gate checks.
+fn run_scale_points(seed: u64, quick: bool, ten_million: bool) -> Vec<SizePoint> {
+    if quick {
+        return Vec::new();
+    }
+    let mut ns = vec![1_000_000usize];
+    if ten_million {
+        ns.push(10_000_000);
+    }
+    let mut out = Vec::new();
+    for n in ns {
+        // Hold the group count at 1 000 as rows scale (the default
+        // tuples_per_group of 4 would mean n/4 groups — hundreds of
+        // thousands of group bitsets and tens of GB at 1 M rows).
+        let params = datagen::synthetic::SynthParams {
+            n,
+            tuples_per_group: n / 1_000,
+            ..Default::default()
+        };
+        let ds = datagen::synthetic::generate(params, seed);
+        let session = Session::new(ds.table.clone(), ds.dag.clone(), CausumxConfig::default());
+        let summary = session
+            .prepare(ds.query())
+            .expect("pipeline must run on synthetic data")
+            .run();
+        out.push(SizePoint {
+            n,
+            grouping_ms: summary.timings.grouping_ms,
+            treatment_ms: summary.timings.treatment_ms,
+            selection_ms: summary.timings.selection_ms,
+            cate_evaluations: summary.cate_evaluations,
+            candidates: summary.candidates,
+            covered: summary.covered,
+            m: summary.m,
+            total_weight: summary.total_weight,
+            peak_rss_mb: bench::peak_rss_mb(),
+        });
+    }
+    out
+}
+
 /// Hand-rolled JSON (no serde in the offline container). One `sizes`
 /// entry per line so [`read_prior_sizes`] can scan it back.
 #[allow(clippy::too_many_arguments)]
@@ -416,10 +572,12 @@ fn render_json(
     seed: u64,
     quick: bool,
     points: &[SizePoint],
+    scale: &[SizePoint],
     prior: &[PriorSize],
     session: &SessionPoint,
     local: &LocalKernelPoint,
     panel: &ConfounderPanelPoint,
+    sched: &SchedPoint,
 ) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
@@ -444,7 +602,8 @@ fn render_json(
             s,
             "    {{\"n\": {}, \"grouping_ms\": {:.3}, \"treatment_ms\": {:.3}, \
              \"selection_ms\": {:.3}, \"cate_evaluations\": {}, \"candidates\": {}, \
-             \"covered\": {}, \"groups\": {}, \"total_weight\": {:.6}{}}}{}",
+             \"covered\": {}, \"groups\": {}, \"total_weight\": {:.6}, \
+             \"peak_rss_mb\": {}{}}}{}",
             p.n,
             p.grouping_ms,
             p.treatment_ms,
@@ -454,6 +613,40 @@ fn render_json(
             p.covered,
             p.m,
             p.total_weight,
+            json_opt(p.peak_rss_mb),
+            extra,
+            comma
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"scale\": [");
+    for (i, p) in scale.iter().enumerate() {
+        let comma = if i + 1 < scale.len() { "," } else { "" };
+        let mut extra = String::new();
+        if let Some(prev) = prior.iter().find(|b| b.n == p.n) {
+            let _ = write!(
+                extra,
+                ", \"prior_treatment_ms\": {:.3}, \"treatment_speedup\": {:.3}",
+                prev.treatment_ms,
+                prev.treatment_ms / p.treatment_ms
+            );
+        }
+        let _ = writeln!(
+            s,
+            "    {{\"n\": {}, \"dataset\": \"synthetic\", \"grouping_ms\": {:.3}, \
+             \"treatment_ms\": {:.3}, \"selection_ms\": {:.3}, \"cate_evaluations\": {}, \
+             \"candidates\": {}, \"covered\": {}, \"groups\": {}, \
+             \"total_weight\": {:.6}, \"peak_rss_mb\": {}{}}}{}",
+            p.n,
+            p.grouping_ms,
+            p.treatment_ms,
+            p.selection_ms,
+            p.cate_evaluations,
+            p.candidates,
+            p.covered,
+            p.m,
+            p.total_weight,
+            json_opt(p.peak_rss_mb),
             extra,
             comma
         );
@@ -480,12 +673,24 @@ fn render_json(
         s,
         "  \"confounder_panel\": {{\"n\": {}, \"panel_ms\": {:.3}, \
          \"cold_context_ms\": {:.3}, \"panel_speedup\": {:.3}, \"cate_evaluations\": {}, \
-         \"bit_identical\": true}}",
+         \"bit_identical\": true}},",
         panel.n,
         panel.panel_ms,
         panel.cold_ms,
         panel.cold_ms / panel.panel_ms,
         panel.cate_evaluations,
+    );
+    let _ = writeln!(
+        s,
+        "  \"scheduler\": {{\"n\": {}, \"workers\": {}, \"serial_pipeline_ms\": {:.3}, \
+         \"auto_pipeline_ms\": {:.3}, \"sched_speedup\": {:.3}, \"evaluations\": {}, \
+         \"bit_identical\": true}}",
+        sched.n,
+        sched.workers,
+        sched.serial_ms,
+        sched.auto_ms,
+        sched.serial_ms / sched.auto_ms,
+        sched.cate_evaluations,
     );
     let _ = writeln!(s, "}}");
     s
@@ -525,6 +730,11 @@ fn read_prior_sizes(path: &str) -> Vec<PriorSize> {
         });
     }
     out
+}
+
+/// Render an optional metric: the number, or JSON `null` off Linux.
+fn json_opt(v: Option<f64>) -> String {
+    v.map_or("null".into(), |x| format!("{x:.1}"))
 }
 
 /// Parse the number following `key` on `line`, if present.

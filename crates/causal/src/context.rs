@@ -858,7 +858,7 @@ impl SubpopPanel {
 /// assert_eq!(cache.panel().unwrap().attrs_built(), 1);
 /// ```
 pub struct ContextCache {
-    map: HashMap<Vec<usize>, Option<EstimationContext>>,
+    map: HashMap<Vec<usize>, Option<Arc<EstimationContext>>>,
     builds: usize,
     /// Route builds through the shared panel?
     use_panel: bool,
@@ -917,11 +917,19 @@ impl ContextCache {
 
     /// Already-built context for `confounders`, if any. `None` both when
     /// the set was never built and when its build failed. Immutable — this
-    /// is the lookup the parallel level evaluation uses after a serial
-    /// pre-build pass, so worker threads can share `&EstimationContext`s
-    /// without touching the cache.
+    /// is the lookup scheduler workers use after a serial pre-build pass,
+    /// so level evaluation can share contexts without touching the cache.
     pub fn get(&self, confounders: &[usize]) -> Option<&EstimationContext> {
-        self.map.get(confounders)?.as_ref()
+        self.map.get(confounders)?.as_deref()
+    }
+
+    /// Like [`ContextCache::get`] but returns an owned handle. Contexts
+    /// are stored behind `Arc`, so scheduler tasks can carry the context
+    /// of each pre-built candidate into a chunk evaluation without
+    /// borrowing the cache (whose owner may be mutated — e.g. to prepare
+    /// the *next* level — while earlier chunks are still in flight).
+    pub fn get_shared(&self, confounders: &[usize]) -> Option<Arc<EstimationContext>> {
+        self.map.get(confounders)?.clone()
     }
 
     /// Context for `confounders`, building (and caching) it on first use.
@@ -944,7 +952,7 @@ impl ContextCache {
         opts: &CateOptions,
     ) -> Option<&EstimationContext> {
         match self.map.entry(confounders) {
-            Entry::Occupied(o) => o.into_mut().as_ref(),
+            Entry::Occupied(o) => o.into_mut().as_deref(),
             Entry::Vacant(v) => {
                 self.builds += 1;
                 let ctx = if self.use_panel {
@@ -954,7 +962,7 @@ impl ContextCache {
                 } else {
                     EstimationContext::new(table, subpop, outcome, v.key(), opts)
                 };
-                v.insert(ctx).as_ref()
+                v.insert(ctx.map(Arc::new)).as_deref()
             }
         }
     }

@@ -26,6 +26,11 @@ pub enum SelectionMethod {
     Exhaustive,
 }
 
+/// Upper bound on an explicit `threads` setting — generous enough for
+/// any host plus oversubscribed determinism testing, small enough to
+/// reject nonsense before a thousand workers get spawned.
+pub const MAX_THREADS: usize = 512;
+
 /// End-to-end parameters. Defaults follow §6.1: `k = 5`, `θ = 0.75`,
 /// Apriori threshold `τ = 0.1`.
 #[derive(Debug, Clone)]
@@ -40,8 +45,20 @@ pub struct CausumxConfig {
     pub max_grouping_len: usize,
     /// Treatment-lattice options (Algorithm 2 + its optimizations).
     pub lattice: LatticeOptions,
-    /// Parallelize treatment mining across grouping patterns
-    /// (optimization c). Thread count = available parallelism.
+    /// Worker count for the unified work-stealing mining scheduler
+    /// (optimization c — and within-level fan-out, which now share one
+    /// pool): `Some(0)` = one worker per available core, `Some(1)` =
+    /// fully serial, `Some(n)` = exactly `n` workers (may exceed the
+    /// core count — useful for determinism tests; results are
+    /// bit-identical at any setting). `None` (the default) derives the
+    /// count from the deprecated [`CausumxConfig::parallel`] /
+    /// `lattice.level_parallelism` aliases via
+    /// [`CausumxConfig::effective_threads`], so configs assembled by
+    /// direct field access keep their old behavior.
+    pub threads: Option<usize>,
+    /// **Deprecated alias** (use [`ConfigBuilder::threads`]): parallelize
+    /// treatment mining across grouping patterns. Only consulted when
+    /// [`CausumxConfig::threads`] is `None`.
     pub parallel: bool,
     /// Rounding trials for the LP step.
     pub rounding_rounds: usize,
@@ -63,6 +80,7 @@ impl Default for CausumxConfig {
             apriori_tau: 0.1,
             max_grouping_len: 3,
             lattice: LatticeOptions::default(),
+            threads: None,
             parallel: true,
             rounding_rounds: 64,
             seed: 0xCA05,
@@ -76,6 +94,21 @@ impl CausumxConfig {
     /// Start a validating [`ConfigBuilder`] from the paper defaults.
     pub fn builder() -> ConfigBuilder {
         ConfigBuilder::new()
+    }
+
+    /// The scheduler worker knob actually in force: the explicit
+    /// [`CausumxConfig::threads`] value when set, otherwise derived from
+    /// the deprecated aliases — `parallel = true` maps to `0` (one worker
+    /// per core), `parallel = false` falls back to
+    /// `lattice.level_parallelism` (whose old meaning, within-level
+    /// workers with a serial outer loop, is exactly what the unified
+    /// scheduler runs with that count).
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            Some(t) => t,
+            None if self.parallel => 0,
+            None => self.lattice.level_parallelism,
+        }
     }
 
     /// Check every invariant the builder enforces. Exposed so configs
@@ -105,6 +138,17 @@ impl CausumxConfig {
         }
         if self.max_grouping_len == 0 {
             return reject("max_grouping_len", "must be at least 1".into());
+        }
+        if let Some(t) = self.threads {
+            // 0 = auto and explicit counts may exceed the core count (for
+            // determinism testing), but four-digit worker pools are a
+            // typo, not a plan.
+            if t > MAX_THREADS {
+                return reject(
+                    "threads",
+                    format!("worker count must be at most {MAX_THREADS}, got {t}"),
+                );
+            }
         }
         if self.lattice.max_level == 0 {
             return reject("max_level", "lattice depth must be at least 1".into());
@@ -205,16 +249,41 @@ impl ConfigBuilder {
         self
     }
 
-    /// Parallelize treatment mining across grouping patterns.
+    /// Worker count for the unified work-stealing mining scheduler: `0` =
+    /// one worker per available core, `1` = fully serial, `n` = exactly
+    /// `n` (validated against [`MAX_THREADS`]; counts above the core
+    /// count are allowed for determinism testing). One pool serves both
+    /// fan-out dimensions — across grouping patterns and within lattice
+    /// levels — and results are bit-identical at every setting, so this
+    /// is purely a performance/footprint knob. Supersedes the deprecated
+    /// `parallel` / `level_parallelism` pair.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = Some(threads);
+        self
+    }
+
+    /// Deprecated alias of [`ConfigBuilder::threads`]: `parallel(true)` ≙
+    /// `threads(0)` (auto), `parallel(false)` falls back to the
+    /// `level_parallelism` alias (see
+    /// [`CausumxConfig::effective_threads`]). Ignored once `threads` is
+    /// set explicitly.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `threads` — one knob drives the unified scheduler"
+    )]
     pub fn parallel(mut self, parallel: bool) -> Self {
         self.cfg.parallel = parallel;
         self
     }
 
-    /// Worker threads for within-level candidate estimation in the
-    /// lattice walk (convenience for `lattice.level_parallelism`): `0` =
-    /// one per available core, `1` = serial. Results are identical at any
-    /// setting — the level merge is index-ordered.
+    /// Deprecated alias of [`ConfigBuilder::threads`]: sets the worker
+    /// count consulted when the old `parallel` alias is `false` (the two
+    /// pools this pair used to toggle between are now one scheduler).
+    /// Ignored once `threads` is set explicitly.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `threads` — one knob drives the unified scheduler"
+    )]
     pub fn level_parallelism(mut self, threads: usize) -> Self {
         self.cfg.lattice.level_parallelism = threads;
         self
@@ -279,17 +348,50 @@ mod tests {
     fn builder_defaults_validate() {
         let c = ConfigBuilder::new().build().unwrap();
         assert_eq!(c.k, 5);
+        assert_eq!(c.threads, None);
+        assert_eq!(c.effective_threads(), 0, "default = auto workers");
         let c2 = CausumxConfig::builder()
             .k(3)
             .theta(1.0)
             .apriori_tau(0.05)
             .max_level(2)
-            .parallel(false)
+            .threads(1)
             .build()
             .unwrap();
         assert_eq!(c2.k, 3);
         assert_eq!(c2.lattice.max_level, 2);
-        assert!(!c2.parallel);
+        assert_eq!(c2.effective_threads(), 1);
+    }
+
+    /// The deprecated `parallel` / `level_parallelism` pair still maps
+    /// onto the unified knob exactly as the two-pool engine behaved:
+    /// cross-pattern parallelism on → auto workers; off → the
+    /// within-level count.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_aliases_map_to_threads() {
+        let on = ConfigBuilder::new().parallel(true).build().unwrap();
+        assert_eq!(on.effective_threads(), 0);
+        let off = ConfigBuilder::new().parallel(false).build().unwrap();
+        assert_eq!(
+            off.effective_threads(),
+            0,
+            "parallel(false) with default level_parallelism = 0 kept auto within-level workers"
+        );
+        let serial = ConfigBuilder::new()
+            .parallel(false)
+            .level_parallelism(1)
+            .build()
+            .unwrap();
+        assert_eq!(serial.effective_threads(), 1);
+        // An explicit `threads` wins over both aliases.
+        let explicit = ConfigBuilder::new()
+            .parallel(false)
+            .level_parallelism(1)
+            .threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(explicit.effective_threads(), 4);
     }
 
     #[test]
@@ -317,6 +419,12 @@ mod tests {
             param_of(ConfigBuilder::new().max_p_value(0.0).build()),
             "max_p_value"
         );
+        assert_eq!(
+            param_of(ConfigBuilder::new().threads(MAX_THREADS + 1).build()),
+            "threads"
+        );
+        assert!(ConfigBuilder::new().threads(MAX_THREADS).build().is_ok());
+        assert!(ConfigBuilder::new().threads(0).build().is_ok());
     }
 
     #[test]

@@ -218,7 +218,7 @@ mod tests {
         crate::ConfigBuilder::new()
             .k(3)
             .theta(1.0)
-            .parallel(false)
+            .threads(1)
             .build()
             .unwrap()
     }

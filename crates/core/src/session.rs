@@ -52,6 +52,7 @@ use lpsolve::cover::{
     CoverSolution,
 };
 use mining::grouping::{mine_grouping_patterns, GroupingPattern};
+use mining::sched;
 use mining::treatment::{BackdoorMemo, TreatmentMiner, TreatmentResult};
 use table::fd::fd_closure;
 use table::pattern::Pattern;
@@ -513,6 +514,16 @@ impl<'s> PreparedQuery<'s> {
 
     /// Step 2 over a fixed grouping-pattern list. `exhaustive` switches
     /// between Algorithm 2 and full lattice enumeration.
+    ///
+    /// Both paths run on the unified work-stealing scheduler
+    /// (`mining::sched`), sized by [`CausumxConfig::effective_threads`].
+    /// Algorithm 2 hands *all* subpopulations to
+    /// [`TreatmentMiner::mine_paired_many`] in one call, so its (pattern
+    /// × level × candidate-chunk) tasks interleave freely across
+    /// patterns — a skewed workload no longer strands workers on the
+    /// small patterns while one giant pattern runs alone. Results come
+    /// back index-aligned with `groupings`, keeping summaries
+    /// bit-identical to the serial path at any worker count.
     fn mine_treatments(
         &self,
         groupings: &[GroupingPattern],
@@ -520,16 +531,16 @@ impl<'s> PreparedQuery<'s> {
     ) -> (Vec<Explanation>, usize) {
         let miner = &self.miner;
         let config = &self.config;
-        let parallel_outer = config.parallel && groupings.len() > 1;
+        let threads = config.effective_threads();
 
-        let work = |gp: &GroupingPattern| -> (Explanation, usize) {
-            // Subpopulations stay bitsets end-to-end — no byte-mask
-            // round-trip between the grouping miner and the lattice walk.
-            let subpop = &gp.rows;
-            let mut evals = 0usize;
-            let (positive, negative) = if exhaustive {
+        let results: Vec<(Explanation, usize)> = if exhaustive {
+            // Full-lattice enumeration has no level structure to chunk, so
+            // each pattern is one scheduler task; slots keep the output in
+            // grouping-pattern order regardless of completion order.
+            let work = |gp: &GroupingPattern| -> (Explanation, usize) {
+                let subpop = &gp.rows;
                 let all = miner.all_treatments(subpop, config.lattice.max_level);
-                evals += all.len();
+                let evals = all.len();
                 let sig = |t: &&TreatmentResult| t.p_value <= config.lattice.max_p_value;
                 let pos = all
                     .iter()
@@ -546,73 +557,42 @@ impl<'s> PreparedQuery<'s> {
                 } else {
                     None
                 };
-                (pos, neg)
-            } else {
-                // One estimation-context cache serves both the positive
-                // and the negative walk of this grouping pattern. When
-                // this closure runs inside the cross-pattern worker pool
-                // below, per-level fan-out is forced serial so the two
-                // parallelism layers don't multiply into cores² threads;
-                // the sequential branch keeps the configured within-level
-                // workers (the walk is bit-identical either way).
-                let level_threads = if parallel_outer {
-                    1
-                } else {
-                    config.lattice.level_parallelism
-                };
-                let mut paired = miner.top_treatments_paired_with(
-                    subpop,
-                    1,
-                    config.mine_negative,
-                    level_threads,
-                );
-                evals += paired.stats.evaluated;
-                (paired.positive.pop(), paired.negative.pop())
+                (
+                    Explanation::new(gp.pattern.clone(), gp.coverage.clone(), pos, neg),
+                    evals,
+                )
             };
-            (
-                Explanation::new(gp.pattern.clone(), gp.coverage.clone(), positive, negative),
-                evals,
-            )
-        };
-
-        let results: Vec<(Explanation, usize)> = if parallel_outer {
-            let threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(groupings.len());
-            // Work stealing via a shared atomic index: grouping patterns
-            // vary wildly in subpopulation size and lattice depth, so
-            // static chunking would let one expensive pattern serialize a
-            // whole chunk while other workers sat idle.
-            let next = AtomicUsize::new(0);
-            let work = &work;
-            let next = &next;
-            let mut indexed: Vec<(usize, (Explanation, usize))> = std::thread::scope(|s| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        s.spawn(move || {
-                            let mut local = Vec::new();
-                            loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(gp) = groupings.get(i) else {
-                                    break;
-                                };
-                                local.push((i, work(gp)));
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("treatment-mining worker panicked"))
-                    .collect()
+            let slots: Vec<OnceLock<(Explanation, usize)>> =
+                (0..groupings.len()).map(|_| OnceLock::new()).collect();
+            sched::run_graph(threads, (0..groupings.len()).collect(), |i: usize, _| {
+                let first = slots[i].set(work(&groupings[i]));
+                debug_assert!(first.is_ok(), "exhaustive pattern {i} mined twice");
             });
-            // Deterministic output: restore grouping-pattern order.
-            indexed.sort_unstable_by_key(|(i, _)| *i);
-            indexed.into_iter().map(|(_, r)| r).collect()
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("every pattern task completes"))
+                .collect()
         } else {
-            groupings.iter().map(work).collect()
+            // Subpopulations stay bitsets end-to-end — no byte-mask
+            // round-trip between the grouping miner and the lattice walk.
+            let subpops: Vec<&table::bitset::BitSet> =
+                groupings.iter().map(|gp| &gp.rows).collect();
+            let mined = miner.mine_paired_many(&subpops, 1, config.mine_negative, threads);
+            groupings
+                .iter()
+                .zip(mined)
+                .map(|(gp, mut paired)| {
+                    (
+                        Explanation::new(
+                            gp.pattern.clone(),
+                            gp.coverage.clone(),
+                            paired.positive.pop(),
+                            paired.negative.pop(),
+                        ),
+                        paired.stats.evaluated,
+                    )
+                })
+                .collect()
         };
 
         let mut evals = 0;
@@ -806,7 +786,7 @@ mod tests {
         crate::ConfigBuilder::new()
             .k(3)
             .theta(1.0)
-            .parallel(false)
+            .threads(1)
             .build()
             .unwrap()
     }
@@ -866,89 +846,9 @@ mod tests {
         assert!(neg.cate < -25.0);
     }
 
-    #[test]
-    fn parallel_equals_sequential() {
-        let (table, dag) = build();
-        let seq = Session::new(table.clone(), dag.clone(), engine_config());
-        let seq = seq.query().group_by("country").avg("salary").run().unwrap();
-        let mut cfg = engine_config();
-        cfg.parallel = true;
-        let par = Session::new(table, dag, cfg);
-        let par = par.query().group_by("country").avg("salary").run().unwrap();
-        assert_eq!(seq.total_weight, par.total_weight);
-        assert_eq!(seq.covered, par.covered);
-        assert_eq!(seq.cate_evaluations, par.cate_evaluations);
-        let keys = |s: &Summary| {
-            let mut v: Vec<String> = s.explanations.iter().map(|e| e.grouping.key()).collect();
-            v.sort();
-            v
-        };
-        assert_eq!(keys(&seq), keys(&par));
-    }
-
-    /// The work-stealing scheduler must stay deterministic when there are
-    /// far more grouping patterns than worker threads and their costs are
-    /// skewed — the exact scenario static chunking served poorly.
-    #[test]
-    fn parallel_equals_sequential_many_skewed_patterns() {
-        let mut rng = StdRng::seed_from_u64(41);
-        let n = 3_000;
-        // 12 countries with a highly skewed row distribution over 4
-        // regions, so grouping-pattern subpopulations differ in size by
-        // more than an order of magnitude.
-        let mut country = Vec::new();
-        let mut region = Vec::new();
-        let mut t = Vec::new();
-        let mut y = Vec::new();
-        for _ in 0..n {
-            let c = loop {
-                let c = rng.gen_range(0..12usize);
-                // Skew: low-index countries are much more common.
-                if rng.gen_range(0..12) >= c {
-                    break c;
-                }
-            };
-            let tr = rng.gen_bool(0.4);
-            country.push(format!("c{c}"));
-            region.push(format!("r{}", c / 3));
-            t.push(if tr { "on" } else { "off" }.to_string());
-            y.push((c / 3) as f64 * 4.0 + 5.0 * tr as i64 as f64 + rng.gen_range(-0.5..0.5));
-        }
-        let table = TableBuilder::new()
-            .cat_owned("country", country)
-            .unwrap()
-            .cat_owned("region", region)
-            .unwrap()
-            .cat_owned("t", t)
-            .unwrap()
-            .float("y", y)
-            .unwrap()
-            .build()
-            .unwrap();
-        let dag = Dag::new(
-            &["country", "region", "t", "y"],
-            &[("country", "y"), ("t", "y")],
-        )
-        .unwrap();
-        let mut cfg = engine_config();
-        cfg.apriori_tau = 0.01; // many grouping patterns
-        cfg.parallel = false;
-        let seq = Session::new(table.clone(), dag.clone(), cfg.clone());
-        let seq = seq.query().group_by("country").avg("y").run().unwrap();
-        cfg.parallel = true;
-        let par = Session::new(table, dag, cfg);
-        let par = par.query().group_by("country").avg("y").run().unwrap();
-        assert_eq!(seq.total_weight, par.total_weight);
-        assert_eq!(seq.covered, par.covered);
-        assert_eq!(seq.candidates, par.candidates);
-        assert_eq!(seq.cate_evaluations, par.cate_evaluations);
-        let keys = |s: &Summary| {
-            let mut v: Vec<String> = s.explanations.iter().map(|e| e.grouping.key()).collect();
-            v.sort();
-            v
-        };
-        assert_eq!(keys(&seq), keys(&par));
-    }
+    // Parallel-equals-sequential coverage lives in
+    // `tests/scheduler_determinism.rs`, which runs the full pipeline
+    // across a worker-count × workload-shape × ablation matrix.
 
     #[test]
     fn greedy_variant_runs() {

@@ -15,13 +15,19 @@
 //!   CATE of the requested sign, with the paper's optimizations
 //!   (a) DAG-based attribute pruning, (b) near-zero-CATE pruning and
 //!   top-50 % retention, (d) sampled CATE estimation. Optimization (c) —
-//!   parallelism across grouping patterns — lives in the `causumx` crate
-//!   where the per-grouping-pattern loop runs.
+//!   parallelism across grouping patterns — runs on [`sched`], the shared
+//!   work-stealing scheduler over (pattern × level × candidate-chunk)
+//!   tasks,
+//! * [`sched`] — the work-stealing task scheduler both fan-out dimensions
+//!   (across grouping patterns, within lattice levels) share, with the
+//!   index-ordered merge primitive that keeps results bit-identical to
+//!   the serial path at any worker count.
 
 #![warn(missing_docs)]
 
 pub mod apriori;
 pub mod grouping;
+pub mod sched;
 pub mod treatment;
 
 pub use apriori::{apriori, FrequentPattern};

@@ -1,0 +1,430 @@
+//! Work-stealing task scheduler for the mining stages.
+//!
+//! One pool serves every fan-out dimension of the pipeline: tasks are
+//! whatever the caller makes them — a grouping pattern's whole walk, one
+//! lattice level's candidate chunk — and every worker pulls the next
+//! ready task from a single shared queue regardless of which pattern it
+//! belongs to. This replaces the previous pair of mutually exclusive
+//! pools (cross-pattern *or* within-level, never both), which stranded
+//! cores on skewed workloads where one giant pattern dominated the
+//! candidate count.
+//!
+//! Determinism is the caller's contract, and the scheduler is designed so
+//! it is easy to keep: tasks may complete in any order, so callers stage
+//! results into index-addressed slots ([`ChunkSlots`]) and merge them in
+//! (pattern, level, candidate) order. Nothing about scheduling order can
+//! then leak into the output — summaries are bit-identical to the serial
+//! path at any worker count.
+//!
+//! Oversubscription is prevented structurally rather than by ad-hoc
+//! overrides: a [`run_graph`] call that executes *inside* a scheduler
+//! worker runs its tasks inline on that worker instead of spawning a
+//! second pool, so nested fan-out can never multiply into `cores²`
+//! threads. Auto-resolved worker counts are additionally asserted to
+//! never exceed [`available_workers`].
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+thread_local! {
+    /// Set while the current thread is executing scheduler tasks; nested
+    /// [`run_graph`] calls observe it and run inline.
+    static IN_SCHEDULER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII guard marking the current thread as a scheduler worker.
+struct WorkerMark {
+    prev: bool,
+}
+
+impl WorkerMark {
+    fn enter() -> Self {
+        let prev = IN_SCHEDULER.with(|c| c.replace(true));
+        WorkerMark { prev }
+    }
+}
+
+impl Drop for WorkerMark {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_SCHEDULER.with(|c| c.set(prev));
+    }
+}
+
+/// Number of hardware threads available to this process (`1` when the
+/// platform cannot report it).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolve a `threads` knob to a concrete worker count: `0` = one worker
+/// per available core, `n` = exactly `n`. Explicit counts are honored
+/// verbatim — determinism tests deliberately run more workers than cores
+/// to exercise interleavings via time-slicing.
+pub fn resolve_workers(threads: usize) -> usize {
+    match threads {
+        0 => available_workers(),
+        n => n,
+    }
+}
+
+/// Whether the current thread is already executing inside a [`run_graph`]
+/// pool (in which case further `run_graph` calls run inline).
+pub fn in_scheduler() -> bool {
+    IN_SCHEDULER.with(|c| c.get())
+}
+
+/// Split `0..n` into contiguous chunks for fan-out: aims at four chunks
+/// per worker (so stealing can rebalance) but never below `min_chunk`
+/// items per chunk (so tiny levels do not drown in task overhead).
+/// Deterministic in its inputs; chunk boundaries never affect results
+/// because callers merge per-item slots by index.
+pub fn chunk_ranges(n: usize, workers: usize, min_chunk: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let target_chunks = workers.max(1) * 4;
+    let chunk = n.div_ceil(target_chunks).max(min_chunk.max(1));
+    (0..n)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(n))
+        .collect()
+}
+
+/// Index-addressed result slots for one fan-out: chunk `i` of a level
+/// writes its results into slot `i` whenever it happens to finish, and
+/// the last chunk to complete merges all slots back in index order. This
+/// is the primitive that keeps merged output — and hence floating-point
+/// accumulation order downstream — invariant under any task completion
+/// interleaving.
+pub struct ChunkSlots<R> {
+    slots: Vec<OnceLock<Vec<R>>>,
+    remaining: AtomicUsize,
+}
+
+impl<R> ChunkSlots<R> {
+    /// Slots for `chunks` fan-out tasks.
+    pub fn new(chunks: usize) -> Self {
+        ChunkSlots {
+            slots: (0..chunks).map(|_| OnceLock::new()).collect(),
+            remaining: AtomicUsize::new(chunks),
+        }
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether there are no chunks at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Record chunk `chunk`'s results. Returns `true` exactly once — for
+    /// the final chunk to complete — signalling that the caller now owns
+    /// the merge step. Panics if a chunk completes twice.
+    pub fn complete(&self, chunk: usize, results: Vec<R>) -> bool {
+        assert!(
+            self.slots[chunk].set(results).is_ok(),
+            "chunk {chunk} completed twice"
+        );
+        self.remaining.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    /// Concatenate all slots in chunk-index order. Call only after
+    /// [`ChunkSlots::complete`] returned `true`; panics on missing chunks.
+    pub fn merged(&self) -> Vec<R>
+    where
+        R: Clone,
+    {
+        debug_assert_eq!(self.remaining.load(Ordering::Acquire), 0);
+        self.slots
+            .iter()
+            .flat_map(|s| s.get().expect("all chunks complete").iter().cloned())
+            .collect()
+    }
+}
+
+/// Handle tasks use to enqueue follow-up work (the "graph" in
+/// [`run_graph`]: a task may spawn any number of successor tasks).
+pub struct Spawner<'s, T> {
+    inner: SpawnerInner<'s, T>,
+}
+
+enum SpawnerInner<'s, T> {
+    Inline(&'s RefCell<VecDeque<T>>),
+    Pool(&'s Shared<T>),
+}
+
+impl<T> Spawner<'_, T> {
+    /// Enqueue a task. In pool mode this wakes one idle worker; in inline
+    /// mode the task is appended to the FIFO of the current thread.
+    pub fn spawn(&self, task: T) {
+        match &self.inner {
+            SpawnerInner::Inline(queue) => queue.borrow_mut().push_back(task),
+            SpawnerInner::Pool(shared) => {
+                shared
+                    .state
+                    .lock()
+                    .expect("scheduler queue poisoned")
+                    .queue
+                    .push_back(task);
+                shared.cv.notify_one();
+            }
+        }
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    /// Tasks currently executing in some worker. Termination requires the
+    /// queue empty *and* nothing in flight (an in-flight task may still
+    /// spawn successors).
+    in_flight: usize,
+    /// Set when a task panicked; all workers drain out immediately so the
+    /// panic can propagate through the scope join.
+    poisoned: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+/// Poison the pool if the guarded task panics, so sibling workers exit
+/// instead of waiting forever on a condvar.
+struct PanicGuard<'s, T> {
+    shared: &'s Shared<T>,
+    armed: bool,
+}
+
+impl<T> Drop for PanicGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            if let Ok(mut st) = self.shared.state.lock() {
+                st.poisoned = true;
+            }
+            self.shared.cv.notify_all();
+        }
+    }
+}
+
+/// Run a dynamic task graph to completion on `threads` workers
+/// (`0` = one per available core — asserted to never exceed
+/// [`available_workers`]). `initial` seeds the queue; each task may
+/// enqueue successors through the [`Spawner`] it is handed. Returns when
+/// every task (including all transitively spawned ones) has finished.
+///
+/// The calling thread participates as one of the workers, so `threads =
+/// 1` executes everything inline in FIFO order — that *is* the serial
+/// reference path, not a simulation of it. Calls made from inside a
+/// worker also run inline (see the module docs), which is what makes
+/// nested fan-out structurally incapable of oversubscribing.
+///
+/// Panics in a task propagate to the caller after all workers have
+/// drained.
+pub fn run_graph<T, F>(threads: usize, initial: Vec<T>, step: F)
+where
+    T: Send,
+    F: Fn(T, &Spawner<'_, T>) + Sync,
+{
+    let workers = resolve_workers(threads);
+    assert!(
+        threads != 0 || workers <= available_workers(),
+        "auto-resolved worker count {workers} exceeds available parallelism"
+    );
+    if workers <= 1 || in_scheduler() {
+        return run_inline(initial, &step);
+    }
+    let shared = Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::from(initial),
+            in_flight: 0,
+            poisoned: false,
+        }),
+        cv: Condvar::new(),
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..workers {
+            scope.spawn(|| worker_loop(&shared, &step));
+        }
+        worker_loop(&shared, &step);
+    });
+}
+
+fn run_inline<T, F>(initial: Vec<T>, step: &F)
+where
+    F: Fn(T, &Spawner<'_, T>),
+{
+    let _mark = WorkerMark::enter();
+    let queue = RefCell::new(VecDeque::from(initial));
+    let spawner = Spawner {
+        inner: SpawnerInner::Inline(&queue),
+    };
+    loop {
+        let task = queue.borrow_mut().pop_front();
+        match task {
+            Some(task) => step(task, &spawner),
+            None => break,
+        }
+    }
+}
+
+fn worker_loop<T, F>(shared: &Shared<T>, step: &F)
+where
+    F: Fn(T, &Spawner<'_, T>),
+{
+    let _mark = WorkerMark::enter();
+    let spawner = Spawner {
+        inner: SpawnerInner::Pool(shared),
+    };
+    let mut st = shared.state.lock().expect("scheduler queue poisoned");
+    loop {
+        if st.poisoned {
+            return;
+        }
+        if let Some(task) = st.queue.pop_front() {
+            st.in_flight += 1;
+            drop(st);
+            let mut guard = PanicGuard {
+                shared,
+                armed: true,
+            };
+            step(task, &spawner);
+            guard.armed = false;
+            drop(guard);
+            st = shared.state.lock().expect("scheduler queue poisoned");
+            st.in_flight -= 1;
+            if st.in_flight == 0 && st.queue.is_empty() {
+                // Last task of the graph: wake everyone so they observe
+                // termination.
+                shared.cv.notify_all();
+                return;
+            }
+        } else {
+            if st.in_flight == 0 {
+                shared.cv.notify_all();
+                return;
+            }
+            st = shared.cv.wait(st).expect("scheduler queue poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    use std::thread::ThreadId;
+
+    #[test]
+    fn single_worker_runs_fifo() {
+        let order = Mutex::new(Vec::new());
+        run_graph(1, vec![0usize, 1, 2], |t, spawn| {
+            order.lock().unwrap().push(t);
+            if t < 3 {
+                spawn.spawn(t + 10);
+            }
+        });
+        // Initial tasks first, spawned tasks appended in spawn order.
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 10, 11, 12]);
+    }
+
+    #[test]
+    fn pool_executes_all_tasks_and_successors() {
+        let seen = Mutex::new(HashSet::new());
+        run_graph(4, (0..64usize).collect(), |t, spawn| {
+            assert!(seen.lock().unwrap().insert(t), "task {t} ran twice");
+            if t < 64 {
+                spawn.spawn(t + 64);
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len(), 128);
+    }
+
+    /// Satellite regression: nested fan-out must never multiply worker
+    /// pools into cores² threads — an inner `run_graph` on a worker runs
+    /// inline on that worker, so the only threads alive are the outer
+    /// pool's.
+    #[test]
+    fn nested_run_graph_is_inline() {
+        let outer_workers = 4;
+        let ids: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        run_graph(outer_workers, (0..8usize).collect(), |_t, _spawn| {
+            let me = std::thread::current().id();
+            ids.lock().unwrap().insert(me);
+            assert!(in_scheduler());
+            // Nested fan-out: must execute on this same thread.
+            run_graph(4, (0..4usize).collect(), |_inner, _| {
+                assert_eq!(std::thread::current().id(), me);
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert!(
+            ids.lock().unwrap().len() <= outer_workers,
+            "nested fan-out spawned extra threads: {} > {outer_workers}",
+            ids.lock().unwrap().len()
+        );
+    }
+
+    #[test]
+    fn auto_worker_count_stays_within_cores() {
+        assert!(resolve_workers(0) <= available_workers());
+        assert_eq!(resolve_workers(7), 7);
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for n in [0usize, 1, 7, 8, 9, 100, 1023] {
+            for workers in [1usize, 2, 4, 16] {
+                let ranges = chunk_ranges(n, workers, 8);
+                let mut covered = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, covered, "contiguous");
+                    assert!(r.end > r.start, "non-empty");
+                    covered = r.end;
+                }
+                assert_eq!(covered, n, "covers 0..{n}");
+                for r in &ranges[..ranges.len().saturating_sub(1)] {
+                    assert!(r.end - r.start >= 8, "min chunk respected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_slots_merge_in_index_order_regardless_of_completion() {
+        let ranges = chunk_ranges(25, 2, 4);
+        let slots: ChunkSlots<usize> = ChunkSlots::new(ranges.len());
+        // Complete in reverse order; merge must still be index-ordered.
+        let mut last = None;
+        for (i, r) in ranges.iter().enumerate().rev() {
+            let done = slots.complete(i, r.clone().collect());
+            assert_eq!(done, i == 0, "only the final completion reports true");
+            if done {
+                last = Some(i);
+            }
+        }
+        assert_eq!(last, Some(0));
+        assert_eq!(slots.merged(), (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_task_propagates() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_graph(3, (0..16usize).collect(), |t, _| {
+                if t == 7 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+    }
+}

@@ -13,16 +13,19 @@
 //! CATE recorded so far (lines 10–13 of Algorithm 2).
 
 use std::collections::{HashMap, HashSet};
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use causal::backdoor::{attrs_affecting_outcome, backdoor_set};
-use causal::context::ContextCache;
+use causal::context::{ContextCache, EstimationContext};
 use causal::dag::Dag;
 use causal::estimate::{estimate_effect, CateOptions, CateResult};
 use table::bitset::{BitSet, Projector};
 use table::pattern::{Op, Pattern, Pred};
 use table::{Column, Scalar, Table};
+
+use crate::sched;
 
 /// Search direction σ of Algorithm 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,12 +97,16 @@ pub struct LatticeOptions {
     /// benchmarks (mirrors `use_estimation_cache`, and is a no-op when
     /// that is `false`).
     pub use_confounder_panel: bool,
-    /// Worker threads for within-level candidate estimation: `0` = one
-    /// per available core, `1` = serial, `n` = exactly `n`. Candidate
-    /// generation (the Apriori joins) stays serial either way, estimation
-    /// fans out over pre-built shared contexts with a work-stealing
-    /// index, and results are merged back in candidate order — the walk
-    /// is bit-deterministic at every setting.
+    /// Scheduler worker count for standalone miner entry points
+    /// ([`TreatmentMiner::top_k_treatments`],
+    /// [`TreatmentMiner::top_treatments_paired`]): `0` = one worker per
+    /// available core, `1` = serial, `n` = exactly `n`. **Deprecated
+    /// alias** — the engine's unified `threads` knob
+    /// (`ConfigBuilder::threads` in the `causumx` crate) supersedes it;
+    /// this field remains honored for callers driving the miner directly.
+    /// Results are bit-identical at every setting: estimation fans out as
+    /// candidate chunks on the [`crate::sched`] work-stealing scheduler
+    /// and merges back in candidate order.
     pub level_parallelism: usize,
 }
 
@@ -443,11 +450,10 @@ impl<'a> TreatmentMiner<'a> {
         } else {
             let mask = ctxs
                 .subpop_mask
-                .get_or_insert_with(|| subpop.to_mask())
-                .as_slice();
+                .get_or_insert_with(|| Arc::new(subpop.to_mask()));
             estimate_effect(
                 self.table,
-                Some(mask),
+                Some(mask.as_slice()),
                 &treated.to_mask(),
                 self.outcome,
                 &confounders,
@@ -479,11 +485,13 @@ impl<'a> TreatmentMiner<'a> {
         dir: Direction,
         k: usize,
     ) -> (Vec<TreatmentResult>, LatticeStats) {
-        let mut ctxs = CtxCache::new(&self.opts);
-        let (result, mut stats) =
-            self.top_k_with_cache(&mut ctxs, subpop, dir, k, self.opts.level_parallelism);
-        stats.contexts_built = ctxs.contexts.builds();
-        (result, stats)
+        let mut out = self.mine_walks(&[subpop], k, &[dir], self.opts.level_parallelism);
+        let paired = out.pop().expect("one subpopulation in, one result out");
+        let list = match dir {
+            Direction::Positive => paired.positive,
+            Direction::Negative => paired.negative,
+        };
+        (list, paired.stats)
     }
 
     /// Mine the top-`k` positive *and* (optionally) negative treatments
@@ -503,343 +511,153 @@ impl<'a> TreatmentMiner<'a> {
     }
 
     /// [`TreatmentMiner::top_treatments_paired`] with a per-call override
-    /// of the within-level worker count (`0` = one per core, `1` =
-    /// serial). Callers that already parallelize *across* subpopulations
-    /// — e.g. the pipeline's work-stealing pattern pool — pass `1` here
-    /// so the two layers don't multiply into cores² threads; interactive
-    /// single-subpopulation drill-downs keep the per-core default.
-    /// Results are identical at any setting.
+    /// of the scheduler worker count (`0` = one per core, `1` = serial).
+    /// Results are identical at any setting. Nested calls — e.g. from a
+    /// task already running on the [`crate::sched`] pool — execute inline
+    /// on the calling worker, so layered fan-out can never multiply into
+    /// cores² threads.
     pub fn top_treatments_paired_with(
         &self,
         subpop: &BitSet,
         k: usize,
         mine_negative: bool,
-        level_parallelism: usize,
+        threads: usize,
     ) -> PairedTreatments {
-        let mut ctxs = CtxCache::new(&self.opts);
-        let (positive, mut stats) =
-            self.top_k_with_cache(&mut ctxs, subpop, Direction::Positive, k, level_parallelism);
-        let negative = if mine_negative {
-            let (neg, s2) =
-                self.top_k_with_cache(&mut ctxs, subpop, Direction::Negative, k, level_parallelism);
-            stats.evaluated += s2.evaluated;
-            stats.levels = stats.levels.max(s2.levels);
-            neg
-        } else {
-            Vec::new()
-        };
-        stats.contexts_built = ctxs.contexts.builds();
-        PairedTreatments {
-            positive,
-            negative,
-            stats,
-        }
+        self.mine_paired_many(&[subpop], k, mine_negative, threads)
+            .pop()
+            .expect("one subpopulation in, one result out")
     }
 
-    /// One directed lattice walk (Algorithm 2) over a caller-provided
-    /// estimation cache, in **subpopulation-local coordinates**: every
-    /// atom mask is projected down to `|subpop|` bits once per
-    /// subpopulation (shared across the paired walks via the cache), so
-    /// the O(level²) joins intersect local masks, the overlap prechecks
-    /// are plain popcounts, and estimation gathers sparsely through
-    /// [`causal::context::EstimationContext::estimate_local`].
-    /// `stats.contexts_built` is left untouched — the cache is shared, so
-    /// the caller attributes builds once.
-    fn top_k_with_cache(
-        &self,
-        ctxs: &mut CtxCache,
-        subpop: &BitSet,
-        dir: Direction,
-        k: usize,
-        level_parallelism: usize,
-    ) -> (Vec<TreatmentResult>, LatticeStats) {
-        let mut stats = LatticeStats::default();
-        let CtxCache {
-            contexts,
-            local,
-            subpop_mask,
-        } = ctxs;
-        let space = &*local.get_or_insert_with(|| LocalSpace::new(subpop, &self.atoms));
-        debug_assert_eq!(space.projector.universe(), subpop);
-        if !self.opts.use_estimation_cache && subpop_mask.is_none() {
-            *subpop_mask = Some(subpop.to_mask());
-        }
-        let subpop_mask = subpop_mask.as_deref();
-        // Loop invariants hoisted out of the O(level²) candidate joins.
-        let sub_n = space.projector.len();
-        let min_arm = self.opts.cate_opts.min_arm;
-        let min_cate = self.opts.min_abs_cate_frac * self.outcome_std;
-        let walk = WalkCtx {
-            space,
-            subpop_mask,
-            dir,
-            min_cate,
-            level_parallelism,
-        };
-
-        let k = k.max(1);
-        // Best-first list of at most k significant nodes. Returns whether
-        // the *top* entry improved — Algorithm 2's termination criterion
-        // watches only the recorded maximum (lines 10–13).
-        let mut best: Vec<Node> = Vec::new();
-        let update_best = |node: &Node, best: &mut Vec<Node>| {
-            if node.p > self.opts.max_p_value {
-                return false;
-            }
-            let improved_top = best.first().is_none_or(|b| dir.better(node.cate, b.cate));
-            let pos = best
-                .iter()
-                .position(|b| dir.better(node.cate, b.cate))
-                .unwrap_or(best.len());
-            if pos < k {
-                best.insert(pos, node.clone());
-                best.truncate(k);
-            }
-            improved_top
-        };
-
-        // Level 1: all atoms (GenChildren, lines 2–4). Overlap precheck
-        // on local popcounts before paying for a regression.
-        let cands: Vec<Cand> = space
-            .atoms_local
-            .iter()
-            .enumerate()
-            .filter_map(|(ai, local_mask)| {
-                let treated_in_sub = local_mask.count();
-                if treated_in_sub < min_arm || sub_n - treated_in_sub < min_arm {
-                    return None;
-                }
-                Some(Cand {
-                    atoms: vec![ai as u16],
-                    mask: local_mask.clone(),
-                })
-            })
-            .collect();
-        let (mut level, evals) = self.evaluate_level(contexts, &walk, cands);
-        stats.evaluated += evals;
-        stats.levels = 1;
-        retain_top(
-            &mut level,
-            dir,
-            self.opts.top_frac,
-            self.opts.min_keep,
-            |n| n.cate,
-        );
-        for n in &level {
-            update_best(n, &mut best);
-        }
-
-        // Levels 2..: expand only children whose parents all survived.
-        // Candidate generation (joins, dedup, parent checks, overlap
-        // prechecks) stays serial; estimation fans out per level.
-        while !level.is_empty() && stats.levels < self.opts.max_level {
-            let kept: HashSet<Vec<u16>> = level.iter().map(|n| n.atoms.clone()).collect();
-            let mut seen: HashSet<Vec<u16>> = HashSet::new();
-            let lvl = stats.levels;
-
-            let mut cands: Vec<Cand> = Vec::new();
-            for i in 0..level.len() {
-                for j in i + 1..level.len() {
-                    let (a, b) = (&level[i], &level[j]);
-                    if a.atoms[..lvl - 1] != b.atoms[..lvl - 1] {
-                        continue;
-                    }
-                    let (la, lb) = (a.atoms[lvl - 1], b.atoms[lvl - 1]);
-                    if !self.atoms_compatible(la as usize, lb as usize) {
-                        continue;
-                    }
-                    let mut cand = a.atoms.clone();
-                    cand.push(lb);
-                    cand.sort_unstable();
-                    if !seen.insert(cand.clone()) {
-                        continue;
-                    }
-                    // All parents (drop-one subsets) must have been kept.
-                    if !all_parents_kept(&cand, &kept) {
-                        continue;
-                    }
-                    let mut mask = a.mask.clone();
-                    mask.intersect_with(&b.mask);
-                    let treated_in_sub = mask.count();
-                    if treated_in_sub < min_arm || sub_n - treated_in_sub < min_arm {
-                        continue;
-                    }
-                    cands.push(Cand { atoms: cand, mask });
-                }
-            }
-
-            let (next, evals) = self.evaluate_level(contexts, &walk, cands);
-            stats.evaluated += evals;
-            if next.is_empty() {
-                break;
-            }
-            stats.levels += 1;
-            let mut next = next;
-            retain_top(
-                &mut next,
-                dir,
-                self.opts.top_frac,
-                self.opts.min_keep,
-                |n| n.cate,
-            );
-            let mut improved = false;
-            for n in &next {
-                improved |= update_best(n, &mut best);
-            }
-            level = next;
-            // Lines 10–13: stop at the first level that does not improve on
-            // the recorded maximum.
-            if !improved {
-                break;
-            }
-        }
-
-        let result: Vec<TreatmentResult> = best
-            .into_iter()
-            .map(|b| TreatmentResult {
-                pattern: self.pattern_of(&b.atoms),
-                cate: b.cate,
-                p_value: b.p,
-                n_treated: b.n_treated,
-                n_control: b.n_control,
-            })
-            .collect();
-        (result, stats)
-    }
-
-    /// Estimate one level's candidates and keep those matching the
-    /// requested direction above the near-zero threshold, preserving
-    /// candidate order. Returns the surviving nodes plus the number of
-    /// estimations performed (all candidates — failed estimates count as
-    /// work, matching the serial accounting).
+    /// Mine the top-`k` paired treatments of *many* subpopulations on one
+    /// work-stealing scheduler: every (pattern × lattice level ×
+    /// candidate chunk) becomes a task, so workers finishing a small
+    /// pattern immediately steal candidate chunks from whichever pattern
+    /// still has work — a skewed workload (one giant pattern among many
+    /// tiny ones) no longer strands cores the way the old
+    /// one-pool-per-dimension split did.
     ///
-    /// Confounder resolution and context construction run serially up
-    /// front (in candidate order, so build counts and memo walks are
-    /// identical to the lazy path); the estimations themselves fan out
-    /// over `level_parallelism` workers stealing from a shared index (`0`
-    /// = one per core, capped so each worker has at least two candidates
-    /// — a level too small to amortize thread spawns runs serially), each
-    /// reading pre-built `&EstimationContext`s, and the results are
-    /// merged back by candidate index — bit-deterministic at any thread
-    /// count.
-    fn evaluate_level(
+    /// Per-pattern state (the [`ContextCache`] with its confounder panel,
+    /// the local atom projection, the walk frontier) is sharded — one
+    /// mutex-guarded walk per subpopulation — so panels for distinct
+    /// subpopulations build concurrently, while chunk evaluations read
+    /// pre-built shared contexts without any lock. Results merge in
+    /// (pattern index, level, candidate index) order via index-addressed
+    /// slots, which keeps every summary bit-identical to `threads = 1` at
+    /// any worker count; the returned vector is index-aligned with
+    /// `subpops`.
+    pub fn mine_paired_many(
         &self,
-        contexts: &mut ContextCache,
-        walk: &WalkCtx<'_>,
-        cands: Vec<Cand>,
-    ) -> (Vec<Node>, usize) {
-        let WalkCtx {
-            space,
-            subpop_mask,
-            dir,
-            min_cate,
-            level_parallelism,
-        } = *walk;
-        if cands.is_empty() {
-            return (Vec::new(), 0);
+        subpops: &[&BitSet],
+        k: usize,
+        mine_negative: bool,
+        threads: usize,
+    ) -> Vec<PairedTreatments> {
+        let dirs: &[Direction] = if mine_negative {
+            &[Direction::Positive, Direction::Negative]
+        } else {
+            &[Direction::Positive]
+        };
+        self.mine_walks(subpops, k, dirs, threads)
+    }
+
+    /// Shared driver behind every lattice entry point: each
+    /// subpopulation's walk is a resumable state machine
+    /// ([`WalkState`]) advanced by scheduler tasks. A `Start` task pumps
+    /// the walk until it has a level of candidates to estimate (the
+    /// serial part: Apriori joins, memoized backdoor lookups, in-order
+    /// context builds), then fans the level out as [`sched::ChunkSlots`]
+    /// chunk tasks; the worker completing a level's last chunk re-locks
+    /// that pattern's state, merges results in candidate order, and pumps
+    /// again. `threads = 1` (or a nested call) degenerates to the exact
+    /// serial reference path — same code, FIFO order.
+    fn mine_walks(
+        &self,
+        subpops: &[&BitSet],
+        k: usize,
+        dirs: &[Direction],
+        threads: usize,
+    ) -> Vec<PairedTreatments> {
+        if subpops.is_empty() {
+            return Vec::new();
         }
-        let evals = cands.len();
-        // Serial pre-pass: memoized backdoor lookups + context builds.
-        let keys: Vec<Vec<usize>> = cands
+        let workers = sched::resolve_workers(threads);
+        let patterns: Vec<PatternSlot<'_>> = subpops
             .iter()
-            .map(|c| {
-                let attrs: Vec<usize> = c
-                    .atoms
-                    .iter()
-                    .map(|&x| self.atoms[x as usize].attr)
-                    .collect();
-                self.confounders_for(&attrs)
+            .map(|&s| PatternSlot {
+                state: Mutex::new(WalkState::new(self, s, k, dirs, workers)),
+                out: OnceLock::new(),
             })
             .collect();
-        if self.opts.use_estimation_cache {
-            for key in &keys {
-                let _ = contexts.get_or_build(
-                    self.table,
-                    Some(space.projector.universe()),
-                    self.outcome,
-                    key.clone(),
-                    &self.opts.cate_opts,
-                );
-            }
-        }
-        let contexts = &*contexts;
-
-        let eval = |i: usize| -> Option<CateResult> {
-            if self.opts.use_estimation_cache {
-                contexts.get(&keys[i])?.estimate_local(&cands[i].mask)
-            } else {
-                // Ablation path: unproject back to full-table width and
-                // rerun the cold-start estimator.
-                let global = space.projector.unproject(&cands[i].mask);
-                estimate_effect(
-                    self.table,
-                    subpop_mask,
-                    &global.to_mask(),
-                    self.outcome,
-                    &keys[i],
-                    &self.opts.cate_opts,
-                )
-            }
-        };
-
-        let threads = match level_parallelism {
-            0 => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-            t => t,
-        }
-        .min(evals / 2);
-        let results: Vec<Option<CateResult>> = if threads > 1 {
-            let next = AtomicUsize::new(0);
-            let next = &next;
-            let eval = &eval;
-            let mut results = vec![None; evals];
-            std::thread::scope(|s| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        s.spawn(move || {
-                            let mut out: Vec<(usize, Option<CateResult>)> = Vec::new();
-                            loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                if i >= evals {
-                                    break;
-                                }
-                                out.push((i, eval(i)));
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    for (i, r) in h.join().expect("level-evaluation worker panicked") {
-                        results[i] = r;
+        let advance =
+            |p: usize, done: Option<Arc<LevelBatch>>, spawn: &sched::Spawner<'_, WalkTask>| {
+                let slot = &patterns[p];
+                let mut st = slot.state.lock().expect("walk state poisoned");
+                if let Some(batch) = done {
+                    st.absorb(&batch.cands, batch.slots.merged());
+                }
+                match st.pump() {
+                    Some(batch) => {
+                        for chunk in 0..batch.ranges.len() {
+                            spawn.spawn(WalkTask::Eval {
+                                pattern: p,
+                                batch: Arc::clone(&batch),
+                                chunk,
+                            });
+                        }
+                    }
+                    None => {
+                        let first = slot.out.set(st.finalize());
+                        debug_assert!(first.is_ok(), "pattern walk finalized twice");
                     }
                 }
-            });
-            results
-        } else {
-            (0..evals).map(eval).collect()
-        };
-
-        let nodes: Vec<Node> = cands
-            .into_iter()
-            .zip(results)
-            .filter_map(|(cand, r)| {
-                let r = r?;
-                if !dir.matches(r.cate) || r.cate.abs() < min_cate {
-                    return None;
+            };
+        let initial: Vec<WalkTask> = (0..patterns.len()).map(WalkTask::Start).collect();
+        sched::run_graph(threads, initial, |task, spawn| match task {
+            WalkTask::Start(p) => advance(p, None, spawn),
+            WalkTask::Eval {
+                pattern,
+                batch,
+                chunk,
+            } => {
+                let out = self.eval_chunk(&batch, batch.ranges[chunk].clone());
+                if batch.slots.complete(chunk, out) {
+                    advance(pattern, Some(batch), spawn);
                 }
-                Some(Node {
-                    atoms: cand.atoms,
-                    mask: cand.mask,
-                    cate: r.cate,
-                    p: r.p_value,
-                    n_treated: r.n_treated,
-                    n_control: r.n_control,
-                })
+            }
+        });
+        patterns
+            .into_iter()
+            .map(|slot| {
+                slot.out
+                    .into_inner()
+                    .expect("every pattern walk runs to completion")
             })
-            .collect();
-        (nodes, evals)
+            .collect()
+    }
+
+    /// Estimate one contiguous candidate chunk of a prepared level. Runs
+    /// lock-free on any scheduler worker: cache mode reads the pre-built
+    /// `Arc<EstimationContext>` pinned into the batch per candidate; the
+    /// `use_estimation_cache = false` ablation unprojects back to
+    /// full-table width and reruns the cold-start estimator.
+    fn eval_chunk(&self, batch: &LevelBatch, range: Range<usize>) -> Vec<Option<CateResult>> {
+        range
+            .map(|i| -> Option<CateResult> {
+                if self.opts.use_estimation_cache {
+                    batch.ctx[i].as_ref()?.estimate_local(&batch.cands[i].mask)
+                } else {
+                    let global = batch.space.projector.unproject(&batch.cands[i].mask);
+                    estimate_effect(
+                        self.table,
+                        batch.subpop_mask.as_deref().map(|m| m.as_slice()),
+                        &global.to_mask(),
+                        self.outcome,
+                        &batch.keys[i],
+                        &self.opts.cate_opts,
+                    )
+                }
+            })
+            .collect()
     }
 
     /// Brute-force enumeration of all treatment patterns up to `max_len`
@@ -936,8 +754,8 @@ impl<'a> TreatmentMiner<'a> {
 /// fallback path (`use_estimation_cache = false`) needs.
 struct CtxCache {
     contexts: ContextCache,
-    local: Option<LocalSpace>,
-    subpop_mask: Option<Vec<bool>>,
+    local: Option<Arc<LocalSpace>>,
+    subpop_mask: Option<Arc<Vec<bool>>>,
 }
 
 impl CtxCache {
@@ -988,17 +806,393 @@ struct Cand {
     mask: BitSet,
 }
 
-/// Invariants of one directed lattice walk, bundled for the per-level
-/// evaluation: the projected atom space, the materialized subpopulation
-/// mask (ablation path only), the search direction, the near-zero-CATE
-/// gate, and the within-level worker count.
-#[derive(Clone, Copy)]
-struct WalkCtx<'a> {
-    space: &'a LocalSpace,
-    subpop_mask: Option<&'a [bool]>,
-    dir: Direction,
+/// Floor on candidates per scheduler chunk — a level too small to
+/// amortize task dispatch goes out as a single chunk.
+const MIN_CHUNK: usize = 8;
+
+/// Scheduler task of the shared lattice driver: start (or restart) a
+/// pattern's walk, or estimate one candidate chunk of a prepared level.
+enum WalkTask {
+    /// Pump pattern `.0`'s walk until it needs a level evaluated.
+    Start(usize),
+    /// Estimate `batch.ranges[chunk]` of `pattern`'s current level.
+    Eval {
+        pattern: usize,
+        batch: Arc<LevelBatch>,
+        chunk: usize,
+    },
+}
+
+/// One grouping pattern's shard: its resumable walk state plus the slot
+/// its finished summary lands in. Chunk evaluations never touch the
+/// mutex — only the pump/merge steps (serial per pattern) lock it.
+struct PatternSlot<'w> {
+    state: Mutex<WalkState<'w>>,
+    out: OnceLock<PairedTreatments>,
+}
+
+/// One lattice level, frozen for lock-free fan-out: the candidates, their
+/// memoized confounder keys, the pre-built estimation context per
+/// candidate (cache mode), the shared local projection, and the
+/// index-addressed result slots the chunks complete into. Everything is
+/// `Arc`-shared so an `Eval` task needs no access to the walk state.
+struct LevelBatch {
+    cands: Vec<Cand>,
+    keys: Vec<Vec<usize>>,
+    /// Per-candidate pre-built context (empty in the
+    /// `use_estimation_cache = false` ablation).
+    ctx: Vec<Option<Arc<EstimationContext>>>,
+    space: Arc<LocalSpace>,
+    /// Materialized subpopulation mask (ablation path only).
+    subpop_mask: Option<Arc<Vec<bool>>>,
+    ranges: Vec<Range<usize>>,
+    slots: sched::ChunkSlots<Option<CateResult>>,
+}
+
+/// The resumable Algorithm-2 walk of one subpopulation: direction
+/// sequence (positive, then optionally negative, sharing one
+/// [`CtxCache`] exactly like the old paired walk), current frontier,
+/// best-k list and work counters. `pump` drives the serial parts
+/// (candidate generation, in-order context builds) until a level is
+/// ready to fan out; `absorb` replays the serial post-level logic on the
+/// index-merged results, so the walk's decisions — and counters — are
+/// bit-identical to the single-threaded path.
+struct WalkState<'w> {
+    miner: &'w TreatmentMiner<'w>,
+    subpop: &'w BitSet,
+    k: usize,
+    dirs: &'w [Direction],
+    workers: usize,
+    ctxs: CtxCache,
     min_cate: f64,
-    level_parallelism: usize,
+    /// Index into `dirs` of the direction currently walking.
+    dir_idx: usize,
+    /// Next evaluation is level 1 of the current direction.
+    fresh: bool,
+    /// Current direction hit a termination condition (empty level or no
+    /// improvement — Algorithm 2 lines 10–13).
+    stopped: bool,
+    level: Vec<Node>,
+    level_no: usize,
+    best: Vec<Node>,
+    evaluated: usize,
+    max_levels: usize,
+    /// Finished per-direction result lists, index-aligned with `dirs`.
+    outputs: Vec<Vec<TreatmentResult>>,
+}
+
+impl<'w> WalkState<'w> {
+    fn new(
+        miner: &'w TreatmentMiner<'w>,
+        subpop: &'w BitSet,
+        k: usize,
+        dirs: &'w [Direction],
+        workers: usize,
+    ) -> Self {
+        WalkState {
+            miner,
+            subpop,
+            k: k.max(1),
+            dirs,
+            workers,
+            ctxs: CtxCache::new(&miner.opts),
+            min_cate: miner.opts.min_abs_cate_frac * miner.outcome_std,
+            dir_idx: 0,
+            fresh: true,
+            stopped: false,
+            level: Vec::new(),
+            level_no: 0,
+            best: Vec::new(),
+            evaluated: 0,
+            max_levels: 0,
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The subpopulation-local atom projection, built on first use and
+    /// shared across levels and directions (and with in-flight batches).
+    fn space(&mut self) -> Arc<LocalSpace> {
+        if self.ctxs.local.is_none() {
+            self.ctxs.local = Some(Arc::new(LocalSpace::new(self.subpop, &self.miner.atoms)));
+        }
+        Arc::clone(self.ctxs.local.as_ref().expect("just built"))
+    }
+
+    /// Drive the walk forward until it either needs a level estimated
+    /// (returns the prepared batch to fan out) or has finished every
+    /// direction (returns `None`; call `finalize`). Levels with no
+    /// candidates are absorbed inline — `evaluate` of an empty level is
+    /// the identity — so direction switches never round-trip through the
+    /// scheduler.
+    fn pump(&mut self) -> Option<Arc<LevelBatch>> {
+        while self.dir_idx < self.dirs.len() {
+            let cands = if self.fresh {
+                self.level1_cands()
+            } else if !self.stopped
+                && !self.level.is_empty()
+                && self.level_no < self.miner.opts.max_level
+            {
+                self.join_cands()
+            } else {
+                self.finish_dir();
+                continue;
+            };
+            if cands.is_empty() {
+                self.absorb(&[], Vec::new());
+                continue;
+            }
+            return Some(self.prepare_batch(cands));
+        }
+        None
+    }
+
+    /// Level 1: all atoms (GenChildren, lines 2–4). Overlap precheck on
+    /// local popcounts before paying for a regression.
+    fn level1_cands(&mut self) -> Vec<Cand> {
+        let space = self.space();
+        let sub_n = space.projector.len();
+        let min_arm = self.miner.opts.cate_opts.min_arm;
+        space
+            .atoms_local
+            .iter()
+            .enumerate()
+            .filter_map(|(ai, local_mask)| {
+                let treated_in_sub = local_mask.count();
+                if treated_in_sub < min_arm || sub_n - treated_in_sub < min_arm {
+                    return None;
+                }
+                Some(Cand {
+                    atoms: vec![ai as u16],
+                    mask: local_mask.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Levels 2..: expand only children whose parents all survived. The
+    /// joins, dedup, parent checks and overlap prechecks are serial per
+    /// pattern (they mutate the frontier), exactly as in the reference
+    /// walk.
+    fn join_cands(&mut self) -> Vec<Cand> {
+        let miner = self.miner;
+        let space = self.space();
+        let sub_n = space.projector.len();
+        let min_arm = miner.opts.cate_opts.min_arm;
+        let level = &self.level;
+        let kept: HashSet<Vec<u16>> = level.iter().map(|n| n.atoms.clone()).collect();
+        let mut seen: HashSet<Vec<u16>> = HashSet::new();
+        let lvl = self.level_no;
+        let mut cands: Vec<Cand> = Vec::new();
+        for i in 0..level.len() {
+            for j in i + 1..level.len() {
+                let (a, b) = (&level[i], &level[j]);
+                if a.atoms[..lvl - 1] != b.atoms[..lvl - 1] {
+                    continue;
+                }
+                let (la, lb) = (a.atoms[lvl - 1], b.atoms[lvl - 1]);
+                if !miner.atoms_compatible(la as usize, lb as usize) {
+                    continue;
+                }
+                let mut cand = a.atoms.clone();
+                cand.push(lb);
+                cand.sort_unstable();
+                if !seen.insert(cand.clone()) {
+                    continue;
+                }
+                // All parents (drop-one subsets) must have been kept.
+                if !all_parents_kept(&cand, &kept) {
+                    continue;
+                }
+                let mut mask = a.mask.clone();
+                mask.intersect_with(&b.mask);
+                let treated_in_sub = mask.count();
+                if treated_in_sub < min_arm || sub_n - treated_in_sub < min_arm {
+                    continue;
+                }
+                cands.push(Cand { atoms: cand, mask });
+            }
+        }
+        cands
+    }
+
+    /// Freeze one level for fan-out: memoized backdoor lookups and
+    /// context builds run here, serially and in candidate order, so
+    /// `builds()` accounting and memo walks are identical to the serial
+    /// path; chunk tasks then only read.
+    fn prepare_batch(&mut self, cands: Vec<Cand>) -> Arc<LevelBatch> {
+        let miner = self.miner;
+        let space = self.space();
+        let keys: Vec<Vec<usize>> = cands
+            .iter()
+            .map(|c| {
+                let attrs: Vec<usize> = c
+                    .atoms
+                    .iter()
+                    .map(|&x| miner.atoms[x as usize].attr)
+                    .collect();
+                miner.confounders_for(&attrs)
+            })
+            .collect();
+        let ctx: Vec<Option<Arc<EstimationContext>>> = if miner.opts.use_estimation_cache {
+            keys.iter()
+                .map(|key| {
+                    let _ = self.ctxs.contexts.get_or_build(
+                        miner.table,
+                        Some(self.subpop),
+                        miner.outcome,
+                        key.clone(),
+                        &miner.opts.cate_opts,
+                    );
+                    self.ctxs.contexts.get_shared(key)
+                })
+                .collect()
+        } else {
+            if self.ctxs.subpop_mask.is_none() {
+                self.ctxs.subpop_mask = Some(Arc::new(self.subpop.to_mask()));
+            }
+            Vec::new()
+        };
+        let ranges = sched::chunk_ranges(cands.len(), self.workers, MIN_CHUNK);
+        let slots = sched::ChunkSlots::new(ranges.len());
+        Arc::new(LevelBatch {
+            cands,
+            keys,
+            ctx,
+            space,
+            subpop_mask: self.ctxs.subpop_mask.clone(),
+            ranges,
+            slots,
+        })
+    }
+
+    /// Replay the serial post-level logic on index-merged results: the
+    /// direction/near-zero filter in candidate order, the work counters
+    /// (every candidate counts — failed estimates are work), per-level
+    /// retention, best-k updates and the lines-10–13 termination test.
+    fn absorb(&mut self, cands: &[Cand], results: Vec<Option<CateResult>>) {
+        debug_assert_eq!(cands.len(), results.len());
+        let dir = self.dirs[self.dir_idx];
+        let opts = &self.miner.opts;
+        self.evaluated += cands.len();
+        let mut nodes: Vec<Node> = cands
+            .iter()
+            .zip(results)
+            .filter_map(|(cand, r)| {
+                let r = r?;
+                if !dir.matches(r.cate) || r.cate.abs() < self.min_cate {
+                    return None;
+                }
+                Some(Node {
+                    atoms: cand.atoms.clone(),
+                    mask: cand.mask.clone(),
+                    cate: r.cate,
+                    p: r.p_value,
+                    n_treated: r.n_treated,
+                    n_control: r.n_control,
+                })
+            })
+            .collect();
+        retain_top(&mut nodes, dir, opts.top_frac, opts.min_keep, |n| n.cate);
+        if self.fresh {
+            self.fresh = false;
+            self.level_no = 1;
+            // Level 1 seeds the best list; improvement is not yet a
+            // termination signal.
+            for i in 0..nodes.len() {
+                self.update_best(&nodes[i]);
+            }
+            self.level = nodes;
+        } else {
+            if nodes.is_empty() {
+                self.stopped = true;
+                return;
+            }
+            self.level_no += 1;
+            let mut improved = false;
+            for i in 0..nodes.len() {
+                improved |= self.update_best(&nodes[i]);
+            }
+            self.level = nodes;
+            // Lines 10–13: stop at the first level that does not improve
+            // on the recorded maximum.
+            if !improved {
+                self.stopped = true;
+            }
+        }
+    }
+
+    /// Best-first list of at most k significant nodes. Returns whether
+    /// the *top* entry improved — Algorithm 2's termination criterion
+    /// watches only the recorded maximum (lines 10–13).
+    fn update_best(&mut self, node: &Node) -> bool {
+        let dir = self.dirs[self.dir_idx];
+        if node.p > self.miner.opts.max_p_value {
+            return false;
+        }
+        let improved_top = self
+            .best
+            .first()
+            .is_none_or(|b| dir.better(node.cate, b.cate));
+        let pos = self
+            .best
+            .iter()
+            .position(|b| dir.better(node.cate, b.cate))
+            .unwrap_or(self.best.len());
+        if pos < self.k {
+            self.best.insert(pos, node.clone());
+            self.best.truncate(self.k);
+        }
+        improved_top
+    }
+
+    /// Close out the current direction: materialize its best-k patterns,
+    /// fold its level count into the paired maximum, and reset the
+    /// frontier for the next direction (which restarts at level 1 over
+    /// the same shared cache).
+    fn finish_dir(&mut self) {
+        let miner = self.miner;
+        let result: Vec<TreatmentResult> = self
+            .best
+            .drain(..)
+            .map(|b| TreatmentResult {
+                pattern: miner.pattern_of(&b.atoms),
+                cate: b.cate,
+                p_value: b.p,
+                n_treated: b.n_treated,
+                n_control: b.n_control,
+            })
+            .collect();
+        self.outputs.push(result);
+        self.max_levels = self.max_levels.max(self.level_no);
+        self.dir_idx += 1;
+        self.fresh = true;
+        self.stopped = false;
+        self.level.clear();
+        self.level_no = 0;
+    }
+
+    /// Assemble the paired summary; `contexts_built` is attributed once,
+    /// after both directions, exactly like the old shared-cache walk.
+    fn finalize(&mut self) -> PairedTreatments {
+        debug_assert_eq!(self.outputs.len(), self.dirs.len());
+        let mut positive = Vec::new();
+        let mut negative = Vec::new();
+        for (dir, out) in self.dirs.iter().zip(self.outputs.drain(..)) {
+            match dir {
+                Direction::Positive => positive = out,
+                Direction::Negative => negative = out,
+            }
+        }
+        PairedTreatments {
+            positive,
+            negative,
+            stats: LatticeStats {
+                evaluated: self.evaluated,
+                levels: self.max_levels,
+                contexts_built: self.ctxs.contexts.builds(),
+            },
+        }
+    }
 }
 
 fn all_parents_kept(cand: &[u16], kept: &HashSet<Vec<u16>>) -> bool {

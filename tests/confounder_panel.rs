@@ -197,12 +197,11 @@ fn miner_panel_ablation_bit_identical() {
     }
 }
 
-fn run_pipeline(panel: bool, level_parallelism: usize, seed: u64) -> Summary {
+fn run_pipeline(panel: bool, threads: usize, seed: u64) -> Summary {
     let ds = datagen::so::generate(3_000, seed);
     let cfg = ConfigBuilder::new()
         .use_confounder_panel(panel)
-        .level_parallelism(level_parallelism)
-        .parallel(false)
+        .threads(threads)
         .build()
         .unwrap();
     Session::new(ds.table.clone(), ds.dag.clone(), cfg)
@@ -212,7 +211,7 @@ fn run_pipeline(panel: bool, level_parallelism: usize, seed: u64) -> Summary {
 }
 
 /// (3b) End-to-end pipeline summaries are bit-identical across the
-/// `use_confounder_panel` × `level_parallelism ∈ {1, 4}` grid.
+/// `use_confounder_panel` × `threads ∈ {1, 4}` grid.
 #[test]
 fn pipeline_panel_ablation_bit_identical() {
     for seed in [7u64, 21] {

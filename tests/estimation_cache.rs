@@ -158,19 +158,18 @@ fn summary_fingerprint(s: &Summary) -> (usize, usize, String, usize) {
 fn work_stealing_parallel_equals_sequential() {
     for seed in [7u64, 21] {
         let ds = datagen::so::generate(3_000, seed);
-        let mut cfg = causumx::ConfigBuilder::new()
-            .parallel(false)
-            .build()
-            .unwrap();
-        let seq = Session::new(ds.table.clone(), ds.dag.clone(), cfg.clone())
-            .prepare(ds.query())
-            .unwrap()
-            .run();
-        cfg.parallel = true;
-        let par = Session::new(ds.table.clone(), ds.dag.clone(), cfg)
-            .prepare(ds.query())
-            .unwrap()
-            .run();
+        let run = |threads: usize| {
+            let cfg = causumx::ConfigBuilder::new()
+                .threads(threads)
+                .build()
+                .unwrap();
+            Session::new(ds.table.clone(), ds.dag.clone(), cfg)
+                .prepare(ds.query())
+                .unwrap()
+                .run()
+        };
+        let seq = run(1);
+        let par = run(4);
         assert_eq!(seq.total_weight, par.total_weight, "seed {seed}");
         assert_eq!(summary_fingerprint(&seq), summary_fingerprint(&par));
     }

@@ -180,30 +180,26 @@ fn fingerprint(ts: &[TreatmentResult]) -> Vec<(String, u64, u64, usize, usize)> 
         .collect()
 }
 
-/// (3b) End-to-end: the session pipeline is bit-identical between serial
-/// and parallel level evaluation, stacked on top of cross-pattern
-/// parallelism, on realistic generated data.
+/// (3b) End-to-end: the session pipeline is bit-identical across
+/// scheduler worker counts (serial, auto, and explicit oversubscription)
+/// on realistic generated data.
 #[test]
 fn pipeline_bit_identical_across_level_parallelism() {
     let ds = datagen::so::generate(3_000, 11);
-    let run = |level_threads: usize, cross_pattern: bool| {
-        let cfg = ConfigBuilder::new()
-            .parallel(cross_pattern)
-            .level_parallelism(level_threads)
-            .build()
-            .unwrap();
+    let run = |threads: usize| {
+        let cfg = ConfigBuilder::new().threads(threads).build().unwrap();
         Session::new(ds.table.clone(), ds.dag.clone(), cfg)
             .prepare(ds.query())
             .unwrap()
             .run()
     };
-    let base = run(1, false);
-    for (threads, cross) in [(0, false), (3, false), (3, true), (1, true)] {
-        let other = run(threads, cross);
+    let base = run(1);
+    for threads in [0, 2, 3, 4] {
+        let other = run(threads);
         assert_eq!(
             base.total_weight.to_bits(),
             other.total_weight.to_bits(),
-            "level_parallelism={threads} parallel={cross}"
+            "threads={threads}"
         );
         assert_eq!(base.cate_evaluations, other.cate_evaluations);
         assert_eq!(base.covered, other.covered);

@@ -1,0 +1,74 @@
+//! Million-row end-to-end smoke test (`#[ignore]`-gated).
+//!
+//! Runs the full pipeline — synthetic generation, session preparation,
+//! grouping mining, the scheduler-driven lattice walk, and LP selection —
+//! on a 1 M-row [`datagen::synthetic`] instance, and hard-asserts the
+//! result against a committed baseline: the exact `cate_evaluations`
+//! count, the exact `total_weight` bit pattern, and a peak-RSS ceiling.
+//!
+//! It is too slow for the per-PR gate (`perf_smoke --quick` covers that),
+//! so it is ignored by default; CI runs it weekly and on demand via
+//!
+//! ```text
+//! cargo test --release --test million_row -- --ignored
+//! ```
+//!
+//! If an intentional algorithm change shifts the counters, re-run the
+//! test, confirm the shift is expected, and update the constants below
+//! in the same commit.
+
+use causumx::{ConfigBuilder, Session};
+use datagen::synthetic::{self, SynthParams};
+
+/// Committed baseline for 1 M rows × 1 000 groups (`tuples_per_group =
+/// 1_000` — the default of 4 would mean 250 000 groups whose bitsets
+/// alone need tens of GB; a fixed group count is also what the paper's
+/// scalability sweep scales), seed 42, default config with
+/// `threads = 0` (auto). Recorded on the unified-scheduler
+/// implementation; bit-identical at any worker count by the
+/// determinism contract.
+const BASELINE_CATE_EVALUATIONS: usize = 1438;
+const BASELINE_TOTAL_WEIGHT: f64 = 61.039941878153925;
+
+/// Peak-RSS ceiling in MiB. Measured ≈ 260 MiB for the whole process
+/// (table + view + group bitsets + estimation contexts at 1 M rows ×
+/// 1 000 groups); the bound leaves ~2× headroom so only a real memory
+/// regression — not allocator noise — trips it.
+const PEAK_RSS_CEILING_MB: f64 = 512.0;
+
+#[test]
+#[ignore = "1M-row scale: run with --release -- --ignored (weekly CI / on demand)"]
+fn million_row_pipeline_matches_baseline() {
+    let params = SynthParams {
+        n: 1_000_000,
+        tuples_per_group: 1_000,
+        ..SynthParams::default()
+    };
+    let ds = synthetic::generate(params, 42);
+    let cfg = ConfigBuilder::new().threads(0).build().unwrap();
+    let summary = Session::new(ds.table.clone(), ds.dag.clone(), cfg)
+        .prepare(ds.query())
+        .unwrap()
+        .run();
+
+    assert!(summary.feasible, "selection must be feasible: {summary:?}");
+    assert_eq!(
+        summary.cate_evaluations, BASELINE_CATE_EVALUATIONS,
+        "cate_evaluations drifted from committed baseline"
+    );
+    assert_eq!(
+        summary.total_weight.to_bits(),
+        BASELINE_TOTAL_WEIGHT.to_bits(),
+        "total_weight not bit-identical to committed baseline: {} vs {}",
+        summary.total_weight,
+        BASELINE_TOTAL_WEIGHT,
+    );
+
+    if let Some(rss) = bench::peak_rss_mb() {
+        assert!(
+            rss < PEAK_RSS_CEILING_MB,
+            "peak RSS {rss} MiB exceeds documented ceiling {PEAK_RSS_CEILING_MB} MiB"
+        );
+        eprintln!("[million_row] peak RSS {rss} MiB (ceiling {PEAK_RSS_CEILING_MB} MiB)");
+    }
+}

@@ -67,7 +67,7 @@ fn toy_session() -> Session {
         .k(3)
         .theta(1.0)
         .min_arm(2)
-        .parallel(false)
+        .threads(1)
         .build()
         .unwrap();
     Session::new(table, dag, config)
