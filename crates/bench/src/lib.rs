@@ -78,26 +78,10 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (r, t0.elapsed().as_secs_f64() * 1e3)
 }
 
-/// Peak resident-set size of this process in bytes (`VmHWM` from
-/// `/proc/self/status`), or `None` where procfs is unavailable
-/// (non-Linux hosts). This is a process-wide high-water mark: it only
-/// ever grows, so per-phase deltas need a reading before and after and
-/// are a lower bound, not an exact attribution.
-pub fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
-            return Some(kb * 1024);
-        }
-    }
-    None
-}
-
-/// [`peak_rss_bytes`] in mebibytes, rounded to one decimal.
-pub fn peak_rss_mb() -> Option<f64> {
-    peak_rss_bytes().map(|b| (b as f64 / (1024.0 * 1024.0) * 10.0).round() / 10.0)
-}
+// The VmHWM probe moved into the engine (`mining::sched::guard`) when
+// per-query memory budgets started sampling it; re-exported here so the
+// experiment binaries keep one canonical implementation.
+pub use mining::sched::guard::{peak_rss_bytes, peak_rss_mb};
 
 /// A simple column-aligned markdown table builder.
 #[derive(Debug, Default)]

@@ -66,6 +66,17 @@
 //! splits, backdoor memo); [`render::Report`] is the structured output.
 //! The pre-session one-shot engine ([`Causumx`]) remains as a deprecated
 //! shim for one release.
+//!
+//! ## Lifeguards
+//!
+//! Every query can run under a [`RunGuard`]: a wall-clock deadline and a
+//! peak-RSS memory budget set on the configuration
+//! ([`ConfigBuilder::deadline`], [`ConfigBuilder::memory_budget_mb`]) and
+//! enforced through [`PreparedQuery::try_run`], plus cooperative
+//! cancellation from another thread via [`CancelHandle`]. A tripped guard
+//! or a panicking mining task fails only that query with a structured
+//! [`Error`] variant carrying [`QueryProgress`]; the session, its caches
+//! and the worker pool stay healthy and keep serving sibling queries.
 
 pub mod config;
 pub mod error;
@@ -77,8 +88,11 @@ pub mod session;
 pub use config::{CausumxConfig, ConfigBuilder, SelectionMethod};
 pub use error::Error;
 pub use explanation::{Explanation, StepTimings, Summary};
+pub use mining::{CancelHandle, FaultKind, FaultPlan, FaultSite, QueryProgress, RunGuard};
 pub use pipeline::{union_coverage, CandidateSet};
-pub use render::{render_summary, summary_json, Report, ReportExplanation, ReportTreatment};
+pub use render::{
+    error_json, render_summary, summary_json, Report, ReportExplanation, ReportTreatment,
+};
 pub use session::{
     select_candidates, AttrSplit, PreparedQuery, QueryBuilder, Session, SessionCounters,
 };

@@ -18,6 +18,7 @@ use std::fmt::Write as _;
 use table::query::AggView;
 use table::Table;
 
+use crate::error::Error;
 use crate::explanation::{StepTimings, Summary};
 
 /// Render a `p < 10^e` bound like the paper's report lines.
@@ -305,6 +306,82 @@ pub fn summary_json(table: &Table, view: &AggView, summary: &Summary) -> String 
     Report::new(table, view, summary, &outcome).to_json()
 }
 
+/// Serialize an [`Error`] as JSON — the failure-side counterpart of
+/// [`summary_json`], so services surfacing query results as JSON can
+/// render a tripped lifeguard or an isolated worker panic without
+/// string-matching `Display` output. `kind` is a stable snake_case tag;
+/// the guard variants attach their limits and the
+/// [`mining::QueryProgress`] snapshot.
+pub fn error_json(e: &Error) -> String {
+    let progress_json = |p: &mining::QueryProgress| {
+        format!(
+            "{{\"levels_completed\":{},\"cate_evaluations\":{}}}",
+            p.levels_completed, p.cate_evaluations
+        )
+    };
+    let mut out = String::from("{\"error\":{");
+    match e {
+        Error::Cancelled { progress } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"cancelled\",\"message\":\"{}\",\"progress\":{}",
+                json_escape(&e.to_string()),
+                progress_json(progress)
+            );
+        }
+        Error::DeadlineExceeded { after_ms, progress } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"deadline_exceeded\",\"message\":\"{}\",\"after_ms\":{},\"progress\":{}",
+                json_escape(&e.to_string()),
+                after_ms,
+                progress_json(progress)
+            );
+        }
+        Error::MemoryBudget {
+            budget_mb,
+            observed_mb,
+            progress,
+        } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"memory_budget\",\"message\":\"{}\",\"budget_mb\":{},\
+                 \"observed_mb\":{},\"progress\":{}",
+                json_escape(&e.to_string()),
+                budget_mb,
+                observed_mb,
+                progress_json(progress)
+            );
+        }
+        Error::Worker { task, payload } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"worker_panic\",\"message\":\"{}\",\"task\":\"{}\",\"payload\":\"{}\"",
+                json_escape(&e.to_string()),
+                json_escape(task),
+                json_escape(payload)
+            );
+        }
+        other => {
+            let kind = match other {
+                Error::Table(_) => "table",
+                Error::Sql { .. } => "sql",
+                Error::Config { .. } => "config",
+                Error::InvalidQuery(_) => "invalid_query",
+                Error::EmptyView => "empty_view",
+                _ => unreachable!("guard variants handled above"),
+            };
+            let _ = write!(
+                out,
+                "\"kind\":\"{kind}\",\"message\":\"{}\"",
+                json_escape(&other.to_string())
+            );
+        }
+    }
+    out.push_str("}}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,5 +501,61 @@ mod tests {
         summary.explanations.clear();
         let text = render_summary(&table, &view, &summary, "salary");
         assert!(text.contains("No explanation patterns"));
+    }
+
+    #[test]
+    fn error_json_covers_guard_variants() {
+        let progress = mining::QueryProgress {
+            levels_completed: 2,
+            cate_evaluations: 523,
+        };
+        let j = error_json(&Error::DeadlineExceeded {
+            after_ms: 1500,
+            progress,
+        });
+        assert!(j.contains("\"kind\":\"deadline_exceeded\""), "{j}");
+        assert!(j.contains("\"after_ms\":1500"), "{j}");
+        assert!(j.contains("\"levels_completed\":2"), "{j}");
+        assert!(j.contains("\"cate_evaluations\":523"), "{j}");
+
+        let j = error_json(&Error::MemoryBudget {
+            budget_mb: 64,
+            observed_mb: 66,
+            progress,
+        });
+        assert!(j.contains("\"kind\":\"memory_budget\""), "{j}");
+        assert!(j.contains("\"budget_mb\":64"), "{j}");
+
+        let j = error_json(&Error::Worker {
+            task: "pattern 1 level 2 chunk 0".into(),
+            payload: "boom \"quoted\"".into(),
+        });
+        assert!(j.contains("\"kind\":\"worker_panic\""), "{j}");
+        assert!(j.contains("\\\"quoted\\\""), "{j}");
+
+        let j = error_json(&Error::Cancelled { progress });
+        assert!(j.contains("\"kind\":\"cancelled\""), "{j}");
+
+        let j = error_json(&Error::EmptyView);
+        assert!(j.contains("\"kind\":\"empty_view\""), "{j}");
+
+        // Every variant stays balanced.
+        for j in [
+            error_json(&Error::InvalidQuery("no group-by".into())),
+            error_json(&Error::Sql {
+                pos: 3,
+                msg: "bad token".into(),
+            }),
+        ] {
+            let braces: i64 = j
+                .chars()
+                .map(|c| match c {
+                    '{' => 1,
+                    '}' => -1,
+                    _ => 0,
+                })
+                .sum();
+            assert_eq!(braces, 0, "{j}");
+        }
     }
 }

@@ -19,6 +19,9 @@
 //! [`Session::sql`], or from a raw [`GroupByAvgQuery`] through
 //! [`Session::prepare`]; all three resolve to a validated
 //! [`PreparedQuery`] whose `run`/`explain_group` methods are infallible.
+//! [`PreparedQuery::try_run`] is the lifeguarded variant: it enforces the
+//! configured deadline and memory budget, honors cooperative cancellation
+//! and isolates mining panics, reporting each as a structured [`Error`].
 //!
 //! ```
 //! use causumx::{ConfigBuilder, Session};
@@ -42,6 +45,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
@@ -54,6 +58,7 @@ use lpsolve::cover::{
 use mining::grouping::{mine_grouping_patterns, GroupingPattern};
 use mining::sched;
 use mining::treatment::{BackdoorMemo, TreatmentMiner, TreatmentResult};
+use mining::RunGuard;
 use table::fd::fd_closure;
 use table::pattern::Pattern;
 use table::query::{AggView, GroupByAvgQuery};
@@ -247,7 +252,7 @@ impl Session {
         gb.sort_unstable();
         gb.dedup();
         let key = (gb, query.avg);
-        if let Some(hit) = self.fd_cache.read().expect("fd cache poisoned").get(&key) {
+        if let Some(hit) = sched::read_recovered(&self.fd_cache).get(&key) {
             return Arc::clone(hit);
         }
         let grouping = fd_closure(&self.table, &query.group_by, &[query.avg]);
@@ -261,10 +266,7 @@ impl Session {
             grouping,
             treatment,
         });
-        self.fd_cache
-            .write()
-            .expect("fd cache poisoned")
-            .insert(key, Arc::clone(&split));
+        sched::write_recovered(&self.fd_cache).insert(key, Arc::clone(&split));
         split
     }
 }
@@ -454,9 +456,37 @@ impl<'s> PreparedQuery<'s> {
     /// return bit-identical summaries while reusing every piece of
     /// prepared state (view, group bitsets, FD split, atom space,
     /// backdoor memo).
+    ///
+    /// Runs unguarded (no deadline, no budget) and panics if a mining
+    /// task panicked — the historical contract. Use [`Self::try_run`] for
+    /// the fallible, lifeguarded variant.
     pub fn run(&self) -> Summary {
-        let candidates = self.mine_candidates();
-        self.select(&candidates, self.config.selection)
+        let guard = RunGuard::unlimited();
+        match self.run_guarded(&guard) {
+            Ok(summary) => summary,
+            Err(Error::Worker { task, payload }) => {
+                panic!("mining task '{task}' panicked: {payload}")
+            }
+            Err(e) => panic!("unguarded query run aborted: {e}"),
+        }
+    }
+
+    /// Run the full pipeline under the lifeguards configured on this
+    /// query's [`CausumxConfig`] snapshot (`deadline`,
+    /// `memory_budget_mb`). Returns the structured [`Error`] variant when
+    /// a guard trips or a mining task panics; the session, its caches and
+    /// the worker pool stay healthy either way.
+    pub fn try_run(&self) -> Result<Summary, Error> {
+        let guard = self.config.run_guard();
+        self.run_guarded(&guard)
+    }
+
+    /// Run the full pipeline under a caller-supplied [`RunGuard`] — the
+    /// way to cancel a query from another thread (via
+    /// [`RunGuard::cancel_handle`]) or to plug in a custom memory probe.
+    pub fn run_guarded(&self, guard: &RunGuard) -> Result<Summary, Error> {
+        let candidates = self.try_mine_candidates(guard)?;
+        Ok(self.select(&candidates, self.config.selection))
     }
 
     /// The `Brute-Force` baseline: exhaustive grouping patterns (τ = 0)
@@ -474,15 +504,41 @@ impl<'s> PreparedQuery<'s> {
     }
 
     /// Steps 1+2 of Algorithm 1 over the prepared state.
+    ///
+    /// Unguarded and panicking on worker failure, like [`Self::run`]. Use
+    /// [`Self::try_mine_candidates`] for the lifeguarded variant.
     pub fn mine_candidates(&self) -> CandidateSet {
-        self.mine_candidates_inner(false)
+        let guard = RunGuard::unlimited();
+        match self.mine_candidates_inner(false, &guard) {
+            Ok(candidates) => candidates,
+            Err(Error::Worker { task, payload }) => {
+                panic!("mining task '{task}' panicked: {payload}")
+            }
+            Err(e) => panic!("unguarded mining run aborted: {e}"),
+        }
+    }
+
+    /// Steps 1+2 of Algorithm 1 under a caller-supplied [`RunGuard`].
+    pub fn try_mine_candidates(&self, guard: &RunGuard) -> Result<CandidateSet, Error> {
+        self.mine_candidates_inner(false, guard)
     }
 
     fn mine_candidates_brute(&self) -> CandidateSet {
-        self.mine_candidates_inner(true)
+        let guard = RunGuard::unlimited();
+        match self.mine_candidates_inner(true, &guard) {
+            Ok(candidates) => candidates,
+            Err(Error::Worker { task, payload }) => {
+                panic!("mining task '{task}' panicked: {payload}")
+            }
+            Err(e) => panic!("unguarded mining run aborted: {e}"),
+        }
     }
 
-    fn mine_candidates_inner(&self, exhaustive: bool) -> CandidateSet {
+    fn mine_candidates_inner(
+        &self,
+        exhaustive: bool,
+        guard: &RunGuard,
+    ) -> Result<CandidateSet, Error> {
         self.session.counters.runs.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
         let tau = if exhaustive {
@@ -498,18 +554,25 @@ impl<'s> PreparedQuery<'s> {
             self.config.max_grouping_len,
         );
         let grouping_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // One checkpoint between phases: a deadline or budget blown during
+        // grouping mining is noticed before the (far larger) lattice walk
+        // starts.
+        guard
+            .check()
+            .map_err(|trip| mining::treatment::MineError::from_trip(trip, guard.progress()))?;
 
         let t1 = Instant::now();
-        let (explanations, cate_evaluations) = self.mine_treatments(&groupings, exhaustive);
+        let (explanations, cate_evaluations) =
+            self.mine_treatments(&groupings, exhaustive, guard)?;
         let treatment_ms = t1.elapsed().as_secs_f64() * 1e3;
 
-        CandidateSet {
+        Ok(CandidateSet {
             view: self.view.clone(),
             explanations,
             grouping_ms,
             treatment_ms,
             cate_evaluations,
-        }
+        })
     }
 
     /// Step 2 over a fixed grouping-pattern list. `exhaustive` switches
@@ -528,7 +591,8 @@ impl<'s> PreparedQuery<'s> {
         &self,
         groupings: &[GroupingPattern],
         exhaustive: bool,
-    ) -> (Vec<Explanation>, usize) {
+        guard: &RunGuard,
+    ) -> Result<(Vec<Explanation>, usize), Error> {
         let miner = &self.miner;
         let config = &self.config;
         let threads = config.effective_threads();
@@ -536,23 +600,28 @@ impl<'s> PreparedQuery<'s> {
         let results: Vec<(Explanation, usize)> = if exhaustive {
             // Full-lattice enumeration has no level structure to chunk, so
             // each pattern is one scheduler task; slots keep the output in
-            // grouping-pattern order regardless of completion order.
+            // grouping-pattern order regardless of completion order. A
+            // panicking pattern is caught here and fails only this query;
+            // a guard trip drains the remaining tasks as no-ops.
             let work = |gp: &GroupingPattern| -> (Explanation, usize) {
                 let subpop = &gp.rows;
                 let all = miner.all_treatments(subpop, config.lattice.max_level);
                 let evals = all.len();
                 let sig = |t: &&TreatmentResult| t.p_value <= config.lattice.max_p_value;
+                // `total_cmp` is safe here: zero CATEs are filtered out
+                // just above and the estimators never produce NaN
+                // (guarded divisions), so ordering matches partial_cmp.
                 let pos = all
                     .iter()
                     .filter(sig)
                     .filter(|t| t.cate > 0.0)
-                    .max_by(|a, b| a.cate.partial_cmp(&b.cate).unwrap())
+                    .max_by(|a, b| a.cate.total_cmp(&b.cate))
                     .cloned();
                 let neg = if config.mine_negative {
                     all.iter()
                         .filter(sig)
                         .filter(|t| t.cate < 0.0)
-                        .min_by(|a, b| a.cate.partial_cmp(&b.cate).unwrap())
+                        .min_by(|a, b| a.cate.total_cmp(&b.cate))
                         .cloned()
                 } else {
                     None
@@ -564,20 +633,55 @@ impl<'s> PreparedQuery<'s> {
             };
             let slots: Vec<OnceLock<(Explanation, usize)>> =
                 (0..groupings.len()).map(|_| OnceLock::new()).collect();
+            let failure: OnceLock<Error> = OnceLock::new();
             sched::run_graph(threads, (0..groupings.len()).collect(), |i: usize, _| {
-                let first = slots[i].set(work(&groupings[i]));
-                debug_assert!(first.is_ok(), "exhaustive pattern {i} mined twice");
+                if failure.get().is_some() {
+                    return; // query already failed; drain remaining tasks
+                }
+                if let Err(trip) = guard.check() {
+                    let _ = failure.set(
+                        mining::treatment::MineError::from_trip(trip, guard.progress()).into(),
+                    );
+                    return;
+                }
+                match catch_unwind(AssertUnwindSafe(|| work(&groupings[i]))) {
+                    Ok(out) => {
+                        let first = slots[i].set(out);
+                        debug_assert!(first.is_ok(), "exhaustive pattern {i} mined twice");
+                    }
+                    Err(payload) => {
+                        let _ = failure.set(Error::Worker {
+                            task: format!("exhaustive pattern {i}"),
+                            payload: sched::payload_string(payload.as_ref()),
+                        });
+                    }
+                }
             });
+            if let Some(e) = failure.into_inner() {
+                return Err(e);
+            }
             slots
                 .into_iter()
-                .map(|s| s.into_inner().expect("every pattern task completes"))
-                .collect()
+                .enumerate()
+                .map(|(i, s)| {
+                    s.into_inner().ok_or_else(|| Error::Worker {
+                        task: format!("exhaustive pattern {i}"),
+                        payload: "task did not run to completion".into(),
+                    })
+                })
+                .collect::<Result<_, _>>()?
         } else {
             // Subpopulations stay bitsets end-to-end — no byte-mask
             // round-trip between the grouping miner and the lattice walk.
             let subpops: Vec<&table::bitset::BitSet> =
                 groupings.iter().map(|gp| &gp.rows).collect();
-            let mined = miner.mine_paired_many(&subpops, 1, config.mine_negative, threads);
+            let mined = miner.mine_paired_many_guarded(
+                &subpops,
+                1,
+                config.mine_negative,
+                threads,
+                guard,
+            )?;
             groupings
                 .iter()
                 .zip(mined)
@@ -603,7 +707,7 @@ impl<'s> PreparedQuery<'s> {
                 explanations.push(e);
             }
         }
-        (explanations, evals)
+        Ok((explanations, evals))
     }
 
     /// Step 3: selection by the requested method over mined candidates,

@@ -21,7 +21,10 @@
 //! * [`sched`] — the work-stealing task scheduler both fan-out dimensions
 //!   (across grouping patterns, within lattice levels) share, with the
 //!   index-ordered merge primitive that keeps results bit-identical to
-//!   the serial path at any worker count.
+//!   the serial path at any worker count. Its [`sched::guard`] submodule
+//!   holds the per-query lifeguards (cancellation, deadlines, memory
+//!   budgets) and [`sched::faults`] the deterministic fault-injection
+//!   layer behind the chaos suite.
 
 #![warn(missing_docs)]
 
@@ -32,7 +35,9 @@ pub mod treatment;
 
 pub use apriori::{apriori, FrequentPattern};
 pub use grouping::{mine_grouping_patterns, GroupingPattern};
+pub use sched::faults::{FaultKind, FaultPlan, FaultSite};
+pub use sched::guard::{CancelHandle, QueryProgress, RunGuard};
 pub use treatment::{
-    BackdoorMemo, Direction, LatticeOptions, LatticeStats, PairedTreatments, TreatmentMiner,
-    TreatmentResult,
+    BackdoorMemo, Direction, LatticeOptions, LatticeStats, MineError, PairedTreatments,
+    TreatmentMiner, TreatmentResult,
 };

@@ -22,12 +22,28 @@
 //! second pool, so nested fan-out can never multiply into `cores²`
 //! threads. Auto-resolved worker counts are additionally asserted to
 //! never exceed [`available_workers`].
+//!
+//! Failure model: every task body is unwind-isolated. A panicking task
+//! no longer poisons the pool — its payload is recorded, every sibling
+//! task still runs, all workers drain normally, and the first payload is
+//! re-raised to the caller only after the graph has fully completed.
+//! Queue locks recover from poison instead of aborting (the protected
+//! state is a task queue that stays valid across a caught unwind), and
+//! [`ChunkSlots::try_merged`] reports missing chunks as a structured
+//! error instead of panicking. Per-query limits live one level up in
+//! [`guard`], and [`faults`] provides the deterministic fault-injection
+//! hooks the chaos suite drives through these paths.
 
+pub mod faults;
+pub mod guard;
+
+use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
 
 thread_local! {
     /// Set while the current thread is executing scheduler tasks; nested
@@ -52,6 +68,37 @@ impl Drop for WorkerMark {
         let prev = self.prev;
         IN_SCHEDULER.with(|c| c.set(prev));
     }
+}
+
+/// Best-effort stringification of a caught panic payload (`&str` and
+/// `String` payloads cover `panic!` in practice).
+pub fn payload_string(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Lock a mutex, clearing poison. Tasks are unwind-isolated, so a
+/// poisoned flag only means a panic was already caught and recorded
+/// somewhere — the protected state is still structurally valid, and the
+/// panic is reported through its own channel rather than by aborting
+/// every later lock site.
+pub fn lock_recovered<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock_recovered`] for `RwLock` read guards.
+pub fn read_recovered<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock_recovered`] for `RwLock` write guards.
+pub fn write_recovered<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Number of hardware threads available to this process (`1` when the
@@ -96,6 +143,25 @@ pub fn chunk_ranges(n: usize, workers: usize, min_chunk: usize) -> Vec<Range<usi
         .collect()
 }
 
+/// Error from [`ChunkSlots::try_merged`]: these chunk indices never
+/// recorded a result. After the walk's unwind isolation this can only
+/// mean the chunk's task panicked or was skipped by a guard trip, so
+/// callers surface it as a structured worker failure instead of
+/// aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingChunks {
+    /// Chunk indices with no recorded result, in index order.
+    pub missing: Vec<usize>,
+}
+
+impl std::fmt::Display for MissingChunks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chunks never completed: {:?}", self.missing)
+    }
+}
+
+impl std::error::Error for MissingChunks {}
+
 /// Index-addressed result slots for one fan-out: chunk `i` of a level
 /// writes its results into slot `i` whenever it happens to finish, and
 /// the last chunk to complete merges all slots back in index order. This
@@ -137,17 +203,29 @@ impl<R> ChunkSlots<R> {
         self.remaining.fetch_sub(1, Ordering::AcqRel) == 1
     }
 
-    /// Concatenate all slots in chunk-index order. Call only after
-    /// [`ChunkSlots::complete`] returned `true`; panics on missing chunks.
-    pub fn merged(&self) -> Vec<R>
+    /// Concatenate all slots in chunk-index order, or report which
+    /// chunks never completed. Call after [`ChunkSlots::complete`]
+    /// returned `true`; an `Err` outside that protocol means a chunk
+    /// task died before recording its result.
+    pub fn try_merged(&self) -> Result<Vec<R>, MissingChunks>
     where
         R: Clone,
     {
-        debug_assert_eq!(self.remaining.load(Ordering::Acquire), 0);
-        self.slots
+        let missing: Vec<usize> = self
+            .slots
             .iter()
-            .flat_map(|s| s.get().expect("all chunks complete").iter().cloned())
-            .collect()
+            .enumerate()
+            .filter(|(_, s)| s.get().is_none())
+            .map(|(i, _)| i)
+            .collect();
+        if !missing.is_empty() {
+            return Err(MissingChunks { missing });
+        }
+        Ok(self
+            .slots
+            .iter()
+            .flat_map(|s| s.get().expect("checked above").iter().cloned())
+            .collect())
     }
 }
 
@@ -169,14 +247,19 @@ impl<T> Spawner<'_, T> {
         match &self.inner {
             SpawnerInner::Inline(queue) => queue.borrow_mut().push_back(task),
             SpawnerInner::Pool(shared) => {
-                shared
-                    .state
-                    .lock()
-                    .expect("scheduler queue poisoned")
-                    .queue
-                    .push_back(task);
+                lock_recovered(&shared.state).queue.push_back(task);
                 shared.cv.notify_one();
             }
+        }
+    }
+
+    /// Wake every pool worker without enqueuing anything — a spurious
+    /// wakeup. The worker loop must treat it as a no-op; the fault
+    /// injector uses this to probe for lost-/spurious-wakeup bugs. No-op
+    /// in inline mode.
+    pub fn poke(&self) {
+        if let SpawnerInner::Pool(shared) = &self.inner {
+            shared.cv.notify_all();
         }
     }
 }
@@ -187,32 +270,15 @@ struct State<T> {
     /// queue empty *and* nothing in flight (an in-flight task may still
     /// spawn successors).
     in_flight: usize,
-    /// Set when a task panicked; all workers drain out immediately so the
-    /// panic can propagate through the scope join.
-    poisoned: bool,
+    /// Payloads of tasks that panicked, in completion order. The pool
+    /// keeps running; the first payload is re-raised after the graph
+    /// completes.
+    panics: Vec<Box<dyn Any + Send>>,
 }
 
 struct Shared<T> {
     state: Mutex<State<T>>,
     cv: Condvar,
-}
-
-/// Poison the pool if the guarded task panics, so sibling workers exit
-/// instead of waiting forever on a condvar.
-struct PanicGuard<'s, T> {
-    shared: &'s Shared<T>,
-    armed: bool,
-}
-
-impl<T> Drop for PanicGuard<'_, T> {
-    fn drop(&mut self) {
-        if self.armed {
-            if let Ok(mut st) = self.shared.state.lock() {
-                st.poisoned = true;
-            }
-            self.shared.cv.notify_all();
-        }
-    }
 }
 
 /// Run a dynamic task graph to completion on `threads` workers
@@ -227,8 +293,12 @@ impl<T> Drop for PanicGuard<'_, T> {
 /// worker also run inline (see the module docs), which is what makes
 /// nested fan-out structurally incapable of oversubscribing.
 ///
-/// Panics in a task propagate to the caller after all workers have
-/// drained.
+/// Every task body is unwind-isolated: a panic fails only that task,
+/// sibling tasks still run, and the first panic payload is re-raised to
+/// the caller after the whole graph has drained. Callers that want
+/// structured per-task failure instead of a propagated panic (the
+/// lattice walk) catch inside their own step closure, where they still
+/// know which pattern/level/chunk the task belonged to.
 pub fn run_graph<T, F>(threads: usize, initial: Vec<T>, step: F)
 where
     T: Send,
@@ -246,7 +316,7 @@ where
         state: Mutex::new(State {
             queue: VecDeque::from(initial),
             in_flight: 0,
-            poisoned: false,
+            panics: Vec::new(),
         }),
         cv: Condvar::new(),
     };
@@ -256,6 +326,10 @@ where
         }
         worker_loop(&shared, &step);
     });
+    let panics = std::mem::take(&mut lock_recovered(&shared.state).panics);
+    if let Some(first) = panics.into_iter().next() {
+        resume_unwind(first);
+    }
 }
 
 fn run_inline<T, F>(initial: Vec<T>, step: &F)
@@ -267,12 +341,21 @@ where
     let spawner = Spawner {
         inner: SpawnerInner::Inline(&queue),
     };
+    let mut first_panic: Option<Box<dyn Any + Send>> = None;
     loop {
         let task = queue.borrow_mut().pop_front();
         match task {
-            Some(task) => step(task, &spawner),
+            Some(task) => {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| step(task, &spawner))) {
+                    first_panic.get_or_insert(payload);
+                }
+            }
             None => break,
         }
+    }
+    drop(_mark);
+    if let Some(payload) = first_panic {
+        resume_unwind(payload);
     }
 }
 
@@ -284,22 +367,16 @@ where
     let spawner = Spawner {
         inner: SpawnerInner::Pool(shared),
     };
-    let mut st = shared.state.lock().expect("scheduler queue poisoned");
+    let mut st = lock_recovered(&shared.state);
     loop {
-        if st.poisoned {
-            return;
-        }
         if let Some(task) = st.queue.pop_front() {
             st.in_flight += 1;
             drop(st);
-            let mut guard = PanicGuard {
-                shared,
-                armed: true,
-            };
-            step(task, &spawner);
-            guard.armed = false;
-            drop(guard);
-            st = shared.state.lock().expect("scheduler queue poisoned");
+            let result = catch_unwind(AssertUnwindSafe(|| step(task, &spawner)));
+            st = lock_recovered(&shared.state);
+            if let Err(payload) = result {
+                st.panics.push(payload);
+            }
             st.in_flight -= 1;
             if st.in_flight == 0 && st.queue.is_empty() {
                 // Last task of the graph: wake everyone so they observe
@@ -312,7 +389,7 @@ where
                 shared.cv.notify_all();
                 return;
             }
-            st = shared.cv.wait(st).expect("scheduler queue poisoned");
+            st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -413,7 +490,16 @@ mod tests {
             }
         }
         assert_eq!(last, Some(0));
-        assert_eq!(slots.merged(), (0..25).collect::<Vec<_>>());
+        assert_eq!(slots.try_merged().unwrap(), (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_merged_reports_missing_chunks() {
+        let slots: ChunkSlots<usize> = ChunkSlots::new(3);
+        slots.complete(1, vec![42]);
+        let err = slots.try_merged().unwrap_err();
+        assert_eq!(err.missing, vec![0, 2]);
+        assert!(err.to_string().contains("[0, 2]"));
     }
 
     #[test]
@@ -426,5 +512,73 @@ mod tests {
             });
         }));
         assert!(caught.is_err());
+    }
+
+    /// Unwind isolation: a panicking task must not stop its siblings —
+    /// every other task still runs, the pool drains cleanly, and the
+    /// panic is re-raised only after the graph completes.
+    #[test]
+    fn siblings_complete_despite_panic() {
+        let seen = Mutex::new(HashSet::new());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_graph(3, (0..32usize).collect(), |t, _| {
+                if t == 3 {
+                    panic!("boom");
+                }
+                seen.lock().unwrap().insert(t);
+            });
+        }));
+        assert!(caught.is_err());
+        assert_eq!(
+            seen.lock().unwrap().len(),
+            31,
+            "all non-panicking tasks ran"
+        );
+        // The pool is reusable: a fresh graph on the same thread works.
+        let n = AtomicUsize::new(0);
+        run_graph(3, (0..8usize).collect(), |_, _| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn inline_mode_also_isolates_and_repropagates() {
+        let seen = Mutex::new(Vec::new());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_graph(1, vec![0usize, 1, 2], |t, _| {
+                if t == 1 {
+                    panic!("boom");
+                }
+                seen.lock().unwrap().push(t);
+            });
+        }));
+        assert!(caught.is_err());
+        assert_eq!(*seen.lock().unwrap(), vec![0, 2]);
+    }
+
+    #[test]
+    fn poke_is_a_harmless_spurious_wakeup() {
+        let n = AtomicUsize::new(0);
+        run_graph(4, (0..32usize).collect(), |t, spawn| {
+            if t % 5 == 0 {
+                spawn.poke();
+            }
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn lock_recovered_clears_poison() {
+        let m = std::sync::Arc::new(Mutex::new(7usize));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recovered(&m), 7);
     }
 }

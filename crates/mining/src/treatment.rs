@@ -12,10 +12,13 @@
 //! d). Traversal stops at the first level that does not improve on the best
 //! CATE recorded so far (lines 10–13 of Algorithm 2).
 
+use std::any::Any;
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Duration;
 
 use causal::backdoor::{attrs_affecting_outcome, backdoor_set};
 use causal::context::{ContextCache, EstimationContext};
@@ -26,6 +29,9 @@ use table::pattern::{Op, Pattern, Pred};
 use table::{Column, Scalar, Table};
 
 use crate::sched;
+use crate::sched::faults::{FaultInjector, FaultPlan, FaultSite};
+use crate::sched::guard::{QueryProgress, RunGuard, Trip};
+use crate::sched::payload_string;
 
 /// Search direction σ of Algorithm 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +114,13 @@ pub struct LatticeOptions {
     /// candidate chunks on the [`crate::sched`] work-stealing scheduler
     /// and merges back in candidate order.
     pub level_parallelism: usize,
+    /// Deterministic fault-injection plan for the chaos suite
+    /// ([`crate::sched::faults`]): panics, delays, spurious wakeups or
+    /// cooperative cancels fired at chosen (pattern, level, chunk)
+    /// points of the walk. `None` (the default, and the only production
+    /// setting) injects nothing and costs nothing — the knob is gated
+    /// here exactly like the ablation switches.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for LatticeOptions {
@@ -125,8 +138,107 @@ impl Default for LatticeOptions {
             use_estimation_cache: true,
             use_confounder_panel: true,
             level_parallelism: 0,
+            fault_plan: None,
         }
     }
+}
+
+/// Structured failure of one guarded mining call
+/// ([`TreatmentMiner::mine_paired_many_guarded`]). The guard-trip
+/// variants carry [`QueryProgress`] so callers can report how far the
+/// walk got; `Worker` carries which task panicked and its stringified
+/// payload. Exactly one of these surfaces per failed query — sibling
+/// patterns finish, and the pool stays healthy for the next call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MineError {
+    /// The query's cancel handle was triggered (or a `Cancel` fault
+    /// fired) and the walk stopped at the next checkpoint.
+    Cancelled {
+        /// Progress at the checkpoint that noticed the cancellation.
+        progress: QueryProgress,
+    },
+    /// The wall-clock deadline elapsed mid-walk.
+    DeadlineExceeded {
+        /// The configured deadline.
+        after: Duration,
+        /// Progress at the checkpoint that noticed the deadline.
+        progress: QueryProgress,
+    },
+    /// Peak-RSS growth exceeded the query's memory budget.
+    MemoryBudget {
+        /// Allowed growth in bytes.
+        budget_bytes: u64,
+        /// Observed growth in bytes when the check fired.
+        observed_bytes: u64,
+        /// Progress at the checkpoint that noticed the overshoot.
+        progress: QueryProgress,
+    },
+    /// A walk task panicked; the panic was caught and attributed to its
+    /// owning pattern instead of poisoning the pool.
+    Worker {
+        /// Which task failed, e.g. `"pattern 2 level 3 chunk 1"`.
+        task: String,
+        /// Stringified panic payload.
+        payload: String,
+    },
+}
+
+impl std::fmt::Display for MineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MineError::Cancelled { progress } => write!(
+                f,
+                "query cancelled after {} levels / {} CATE evaluations",
+                progress.levels_completed, progress.cate_evaluations
+            ),
+            MineError::DeadlineExceeded { after, progress } => write!(
+                f,
+                "deadline of {after:?} exceeded after {} levels / {} CATE evaluations",
+                progress.levels_completed, progress.cate_evaluations
+            ),
+            MineError::MemoryBudget {
+                budget_bytes,
+                observed_bytes,
+                progress,
+            } => write!(
+                f,
+                "memory budget of {budget_bytes} bytes exceeded ({observed_bytes} observed) after {} levels / {} CATE evaluations",
+                progress.levels_completed, progress.cate_evaluations
+            ),
+            MineError::Worker { task, payload } => {
+                write!(f, "worker task '{task}' panicked: {payload}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MineError {}
+
+impl MineError {
+    /// Convert a guard [`Trip`] into the mining error, attaching the
+    /// progress snapshot the caller observed at the checkpoint.
+    pub fn from_trip(trip: Trip, progress: QueryProgress) -> MineError {
+        match trip {
+            Trip::Cancelled => MineError::Cancelled { progress },
+            Trip::DeadlineExceeded { budget } => MineError::DeadlineExceeded {
+                after: budget,
+                progress,
+            },
+            Trip::MemoryBudget {
+                budget_bytes,
+                observed_bytes,
+            } => MineError::MemoryBudget {
+                budget_bytes,
+                observed_bytes,
+                progress,
+            },
+        }
+    }
+}
+
+/// Convert a guard trip into the mining error, attaching progress.
+fn trip_error(trip: Trip, progress: QueryProgress) -> MineError {
+    MineError::from_trip(trip, progress)
 }
 
 /// A treatment pattern with its estimated effect.
@@ -200,7 +312,7 @@ impl BackdoorMemo {
 
     /// Distinct `(outcome, attribute set)` keys memoized.
     pub fn len(&self) -> usize {
-        self.map.read().expect("memo poisoned").len()
+        sched::read_recovered(&self.map).len()
     }
 
     /// Whether the memo is empty.
@@ -231,15 +343,12 @@ impl BackdoorMemo {
         compute: impl FnOnce(&[usize]) -> Vec<usize>,
     ) -> Vec<usize> {
         let full_key = (outcome, key);
-        if let Some(hit) = self.map.read().expect("memo poisoned").get(&full_key) {
+        if let Some(hit) = sched::read_recovered(&self.map).get(&full_key) {
             return hit.clone();
         }
         let conf = compute(&full_key.1);
         self.walks.fetch_add(1, Ordering::Relaxed);
-        self.map
-            .write()
-            .expect("memo poisoned")
-            .insert(full_key, conf.clone());
+        sched::write_recovered(&self.map).insert(full_key, conf.clone());
         conf
     }
 }
@@ -485,7 +594,7 @@ impl<'a> TreatmentMiner<'a> {
         dir: Direction,
         k: usize,
     ) -> (Vec<TreatmentResult>, LatticeStats) {
-        let mut out = self.mine_walks(&[subpop], k, &[dir], self.opts.level_parallelism);
+        let mut out = self.mine_walks_or_panic(&[subpop], k, &[dir], self.opts.level_parallelism);
         let paired = out.pop().expect("one subpopulation in, one result out");
         let list = match dir {
             Direction::Positive => paired.positive,
@@ -557,7 +666,51 @@ impl<'a> TreatmentMiner<'a> {
         } else {
             &[Direction::Positive]
         };
-        self.mine_walks(subpops, k, dirs, threads)
+        self.mine_walks_or_panic(subpops, k, dirs, threads)
+    }
+
+    /// [`TreatmentMiner::mine_paired_many`] under a caller-supplied
+    /// [`RunGuard`]: the walk checks the guard at every chunk boundary
+    /// and level merge and returns a structured [`MineError`] instead of
+    /// panicking — cooperative cancellation, deadlines, memory budgets
+    /// and caught worker panics all surface here with partial-progress
+    /// diagnostics. An `Ok` result is bit-identical to the unguarded
+    /// call at any worker count.
+    pub fn mine_paired_many_guarded(
+        &self,
+        subpops: &[&BitSet],
+        k: usize,
+        mine_negative: bool,
+        threads: usize,
+        guard: &RunGuard,
+    ) -> Result<Vec<PairedTreatments>, MineError> {
+        let dirs: &[Direction] = if mine_negative {
+            &[Direction::Positive, Direction::Negative]
+        } else {
+            &[Direction::Positive]
+        };
+        self.mine_walks(subpops, k, dirs, threads, guard)
+    }
+
+    /// Unguarded driver for the legacy infallible entry points: runs
+    /// under an unlimited guard and converts the only failures that can
+    /// still occur (a worker panic, or a fault-plan-injected trip) back
+    /// into a panic, preserving the old propagation semantics.
+    fn mine_walks_or_panic(
+        &self,
+        subpops: &[&BitSet],
+        k: usize,
+        dirs: &[Direction],
+        threads: usize,
+    ) -> Vec<PairedTreatments> {
+        let guard = RunGuard::unlimited();
+        match self.mine_walks(subpops, k, dirs, threads, &guard) {
+            Ok(out) => out,
+            Err(MineError::Worker { task, payload }) => {
+                panic!("mining task '{task}' panicked: {payload}")
+            }
+            Err(e) => panic!("unguarded mining run aborted: {e}"),
+        }
     }
 
     /// Shared driver behind every lattice entry point: each
@@ -568,32 +721,81 @@ impl<'a> TreatmentMiner<'a> {
     /// context builds), then fans the level out as [`sched::ChunkSlots`]
     /// chunk tasks; the worker completing a level's last chunk re-locks
     /// that pattern's state, merges results in candidate order, and pumps
-    /// again. `threads = 1` (or a nested call) degenerates to the exact
-    /// serial reference path — same code, FIFO order.
+    /// again.
+    ///
+    /// Failure model: every task body is caught with `catch_unwind`
+    /// while the pattern/level/chunk identity is still known, so a panic
+    /// fails only its owning pattern's result slot ([`MineError::Worker`])
+    /// and sibling patterns keep mining. Guard trips (cancel, deadline,
+    /// memory budget) are query-wide: the first one wins a shared
+    /// failure slot and every remaining task drains as a no-op. One
+    /// worker (`threads = 1`) or a nested call takes the serial fast
+    /// path instead — no batches, no chunk slots, no locks — with guard
+    /// and fault hooks firing at the same chunk boundaries, producing
+    /// bit-identical results.
     fn mine_walks(
         &self,
         subpops: &[&BitSet],
         k: usize,
         dirs: &[Direction],
         threads: usize,
-    ) -> Vec<PairedTreatments> {
+        guard: &RunGuard,
+    ) -> Result<Vec<PairedTreatments>, MineError> {
         if subpops.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
+        let injector = self
+            .opts
+            .fault_plan
+            .as_ref()
+            .map(|p| FaultInjector::new(Arc::clone(p)));
+        let injector = injector.as_ref();
         let workers = sched::resolve_workers(threads);
+        if workers <= 1 || sched::in_scheduler() {
+            return self.mine_walks_serial(subpops, k, dirs, guard, injector);
+        }
         let patterns: Vec<PatternSlot<'_>> = subpops
             .iter()
             .map(|&s| PatternSlot {
-                state: Mutex::new(WalkState::new(self, s, k, dirs, workers)),
+                state: Mutex::new(WalkState::new(self, s, k, dirs, workers, guard)),
                 out: OnceLock::new(),
             })
             .collect();
+        // First guard trip wins; set once, every later task short-circuits.
+        let failure: OnceLock<MineError> = OnceLock::new();
+        let fail_pattern = |p: usize, task: String, payload: &(dyn Any + Send)| {
+            let _ = patterns[p].out.set(Err(MineError::Worker {
+                task,
+                payload: payload_string(payload),
+            }));
+        };
         let advance =
             |p: usize, done: Option<Arc<LevelBatch>>, spawn: &sched::Spawner<'_, WalkTask>| {
                 let slot = &patterns[p];
-                let mut st = slot.state.lock().expect("walk state poisoned");
+                if failure.get().is_some() || slot.out.get().is_some() {
+                    return;
+                }
+                let mut st = sched::lock_recovered(&slot.state);
                 if let Some(batch) = done {
-                    st.absorb(&batch.cands, batch.slots.merged());
+                    match batch.slots.try_merged() {
+                        Ok(results) => st.absorb(&batch.cands, results),
+                        Err(e) => {
+                            // Can only happen when a chunk task died
+                            // without recording its result; surface it
+                            // as that pattern's structured failure.
+                            drop(st);
+                            let _ = slot.out.set(Err(MineError::Worker {
+                                task: format!("pattern {p} level {} merge", batch.level),
+                                payload: e.to_string(),
+                            }));
+                            return;
+                        }
+                    }
+                    // Level-merge checkpoint.
+                    if let Err(trip) = guard.check() {
+                        let _ = failure.set(trip_error(trip, guard.progress()));
+                        return;
+                    }
                 }
                 match st.pump() {
                     Some(batch) => {
@@ -606,33 +808,150 @@ impl<'a> TreatmentMiner<'a> {
                         }
                     }
                     None => {
-                        let first = slot.out.set(st.finalize());
+                        let first = slot.out.set(Ok(st.finalize()));
                         debug_assert!(first.is_ok(), "pattern walk finalized twice");
                     }
                 }
             };
         let initial: Vec<WalkTask> = (0..patterns.len()).map(WalkTask::Start).collect();
-        sched::run_graph(threads, initial, |task, spawn| match task {
-            WalkTask::Start(p) => advance(p, None, spawn),
-            WalkTask::Eval {
-                pattern,
-                batch,
-                chunk,
-            } => {
-                let out = self.eval_chunk(&batch, batch.ranges[chunk].clone());
-                if batch.slots.complete(chunk, out) {
-                    advance(pattern, Some(batch), spawn);
+        sched::run_graph(threads, initial, |task, spawn| {
+            if failure.get().is_some() {
+                return;
+            }
+            match task {
+                WalkTask::Start(p) => {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| advance(p, None, spawn)))
+                    {
+                        fail_pattern(p, format!("pattern {p} start"), payload.as_ref());
+                    }
+                }
+                WalkTask::Eval {
+                    pattern,
+                    batch,
+                    chunk,
+                } => {
+                    if patterns[pattern].out.get().is_some() {
+                        // Owning walk already failed; drain sibling chunks.
+                        return;
+                    }
+                    // Chunk-boundary checkpoint: injected faults fire
+                    // first (they may cancel or panic), then the guard.
+                    let evaluated = catch_unwind(AssertUnwindSafe(|| {
+                        if let Some(inj) = injector {
+                            inj.at(
+                                FaultSite {
+                                    pattern,
+                                    level: batch.level,
+                                    chunk,
+                                },
+                                guard,
+                                || spawn.poke(),
+                            );
+                        }
+                        if let Err(trip) = guard.check() {
+                            let _ = failure.set(trip_error(trip, guard.progress()));
+                            return None;
+                        }
+                        Some(self.eval_chunk(&batch, batch.ranges[chunk].clone()))
+                    }));
+                    match evaluated {
+                        Ok(Some(out)) => {
+                            if batch.slots.complete(chunk, out) {
+                                let merged = Arc::clone(&batch);
+                                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                                    advance(pattern, Some(merged), spawn)
+                                })) {
+                                    fail_pattern(
+                                        pattern,
+                                        format!("pattern {pattern} level {} merge", batch.level),
+                                        payload.as_ref(),
+                                    );
+                                }
+                            }
+                        }
+                        // Guard tripped: the query is failing, leave the
+                        // chunk incomplete.
+                        Ok(None) => {}
+                        Err(payload) => {
+                            fail_pattern(
+                                pattern,
+                                format!("pattern {pattern} level {} chunk {chunk}", batch.level),
+                                payload.as_ref(),
+                            );
+                        }
+                    }
                 }
             }
         });
-        patterns
-            .into_iter()
-            .map(|slot| {
-                slot.out
-                    .into_inner()
-                    .expect("every pattern walk runs to completion")
-            })
-            .collect()
+        if let Some(err) = failure.into_inner() {
+            return Err(err);
+        }
+        let mut out = Vec::with_capacity(patterns.len());
+        for (p, slot) in patterns.into_iter().enumerate() {
+            match slot.out.into_inner() {
+                Some(Ok(r)) => out.push(r),
+                Some(Err(e)) => return Err(e),
+                None => {
+                    // Unreachable unless a walk stalled without recording
+                    // a failure; report rather than unwrap so the pool
+                    // survives even a bookkeeping bug here.
+                    return Err(MineError::Worker {
+                        task: format!("pattern {p}"),
+                        payload: "walk did not run to completion".to_string(),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Serial fast path (`threads = 1`, or a nested call already on the
+    /// pool): a plain per-pattern loop with no batches, chunk slots,
+    /// `Arc`s or mutexes. Candidate generation, context builds and
+    /// estimation all run in candidate order — the same order the
+    /// fanned-out path freezes into its batches — so results, counters
+    /// and memo walks are bit-identical to every other worker count.
+    /// Guard checks and fault injection fire at the chunk boundaries
+    /// [`sched::chunk_ranges`] would produce for one worker.
+    fn mine_walks_serial(
+        &self,
+        subpops: &[&BitSet],
+        k: usize,
+        dirs: &[Direction],
+        guard: &RunGuard,
+        injector: Option<&FaultInjector>,
+    ) -> Result<Vec<PairedTreatments>, MineError> {
+        let mut out = Vec::with_capacity(subpops.len());
+        let mut first_err: Option<MineError> = None;
+        for (p, &subpop) in subpops.iter().enumerate() {
+            let mut st = WalkState::new(self, subpop, k, dirs, 1, guard);
+            let walked = catch_unwind(AssertUnwindSafe(
+                || -> Result<PairedTreatments, MineError> {
+                    while let Some(cands) = st.next_cands() {
+                        let results = st.eval_level_inline(&cands, p, injector)?;
+                        st.absorb(&cands, results);
+                    }
+                    Ok(st.finalize())
+                },
+            ));
+            match walked {
+                Ok(Ok(r)) => out.push(r),
+                // Guard trips are query-wide: fail fast, skip the rest.
+                Ok(Err(e)) => return Err(e),
+                // A panic fails only this pattern; siblings keep mining,
+                // mirroring the pool's isolation semantics.
+                Err(payload) => {
+                    first_err.get_or_insert(MineError::Worker {
+                        task: format!("pattern {p}"),
+                        payload: payload_string(payload.as_ref()),
+                    });
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     /// Estimate one contiguous candidate chunk of a prepared level. Runs
@@ -695,7 +1014,7 @@ impl<'a> TreatmentMiner<'a> {
                     }
                 }
                 if level < max_len {
-                    let last = *atoms.last().unwrap() as usize;
+                    let last = *atoms.last().expect("frontier patterns are non-empty") as usize;
                     for nxt in last + 1..self.atoms.len() {
                         if !self.atoms_compatible_with_all(atoms, nxt) {
                             continue;
@@ -824,11 +1143,13 @@ enum WalkTask {
 }
 
 /// One grouping pattern's shard: its resumable walk state plus the slot
-/// its finished summary lands in. Chunk evaluations never touch the
-/// mutex — only the pump/merge steps (serial per pattern) lock it.
+/// its finished summary — or structured failure — lands in. Chunk
+/// evaluations never touch the mutex — only the pump/merge steps
+/// (serial per pattern) lock it. A set `Err` marks the walk dead: its
+/// remaining tasks drain without evaluating.
 struct PatternSlot<'w> {
     state: Mutex<WalkState<'w>>,
-    out: OnceLock<PairedTreatments>,
+    out: OnceLock<Result<PairedTreatments, MineError>>,
 }
 
 /// One lattice level, frozen for lock-free fan-out: the candidates, their
@@ -837,6 +1158,9 @@ struct PatternSlot<'w> {
 /// index-addressed result slots the chunks complete into. Everything is
 /// `Arc`-shared so an `Eval` task needs no access to the walk state.
 struct LevelBatch {
+    /// 1-based lattice level these candidates belong to — the `level`
+    /// coordinate of guard checkpoints and fault sites.
+    level: usize,
     cands: Vec<Cand>,
     keys: Vec<Vec<usize>>,
     /// Per-candidate pre-built context (empty in the
@@ -863,6 +1187,9 @@ struct WalkState<'w> {
     k: usize,
     dirs: &'w [Direction],
     workers: usize,
+    /// The query's lifeguard: progress counters plus the limits checked
+    /// at chunk boundaries and level merges.
+    guard: &'w RunGuard,
     ctxs: CtxCache,
     min_cate: f64,
     /// Index into `dirs` of the direction currently walking.
@@ -888,6 +1215,7 @@ impl<'w> WalkState<'w> {
         k: usize,
         dirs: &'w [Direction],
         workers: usize,
+        guard: &'w RunGuard,
     ) -> Self {
         WalkState {
             miner,
@@ -895,6 +1223,7 @@ impl<'w> WalkState<'w> {
             k: k.max(1),
             dirs,
             workers,
+            guard,
             ctxs: CtxCache::new(&miner.opts),
             min_cate: miner.opts.min_abs_cate_frac * miner.outcome_std,
             dir_idx: 0,
@@ -920,11 +1249,20 @@ impl<'w> WalkState<'w> {
 
     /// Drive the walk forward until it either needs a level estimated
     /// (returns the prepared batch to fan out) or has finished every
-    /// direction (returns `None`; call `finalize`). Levels with no
-    /// candidates are absorbed inline — `evaluate` of an empty level is
-    /// the identity — so direction switches never round-trip through the
-    /// scheduler.
+    /// direction (returns `None`; call `finalize`).
     fn pump(&mut self) -> Option<Arc<LevelBatch>> {
+        let cands = self.next_cands()?;
+        Some(self.prepare_batch(cands))
+    }
+
+    /// The serial core of `pump`: generate the next level's candidates
+    /// (Apriori joins, direction switches). Levels with no candidates
+    /// are absorbed inline — `evaluate` of an empty level is the
+    /// identity — so direction switches never round-trip through the
+    /// scheduler. `None` when every direction has finished. The serial
+    /// fast path calls this directly and evaluates the candidates
+    /// inline, skipping `prepare_batch`'s fan-out freezing entirely.
+    fn next_cands(&mut self) -> Option<Vec<Cand>> {
         while self.dir_idx < self.dirs.len() {
             let cands = if self.fresh {
                 self.level1_cands()
@@ -941,9 +1279,92 @@ impl<'w> WalkState<'w> {
                 self.absorb(&[], Vec::new());
                 continue;
             }
-            return Some(self.prepare_batch(cands));
+            return Some(cands);
         }
         None
+    }
+
+    /// The 1-based lattice level the next evaluation belongs to.
+    fn pending_level(&self) -> usize {
+        if self.fresh {
+            1
+        } else {
+            self.level_no + 1
+        }
+    }
+
+    /// Serial-fast-path evaluation of one level: confounder lookups,
+    /// context builds and estimates interleave per candidate, in
+    /// candidate order — the same order `prepare_batch` + `eval_chunk`
+    /// produce, so results, memo walks and `builds()` accounting are
+    /// bit-identical to the fanned-out path. Guard checks and fault
+    /// injection fire at the chunk boundaries a one-worker fan-out
+    /// would have used.
+    fn eval_level_inline(
+        &mut self,
+        cands: &[Cand],
+        pattern: usize,
+        injector: Option<&FaultInjector>,
+    ) -> Result<Vec<Option<CateResult>>, MineError> {
+        let miner = self.miner;
+        let level = self.pending_level();
+        let cache_mode = miner.opts.use_estimation_cache;
+        let space = if cache_mode { None } else { Some(self.space()) };
+        if !cache_mode && self.ctxs.subpop_mask.is_none() {
+            self.ctxs.subpop_mask = Some(Arc::new(self.subpop.to_mask()));
+        }
+        let ranges = sched::chunk_ranges(cands.len(), 1, MIN_CHUNK);
+        let mut results = Vec::with_capacity(cands.len());
+        for (chunk, range) in ranges.iter().enumerate() {
+            if let Some(inj) = injector {
+                inj.at(
+                    FaultSite {
+                        pattern,
+                        level,
+                        chunk,
+                    },
+                    self.guard,
+                    || {},
+                );
+            }
+            if let Err(trip) = self.guard.check() {
+                return Err(trip_error(trip, self.guard.progress()));
+            }
+            for i in range.clone() {
+                let cand = &cands[i];
+                let attrs: Vec<usize> = cand
+                    .atoms
+                    .iter()
+                    .map(|&x| miner.atoms[x as usize].attr)
+                    .collect();
+                let key = miner.confounders_for(&attrs);
+                let r = if cache_mode {
+                    self.ctxs
+                        .contexts
+                        .get_or_build(
+                            miner.table,
+                            Some(self.subpop),
+                            miner.outcome,
+                            key,
+                            &miner.opts.cate_opts,
+                        )
+                        .and_then(|ctx| ctx.estimate_local(&cand.mask))
+                } else {
+                    let space = space.as_ref().expect("built above for the ablation path");
+                    let global = space.projector.unproject(&cand.mask);
+                    estimate_effect(
+                        miner.table,
+                        self.ctxs.subpop_mask.as_deref().map(|m| m.as_slice()),
+                        &global.to_mask(),
+                        miner.outcome,
+                        &key,
+                        &miner.opts.cate_opts,
+                    )
+                };
+                results.push(r);
+            }
+        }
+        Ok(results)
     }
 
     /// Level 1: all atoms (GenChildren, lines 2–4). Overlap precheck on
@@ -1021,6 +1442,7 @@ impl<'w> WalkState<'w> {
     /// path; chunk tasks then only read.
     fn prepare_batch(&mut self, cands: Vec<Cand>) -> Arc<LevelBatch> {
         let miner = self.miner;
+        let level = self.pending_level();
         let space = self.space();
         let keys: Vec<Vec<usize>> = cands
             .iter()
@@ -1055,6 +1477,7 @@ impl<'w> WalkState<'w> {
         let ranges = sched::chunk_ranges(cands.len(), self.workers, MIN_CHUNK);
         let slots = sched::ChunkSlots::new(ranges.len());
         Arc::new(LevelBatch {
+            level,
             cands,
             keys,
             ctx,
@@ -1074,6 +1497,10 @@ impl<'w> WalkState<'w> {
         let dir = self.dirs[self.dir_idx];
         let opts = &self.miner.opts;
         self.evaluated += cands.len();
+        // Progress diagnostics for guard trips: evaluations and levels
+        // aggregate across all pattern walks of the query.
+        self.guard.add_evaluations(cands.len());
+        self.guard.level_completed();
         let mut nodes: Vec<Node> = cands
             .iter()
             .zip(results)
@@ -1218,9 +1645,13 @@ fn retain_top<N>(
     if level.is_empty() {
         return;
     }
+    // `total_cmp` instead of `partial_cmp().unwrap()`: NaN/zero CATEs are
+    // filtered out before this sort (`Direction::matches` rejects both),
+    // so the orderings coincide — but a NaN slipping through must not
+    // panic the walk.
     match dir {
-        Direction::Positive => level.sort_by(|a, b| cate(b).partial_cmp(&cate(a)).unwrap()),
-        Direction::Negative => level.sort_by(|a, b| cate(a).partial_cmp(&cate(b)).unwrap()),
+        Direction::Positive => level.sort_by(|a, b| cate(b).total_cmp(&cate(a))),
+        Direction::Negative => level.sort_by(|a, b| cate(a).total_cmp(&cate(b))),
     }
     let keep = ((level.len() as f64 * frac).ceil() as usize).max(min_keep.max(1));
     level.truncate(keep.min(level.len()));
@@ -1263,7 +1694,9 @@ fn build_atoms(table: &Table, attrs: &[usize], opts: &LatticeOptions) -> Vec<Ato
                 if distinct <= opts.numeric_bins.max(6) {
                     // Small integer-like domain: equality atoms.
                     let mut uniq: Vec<f64> = vals.clone();
-                    uniq.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    // NaN-total sort: ingest pre-validates numeric cells,
+                    // but a NaN must not abort the whole query.
+                    uniq.sort_by(|a, b| a.total_cmp(b));
                     uniq.dedup();
                     for v in uniq.into_iter().take(opts.max_atoms_per_attr) {
                         let mut mask = BitSet::new(table.nrows());
@@ -1291,7 +1724,7 @@ fn build_atoms(table: &Table, attrs: &[usize], opts: &LatticeOptions) -> Vec<Ato
                     // Quantile thresholds: attr < q (Upper) and attr ≥ q
                     // (Lower) per internal cut point.
                     let mut sorted = vals.clone();
-                    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    sorted.sort_by(|a, b| a.total_cmp(b));
                     let (lo, hi) = (sorted[0], sorted[sorted.len() - 1]);
                     let mut cuts: Vec<f64> = (1..opts.numeric_bins)
                         .map(|i| {

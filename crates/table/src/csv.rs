@@ -98,10 +98,23 @@ fn infer_type(cells: &[&str]) -> DType {
     }
 }
 
+/// Build a column of `dtype` from raw cells. `dtype` comes from
+/// [`infer_type`] over the same cells, so every parse below is known to
+/// succeed.
 fn build_column(dtype: DType, cells: &[&str]) -> Column {
     match dtype {
-        DType::Int => Column::Int(cells.iter().map(|c| c.parse().unwrap()).collect()),
-        DType::Float => Column::Float(cells.iter().map(|c| c.parse().unwrap()).collect()),
+        DType::Int => Column::Int(
+            cells
+                .iter()
+                .map(|c| c.parse().expect("infer_type verified every cell parses"))
+                .collect(),
+        ),
+        DType::Float => Column::Float(
+            cells
+                .iter()
+                .map(|c| c.parse().expect("infer_type verified every cell parses"))
+                .collect(),
+        ),
         DType::Cat => {
             let mut dict = Dict::new();
             let codes = cells.iter().map(|c| dict.intern(c)).collect();

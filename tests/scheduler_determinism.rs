@@ -286,6 +286,42 @@ fn where_emptied_groups_bit_identical() {
     assert_matrix("where_emptied_groups", &where_emptied_groups());
 }
 
+/// Lifeguards must be pure observers: running the same workloads under
+/// an (ample) deadline and memory budget through the fallible `try_run`
+/// path must stay bit-identical to the unguarded serial run at every
+/// worker count — the guard checkpoints may not perturb chunking, merge
+/// order or FP accumulation.
+#[test]
+fn guarded_runs_stay_bit_identical() {
+    for w in [many_skewed_patterns(), one_giant_pattern()] {
+        let unguarded = fingerprint(&run(&w, 1, true, true));
+        for threads in [1usize, 2, 4] {
+            let cfg = ConfigBuilder::new()
+                .apriori_tau(0.05)
+                .threads(threads)
+                .deadline(std::time::Duration::from_secs(3600))
+                .memory_budget_mb(1 << 20)
+                .build()
+                .unwrap();
+            let session = Session::new(w.table.clone(), w.dag.clone(), cfg);
+            let mut q = session.query().group_by(w.group_by).avg(w.outcome);
+            if let Some(clause) = w.where_sql {
+                q = q.where_sql(clause);
+            }
+            let summary = q
+                .prepare()
+                .unwrap()
+                .try_run()
+                .expect("ample limits must not trip");
+            assert_eq!(
+                unguarded,
+                fingerprint(&summary),
+                "threads={threads}: guard checkpoints perturbed the result"
+            );
+        }
+    }
+}
+
 /// Nested fan-out regression: launching a full lattice walk from inside
 /// a scheduler task must not spawn a second layer of workers (the old
 /// code needed an ad-hoc `level_threads = 1` override to avoid cores²
