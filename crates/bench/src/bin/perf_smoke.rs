@@ -679,6 +679,20 @@ fn render_json(
     let _ = writeln!(s, "  \"dataset\": \"so\",");
     let _ = writeln!(s, "  \"seed\": {seed},");
     let _ = writeln!(s, "  \"quick\": {quick},");
+    // Host topology: the ROADMAP reads speedup factors off this artifact,
+    // and a ~1.0 sched_speedup is only interpretable knowing the host had
+    // one core. `auto_workers` is the worker count `threads = 0` resolves
+    // to on this host (the count the scheduler scenario actually used).
+    let _ = writeln!(
+        s,
+        "  \"host_cores\": {},",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    );
+    let _ = writeln!(
+        s,
+        "  \"auto_workers\": {},",
+        mining::sched::available_workers()
+    );
     let _ = writeln!(s, "  \"sizes\": [");
     for (i, p) in points.iter().enumerate() {
         let prior_ms = prior.iter().find(|b| b.n == p.n).map(|b| b.treatment_ms);

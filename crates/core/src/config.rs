@@ -87,6 +87,12 @@ pub struct CausumxConfig {
     /// a lower bound on the query's own footprint, not an exact
     /// attribution. `None` (default) = unlimited.
     pub memory_budget_mb: Option<u64>,
+    /// Capacity of the session's prepared-statement cache (entries), used
+    /// by [`crate::Session::prepare_cached`] and the serve layer: distinct
+    /// normalized statements beyond this bound evict the least recently
+    /// used entry. `0` disables caching entirely (every `prepare_cached`
+    /// is a miss that stores nothing). Default: 64.
+    pub prepared_statements: usize,
 }
 
 impl Default for CausumxConfig {
@@ -105,6 +111,7 @@ impl Default for CausumxConfig {
             mine_negative: true,
             deadline: None,
             memory_budget_mb: None,
+            prepared_statements: 64,
         }
     }
 }
@@ -359,6 +366,13 @@ impl ConfigBuilder {
     /// [`CausumxConfig::memory_budget_mb`].
     pub fn memory_budget_mb(mut self, budget_mb: u64) -> Self {
         self.cfg.memory_budget_mb = Some(budget_mb);
+        self
+    }
+
+    /// Capacity of the session's prepared-statement cache — see
+    /// [`CausumxConfig::prepared_statements`]. `0` disables caching.
+    pub fn prepared_statements(mut self, capacity: usize) -> Self {
+        self.cfg.prepared_statements = capacity;
         self
     }
 

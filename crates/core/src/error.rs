@@ -75,6 +75,26 @@ pub enum Error {
     },
 }
 
+impl Error {
+    /// Stable machine-readable code for this error variant — the value
+    /// carried in the `code` field of [`crate::render::error_json`] and
+    /// used by the serve layer's HTTP status mapping. Clients should
+    /// branch on this, never on display strings.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Error::Table(_) => "table",
+            Error::Sql { .. } => "sql",
+            Error::Config { .. } => "config",
+            Error::InvalidQuery(_) => "invalid_query",
+            Error::EmptyView => "empty_view",
+            Error::Cancelled { .. } => "cancelled",
+            Error::DeadlineExceeded { .. } => "deadline_exceeded",
+            Error::MemoryBudget { .. } => "memory_budget",
+            Error::Worker { .. } => "worker_panic",
+        }
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

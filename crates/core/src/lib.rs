@@ -91,10 +91,12 @@ pub use explanation::{Explanation, StepTimings, Summary};
 pub use mining::{CancelHandle, FaultKind, FaultPlan, FaultSite, QueryProgress, RunGuard};
 pub use pipeline::{union_coverage, CandidateSet};
 pub use render::{
-    error_json, render_summary, summary_json, Report, ReportExplanation, ReportTreatment,
+    error_json, json_escape, render_summary, summary_json, Report, ReportExplanation,
+    ReportTreatment,
 };
 pub use session::{
-    select_candidates, AttrSplit, PreparedQuery, QueryBuilder, Session, SessionCounters,
+    select_candidates, AttrSplit, PreparedCacheStats, PreparedQuery, QueryBuilder, Session,
+    SessionCounters,
 };
 
 #[allow(deprecated)]

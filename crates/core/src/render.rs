@@ -280,8 +280,10 @@ pub fn render_summary(
     Report::new(table, view, summary, outcome_name).render_text()
 }
 
-/// Minimal JSON string escaping.
-fn json_escape(s: &str) -> String {
+/// Minimal JSON string escaping — exposed so layers composing their own
+/// envelopes around [`error_json`] (e.g. the serve crate's HTTP-level
+/// errors) escape identically.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -309,8 +311,9 @@ pub fn summary_json(table: &Table, view: &AggView, summary: &Summary) -> String 
 /// Serialize an [`Error`] as JSON — the failure-side counterpart of
 /// [`summary_json`], so services surfacing query results as JSON can
 /// render a tripped lifeguard or an isolated worker panic without
-/// string-matching `Display` output. `kind` is a stable snake_case tag;
-/// the guard variants attach their limits and the
+/// string-matching `Display` output. `code` is the stable snake_case tag
+/// from [`Error::code`] (`kind` carries the same value for historical
+/// consumers); the guard variants attach their limits and the
 /// [`mining::QueryProgress`] snapshot.
 pub fn error_json(e: &Error) -> String {
     let progress_json = |p: &mining::QueryProgress| {
@@ -320,11 +323,14 @@ pub fn error_json(e: &Error) -> String {
         )
     };
     let mut out = String::from("{\"error\":{");
+    // `kind` predates `code`; both carry [`Error::code`] — `kind` for
+    // existing consumers, `code` as the documented stable contract.
+    let _ = write!(out, "\"kind\":\"{0}\",\"code\":\"{0}\",", e.code());
     match e {
         Error::Cancelled { progress } => {
             let _ = write!(
                 out,
-                "\"kind\":\"cancelled\",\"message\":\"{}\",\"progress\":{}",
+                "\"message\":\"{}\",\"progress\":{}",
                 json_escape(&e.to_string()),
                 progress_json(progress)
             );
@@ -332,7 +338,7 @@ pub fn error_json(e: &Error) -> String {
         Error::DeadlineExceeded { after_ms, progress } => {
             let _ = write!(
                 out,
-                "\"kind\":\"deadline_exceeded\",\"message\":\"{}\",\"after_ms\":{},\"progress\":{}",
+                "\"message\":\"{}\",\"after_ms\":{},\"progress\":{}",
                 json_escape(&e.to_string()),
                 after_ms,
                 progress_json(progress)
@@ -345,7 +351,7 @@ pub fn error_json(e: &Error) -> String {
         } => {
             let _ = write!(
                 out,
-                "\"kind\":\"memory_budget\",\"message\":\"{}\",\"budget_mb\":{},\
+                "\"message\":\"{}\",\"budget_mb\":{},\
                  \"observed_mb\":{},\"progress\":{}",
                 json_escape(&e.to_string()),
                 budget_mb,
@@ -356,26 +362,14 @@ pub fn error_json(e: &Error) -> String {
         Error::Worker { task, payload } => {
             let _ = write!(
                 out,
-                "\"kind\":\"worker_panic\",\"message\":\"{}\",\"task\":\"{}\",\"payload\":\"{}\"",
+                "\"message\":\"{}\",\"task\":\"{}\",\"payload\":\"{}\"",
                 json_escape(&e.to_string()),
                 json_escape(task),
                 json_escape(payload)
             );
         }
         other => {
-            let kind = match other {
-                Error::Table(_) => "table",
-                Error::Sql { .. } => "sql",
-                Error::Config { .. } => "config",
-                Error::InvalidQuery(_) => "invalid_query",
-                Error::EmptyView => "empty_view",
-                _ => unreachable!("guard variants handled above"),
-            };
-            let _ = write!(
-                out,
-                "\"kind\":\"{kind}\",\"message\":\"{}\"",
-                json_escape(&other.to_string())
-            );
+            let _ = write!(out, "\"message\":\"{}\"", json_escape(&other.to_string()));
         }
     }
     out.push_str("}}");
@@ -514,6 +508,7 @@ mod tests {
             progress,
         });
         assert!(j.contains("\"kind\":\"deadline_exceeded\""), "{j}");
+        assert!(j.contains("\"code\":\"deadline_exceeded\""), "{j}");
         assert!(j.contains("\"after_ms\":1500"), "{j}");
         assert!(j.contains("\"levels_completed\":2"), "{j}");
         assert!(j.contains("\"cate_evaluations\":523"), "{j}");
@@ -538,6 +533,7 @@ mod tests {
 
         let j = error_json(&Error::EmptyView);
         assert!(j.contains("\"kind\":\"empty_view\""), "{j}");
+        assert!(j.contains("\"code\":\"empty_view\""), "{j}");
 
         // Every variant stays balanced.
         for j in [

@@ -47,7 +47,7 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 use causal::dag::Dag;
@@ -57,7 +57,7 @@ use lpsolve::cover::{
 };
 use mining::grouping::{mine_grouping_patterns, GroupingPattern};
 use mining::sched;
-use mining::treatment::{BackdoorMemo, TreatmentMiner, TreatmentResult};
+use mining::treatment::{BackdoorMemo, MinerParts, TreatmentMiner, TreatmentResult};
 use mining::RunGuard;
 use table::fd::fd_closure;
 use table::pattern::Pattern;
@@ -96,6 +96,12 @@ pub struct SessionCounters {
     pub queries_prepared: usize,
     /// Full mining passes executed (`run`/`mine_candidates`).
     pub runs: usize,
+    /// Prepared-statement cache hits ([`Session::prepare_cached`] calls
+    /// that skipped view materialization and atom building entirely).
+    pub prepared_cache_hits: usize,
+    /// Prepared-statement cache misses (including every call while the
+    /// cache is disabled with capacity 0).
+    pub prepared_cache_misses: usize,
 }
 
 #[derive(Default)]
@@ -104,6 +110,52 @@ struct Counters {
     fd_closures_computed: AtomicUsize,
     queries_prepared: AtomicUsize,
     runs: AtomicUsize,
+    prepared_cache_hits: AtomicUsize,
+    prepared_cache_misses: AtomicUsize,
+}
+
+/// Snapshot of the prepared-statement cache, exposed for metrics
+/// endpoints and tests — see [`Session::prepared_cache_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreparedCacheStats {
+    /// Entries currently cached.
+    pub len: usize,
+    /// Configured capacity ([`CausumxConfig::prepared_statements`]).
+    pub capacity: usize,
+    /// Lifetime cache hits.
+    pub hits: usize,
+    /// Lifetime cache misses.
+    pub misses: usize,
+    /// Entries evicted by the LRU policy (not counting `set_config`
+    /// clears).
+    pub evictions: usize,
+}
+
+/// The session-owned, query-lifetime-free parts of a prepared statement:
+/// everything [`PreparedQuery`] precomputes that does not borrow the
+/// session. Cache entries hold an `Arc` of this; a hit rebuilds the
+/// borrowing [`TreatmentMiner`] from [`MinerParts`] in `O(ncols)` instead
+/// of re-materializing the view and re-scanning the table for atom masks.
+struct PreparedCore {
+    query: GroupByAvgQuery,
+    view: AggView,
+    /// Lazily built per-group row bitsets — shared across every
+    /// [`PreparedQuery`] assembled from this core, so one drill-down
+    /// warms all cache hits.
+    group_bits: OnceLock<Vec<table::BitSet>>,
+    split: Arc<AttrSplit>,
+    parts: MinerParts,
+}
+
+/// LRU state of the prepared-statement cache. Guarded by one mutex: all
+/// operations are O(capacity) map scans at worst, far below the cost of
+/// the prepares they save.
+#[derive(Default)]
+struct PrepCache {
+    /// Key → (core, last-touched tick).
+    entries: HashMap<String, (Arc<PreparedCore>, u64)>,
+    tick: u64,
+    evictions: usize,
 }
 
 /// A long-lived engine bound to one dataset and causal DAG, serving many
@@ -116,8 +168,21 @@ pub struct Session {
     fd_cache: RwLock<HashMap<(Vec<usize>, usize), Arc<AttrSplit>>>,
     /// Backdoor-set memo shared by every miner this session builds.
     backdoor: Arc<BackdoorMemo>,
+    /// Prepared-statement cache: normalized statement → prepared core.
+    prep_cache: Mutex<PrepCache>,
     counters: Counters,
 }
+
+// The serve layer shares one `Session` across request threads and hands
+// `PreparedQuery` references to workers; a regression to `!Send`/`!Sync`
+// (say, an `Rc` or un-synchronized interior mutability in a cache) must
+// fail compilation, not a load test.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+    assert_send_sync::<PreparedQuery<'static>>();
+    assert_send_sync::<PreparedCacheStats>();
+};
 
 impl Session {
     /// Bind a dataset and DAG under a configuration. The configuration is
@@ -130,6 +195,7 @@ impl Session {
             config,
             fd_cache: RwLock::new(HashMap::new()),
             backdoor: Arc::new(BackdoorMemo::new()),
+            prep_cache: Mutex::new(PrepCache::default()),
             counters: Counters::default(),
         }
     }
@@ -151,9 +217,15 @@ impl Session {
 
     /// Replace the configuration. Dataset-level caches (FD splits,
     /// backdoor memo) survive — they do not depend on the configuration;
-    /// queries prepared *before* the change keep their snapshot.
+    /// queries prepared *before* the change keep their snapshot. The
+    /// prepared-statement cache is cleared: its cores embed
+    /// configuration-dependent state (the atom space depends on the
+    /// lattice options).
     pub fn set_config(&mut self, config: CausumxConfig) {
         self.config = config;
+        let mut cache = sched::lock_recovered(&self.prep_cache);
+        cache.entries.clear();
+        cache.tick = 0;
     }
 
     /// Snapshot of the session's work counters.
@@ -164,6 +236,22 @@ impl Session {
             backdoor_walks: self.backdoor.walks(),
             queries_prepared: self.counters.queries_prepared.load(Ordering::Relaxed),
             runs: self.counters.runs.load(Ordering::Relaxed),
+            prepared_cache_hits: self.counters.prepared_cache_hits.load(Ordering::Relaxed),
+            prepared_cache_misses: self.counters.prepared_cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of the prepared-statement cache (size, capacity and
+    /// lifetime hit/miss/eviction counts) — the `/stats` feed of the
+    /// serve layer.
+    pub fn prepared_cache_stats(&self) -> PreparedCacheStats {
+        let cache = sched::lock_recovered(&self.prep_cache);
+        PreparedCacheStats {
+            len: cache.entries.len(),
+            capacity: self.config.prepared_statements,
+            hits: self.counters.prepared_cache_hits.load(Ordering::Relaxed),
+            misses: self.counters.prepared_cache_misses.load(Ordering::Relaxed),
+            evictions: cache.evictions,
         }
     }
 
@@ -216,6 +304,97 @@ impl Session {
     /// # Ok::<(), causumx::Error>(())
     /// ```
     pub fn prepare(&self, query: GroupByAvgQuery) -> Result<PreparedQuery<'_>, Error> {
+        let core = self.build_core(query, &self.config)?;
+        Ok(self.assemble(core, self.config.clone()))
+    }
+
+    /// [`Session::prepare`] through the bounded prepared-statement cache:
+    /// queries resolving to the same normalized statement (same group-by
+    /// attributes, averaged attribute and WHERE predicate — whether built
+    /// by name, by index or parsed from SQL in any whitespace/case
+    /// spelling) share one prepared core, so repeats skip view
+    /// materialization and atom building entirely. Hits and misses are
+    /// observable via [`Session::prepared_cache_stats`]; capacity comes
+    /// from [`CausumxConfig::prepared_statements`] (LRU beyond it, `0`
+    /// disables). Reports from a cache hit are bit-identical to a fresh
+    /// prepare.
+    pub fn prepare_cached(&self, query: GroupByAvgQuery) -> Result<PreparedQuery<'_>, Error> {
+        let capacity = self.config.prepared_statements;
+        let key = statement_key(&query);
+        if capacity > 0 {
+            let mut cache = sched::lock_recovered(&self.prep_cache);
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some((core, last)) = cache.entries.get_mut(&key) {
+                *last = tick;
+                let core = Arc::clone(core);
+                drop(cache);
+                self.counters
+                    .prepared_cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(self.assemble(core, self.config.clone()));
+            }
+        }
+        self.counters
+            .prepared_cache_misses
+            .fetch_add(1, Ordering::Relaxed);
+        let core = self.build_core(query, &self.config)?;
+        if capacity > 0 {
+            let mut cache = sched::lock_recovered(&self.prep_cache);
+            cache.tick += 1;
+            let tick = cache.tick;
+            // Two racing misses on the same key: keep the incumbent so
+            // concurrent hits already holding it stay coherent with the
+            // cache (either core yields bit-identical reports).
+            cache
+                .entries
+                .entry(key)
+                .or_insert_with(|| (Arc::clone(&core), tick));
+            while cache.entries.len() > capacity {
+                let lru = cache
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (_, last))| *last)
+                    .map(|(k, _)| k.clone())
+                    .expect("len > capacity > 0 implies non-empty");
+                cache.entries.remove(&lru);
+                cache.evictions += 1;
+            }
+        }
+        Ok(self.assemble(core, self.config.clone()))
+    }
+
+    /// [`Session::sql`] through the prepared-statement cache: parse,
+    /// normalize, and serve repeats from the cache — see
+    /// [`Session::prepare_cached`].
+    pub fn sql_cached(&self, statement: &str) -> Result<PreparedQuery<'_>, Error> {
+        let query = table::sql::parse_query(&self.table, statement)?;
+        self.prepare_cached(query)
+    }
+
+    /// Prepare `query` under a per-query configuration override instead
+    /// of the session default — how a service applies request-scoped
+    /// deadlines, budgets or (in tests) fault plans without mutating the
+    /// shared session. Always bypasses the prepared-statement cache: the
+    /// override may change the atom space, and fault plans are meant to
+    /// fire on exactly this query.
+    pub fn prepare_with(
+        &self,
+        query: GroupByAvgQuery,
+        config: CausumxConfig,
+    ) -> Result<PreparedQuery<'_>, Error> {
+        let core = self.build_core(query, &config)?;
+        Ok(self.assemble(core, config))
+    }
+
+    /// Materialize the view and build every session-lifetime part of a
+    /// prepared statement. `config` decides the lattice options baked
+    /// into the atom space.
+    fn build_core(
+        &self,
+        query: GroupByAvgQuery,
+        config: &CausumxConfig,
+    ) -> Result<Arc<PreparedCore>, Error> {
         let view = query.run(&self.table)?;
         self.counters
             .views_materialized
@@ -229,21 +408,39 @@ impl Session {
             &self.dag,
             query.avg,
             &split.treatment,
-            self.config.lattice.clone(),
+            config.lattice.clone(),
             Arc::clone(&self.backdoor),
         );
-        self.counters
-            .queries_prepared
-            .fetch_add(1, Ordering::Relaxed);
-        Ok(PreparedQuery {
-            session: self,
-            config: self.config.clone(),
+        let parts = miner.parts();
+        Ok(Arc::new(PreparedCore {
             query,
             view,
             group_bits: OnceLock::new(),
             split,
+            parts,
+        }))
+    }
+
+    /// Bind a prepared core to this session: rebuild the borrowing miner
+    /// from the core's [`MinerParts`] (cheap — the atom space is shared
+    /// via `Arc`) and snapshot `config` onto the query.
+    fn assemble(&self, core: Arc<PreparedCore>, config: CausumxConfig) -> PreparedQuery<'_> {
+        let miner = TreatmentMiner::from_parts(
+            &self.table,
+            &self.dag,
+            config.lattice.clone(),
+            Arc::clone(&self.backdoor),
+            &core.parts,
+        );
+        self.counters
+            .queries_prepared
+            .fetch_add(1, Ordering::Relaxed);
+        PreparedQuery {
+            session: self,
+            config,
+            core,
             miner,
-        })
+        }
     }
 
     /// FD split for a group-by set, computed once per distinct set.
@@ -269,6 +466,19 @@ impl Session {
         sched::write_recovered(&self.fd_cache).insert(key, Arc::clone(&split));
         split
     }
+}
+
+/// Canonical prepared-statement cache key of a *resolved* query:
+/// attribute indices plus the structural WHERE pattern. SQL spelling
+/// differences (whitespace, keyword case, clause formatting) disappear
+/// during parsing, so [`Session::sql_cached`] and the name-based builder
+/// agree on keys for free. Group-by order is preserved — it decides the
+/// view's group numbering, which the bit-identity contract covers.
+fn statement_key(query: &GroupByAvgQuery) -> String {
+    format!(
+        "g{:?}|a{}|w{:?}",
+        query.group_by, query.avg, query.where_clause
+    )
 }
 
 /// Which column a builder clause refers to: by name or by index.
@@ -356,6 +566,19 @@ impl<'s> QueryBuilder<'s> {
 
     /// Resolve names, validate, and prepare the query.
     pub fn prepare(self) -> Result<PreparedQuery<'s>, Error> {
+        let (session, query) = self.resolved()?;
+        session.prepare(query)
+    }
+
+    /// Resolve names, validate, and prepare through the session's
+    /// prepared-statement cache — see [`Session::prepare_cached`].
+    pub fn prepare_cached(self) -> Result<PreparedQuery<'s>, Error> {
+        let (session, query) = self.resolved()?;
+        session.prepare_cached(query)
+    }
+
+    /// Resolve column references and assemble the validated raw query.
+    fn resolved(self) -> Result<(&'s Session, GroupByAvgQuery), Error> {
         let table = &self.session.table;
         let resolve = |r: &ColRef| -> Result<usize, Error> {
             match r {
@@ -398,7 +621,7 @@ impl<'s> QueryBuilder<'s> {
             (None, Some(src)) => query = query.with_where(table::sql::parse_where(table, src)?),
             (None, None) => {}
         }
-        self.session.prepare(query)
+        Ok((self.session, query))
     }
 
     /// Prepare and run once — convenience for one-shot callers.
@@ -414,26 +637,22 @@ pub struct PreparedQuery<'s> {
     session: &'s Session,
     /// Configuration snapshot taken at prepare time.
     config: CausumxConfig,
-    query: GroupByAvgQuery,
-    view: AggView,
-    /// Row bitset per output group, built all at once (one pass over the
-    /// view's row→group map) on the first drill-down and cached. Lazy:
-    /// `run()` never touches per-group bitsets, and eager construction
-    /// would cost `O(m·n)` bits of memory per prepared query up front.
-    group_bits: OnceLock<Vec<table::BitSet>>,
-    split: Arc<AttrSplit>,
+    /// The session-lifetime prepared state (query, view, lazily built
+    /// per-group bitsets, FD split, miner parts) — possibly shared with
+    /// other handles through the prepared-statement cache.
+    core: Arc<PreparedCore>,
     miner: TreatmentMiner<'s>,
 }
 
 impl<'s> PreparedQuery<'s> {
     /// The materialized aggregate view `Q(D)`.
     pub fn view(&self) -> &AggView {
-        &self.view
+        &self.core.view
     }
 
     /// The underlying query.
     pub fn query(&self) -> &GroupByAvgQuery {
-        &self.query
+        &self.core.query
     }
 
     /// The session this query is bound to.
@@ -443,13 +662,17 @@ impl<'s> PreparedQuery<'s> {
 
     /// The FD attribute split backing this query.
     pub fn attr_split(&self) -> &AttrSplit {
-        &self.split
+        &self.core.split
     }
 
     /// Row bitset of output group `g` (cached across calls; all groups
-    /// are built in one pass on first use).
+    /// are built in one pass on first use — and shared with every other
+    /// handle of the same cached statement).
     pub fn group_bits(&self, g: usize) -> &table::BitSet {
-        &self.group_bits.get_or_init(|| self.view.group_bits_all())[g]
+        &self
+            .core
+            .group_bits
+            .get_or_init(|| self.core.view.group_bits_all())[g]
     }
 
     /// Run the full pipeline (Algorithm 1). Deterministic: repeated calls
@@ -548,8 +771,8 @@ impl<'s> PreparedQuery<'s> {
         };
         let groupings = mine_grouping_patterns(
             &self.session.table,
-            &self.view,
-            &self.split.grouping,
+            &self.core.view,
+            &self.core.split.grouping,
             tau,
             self.config.max_grouping_len,
         );
@@ -567,7 +790,7 @@ impl<'s> PreparedQuery<'s> {
         let treatment_ms = t1.elapsed().as_secs_f64() * 1e3;
 
         Ok(CandidateSet {
-            view: self.view.clone(),
+            view: self.core.view.clone(),
             explanations,
             grouping_ms,
             treatment_ms,
@@ -728,8 +951,8 @@ impl<'s> PreparedQuery<'s> {
         k: usize,
     ) -> Option<(Vec<TreatmentResult>, Vec<TreatmentResult>)> {
         let table = &self.session.table;
-        let gid =
-            (0..self.view.num_groups()).find(|&g| self.view.group_label(table, g) == label)?;
+        let gid = (0..self.core.view.num_groups())
+            .find(|&g| self.core.view.group_label(table, g) == label)?;
         let paired = self
             .miner
             .top_treatments_paired(self.group_bits(gid), k, true);
@@ -742,10 +965,10 @@ impl<'s> PreparedQuery<'s> {
             .session
             .table
             .schema()
-            .field(self.query.avg)
+            .field(self.core.query.avg)
             .name
             .clone();
-        Report::new(&self.session.table, &self.view, summary, &outcome)
+        Report::new(&self.session.table, &self.core.view, summary, &outcome)
     }
 }
 

@@ -369,6 +369,33 @@ struct Atom {
     mask: BitSet,
 }
 
+/// The table-scan products of a [`TreatmentMiner`]'s construction,
+/// exported by [`TreatmentMiner::parts`] and re-imported by
+/// [`TreatmentMiner::from_parts`]: the atomic predicate space (shared via
+/// `Arc` — each atom's full-table row mask is the expensive part of
+/// `prepare`) plus the outcome statistics, fingerprinted with the table
+/// shape they were built against. Cloning is `O(1)`.
+#[derive(Debug, Clone)]
+pub struct MinerParts {
+    atoms: Arc<Vec<Atom>>,
+    outcome_std: f64,
+    outcome: usize,
+    nrows: usize,
+    ncols: usize,
+}
+
+impl MinerParts {
+    /// Number of atomic predicates in the exported space.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// The outcome attribute the parts were exported for.
+    pub fn outcome(&self) -> usize {
+        self.outcome
+    }
+}
+
 /// The treatment-pattern miner: precomputes atomic predicates and their row
 /// masks once, then answers `top_treatment` queries per grouping pattern
 /// (these calls are `&self` and thread-safe, enabling the paper's
@@ -382,7 +409,10 @@ pub struct TreatmentMiner<'a> {
     dag: &'a Dag,
     outcome: usize,
     opts: LatticeOptions,
-    atoms: Vec<Atom>,
+    /// `Arc`'d so a prepared-statement cache can share one atom space
+    /// across many miners over the same table (see
+    /// [`TreatmentMiner::parts`]).
+    atoms: Arc<Vec<Atom>>,
     /// |outcome std| for the near-zero pruning threshold.
     outcome_std: f64,
     /// table attr id ↔ dag node id maps (by name).
@@ -461,7 +491,7 @@ impl<'a> TreatmentMiner<'a> {
             effective = treat_attrs.to_vec();
         }
 
-        let atoms = build_atoms(table, &effective, &opts);
+        let atoms = Arc::new(build_atoms(table, &effective, &opts));
         let outcome_std = column_std(table.column(outcome));
 
         TreatmentMiner {
@@ -471,6 +501,72 @@ impl<'a> TreatmentMiner<'a> {
             opts,
             atoms,
             outcome_std,
+            attr_to_dag,
+            dag_to_attr,
+            backdoor,
+        }
+    }
+
+    /// Export the table-scan products of this miner's construction — the
+    /// atomic predicate space (every atom's row mask is an `O(n)` table
+    /// scan) and the outcome standard deviation — as a cheaply clonable
+    /// [`MinerParts`]. A prepared-statement cache holds these so a
+    /// repeated query rebuilds its miner in `O(ncols)` via
+    /// [`TreatmentMiner::from_parts`] instead of re-scanning the table.
+    pub fn parts(&self) -> MinerParts {
+        MinerParts {
+            atoms: Arc::clone(&self.atoms),
+            outcome_std: self.outcome_std,
+            outcome: self.outcome,
+            nrows: self.table.nrows(),
+            ncols: self.table.ncols(),
+        }
+    }
+
+    /// Rebuild a miner from [`MinerParts`] previously exported by
+    /// [`TreatmentMiner::parts`]. Only the attribute↔DAG maps are
+    /// recomputed (`O(ncols)` name lookups); the atom space and outcome
+    /// statistics are shared untouched, so the rebuilt miner walks the
+    /// lattice bit-identically to the one that exported the parts.
+    ///
+    /// The parts are only meaningful against the same table, DAG, outcome
+    /// attribute and lattice options they were exported under — the
+    /// caller (the session's prepared-statement cache) guarantees this;
+    /// shape mismatches are rejected loudly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `table`/`outcome` disagree with the shape recorded in
+    /// `parts` (wrong row/column count or outcome attribute).
+    pub fn from_parts(
+        table: &'a Table,
+        dag: &'a Dag,
+        opts: LatticeOptions,
+        backdoor: Arc<BackdoorMemo>,
+        parts: &MinerParts,
+    ) -> Self {
+        assert_eq!(
+            (parts.nrows, parts.ncols),
+            (table.nrows(), table.ncols()),
+            "MinerParts exported from a differently-shaped table"
+        );
+        backdoor.attach(dag, table.ncols());
+        let attr_to_dag: Vec<Option<usize>> = (0..table.ncols())
+            .map(|a| dag.index_of(&table.schema().field(a).name))
+            .collect();
+        let mut dag_to_attr: Vec<Option<usize>> = vec![None; dag.len()];
+        for (attr, d) in attr_to_dag.iter().enumerate() {
+            if let Some(d) = d {
+                dag_to_attr[*d] = Some(attr);
+            }
+        }
+        TreatmentMiner {
+            table,
+            dag,
+            outcome: parts.outcome,
+            opts,
+            atoms: Arc::clone(&parts.atoms),
+            outcome_std: parts.outcome_std,
             attr_to_dag,
             dag_to_attr,
             backdoor,

@@ -1,0 +1,162 @@
+//! Bounded two-stage admission: at most `max_inflight` queries run at
+//! once; at most `max_queued` more may wait for a slot. Anything beyond
+//! that is rejected immediately ([`Saturated`] → HTTP `429`) instead of
+//! queueing unboundedly — under overload the server sheds load with a
+//! structured answer rather than growing a silent backlog of doomed
+//! requests.
+//!
+//! Waiting requests still count against their own deadline: the handler
+//! builds the request's `RunGuard` *before* admission, so time spent in
+//! the wait queue is charged to the query and checked right after the
+//! permit is granted.
+
+use std::sync::{Condvar, Mutex};
+
+use mining::sched;
+
+/// State behind the admission mutex.
+#[derive(Debug, Default)]
+struct State {
+    inflight: usize,
+    queued: usize,
+}
+
+/// The bounded admission queue — see the [module docs](self).
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    state: Mutex<State>,
+    freed: Condvar,
+    max_inflight: usize,
+    max_queued: usize,
+}
+
+/// Rejection snapshot returned when both stages are full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Saturated {
+    /// Queries running when the request was rejected.
+    pub inflight: usize,
+    /// Requests already waiting for a slot.
+    pub queued: usize,
+}
+
+/// An admitted query's slot. Releasing is RAII: dropping the permit
+/// frees the slot and wakes one waiter, so every exit path — success,
+/// structured error, even a panic unwinding through the handler —
+/// returns the slot.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    queue: &'a AdmissionQueue,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = sched::lock_recovered(&self.queue.state);
+        state.inflight = state.inflight.saturating_sub(1);
+        drop(state);
+        self.queue.freed.notify_one();
+    }
+}
+
+impl AdmissionQueue {
+    /// A queue running at most `max_inflight` queries with at most
+    /// `max_queued` waiters. Both bounds are clamped to at least 1 —
+    /// zero-capacity admission would reject everything.
+    pub fn new(max_inflight: usize, max_queued: usize) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(State::default()),
+            freed: Condvar::new(),
+            max_inflight: max_inflight.max(1),
+            max_queued: max_queued.max(1),
+        }
+    }
+
+    /// Acquire a run slot, waiting in the bounded queue if necessary.
+    /// Returns [`Saturated`] without blocking when the wait queue is
+    /// full.
+    pub fn admit(&self) -> Result<Permit<'_>, Saturated> {
+        let mut state = sched::lock_recovered(&self.state);
+        if state.inflight < self.max_inflight {
+            state.inflight += 1;
+            return Ok(Permit { queue: self });
+        }
+        if state.queued >= self.max_queued {
+            return Err(Saturated {
+                inflight: state.inflight,
+                queued: state.queued,
+            });
+        }
+        state.queued += 1;
+        while state.inflight >= self.max_inflight {
+            state = match self.freed.wait(state) {
+                Ok(s) => s,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        state.queued -= 1;
+        state.inflight += 1;
+        Ok(Permit { queue: self })
+    }
+
+    /// Current `(inflight, queued)` occupancy.
+    pub fn snapshot(&self) -> (usize, usize) {
+        let state = sched::lock_recovered(&self.state);
+        (state.inflight, state.queued)
+    }
+
+    /// Configured `(max_inflight, max_queued)` bounds.
+    pub fn limits(&self) -> (usize, usize) {
+        (self.max_inflight, self.max_queued)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn admits_up_to_inflight_then_queues_then_rejects() {
+        let q2 = Arc::new(AdmissionQueue::new(1, 1));
+        let p1 = q2.admit().expect("first admit");
+        assert_eq!(q2.snapshot(), (1, 0));
+
+        // Second request parks in the wait queue on another thread.
+        let q3 = Arc::clone(&q2);
+        let waited = Arc::new(AtomicUsize::new(0));
+        let w = Arc::clone(&waited);
+        let t = std::thread::spawn(move || {
+            let _p = q3.admit().expect("queued admit");
+            w.fetch_add(1, Ordering::SeqCst);
+        });
+        // Wait until it occupies the queue slot.
+        while q2.snapshot().1 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Third request: both stages full → immediate rejection.
+        let err = q2.admit().expect_err("saturated");
+        assert_eq!(
+            err,
+            Saturated {
+                inflight: 1,
+                queued: 1
+            }
+        );
+
+        drop(p1); // frees the slot; the queued thread proceeds
+        t.join().expect("waiter thread");
+        assert_eq!(waited.load(Ordering::SeqCst), 1);
+        assert_eq!(q2.snapshot(), (0, 0));
+    }
+
+    #[test]
+    fn permit_drop_releases_even_zero_bounds_clamped() {
+        let q = AdmissionQueue::new(0, 0);
+        assert_eq!(q.limits(), (1, 1));
+        {
+            let _p = q.admit().expect("clamped capacity admits one");
+        }
+        assert_eq!(q.snapshot(), (0, 0));
+    }
+}

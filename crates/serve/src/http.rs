@@ -1,0 +1,333 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing.
+//!
+//! Deliberately minimal: one request per connection (`Connection:
+//! close`), `Content-Length` bodies only (no chunked encoding), hard
+//! caps on head and body size. Every parse failure maps to a structured
+//! status — nothing in this module panics on network input (the unwrap
+//! gate holds the serve path to zero bare unwraps).
+
+use std::io::{self, BufRead, Write};
+
+/// Cap on the request head (request line + headers). Anything larger is
+/// rejected with `431` before buffering more.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Cap on the request body. SQL statements are short; a megabyte is
+/// generous and keeps a misbehaving client from ballooning memory.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP/1.1 request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path + optional query string).
+    pub target: String,
+    /// Header `(name, value)` pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target's path component (query string stripped).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+}
+
+/// Why a request could not be read. Each variant carries the HTTP status
+/// the connection should answer with before closing ([`ReadError::status`]);
+/// `Closed` means the peer went away and no response is possible.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The connection closed (or timed out) before a full request arrived.
+    Closed,
+    /// The bytes received do not form a valid HTTP/1.1 request.
+    Malformed(String),
+    /// The request head exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// The declared body exceeded [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+    /// The request used a transfer encoding this server does not speak.
+    UnsupportedEncoding,
+}
+
+impl ReadError {
+    /// HTTP status to answer with (`0` for [`ReadError::Closed`] — no
+    /// response can be delivered).
+    pub fn status(&self) -> u16 {
+        match self {
+            ReadError::Closed => 0,
+            ReadError::Malformed(_) => 400,
+            ReadError::HeadTooLarge => 431,
+            ReadError::BodyTooLarge => 413,
+            ReadError::UnsupportedEncoding => 501,
+        }
+    }
+
+    /// Human-readable description for the error envelope.
+    pub fn message(&self) -> String {
+        match self {
+            ReadError::Closed => "connection closed".into(),
+            ReadError::Malformed(m) => m.clone(),
+            ReadError::HeadTooLarge => {
+                format!("request head exceeds {MAX_HEAD_BYTES} bytes")
+            }
+            ReadError::BodyTooLarge => {
+                format!("request body exceeds {MAX_BODY_BYTES} bytes")
+            }
+            ReadError::UnsupportedEncoding => "only Content-Length bodies are supported".into(),
+        }
+    }
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line, enforcing the running
+/// head-size budget.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, ReadError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        // Any transport error (including a read timeout) ends the
+        // request — there is nothing sensible to answer onto a broken
+        // or stalled connection.
+        let n = match reader.read(&mut byte) {
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(ReadError::Closed),
+        };
+        if n == 0 {
+            return Err(ReadError::Closed);
+        }
+        *budget = budget.checked_sub(1).ok_or(ReadError::HeadTooLarge)?;
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| ReadError::Malformed("non-UTF-8 bytes in request head".into()));
+        }
+        line.push(byte[0]);
+    }
+}
+
+/// Read and parse one HTTP/1.1 request from `reader`.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ReadError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_line(reader, &mut budget)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("request line missing target".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("request line missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!(
+            "unsupported protocol version `{version}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::Malformed(format!("header line without colon: `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let req = Request {
+        method,
+        target,
+        headers,
+        body: Vec::new(),
+    };
+    if req.header("transfer-encoding").is_some() {
+        return Err(ReadError::UnsupportedEncoding);
+    }
+    let content_length = match req.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::Malformed(format!("bad Content-Length `{v}`")))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::BodyTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0;
+    while filled < content_length {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err(ReadError::Closed),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(ReadError::Closed),
+        }
+    }
+    Ok(Request { body, ..req })
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// Serialize onto `out` (HTTP/1.1, `Connection: close`).
+    pub fn write(&self, out: &mut impl Write) -> io::Result<()> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        507 => "Insufficient Storage",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse("POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nSELECT 1 -- ")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/query");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"SELECT 1 --");
+    }
+
+    #[test]
+    fn parses_get_without_body_and_bare_lf() {
+        let req = parse("GET /healthz?x=1 HTTP/1.0\nHost: y\n\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(matches!(parse("\r\n\r\n"), Err(ReadError::Malformed(_))));
+        assert!(matches!(parse("GET\r\n\r\n"), Err(ReadError::Malformed(_))));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversize_and_unsupported() {
+        let huge_header = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(parse(&huge_header), Err(ReadError::HeadTooLarge)));
+        let big_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&big_body), Err(ReadError::BodyTooLarge)));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ReadError::UnsupportedEncoding)
+        ));
+        assert_eq!(ReadError::HeadTooLarge.status(), 431);
+        assert_eq!(ReadError::BodyTooLarge.status(), 413);
+        assert_eq!(ReadError::UnsupportedEncoding.status(), 501);
+    }
+
+    #[test]
+    fn closed_on_truncation() {
+        assert!(matches!(parse("GET / HT"), Err(ReadError::Closed)));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ReadError::Closed)
+        ));
+        assert_eq!(ReadError::Closed.status(), 0);
+    }
+
+    #[test]
+    fn response_serializes_with_length() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}")
+            .write(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.contains("Connection: close"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+}

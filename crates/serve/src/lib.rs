@@ -1,0 +1,41 @@
+//! # serve — a concurrent multi-tenant query service over one [`Session`]
+//!
+//! The paper's prototype is a long-lived engine answering many aggregate
+//! explanation queries interactively (§4.2); this crate is its front
+//! door. One shared [`Session`] (provably `Send + Sync`) serves every
+//! request; each request gets its own lifeguard ([`mining::RunGuard`]
+//! deadline + memory budget), admission is bounded (saturation answers
+//! `429` instead of queueing unboundedly), and every failure — from a
+//! malformed request line to a tripped deadline deep inside the lattice
+//! walk — becomes a structured JSON error envelope, never a dead process.
+//!
+//! The HTTP layer is hand-rolled over [`std::net::TcpListener`]: the
+//! build is fully offline (see `vendor/README.md`), so no external web
+//! framework is available — and the protocol surface needed here
+//! (`POST /query`, `GET /healthz`, `GET /stats`, `Connection: close`) is
+//! small enough that a careful parser beats a dependency.
+//!
+//! Layering:
+//!
+//! * [`http`] — request parsing and response writing, with hard size
+//!   limits (oversized requests → `413`, malformed → `400`).
+//! * [`admission`] — a bounded two-stage admission queue (running +
+//!   waiting) shared by every connection thread.
+//! * [`handler`] — routing, per-request guard wiring, the
+//!   [`causumx::Error`] → HTTP status mapping, and `/stats`.
+//! * [`server`] — the accept loop: one OS thread per connection, a
+//!   cooperative stop flag, and port-0 support for tests.
+//!
+//! [`Session`]: causumx::Session
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod handler;
+pub mod http;
+pub mod server;
+
+pub use admission::{AdmissionQueue, Permit, Saturated};
+pub use handler::{Handler, ServeOptions};
+pub use http::{read_request, Request, Response};
+pub use server::{spawn, RunningServer};

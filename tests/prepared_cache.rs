@@ -1,0 +1,193 @@
+//! Integration tests for the session's bounded prepared-statement cache:
+//! hit/miss/eviction accounting, key normalization (SQL spelling and
+//! builder-built queries share entries), LRU eviction order, bit-identity
+//! of cache-hit reports, `set_config` invalidation and the `capacity = 0`
+//! kill switch.
+
+use causumx::{ConfigBuilder, Session, Summary};
+use table::{Table, TableBuilder};
+
+/// Toy SO-shaped table: country → salary with an education effect and an
+/// age column for WHERE clauses.
+fn toy() -> (Table, causal::Dag) {
+    let n = 240;
+    let countries = ["US", "FR", "IN"];
+    let mut country = Vec::new();
+    let mut edu = Vec::new();
+    let mut age = Vec::new();
+    let mut salary = Vec::new();
+    for i in 0..n {
+        let c = countries[i % 3];
+        let e = if i % 2 == 0 { "PhD" } else { "BSc" };
+        let base = match c {
+            "US" => 120.0,
+            "FR" => 90.0,
+            _ => 40.0,
+        };
+        country.push(c.to_string());
+        edu.push(e.to_string());
+        age.push(22 + ((i * 7) % 40) as i64);
+        salary.push(base + if e == "PhD" { 30.0 } else { 0.0 } + (i % 5) as f64);
+    }
+    let table = TableBuilder::new()
+        .cat_owned("country", country)
+        .unwrap()
+        .cat_owned("education", edu)
+        .unwrap()
+        .int("age", age)
+        .unwrap()
+        .float("salary", salary)
+        .unwrap()
+        .build()
+        .unwrap();
+    let dag = causal::Dag::new(
+        &["country", "education", "age", "salary"],
+        &[
+            ("country", "salary"),
+            ("education", "salary"),
+            ("age", "salary"),
+        ],
+    )
+    .unwrap();
+    (table, dag)
+}
+
+fn session_with_capacity(capacity: usize) -> Session {
+    let (table, dag) = toy();
+    let config = ConfigBuilder::new()
+        .k(2)
+        .theta(0.6)
+        .min_arm(2)
+        .threads(1)
+        .prepared_statements(capacity)
+        .build()
+        .unwrap();
+    Session::new(table, dag, config)
+}
+
+/// Everything deterministic about a summary, with the FP fields captured
+/// at full bit precision (Debug on `f64` prints the shortest roundtrip
+/// form, which is bijective with the bit pattern for non-NaN values).
+fn fingerprint(s: &Summary) -> (u64, usize, usize, usize, String) {
+    (
+        s.total_weight.to_bits(),
+        s.covered,
+        s.candidates,
+        s.cate_evaluations,
+        format!("{:?}", s.explanations),
+    )
+}
+
+const SQL: &str = "SELECT country, AVG(salary) FROM t GROUP BY country";
+
+#[test]
+fn hits_are_counted_and_bit_identical_to_fresh_prepares() {
+    let session = session_with_capacity(8);
+
+    let fresh = session.prepare(table::sql::parse_query(session.table(), SQL).unwrap());
+    let expected = fingerprint(&fresh.unwrap().run());
+    // Plain `prepare` never touches the cache.
+    assert_eq!(session.prepared_cache_stats().misses, 0);
+
+    let miss = session.sql_cached(SQL).unwrap().run();
+    let hit = session.sql_cached(SQL).unwrap().run();
+    let stats = session.prepared_cache_stats();
+    assert_eq!((stats.misses, stats.hits, stats.len), (1, 1, 1));
+    assert_eq!(stats.evictions, 0);
+    assert_eq!(fingerprint(&miss), expected, "cache miss diverged");
+    assert_eq!(fingerprint(&hit), expected, "cache hit diverged");
+
+    // The session-level counters mirror the cache stats.
+    let counters = session.counters();
+    assert_eq!(counters.prepared_cache_hits, 1);
+    assert_eq!(counters.prepared_cache_misses, 1);
+    // The hit skipped view materialization: only the un-cached fresh
+    // prepare and the one miss built views.
+    assert_eq!(counters.views_materialized, 2);
+}
+
+#[test]
+fn statement_key_normalizes_sql_spelling_and_builder_queries() {
+    let session = session_with_capacity(8);
+    session.sql_cached(SQL).unwrap();
+
+    // Different whitespace and keyword case, same normalized statement.
+    let respelled = "  select   country,  avg(salary)   from somewhere  group by   country  ";
+    session.sql_cached(respelled).unwrap();
+
+    // The same query built by name through the builder.
+    session
+        .query()
+        .group_by("country")
+        .avg("salary")
+        .prepare_cached()
+        .unwrap();
+
+    let stats = session.prepared_cache_stats();
+    assert_eq!(
+        (stats.misses, stats.hits, stats.len),
+        (1, 2, 1),
+        "all three spellings must share one cache entry"
+    );
+
+    // A WHERE clause is part of the key: same projection, new entry.
+    let filtered = "SELECT country, AVG(salary) FROM t WHERE age < 40 GROUP BY country";
+    session.sql_cached(filtered).unwrap();
+    session.sql_cached(filtered).unwrap();
+    let stats = session.prepared_cache_stats();
+    assert_eq!((stats.misses, stats.hits, stats.len), (2, 3, 2));
+}
+
+#[test]
+fn lru_evicts_the_least_recently_used_statement() {
+    let session = session_with_capacity(2);
+    let a = "SELECT country, AVG(salary) FROM t GROUP BY country";
+    let b = "SELECT education, AVG(salary) FROM t GROUP BY education";
+    let c = "SELECT country, AVG(salary) FROM t WHERE age < 50 GROUP BY country";
+
+    session.sql_cached(a).unwrap(); // miss: {a}
+    session.sql_cached(b).unwrap(); // miss: {a, b}
+    session.sql_cached(a).unwrap(); // hit, a is now most recent
+    session.sql_cached(c).unwrap(); // miss: evicts b (LRU), {a, c}
+
+    let stats = session.prepared_cache_stats();
+    assert_eq!((stats.misses, stats.hits), (3, 1));
+    assert_eq!((stats.len, stats.capacity, stats.evictions), (2, 2, 1));
+
+    // a survived the eviction (it was touched after b)…
+    session.sql_cached(a).unwrap();
+    assert_eq!(session.prepared_cache_stats().hits, 2);
+    // …and b was the victim: asking for it again misses.
+    session.sql_cached(b).unwrap();
+    let stats = session.prepared_cache_stats();
+    assert_eq!(stats.misses, 4);
+    assert_eq!(stats.len, 2);
+}
+
+#[test]
+fn set_config_invalidates_the_cache() {
+    let mut session = session_with_capacity(8);
+    session.sql_cached(SQL).unwrap();
+    assert_eq!(session.prepared_cache_stats().len, 1);
+
+    let config = session.config().clone();
+    session.set_config(config);
+    assert_eq!(
+        session.prepared_cache_stats().len,
+        0,
+        "reconfiguring must drop cores built under the old config"
+    );
+    session.sql_cached(SQL).unwrap();
+    assert_eq!(session.prepared_cache_stats().misses, 2);
+}
+
+#[test]
+fn capacity_zero_disables_caching() {
+    let session = session_with_capacity(0);
+    let first = session.sql_cached(SQL).unwrap().run();
+    let second = session.sql_cached(SQL).unwrap().run();
+    let stats = session.prepared_cache_stats();
+    assert_eq!((stats.misses, stats.hits, stats.len), (2, 0, 0));
+    assert_eq!(stats.capacity, 0);
+    assert_eq!(fingerprint(&first), fingerprint(&second));
+}

@@ -1,0 +1,115 @@
+//! Concurrency contract of the service layer: one shared [`Session`]
+//! behind an `Arc` serves N threads × M queries through the
+//! prepared-statement cache and every response is bit-identical to a
+//! clean serial session answering the same statements. Also pins the
+//! `Send + Sync` bounds the whole design rests on.
+
+use std::sync::Arc;
+
+use causumx::{CausumxConfig, ConfigBuilder, Session, Summary};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn session_types_are_send_sync() {
+    assert_send_sync::<Session>();
+    assert_send_sync::<causumx::PreparedQuery<'static>>();
+    assert_send_sync::<causumx::PreparedCacheStats>();
+    assert_send_sync::<serve::Handler>();
+    assert_send_sync::<serve::AdmissionQueue>();
+}
+
+fn config() -> CausumxConfig {
+    // Light per-query mining (single-literal lattice) keeps the hammer
+    // fast in debug builds; the bit-identity contract is independent of
+    // these knobs.
+    ConfigBuilder::new()
+        .threads(1)
+        .max_level(1)
+        .prepared_statements(8)
+        .build()
+        .unwrap()
+}
+
+const STATEMENTS: [&str; 3] = [
+    "SELECT Country, AVG(Salary) FROM so GROUP BY Country",
+    "SELECT Continent, AVG(Salary) FROM so GROUP BY Continent",
+    "SELECT Country, AVG(Salary) FROM so WHERE Age < 40 GROUP BY Country",
+];
+
+fn fingerprint(s: &Summary) -> (u64, usize, usize, usize, String) {
+    (
+        s.total_weight.to_bits(),
+        s.covered,
+        s.candidates,
+        s.cate_evaluations,
+        format!("{:?}", s.explanations),
+    )
+}
+
+#[test]
+fn shared_session_hammer_is_bit_identical_to_serial() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 9;
+
+    let ds = datagen::so::generate(1_500, 11);
+
+    // Serial reference: a fresh session, every statement once, no cache.
+    let reference = Session::new(ds.table.clone(), ds.dag.clone(), config());
+    let expected: Vec<_> = STATEMENTS
+        .iter()
+        .map(|sql| fingerprint(&reference.sql(sql).unwrap().run()))
+        .collect();
+
+    // Hammer: THREADS threads, each running PER_THREAD queries round-robin
+    // over the statement pool, all through one shared session's cache.
+    let shared = Arc::new(Session::new(ds.table, ds.dag, config()));
+    let results: Vec<(usize, Vec<(usize, (u64, usize, usize, usize, String))>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let shared = Arc::clone(&shared);
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for q in 0..PER_THREAD {
+                            let stmt = (t + q) % STATEMENTS.len();
+                            let prepared = shared.sql_cached(STATEMENTS[stmt]).unwrap();
+                            out.push((stmt, fingerprint(&prepared.run())));
+                        }
+                        (t, out)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+    for (t, observations) in &results {
+        for (stmt, got) in observations {
+            assert_eq!(
+                got, &expected[*stmt],
+                "thread {t} statement {stmt}: concurrent result diverged from serial"
+            );
+        }
+    }
+
+    // Accounting: every query either hit or missed; views were built only
+    // on misses; at most one racing miss-group per statement escaped the
+    // cache, and the steady state holds all three entries.
+    let stats = shared.prepared_cache_stats();
+    let total = THREADS * PER_THREAD;
+    assert_eq!(stats.hits + stats.misses, total);
+    assert!(
+        stats.misses >= STATEMENTS.len(),
+        "each distinct statement must miss at least once"
+    );
+    assert!(
+        stats.misses <= STATEMENTS.len() * THREADS,
+        "misses are bounded by racing first-preparations: {}",
+        stats.misses
+    );
+    assert_eq!(stats.len, STATEMENTS.len());
+    assert_eq!(stats.evictions, 0);
+    let counters = shared.counters();
+    assert_eq!(counters.views_materialized, stats.misses);
+    assert_eq!(counters.runs, total);
+}

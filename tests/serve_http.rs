@@ -1,0 +1,225 @@
+//! End-to-end tests of `causumx-serve`'s HTTP surface over real TCP:
+//! spawn the accept loop on an ephemeral port, speak raw HTTP/1.1 and
+//! assert the full contract — 200 report JSON matching a direct session
+//! run, structured error envelopes with stable `code`s on the right
+//! statuses (400/404/405/429/504), per-request deadlines via
+//! `X-Deadline-Ms`, saturation shedding from the bounded admission
+//! queue, and `/stats` accounting.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use causumx::{ConfigBuilder, Session};
+use serve::{Handler, ServeOptions};
+use table::TableBuilder;
+
+/// Tiny fixed table: two group-by attributes and one outcome — queries
+/// complete in microseconds, so tests exercise the transport, not the
+/// miner.
+fn session() -> Session {
+    let table = TableBuilder::new()
+        .cat("country", &["US", "US", "US", "FR", "FR", "FR", "IN", "IN"])
+        .unwrap()
+        .cat(
+            "education",
+            &["PhD", "BSc", "PhD", "BSc", "PhD", "BSc", "PhD", "BSc"],
+        )
+        .unwrap()
+        .float(
+            "salary",
+            vec![120.0, 80.0, 125.0, 60.0, 90.0, 61.0, 30.0, 20.0],
+        )
+        .unwrap()
+        .build()
+        .unwrap();
+    let dag = causal::Dag::new(
+        &["country", "education", "salary"],
+        &[("country", "salary"), ("education", "salary")],
+    )
+    .unwrap();
+    let config = ConfigBuilder::new()
+        .k(2)
+        .theta(0.6)
+        .min_arm(1)
+        .threads(1)
+        .build()
+        .unwrap();
+    Session::new(table, dag, config)
+}
+
+fn spawn(opts: ServeOptions) -> (serve::RunningServer, Arc<Handler>) {
+    let handler = Arc::new(Handler::new(Arc::new(session()), opts));
+    let server = serve::spawn(Arc::clone(&handler), "127.0.0.1:0").expect("bind ephemeral port");
+    (server, handler)
+}
+
+/// One raw HTTP exchange; returns (status, body).
+fn http(addr: SocketAddr, raw: String) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(raw.as_bytes()).expect("send");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("recv");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {response}"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    http(addr, format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn post_query(addr: SocketAddr, sql: &str, headers: &[(&str, &str)]) -> (u16, String) {
+    let mut raw = format!(
+        "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n",
+        sql.len()
+    );
+    for (name, value) in headers {
+        raw.push_str(&format!("{name}: {value}\r\n"));
+    }
+    raw.push_str("\r\n");
+    raw.push_str(sql);
+    http(addr, raw)
+}
+
+const SQL: &str = "SELECT country, AVG(salary) FROM t GROUP BY country";
+
+/// Wall-clock stage timings are the one nondeterministic report field.
+fn strip_timings(body: &str) -> String {
+    let Some(start) = body.find("\"timings\":{") else {
+        return body.into();
+    };
+    let Some(end_rel) = body[start..].find('}') else {
+        return body.into();
+    };
+    let mut end = start + end_rel + 1;
+    if body[end..].starts_with(',') {
+        end += 1;
+    }
+    format!("{}{}", &body[..start], &body[end..])
+}
+
+#[test]
+fn query_over_tcp_matches_direct_session_run() {
+    let (server, handler) = spawn(ServeOptions::default());
+
+    let (status, body) = post_query(server.addr, SQL, &[]);
+    assert_eq!(status, 200, "{body}");
+
+    // The served body is the same report a direct in-process run yields.
+    let direct = {
+        let prepared = handler.session().sql(SQL).unwrap();
+        let summary = prepared.run();
+        prepared.report(&summary).to_json()
+    };
+    assert_eq!(strip_timings(&body), strip_timings(&direct));
+
+    let (status, stats) = get(server.addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(stats.contains("\"queries_ok\":1"), "{stats}");
+    assert!(stats.contains("\"prepared_cache\""), "{stats}");
+    server.stop();
+}
+
+#[test]
+fn routing_health_and_error_envelopes() {
+    let (server, _handler) = spawn(ServeOptions::default());
+    let addr = server.addr;
+
+    assert_eq!(get(addr, "/healthz"), (200, "{\"status\":\"ok\"}".into()));
+
+    let (status, body) = get(addr, "/nope");
+    assert_eq!(status, 404);
+    assert!(body.contains("\"code\":\"not_found\""), "{body}");
+
+    let (status, body) = http(
+        addr,
+        "DELETE /query HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n".into(),
+    );
+    assert_eq!(status, 405);
+    assert!(body.contains("\"code\":\"method_not_allowed\""), "{body}");
+
+    // Engine errors arrive as the `error_json` envelope on a 400.
+    let (status, body) = post_query(
+        addr,
+        "SELECT country, AVG(wages) FROM t GROUP BY country",
+        &[],
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("\"code\":\"sql\""), "{body}");
+    assert!(body.contains("\"kind\":\"sql\""), "{body}");
+
+    let (status, body) = http(addr, "NOT-HTTP\r\n\r\n".into());
+    assert_eq!(status, 400);
+    assert!(body.contains("\"code\":\"bad_request\""), "{body}");
+    server.stop();
+}
+
+#[test]
+fn deadline_header_trips_as_504_with_structured_envelope() {
+    let (server, _handler) = spawn(ServeOptions {
+        allow_chaos: true,
+        ..ServeOptions::default()
+    });
+
+    // A 60 ms injected stall against a 20 ms deadline: the guard trips
+    // mid-mining and the error maps to 504 without killing the server.
+    let (status, body) = post_query(
+        server.addr,
+        SQL,
+        &[("X-Chaos", "delay:60"), ("X-Deadline-Ms", "20")],
+    );
+    assert_eq!(status, 504, "{body}");
+    assert!(body.contains("\"code\":\"deadline_exceeded\""), "{body}");
+    assert!(body.contains("\"after_ms\""), "{body}");
+
+    // The server keeps serving afterwards.
+    let (status, _) = post_query(server.addr, SQL, &[]);
+    assert_eq!(status, 200);
+    server.stop();
+}
+
+#[test]
+fn saturation_sheds_load_with_429() {
+    // One run slot, one queue slot: the third concurrent query must be
+    // rejected immediately with the structured saturation envelope.
+    let (server, _handler) = spawn(ServeOptions {
+        allow_chaos: true,
+        max_inflight: 1,
+        max_queued: 1,
+        ..ServeOptions::default()
+    });
+    let addr = server.addr;
+
+    // Occupy the run slot with a long injected stall.
+    let slow = std::thread::spawn(move || post_query(addr, SQL, &[("X-Chaos", "delay:600")]));
+    std::thread::sleep(Duration::from_millis(150));
+    // Occupy the single queue slot.
+    let queued = std::thread::spawn(move || post_query(addr, SQL, &[]));
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Both stages full: shed.
+    let (status, body) = post_query(addr, SQL, &[]);
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("\"code\":\"saturated\""), "{body}");
+    assert!(body.contains("\"inflight\":1"), "{body}");
+    assert!(body.contains("\"queued\":1"), "{body}");
+
+    // The stalled and queued requests both complete fine.
+    let (status, _) = slow.join().unwrap();
+    assert_eq!(status, 200);
+    let (status, _) = queued.join().unwrap();
+    assert_eq!(status, 200);
+
+    let (_, stats) = get(addr, "/stats");
+    assert!(stats.contains("\"rejected_saturated\":1"), "{stats}");
+    server.stop();
+}
