@@ -1,7 +1,9 @@
 //! Criterion micro-benchmarks of the hot kernels: group-by evaluation,
 //! pattern evaluation, Apriori, CATE estimation (naive, context build,
 //! dense vs sparse per-treatment estimates), bitset popcount kernels, the
-//! treatment lattice, and the simplex/rounding selection step.
+//! numeric-mode reduction kernels (serial fold vs fixed-lane, regather vs
+//! downdate), the treatment lattice, and the simplex/rounding selection
+//! step.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -213,6 +215,77 @@ fn bench_bitset_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// Numeric-mode kernels: the serial ascending fold (`Exact`) vs the
+/// fixed-lane reduction (`FastV1`) on raw sum/dot/RSS passes, and the
+/// downdated-moments path vs a full re-gather for a subset candidate —
+/// at the table widths the pipeline sees (4k/30k rows, 200k scale
+/// target).
+fn bench_numeric_kernels(c: &mut Criterion) {
+    use stats::numeric::{self, NumericMode};
+
+    let mut group = c.benchmark_group("numeric_mode");
+    for &n in &[4_000usize, 30_000, 200_000] {
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 1.5).collect();
+        let b_: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos() - 0.25).collect();
+        group.bench_with_input(BenchmarkId::new("sum_exact", n), &n, |bench, _| {
+            bench.iter(|| numeric::sum(NumericMode::Exact, &a))
+        });
+        group.bench_with_input(BenchmarkId::new("sum_fast_v1", n), &n, |bench, _| {
+            bench.iter(|| numeric::sum(NumericMode::FastV1, &a))
+        });
+        group.bench_with_input(BenchmarkId::new("dot_exact", n), &n, |bench, _| {
+            bench.iter(|| numeric::dot(NumericMode::Exact, &a, &b_))
+        });
+        group.bench_with_input(BenchmarkId::new("dot_fast_v1", n), &n, |bench, _| {
+            bench.iter(|| numeric::dot(NumericMode::FastV1, &a, &b_))
+        });
+        group.bench_with_input(BenchmarkId::new("rss_fast_v1", n), &n, |bench, _| {
+            bench.iter(|| numeric::lane_sq_diff(&a, &b_))
+        });
+    }
+
+    // Downdated moments vs full re-gather: a subset candidate keeping
+    // ~94% of its parent's treated rows, on the real SO table.
+    for &n in &[4_000usize, 30_000, 200_000] {
+        let ds = datagen::so::generate(n, 1);
+        let edu = ds.table.attr("Education").unwrap();
+        let parent_bits = BitSet::from_mask(
+            &Pattern::single(Pred::eq(edu, "Masters"))
+                .eval(&ds.table)
+                .unwrap(),
+        );
+        let mut removed = BitSet::new(ds.table.nrows());
+        for (k, i) in parent_bits.iter().enumerate() {
+            if k % 16 == 0 {
+                removed.insert(i);
+            }
+        }
+        let child = parent_bits.difference(&removed);
+        let conf: Vec<usize> = ["Age", "Gender", "EducationParents"]
+            .iter()
+            .map(|a| ds.table.attr(a).unwrap())
+            .collect();
+        let opts = CateOptions {
+            numeric_mode: NumericMode::FastV1,
+            ..CateOptions::default()
+        };
+        let ctx = EstimationContext::new(&ds.table, None, ds.outcome, &conf, &opts).unwrap();
+        let (_, parent_moments) = ctx.estimate_local_moments(&parent_bits).unwrap();
+        group.bench_with_input(BenchmarkId::new("regather", n), &n, |bench, _| {
+            bench.iter(|| ctx.estimate_local_moments(&child).unwrap().0.cate)
+        });
+        group.bench_with_input(BenchmarkId::new("downdate", n), &n, |bench, _| {
+            bench.iter(|| {
+                ctx.estimate_downdated(&child, &parent_moments, &removed)
+                    .unwrap()
+                    .0
+                    .cate
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_lattice(c: &mut Criterion) {
     let ds = datagen::so::generate(4_000, 1);
     let t_attrs = treatment_attrs(&ds.table, &ds.group_by, &[ds.outcome]);
@@ -275,6 +348,7 @@ criterion_group!(
         bench_estimation_context,
         bench_confounder_panel,
         bench_bitset_kernels,
+        bench_numeric_kernels,
         bench_lattice,
         bench_selection
 );

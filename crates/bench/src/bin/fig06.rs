@@ -56,6 +56,8 @@ fn main() {
         grouping_ms: 0.0,
         treatment_ms: 0.0,
         cate_evaluations: 0,
+        downdates: 0,
+        regathers: 0,
     };
     let summary =
         causumx::select_candidates(&config, &candidates, causumx::SelectionMethod::LpRounding);

@@ -58,6 +58,19 @@
 //! construction; the committed artifact records the contract, a
 //! multi-core host records the win.
 //!
+//! The **numeric-mode scenario** A/Bs `NumericMode::{Exact, FastV1}` on
+//! the treatment step: `Exact` replays the pinned serial fold, `FastV1`
+//! runs the fixed-lane reduction kernels plus incremental Gram
+//! downdating for subset candidates. The scenario asserts FastV1
+//! self-determinism (bit-identical summaries at 1 vs 4 threads), equal
+//! work counters against Exact, CATE/weight agreement within 1e-9
+//! relative tolerance, and the counter contract (`downdates > 0` under
+//! FastV1, `downdates = 0` + `regathers > 0` under Exact).
+//!
+//! Each per-size entry also records `ns_per_row_estimate` — treatment
+//! nanoseconds divided by (rows × CATE evaluations), the size-free cost
+//! of one row's worth of one estimation, comparable across sizes.
+//!
 //! Timings are wall-clock and machine-dependent; `cate_evaluations`,
 //! candidate counts and coverage are deterministic for a fixed seed, which
 //! is what the CI gate checks indirectly (the JSON must parse and the
@@ -178,6 +191,9 @@ fn main() {
     // Guards scenario: single-core serial fast path, lifeguards on vs off.
     let guards_point = run_guards_scenario(if quick { 4_000 } else { 30_000 }, seed, quick);
 
+    // Numeric-mode scenario: Exact vs FastV1 lane kernels + downdating.
+    let numeric_point = run_numeric_mode_scenario(if quick { 4_000 } else { 30_000 }, seed, quick);
+
     let prior = baseline_path
         .as_deref()
         .map(read_prior_sizes)
@@ -271,6 +287,18 @@ fn main() {
         guards_point.guarded_ms,
         guards_point.overhead_pct,
     );
+    println!(
+        "numeric-mode scenario (n = {}): treatment step {:.1} ms exact vs {:.1} ms fast_v1 \
+         (\u{00d7}{:.2}), {} cate evaluations, {} downdates / {} regathers under fast_v1, \
+         fast_v1 bit-identical across threads\n",
+        numeric_point.n,
+        numeric_point.exact_ms,
+        numeric_point.fast_ms,
+        numeric_point.exact_ms / numeric_point.fast_ms,
+        numeric_point.cate_evaluations,
+        numeric_point.downdates,
+        numeric_point.regathers,
+    );
     for p in &scale_points {
         println!(
             "scale point (synthetic, n = {}): treatment {:.1} ms, {} cate evaluations, \
@@ -294,6 +322,7 @@ fn main() {
         &panel_point,
         &sched_point,
         &guards_point,
+        &numeric_point,
     );
     let path = out_path.map(std::path::PathBuf::from).unwrap_or_else(|| {
         let dir = results_dir();
@@ -614,6 +643,108 @@ fn run_guards_scenario(n: usize, seed: u64, quick: bool) -> GuardsPoint {
     }
 }
 
+/// Measurements of the numeric-mode scenario: the treatment-mining step
+/// under `NumericMode::Exact` (the pinned serial fold) vs
+/// `NumericMode::FastV1` (fixed-lane reduction kernels + incremental
+/// Gram downdating for subset candidates). FastV1 is a *versioned*
+/// numeric contract of its own: bit-identical across thread counts, but
+/// only tolerance-close (1e-9 relative) to Exact.
+struct NumericModePoint {
+    n: usize,
+    /// Treatment step under `Exact` (best of 3).
+    exact_ms: f64,
+    /// Treatment step under `FastV1` (best of 3).
+    fast_ms: f64,
+    cate_evaluations: usize,
+    /// Subset candidates served by moment downdating under FastV1.
+    downdates: usize,
+    /// Parented candidates that re-gathered under FastV1.
+    regathers: usize,
+}
+
+fn run_numeric_mode_scenario(n: usize, seed: u64, quick: bool) -> NumericModePoint {
+    let ds = so::generate(n, seed);
+    let query = ds.query();
+    let run_with = |mode: causumx::NumericMode, threads: usize| -> (f64, causumx::Summary) {
+        let mut best_ms = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..3 {
+            let cfg = causumx::ConfigBuilder::new()
+                .numeric_mode(mode)
+                .threads(threads)
+                .build()
+                .expect("valid config");
+            let session = Session::new(ds.table.clone(), ds.dag.clone(), cfg);
+            let summary = session.prepare(query.clone()).expect("prepare").run();
+            best_ms = best_ms.min(summary.timings.treatment_ms);
+            last = Some(summary);
+        }
+        (best_ms, last.expect("three repetitions"))
+    };
+    let (exact_ms, exact) = run_with(causumx::NumericMode::Exact, 1);
+    let (fast_ms, fast) = run_with(causumx::NumericMode::FastV1, 1);
+    let (_, fast4) = run_with(causumx::NumericMode::FastV1, 4);
+
+    // FastV1 is deterministic within the mode: summaries at 1 and 4
+    // workers must agree bit for bit, counters included.
+    assert_eq!(
+        fast.total_weight.to_bits(),
+        fast4.total_weight.to_bits(),
+        "FastV1 must be bit-identical across thread counts"
+    );
+    assert_eq!(fast.cate_evaluations, fast4.cate_evaluations);
+    assert_eq!(fast.downdates, fast4.downdates);
+    assert_eq!(fast.regathers, fast4.regathers);
+    assert_eq!(fast.covered, fast4.covered);
+    assert_eq!(fast.candidates, fast4.candidates);
+
+    // Across modes the *work* is identical; only the float bits differ,
+    // and those only within 1e-9 relative tolerance.
+    assert_eq!(
+        exact.cate_evaluations, fast.cate_evaluations,
+        "numeric mode must not change which candidates are evaluated"
+    );
+    assert_eq!(exact.covered, fast.covered);
+    assert_eq!(exact.candidates, fast.candidates);
+    let rel = (exact.total_weight - fast.total_weight).abs() / exact.total_weight.abs().max(1e-30);
+    assert!(
+        rel <= 1e-9,
+        "FastV1 total weight drifted {rel:.3e} relative from Exact"
+    );
+
+    // Counter contract: Exact never downdates (bit-replay preserved);
+    // FastV1 downdates on the default SO workload. The quick 4 k run may
+    // mine too shallow a lattice to exercise subset candidates, so the
+    // positivity checks gate on the full-size run only.
+    assert_eq!(exact.downdates, 0, "Exact mode must never downdate");
+    if !quick {
+        assert!(
+            exact.regathers > 0,
+            "Exact mode should fall back to re-gathers on parented candidates"
+        );
+        assert!(
+            fast.downdates > 0,
+            "FastV1 should downdate subset candidates on the default SO workload"
+        );
+    }
+    let speedup = exact_ms / fast_ms;
+    if !quick && speedup < 1.5 {
+        eprintln!(
+            "[warn: FastV1 treatment speedup \u{00d7}{speedup:.2} below the 1.5\u{00d7} target \
+             ({exact_ms:.1} ms -> {fast_ms:.1} ms) — timing noise; re-run on an idle machine \
+             before committing the artifact]"
+        );
+    }
+    NumericModePoint {
+        n,
+        exact_ms,
+        fast_ms,
+        cate_evaluations: fast.cate_evaluations,
+        downdates: fast.downdates,
+        regathers: fast.regathers,
+    }
+}
+
 /// Million-row scale sweep on [`datagen::synthetic`]: 1 M rows always
 /// (unless `--quick`), 10 M behind `--ten-million`. One repetition per
 /// point — at this scale the signal dwarfs scheduler noise, and the
@@ -672,6 +803,7 @@ fn render_json(
     panel: &ConfounderPanelPoint,
     sched: &SchedPoint,
     guards: &GuardsPoint,
+    numeric: &NumericModePoint,
 ) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
@@ -711,7 +843,7 @@ fn render_json(
             "    {{\"n\": {}, \"grouping_ms\": {:.3}, \"treatment_ms\": {:.3}, \
              \"selection_ms\": {:.3}, \"cate_evaluations\": {}, \"candidates\": {}, \
              \"covered\": {}, \"groups\": {}, \"total_weight\": {:.6}, \
-             \"peak_rss_mb\": {}{}}}{}",
+             \"ns_per_row_estimate\": {:.4}, \"peak_rss_mb\": {}{}}}{}",
             p.n,
             p.grouping_ms,
             p.treatment_ms,
@@ -721,6 +853,7 @@ fn render_json(
             p.covered,
             p.m,
             p.total_weight,
+            ns_per_row_estimate(p),
             json_opt(p.peak_rss_mb),
             extra,
             comma
@@ -744,7 +877,8 @@ fn render_json(
             "    {{\"n\": {}, \"dataset\": \"synthetic\", \"grouping_ms\": {:.3}, \
              \"treatment_ms\": {:.3}, \"selection_ms\": {:.3}, \"cate_evaluations\": {}, \
              \"candidates\": {}, \"covered\": {}, \"groups\": {}, \
-             \"total_weight\": {:.6}, \"peak_rss_mb\": {}{}}}{}",
+             \"total_weight\": {:.6}, \"ns_per_row_estimate\": {:.4}, \
+             \"peak_rss_mb\": {}{}}}{}",
             p.n,
             p.grouping_ms,
             p.treatment_ms,
@@ -754,6 +888,7 @@ fn render_json(
             p.covered,
             p.m,
             p.total_weight,
+            ns_per_row_estimate(p),
             json_opt(p.peak_rss_mb),
             extra,
             comma
@@ -803,12 +938,25 @@ fn render_json(
     let _ = writeln!(
         s,
         "  \"guards\": {{\"n\": {}, \"unguarded_ms\": {:.3}, \"guarded_ms\": {:.3}, \
-         \"overhead_pct\": {:.3}, \"cate_evaluations\": {}, \"bit_identical\": true}}",
+         \"overhead_pct\": {:.3}, \"cate_evaluations\": {}, \"bit_identical\": true}},",
         guards.n,
         guards.unguarded_ms,
         guards.guarded_ms,
         guards.overhead_pct,
         guards.cate_evaluations,
+    );
+    let _ = writeln!(
+        s,
+        "  \"numeric_mode\": {{\"n\": {}, \"exact_ms\": {:.3}, \"fast_v1_ms\": {:.3}, \
+         \"fast_speedup\": {:.3}, \"cate_evaluations\": {}, \"downdates\": {}, \
+         \"regathers\": {}, \"rel_tolerance\": 1e-9, \"fast_thread_bit_identical\": true}}",
+        numeric.n,
+        numeric.exact_ms,
+        numeric.fast_ms,
+        numeric.exact_ms / numeric.fast_ms,
+        numeric.cate_evaluations,
+        numeric.downdates,
+        numeric.regathers,
     );
     let _ = writeln!(s, "}}");
     s
@@ -848,6 +996,13 @@ fn read_prior_sizes(path: &str) -> Vec<PriorSize> {
         });
     }
     out
+}
+
+/// Size-free treatment-step cost: nanoseconds per (row × estimation).
+/// Guards against a zero-work run so the JSON never contains NaN/inf.
+fn ns_per_row_estimate(p: &SizePoint) -> f64 {
+    let work = (p.n as f64) * (p.cate_evaluations.max(1) as f64);
+    p.treatment_ms * 1e6 / work
 }
 
 /// Render an optional metric: the number, or JSON `null` off Linux.

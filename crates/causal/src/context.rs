@@ -77,6 +77,30 @@
 //! [`ContextCache`] owns the panel (see [`ContextCache::with_panel`]);
 //! `LatticeOptions::use_confounder_panel` is the ablation knob that
 //! switches the cache back to cold per-set builds.
+//!
+//! # Numeric modes
+//!
+//! Every reduction above dispatches on [`stats::numeric::NumericMode`]
+//! (carried by `CateOptions::numeric_mode`):
+//!
+//! * `Exact` (default) keeps the ascending-order serial accumulation
+//!   described throughout this file — the historical bit-replay contract.
+//! * `FastV1` swaps the kernels for 8-lane strided partial sums folded in
+//!   the pinned order of [`stats::numeric::fold8`]. The sparse gathers
+//!   assign lanes by *visitation rank* ([`stats::numeric::LaneAcc`]), so
+//!   the dense membership scan, the local sparse gather and the sampled
+//!   gather still agree bit-for-bit with each other — the mode has its own
+//!   internal determinism contract, it is just not bit-identical to
+//!   `Exact`.
+//!
+//! `FastV1` additionally enables incremental Gram *downdating*
+//! ([`EstimationContext::estimate_downdated`]): when a lattice candidate's
+//! treated rowset is a subset of its parent's, the `tᵀy`/`tᵀZ` moments are
+//! derived by subtracting the removed rows' contributions from the
+//! parent's cached [`TreatmentMoments`] instead of re-gathering `O(|T|·q)`.
+//! FP subtraction cannot replay a fold order, so downdating is never used
+//! in `Exact` mode — the walk falls back to a full regather there, keeping
+//! the contract intact.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -87,6 +111,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use stats::matrix::Matrix;
+use stats::numeric::{self, LaneAcc, NumericMode};
 use stats::ols::{gram_from_blocks, ols_from_gram_at};
 use table::bitset::BitSet;
 use table::{Column, Table};
@@ -127,6 +152,11 @@ struct ScopeState {
     /// gating as `sum_y`). Accumulated once, in the exact ascending
     /// order the naive residual pass used.
     tss: f64,
+    /// `yᵀy` over `rows` (same gating as `sum_y`) — the constant term of
+    /// the `FastV1` RSS shortcut (see `solve_regression`). Mode-dispatched
+    /// through the shared dot kernel so cold builds and panel assemblies
+    /// agree bit for bit.
+    sum_y_sq: f64,
 }
 
 impl ScopeState {
@@ -173,18 +203,15 @@ impl ScopeState {
         let ycol = table.column(outcome);
         let y: Option<Vec<f64>> = (!matches!(ycol, Column::Cat { .. }))
             .then(|| rows.iter().map(|&r| ycol.get_f64(r)).collect());
-        let (sum_y, tss) = match &y {
+        let (sum_y, tss, sum_y_sq) = match &y {
             Some(y) if opts.backend == EstimatorBackend::Regression => {
-                let sum_y: f64 = y.iter().sum();
+                let sum_y = numeric::sum(opts.numeric_mode, y);
                 let ybar = sum_y / rows.len() as f64;
-                let mut tss = 0.0;
-                for &yi in y {
-                    let d = yi - ybar;
-                    tss += d * d;
-                }
-                (sum_y, tss)
+                let tss = numeric::centered_sq(opts.numeric_mode, y, ybar);
+                let sum_y_sq = numeric::dot(opts.numeric_mode, y, y);
+                (sum_y, tss, sum_y_sq)
             }
-            _ => (0.0, 0.0),
+            _ => (0.0, 0.0, 0.0),
         };
 
         ScopeState {
@@ -194,29 +221,27 @@ impl ScopeState {
             y: y.map(Arc::new),
             sum_y,
             tss,
+            sum_y_sq,
         }
     }
 }
 
-/// Ascending-order sum of one design column — the `1ᵀz` Gram border.
+/// Mode-dispatched sum of one design column — the `1ᵀz` Gram border.
 /// Shared by the cold build and the panel so the accumulation order can
-/// never drift between them.
-fn col_sum(c: &[f64]) -> f64 {
-    c.iter().sum()
+/// never drift between them. In `Exact` mode this is the serial
+/// ascending-order fold; `FastV1` uses the 8-lane strided kernel.
+fn col_sum(mode: NumericMode, c: &[f64]) -> f64 {
+    numeric::sum(mode, c)
 }
 
-/// Ascending-row dot product of two equal-length columns — the single
-/// accumulation every `ZᵀZ` entry and `zᵀy` border goes through, on both
-/// construction paths. Folds from `0.0` in index order, the exact
-/// per-entry addition sequence of [`stats::matrix::Matrix::gram`] /
-/// `tr_mul_vec` over a materialized design.
-fn col_dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut s = 0.0;
-    for (x, y) in a.iter().zip(b) {
-        s += x * y;
-    }
-    s
+/// Mode-dispatched ascending-row dot product of two equal-length columns —
+/// the single accumulation every `ZᵀZ` entry and `zᵀy` border goes
+/// through, on both construction paths. In `Exact` mode it folds from
+/// `0.0` in index order — the exact per-entry addition sequence of
+/// [`stats::matrix::Matrix::gram`] / `tr_mul_vec` over a materialized
+/// design; `FastV1` uses the 8-lane strided kernel.
+fn col_dot(mode: NumericMode, a: &[f64], b: &[f64]) -> f64 {
+    numeric::dot(mode, a, b)
 }
 
 /// Densify the propensity design `[1, Z]` for the IPW backend. Shared by
@@ -232,6 +257,20 @@ fn densify_prop(n: usize, z_cols: &[Arc<Vec<f64>>]) -> Matrix {
     x
 }
 
+/// The treatment-block moments of one evaluated candidate — everything a
+/// subset child needs to derive its own blocks by *downdating* instead of
+/// re-gathering. Cached on kept lattice nodes by the treatment miner
+/// (FastV1 mode only; see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct TreatmentMoments {
+    /// Treated units among the context's (sampled) rows.
+    pub n_treated: usize,
+    /// `tᵀy`.
+    pub ty: f64,
+    /// `tᵀZ` — one entry per cached design column.
+    pub tz: Vec<f64>,
+}
+
 /// Treatment-independent state of CATE estimation, cached per
 /// `(subpopulation, confounder set)` pair. See the module docs.
 ///
@@ -243,6 +282,8 @@ fn densify_prop(n: usize, z_cols: &[Arc<Vec<f64>>]) -> Matrix {
 pub struct EstimationContext {
     backend: EstimatorBackend,
     min_arm: usize,
+    /// Which reduction kernels every estimate runs (see the module docs).
+    mode: NumericMode,
     /// Subpopulation row ids (after the §5.2(d) sampling for the
     /// regression backend), ascending. Shared with the panel (and hence
     /// with sibling contexts) when panel-assembled.
@@ -264,6 +305,9 @@ pub struct EstimationContext {
     /// out of the per-candidate residual pass (same ascending-order
     /// accumulation, so R² stays bit-identical).
     tss: f64,
+    /// `yᵀy` over `rows` — constant term of the `FastV1` RSS shortcut
+    /// (unused in `Exact` mode; see `solve_regression`).
+    sum_y_sq: f64,
     /// `1ᵀZ` — per-column sums of `z_cols`.
     sum_z: Vec<f64>,
     /// `ZᵀZ` — the fixed `q×q` Gram block.
@@ -306,20 +350,21 @@ impl EstimationContext {
         // Gram blocks are regression-only; the IPW backend never reads
         // them, so skip the O(n·q²) pass there.
         let (sum_z, zz, zy) = if opts.backend == EstimatorBackend::Regression {
-            let sum_z: Vec<f64> = z_cols.iter().map(|c| col_sum(c)).collect();
-            // ZᵀZ / Zᵀy run through the shared `col_dot` kernel — the
-            // same per-entry addition sequence as Matrix::gram /
-            // tr_mul_vec over the full design, which is what makes the
-            // fits bit-identical.
+            let mode = opts.numeric_mode;
+            let sum_z: Vec<f64> = z_cols.iter().map(|c| col_sum(mode, c)).collect();
+            // ZᵀZ / Zᵀy run through the shared `col_dot` kernel — in
+            // Exact mode the same per-entry addition sequence as
+            // Matrix::gram / tr_mul_vec over the full design, which is
+            // what makes the fits bit-identical.
             let mut zz = Matrix::zeros(q, q);
             for i in 0..q {
                 for j in i..q {
-                    let s = col_dot(&z_cols[i], &z_cols[j]);
+                    let s = col_dot(mode, &z_cols[i], &z_cols[j]);
                     zz[(i, j)] = s;
                     zz[(j, i)] = s;
                 }
             }
-            let zy: Vec<f64> = z_cols.iter().map(|c| col_dot(c, &y)).collect();
+            let zy: Vec<f64> = z_cols.iter().map(|c| col_dot(mode, c, &y)).collect();
             (sum_z, zz, zy)
         } else {
             (Vec::new(), Matrix::zeros(0, 0), Vec::new())
@@ -335,6 +380,7 @@ impl EstimationContext {
         Some(EstimationContext {
             backend: opts.backend,
             min_arm: opts.min_arm,
+            mode: opts.numeric_mode,
             rows: scope.rows,
             sub_n: scope.sub_n,
             local: scope.local,
@@ -342,6 +388,7 @@ impl EstimationContext {
             z_cols,
             sum_y: scope.sum_y,
             tss: scope.tss,
+            sum_y_sq: scope.sum_y_sq,
             sum_z,
             zz,
             zy,
@@ -405,22 +452,59 @@ impl EstimationContext {
         }
     }
 
-    fn estimate_regression(&self, treated: &BitSet) -> Option<CateResult> {
+    /// Accumulate the treatment blocks `tᵀy` / `tᵀZ` over the sampled
+    /// positions yielded by `it` (ascending), with the context's numeric
+    /// kernels. In `Exact` mode this is the historical serial fold; in
+    /// `FastV1` every reduction streams through a [`LaneAcc`], assigning
+    /// lanes by visitation rank — so the dense membership scan, the local
+    /// sparse gather and the sampled gather all produce identical bits
+    /// whenever they visit the same positions in the same order.
+    fn gather_positions(&self, it: impl Iterator<Item = usize>) -> (usize, f64, Vec<f64>) {
         let q = self.z_cols.len();
-        // Single pass over the subpopulation: arm counts plus the
-        // treatment blocks tᵀy and tᵀZ of the normal equations.
-        let mut n_treated = 0usize;
-        let mut ty = 0.0;
-        let mut tz = vec![0.0; q];
-        for (i, &r) in self.rows.iter().enumerate() {
-            if treated.contains(r) {
-                n_treated += 1;
-                ty += self.y[i];
-                for (j, col) in self.z_cols.iter().enumerate() {
-                    tz[j] += col[i];
+        match self.mode {
+            NumericMode::Exact => {
+                let mut n_treated = 0usize;
+                let mut ty = 0.0;
+                let mut tz = vec![0.0; q];
+                for i in it {
+                    n_treated += 1;
+                    ty += self.y[i];
+                    for (j, col) in self.z_cols.iter().enumerate() {
+                        tz[j] += col[i];
+                    }
                 }
+                (n_treated, ty, tz)
+            }
+            NumericMode::FastV1 => {
+                let mut n_treated = 0usize;
+                let mut ty = LaneAcc::new();
+                let mut tz: Vec<LaneAcc> = (0..q).map(|_| LaneAcc::new()).collect();
+                for i in it {
+                    n_treated += 1;
+                    ty.push(self.y[i]);
+                    for (j, col) in self.z_cols.iter().enumerate() {
+                        tz[j].push(col[i]);
+                    }
+                }
+                (
+                    n_treated,
+                    ty.finish(),
+                    tz.iter().map(LaneAcc::finish).collect(),
+                )
             }
         }
+    }
+
+    fn estimate_regression(&self, treated: &BitSet) -> Option<CateResult> {
+        // Single pass over the subpopulation: arm counts plus the
+        // treatment blocks tᵀy and tᵀZ of the normal equations.
+        let (n_treated, ty, tz) = self.gather_positions(
+            self.rows
+                .iter()
+                .enumerate()
+                .filter(|&(_, &r)| treated.contains(r))
+                .map(|(i, _)| i),
+        );
         self.solve_regression(n_treated, ty, tz, |yhat, b1| {
             for (i, &r) in self.rows.iter().enumerate() {
                 let t = if treated.contains(r) { 1.0 } else { 0.0 };
@@ -430,26 +514,17 @@ impl EstimationContext {
     }
 
     fn estimate_regression_local(&self, treated: &BitSet) -> Option<CateResult> {
-        let q = self.z_cols.len();
         // Sparse gather: only the set bits of the local treatment mask are
         // visited (ascending = identical accumulation order to the dense
         // scan), so the t-blocks cost O(|T|·q) instead of O(n·q).
-        let mut n_treated = 0usize;
-        let mut ty = 0.0;
-        let mut tz = vec![0.0; q];
         match &self.local {
             None => {
-                n_treated = treated.count();
+                let n_treated = treated.count();
                 let n_control = self.rows.len() - n_treated;
                 if n_treated < self.min_arm || n_control < self.min_arm {
                     return None; // Overlap (Eq. 4) violated.
                 }
-                for l in treated.iter() {
-                    ty += self.y[l];
-                    for (j, col) in self.z_cols.iter().enumerate() {
-                        tz[j] += col[l];
-                    }
-                }
+                let (_, ty, tz) = self.gather_positions(treated.iter());
                 // Sparse t·β₁ application: only treated elements receive
                 // the (nonzero) term; the skipped `+ 0.0·β₁` adds can at
                 // most flip a sign of zero, which the squared residuals
@@ -461,17 +536,13 @@ impl EstimationContext {
                 })
             }
             Some(map) => {
-                for l in treated.iter() {
-                    let pos = map.pos_of_local[l];
-                    if pos != u32::MAX {
-                        let i = pos as usize;
-                        n_treated += 1;
-                        ty += self.y[i];
-                        for (j, col) in self.z_cols.iter().enumerate() {
-                            tz[j] += col[i];
-                        }
-                    }
-                }
+                let (n_treated, ty, tz) = self.gather_positions(
+                    treated
+                        .iter()
+                        .map(|l| map.pos_of_local[l])
+                        .filter(|&pos| pos != u32::MAX)
+                        .map(|pos| pos as usize),
+                );
                 self.solve_regression(n_treated, ty, tz, |yhat, b1| {
                     for (i, &l) in map.loc.iter().enumerate() {
                         let t = if treated.contains(l as usize) {
@@ -484,6 +555,140 @@ impl EstimationContext {
                 })
             }
         }
+    }
+
+    /// [`EstimationContext::estimate_local`] for the regression backend,
+    /// additionally returning the gathered [`TreatmentMoments`] so the
+    /// lattice walk can cache them on the node for subset-child
+    /// downdating. Identical estimate bits to `estimate_local`.
+    pub fn estimate_local_moments(
+        &self,
+        treated: &BitSet,
+    ) -> Option<(CateResult, TreatmentMoments)> {
+        debug_assert_eq!(treated.capacity(), self.sub_n);
+        debug_assert_eq!(self.backend, EstimatorBackend::Regression);
+        match &self.local {
+            None => {
+                let n_treated = treated.count();
+                let n_control = self.rows.len() - n_treated;
+                if n_treated < self.min_arm || n_control < self.min_arm {
+                    return None; // Overlap (Eq. 4) violated.
+                }
+                let (_, ty, tz) = self.gather_positions(treated.iter());
+                let moments = TreatmentMoments {
+                    n_treated,
+                    ty,
+                    tz: tz.clone(),
+                };
+                let r = self.solve_regression(n_treated, ty, tz, |yhat, b1| {
+                    for l in treated.iter() {
+                        yhat[l] += b1;
+                    }
+                })?;
+                Some((r, moments))
+            }
+            Some(map) => {
+                let (n_treated, ty, tz) = self.gather_positions(
+                    treated
+                        .iter()
+                        .map(|l| map.pos_of_local[l])
+                        .filter(|&pos| pos != u32::MAX)
+                        .map(|pos| pos as usize),
+                );
+                let moments = TreatmentMoments {
+                    n_treated,
+                    ty,
+                    tz: tz.clone(),
+                };
+                let r = self.solve_regression(n_treated, ty, tz, |yhat, b1| {
+                    for (i, &l) in map.loc.iter().enumerate() {
+                        let t = if treated.contains(l as usize) {
+                            1.0
+                        } else {
+                            0.0
+                        };
+                        yhat[i] += t * b1;
+                    }
+                })?;
+                Some((r, moments))
+            }
+        }
+    }
+
+    /// Estimate a candidate whose treated rowset (`treated`, local
+    /// coordinates) is `parent`'s minus `removed`: derive the treatment
+    /// blocks by subtracting the removed rows' contributions from the
+    /// parent's cached moments — `O(|removed|·q)` instead of the
+    /// `O(|T|·q)` regather — then solve as usual. Returns the child's own
+    /// moments for further downdating.
+    ///
+    /// FP subtraction cannot replay a fold order, so the result is within
+    /// rounding of (not bit-identical to) the direct gather; the lattice
+    /// walk therefore only calls this in `FastV1` mode. The integer
+    /// `n_treated` is exact, so the overlap gate and arm counts match the
+    /// direct path precisely.
+    pub fn estimate_downdated(
+        &self,
+        treated: &BitSet,
+        parent: &TreatmentMoments,
+        removed: &BitSet,
+    ) -> Option<(CateResult, TreatmentMoments)> {
+        debug_assert_eq!(treated.capacity(), self.sub_n);
+        debug_assert_eq!(removed.capacity(), self.sub_n);
+        debug_assert_eq!(self.backend, EstimatorBackend::Regression);
+        let mut n_treated = parent.n_treated;
+        let mut ty = parent.ty;
+        let mut tz = parent.tz.clone();
+        // Subtract removed rows in ascending local order; rows the
+        // §5.2(d) sampling dropped never entered the parent's moments, so
+        // they are skipped here too.
+        match &self.local {
+            None => {
+                for l in removed.iter() {
+                    n_treated -= 1;
+                    ty -= self.y[l];
+                    for (j, col) in self.z_cols.iter().enumerate() {
+                        tz[j] -= col[l];
+                    }
+                }
+            }
+            Some(map) => {
+                for l in removed.iter() {
+                    let pos = map.pos_of_local[l];
+                    if pos != u32::MAX {
+                        let i = pos as usize;
+                        n_treated -= 1;
+                        ty -= self.y[i];
+                        for (j, col) in self.z_cols.iter().enumerate() {
+                            tz[j] -= col[i];
+                        }
+                    }
+                }
+            }
+        }
+        let moments = TreatmentMoments {
+            n_treated,
+            ty,
+            tz: tz.clone(),
+        };
+        let r = match &self.local {
+            None => self.solve_regression(n_treated, ty, tz, |yhat, b1| {
+                for l in treated.iter() {
+                    yhat[l] += b1;
+                }
+            }),
+            Some(map) => self.solve_regression(n_treated, ty, tz, |yhat, b1| {
+                for (i, &l) in map.loc.iter().enumerate() {
+                    let t = if treated.contains(l as usize) {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    yhat[i] += t * b1;
+                }
+            }),
+        }?;
+        Some((r, moments))
     }
 
     /// Shared back half of the regression estimate: overlap gate, Gram
@@ -522,28 +727,82 @@ impl EstimationContext {
         // only one estimation consumes; its se/p-value come out of the
         // same factor/solve path bit for bit.
         let fit = ols_from_gram_at(&gram, &xty, n, 1, |beta| {
-            // Residual pass over virtual rows [1, t, z…], evaluated
-            // column-major into a ŷ buffer: each element sees the exact
-            // per-term addition sequence of the naive row-major loop
-            // (init = 1·β₀, then t·β₁, then z_j·β_{2+j} in column order),
-            // so RSS matches bit for bit while the z passes run over
-            // contiguous columns the compiler can vectorize. TSS is the
-            // treatment-independent accumulator hoisted to build time.
-            // (The algebraic shortcut yᵀy − 2βᵀXᵀy + βᵀGβ would cancel
-            // catastrophically on near-exact fits; the data pass stays.)
-            let mut yhat = vec![beta[0]; n];
-            apply_t(&mut yhat, beta[1]);
-            for (j, col) in self.z_cols.iter().enumerate() {
-                let bj = beta[2 + j];
-                for (v, &z) in yhat.iter_mut().zip(col.iter()) {
-                    *v += z * bj;
+            let rss = match self.mode {
+                NumericMode::Exact => {
+                    // Residual pass over virtual rows [1, t, z…], evaluated
+                    // column-major into a ŷ buffer: each element sees the
+                    // exact per-term addition sequence of the naive
+                    // row-major loop (init = 1·β₀, then t·β₁, then
+                    // z_j·β_{2+j} in column order), so RSS matches the
+                    // naive pass bit for bit while the z passes run over
+                    // contiguous columns the compiler can vectorize. TSS
+                    // is the treatment-independent accumulator hoisted to
+                    // build time. The algebraic shortcut below is never
+                    // taken here — it cannot replay the historical fold.
+                    let mut yhat = vec![beta[0]; n];
+                    apply_t(&mut yhat, beta[1]);
+                    for (j, col) in self.z_cols.iter().enumerate() {
+                        let bj = beta[2 + j];
+                        for (v, &z) in yhat.iter_mut().zip(col.iter()) {
+                            *v += z * bj;
+                        }
+                    }
+                    let mut rss = 0.0;
+                    for (&yi, &vh) in self.y.iter().zip(&yhat) {
+                        let e = yi - vh;
+                        rss += e * e;
+                    }
+                    rss
                 }
-            }
-            let mut rss = 0.0;
-            for (&yi, &vh) in self.y.iter().zip(&yhat) {
-                let e = yi - vh;
-                rss += e * e;
-            }
+                NumericMode::FastV1 => {
+                    // Normal-equation identity: for β solving XᵀXβ = Xᵀy,
+                    // RSS = yᵀy − βᵀ(Xᵀy) — O(p) from the cached yᵀy and
+                    // the assembled border, skipping the O(n·q) data pass
+                    // entirely. The identity cancels catastrophically when
+                    // the fit is near-exact (RSS ≪ yᵀy), so it is guarded:
+                    // anything below RSS_SHORTCUT_GUARD·yᵀy falls back to
+                    // the fused data pass, capping the shortcut's relative
+                    // rounding error around eps/GUARD ≈ 1e-12 — well inside
+                    // the 1e-9 cross-mode tolerance. Both branches are
+                    // deterministic functions of (β, Xᵀy, data), so FastV1
+                    // stays bit-identical across threads and cache layers.
+                    const RSS_SHORTCUT_GUARD: f64 = 1e-4;
+                    let mut bxty = 0.0;
+                    for (b, v) in beta.iter().zip(xty.iter()) {
+                        bxty += b * v;
+                    }
+                    let shortcut = self.sum_y_sq - bxty;
+                    if shortcut > RSS_SHORTCUT_GUARD * self.sum_y_sq {
+                        shortcut
+                    } else {
+                        // Fused blocked fallback: apply every z column to
+                        // one L1-resident block of ŷ, then fold its
+                        // residuals into the 8 lanes. BLOCK is a multiple
+                        // of 8, so the lane a global index lands in is
+                        // `index & 7` — identical to one unblocked lane
+                        // pass (pinned by the blocked-vs-whole-array test
+                        // in stats::numeric), while ŷ is touched once
+                        // instead of q+1 times.
+                        const BLOCK: usize = 4096;
+                        let mut yhat = vec![beta[0]; n];
+                        apply_t(&mut yhat, beta[1]);
+                        let mut lanes = [0.0f64; 8];
+                        let mut s = 0;
+                        while s < n {
+                            let e = (s + BLOCK).min(n);
+                            for (j, col) in self.z_cols.iter().enumerate() {
+                                let bj = beta[2 + j];
+                                for (v, &z) in yhat[s..e].iter_mut().zip(&col[s..e]) {
+                                    *v += z * bj;
+                                }
+                            }
+                            numeric::lane_sq_diff_into(&mut lanes, &self.y[s..e], &yhat[s..e]);
+                            s = e;
+                        }
+                        numeric::fold8(lanes)
+                    }
+                }
+            };
             (rss, self.tss)
         })?;
         Some(CateResult {
@@ -598,6 +857,8 @@ pub struct SubpopPanel {
     backend: EstimatorBackend,
     min_arm: usize,
     max_onehot_levels: usize,
+    /// Numeric kernel family (shared with every assembled context).
+    mode: NumericMode,
     /// Sampled subpopulation row ids, ascending — identical to what every
     /// cold [`EstimationContext::new`] of this scope derives.
     rows: Arc<Vec<usize>>,
@@ -614,6 +875,9 @@ pub struct SubpopPanel {
     sum_y: f64,
     /// `Σ(y − ȳ)²` over `rows` (regression backend only).
     tss: f64,
+    /// `yᵀy` over `rows` (regression backend only) — the `FastV1` RSS
+    /// shortcut constant, shared with every assembled context.
+    sum_y_sq: f64,
     /// Lazily materialized per-attribute blocks.
     attrs: HashMap<usize, AttrBlocks>,
     /// Lazily materialized cross-Gram blocks, keyed `(min(a,b), max(a,b))`
@@ -635,6 +899,7 @@ impl SubpopPanel {
             backend: opts.backend,
             min_arm: opts.min_arm,
             max_onehot_levels: opts.max_onehot_levels,
+            mode: opts.numeric_mode,
             rows: scope.rows,
             sub_n: scope.sub_n,
             local: scope.local,
@@ -642,6 +907,7 @@ impl SubpopPanel {
             y: scope.y.unwrap_or_default(),
             sum_y: scope.sum_y,
             tss: scope.tss,
+            sum_y_sq: scope.sum_y_sq,
             attrs: HashMap::new(),
             pairs: HashMap::new(),
         }
@@ -671,8 +937,8 @@ impl SubpopPanel {
         append_confounder(table, attr, &self.rows, self.max_onehot_levels, &mut raw);
         let (sum_z, zy) = if self.backend == EstimatorBackend::Regression {
             // The same shared border kernels the cold build runs.
-            let sum_z: Vec<f64> = raw.iter().map(|c| col_sum(c)).collect();
-            let zy: Vec<f64> = raw.iter().map(|c| col_dot(c, &self.y)).collect();
+            let sum_z: Vec<f64> = raw.iter().map(|c| col_sum(self.mode, c)).collect();
+            let zy: Vec<f64> = raw.iter().map(|c| col_dot(self.mode, c, &self.y)).collect();
             (sum_z, zy)
         } else {
             (Vec::new(), Vec::new())
@@ -705,7 +971,7 @@ impl SubpopPanel {
             // the cold build computes and mirrors.
             for i in 0..qa {
                 for j in i..qa {
-                    let s = col_dot(&ca[i], &ca[j]);
+                    let s = col_dot(self.mode, &ca[i], &ca[j]);
                     block[i * qa + j] = s;
                     block[j * qa + i] = s;
                 }
@@ -713,7 +979,7 @@ impl SubpopPanel {
         } else {
             for i in 0..qa {
                 for j in 0..qb {
-                    block[i * qb + j] = col_dot(&ca[i], &cb[j]);
+                    block[i * qb + j] = col_dot(self.mode, &ca[i], &cb[j]);
                 }
             }
         }
@@ -796,6 +1062,7 @@ impl SubpopPanel {
         Some(EstimationContext {
             backend: self.backend,
             min_arm: self.min_arm,
+            mode: self.mode,
             rows: Arc::clone(&self.rows),
             sub_n: self.sub_n,
             local: self.local.clone(),
@@ -803,6 +1070,7 @@ impl SubpopPanel {
             z_cols,
             sum_y: self.sum_y,
             tss: self.tss,
+            sum_y_sq: self.sum_y_sq,
             sum_z,
             zz,
             zy,

@@ -15,8 +15,11 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::context::EstimationContext;
 use stats::matrix::Matrix;
+use stats::numeric::NumericMode;
 use stats::ols::ols;
+use table::bitset::BitSet;
 use table::{Column, Table};
 
 /// Which estimation strategy computes the effect.
@@ -46,6 +49,12 @@ pub struct CateOptions {
     pub min_arm: usize,
     /// Estimation strategy.
     pub backend: EstimatorBackend,
+    /// Which reduction kernels the regression path runs: `Exact`
+    /// (default) replays the historical ascending-order accumulation bit
+    /// for bit; `FastV1` uses 8-lane strided partial sums (deterministic
+    /// within the mode, see [`stats::numeric`]). The IPW backend keeps
+    /// exact kernels in both modes.
+    pub numeric_mode: NumericMode,
 }
 
 impl Default for CateOptions {
@@ -56,6 +65,7 @@ impl Default for CateOptions {
             max_onehot_levels: 24,
             min_arm: 5,
             backend: EstimatorBackend::Regression,
+            numeric_mode: NumericMode::Exact,
         }
     }
 }
@@ -116,6 +126,19 @@ pub fn estimate_cate(
 ) -> Option<CateResult> {
     let nrows = table.nrows();
     debug_assert_eq!(treated.len(), nrows);
+
+    if opts.numeric_mode == NumericMode::FastV1 {
+        // FastV1 has exactly one implementation of every reduction — the
+        // context kernels. Delegating a one-shot context build here keeps
+        // the naive path (the `use_estimation_cache = false` ablation)
+        // bit-identical to the cached path within the mode, the same
+        // coherence the Exact contract provides through matching serial
+        // folds. (Exact keeps its historical standalone code below, which
+        // the context tests pin against.)
+        let sub_bits = subpop.map(BitSet::from_mask);
+        let ctx = EstimationContext::new(table, sub_bits.as_ref(), outcome, confounders, opts)?;
+        return ctx.estimate(&BitSet::from_mask(treated));
+    }
 
     let mut rows: Vec<usize> = match subpop {
         Some(mask) => {

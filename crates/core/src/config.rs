@@ -13,6 +13,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use causal::NumericMode;
 use mining::treatment::LatticeOptions;
 use mining::{FaultPlan, RunGuard};
 
@@ -354,6 +355,28 @@ impl ConfigBuilder {
         self
     }
 
+    /// Numeric accumulation mode for the CATE kernels (convenience for
+    /// `lattice.cate_opts.numeric_mode`; default [`NumericMode::Exact`]).
+    /// `Exact` replays the serial ascending-order floating-point fold the
+    /// bit-replay contract pins; [`NumericMode::FastV1`] switches the hot
+    /// reduction kernels to fixed-lane partial sums folded in a pinned
+    /// order — deterministic within the mode at any thread count, and
+    /// agreeing with `Exact` to ~1e-9 relative tolerance.
+    pub fn numeric_mode(mut self, mode: NumericMode) -> Self {
+        self.cfg.lattice.cate_opts.numeric_mode = mode;
+        self
+    }
+
+    /// Derive subset-candidate treatment moments by downdating the parent's
+    /// cached moments instead of re-gathering (convenience for
+    /// `lattice.use_downdating`; default `true`). Effective only under
+    /// [`NumericMode::FastV1`] with the estimation cache and the regression
+    /// backend; `Exact` mode always re-gathers to preserve bit replay.
+    pub fn use_downdating(mut self, enabled: bool) -> Self {
+        self.cfg.lattice.use_downdating = enabled;
+        self
+    }
+
     /// Wall-clock deadline per query (must be positive), honored by the
     /// fallible entry points — see [`CausumxConfig::deadline`].
     pub fn deadline(mut self, deadline: Duration) -> Self {
@@ -447,6 +470,20 @@ mod tests {
         assert_eq!(c2.k, 3);
         assert_eq!(c2.lattice.max_level, 2);
         assert_eq!(c2.effective_threads(), 1);
+    }
+
+    #[test]
+    fn numeric_mode_knob_defaults_and_sets() {
+        let c = ConfigBuilder::new().build().unwrap();
+        assert_eq!(c.lattice.cate_opts.numeric_mode, NumericMode::Exact);
+        assert!(c.lattice.use_downdating, "downdating defaults on");
+        let fast = ConfigBuilder::new()
+            .numeric_mode(NumericMode::FastV1)
+            .use_downdating(false)
+            .build()
+            .unwrap();
+        assert_eq!(fast.lattice.cate_opts.numeric_mode, NumericMode::FastV1);
+        assert!(!fast.lattice.use_downdating);
     }
 
     /// The deprecated `parallel` / `level_parallelism` pair still maps

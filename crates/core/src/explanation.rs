@@ -84,6 +84,14 @@ pub struct Summary {
     pub candidates: usize,
     /// CATE estimations performed during treatment mining.
     pub cate_evaluations: usize,
+    /// Subset candidates served by incremental Gram downdating during
+    /// treatment mining (nonzero only under `NumericMode::FastV1` with
+    /// the estimation cache and regression backend).
+    pub downdates: usize,
+    /// Cached-walk candidates with a join parent that re-gathered
+    /// instead of downdating (always the full parented count under
+    /// `NumericMode::Exact`, which never downdates).
+    pub regathers: usize,
     /// Per-phase wall-clock.
     pub timings: StepTimings,
 }

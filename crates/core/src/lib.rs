@@ -85,6 +85,7 @@ pub mod pipeline;
 pub mod render;
 pub mod session;
 
+pub use causal::NumericMode;
 pub use config::{CausumxConfig, ConfigBuilder, SelectionMethod};
 pub use error::Error;
 pub use explanation::{Explanation, StepTimings, Summary};

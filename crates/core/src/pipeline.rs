@@ -41,6 +41,14 @@ pub struct CandidateSet {
     pub treatment_ms: f64,
     /// Total CATE estimations performed.
     pub cate_evaluations: usize,
+    /// Subset candidates whose treatment moments were derived by
+    /// downdating the parent's cached moments (`FastV1` + estimation
+    /// cache + regression backend only; always `0` under `Exact`).
+    pub downdates: usize,
+    /// Cached-walk candidates that had a join parent but fell back to a
+    /// full re-gather (mode, key mismatch, drift guard, or missing
+    /// moments).
+    pub regathers: usize,
 }
 
 /// The original one-shot CauSumX engine: borrows the data and background

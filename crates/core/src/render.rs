@@ -82,6 +82,11 @@ pub struct Report {
     pub candidates: usize,
     /// CATE estimations performed during treatment mining.
     pub cate_evaluations: usize,
+    /// Subset candidates served by incremental Gram downdating
+    /// (`NumericMode::FastV1` only).
+    pub downdates: usize,
+    /// Parented cached-walk candidates that re-gathered instead.
+    pub regathers: usize,
     /// Per-phase wall-clock.
     pub timings: StepTimings,
     /// The selected explanations.
@@ -125,6 +130,8 @@ impl Report {
             total_weight: summary.total_weight,
             candidates: summary.candidates,
             cate_evaluations: summary.cate_evaluations,
+            downdates: summary.downdates,
+            regathers: summary.regathers,
             timings: summary.timings,
             explanations,
         }
@@ -215,6 +222,7 @@ impl Report {
             out,
             "\"outcome\":\"{}\",\"m\":{},\"covered\":{},\"feasible\":{},\
              \"total_explainability\":{:.6},\"candidates\":{},\"cate_evaluations\":{},\
+             \"downdates\":{},\"regathers\":{},\
              \"timings\":{{\"grouping_ms\":{:.3},\"treatment_ms\":{:.3},\"selection_ms\":{:.3}}},\
              \"explanations\":[",
             json_escape(&self.outcome),
@@ -224,6 +232,8 @@ impl Report {
             self.total_weight,
             self.candidates,
             self.cate_evaluations,
+            self.downdates,
+            self.regathers,
             self.timings.grouping_ms,
             self.timings.treatment_ms,
             self.timings.selection_ms,
@@ -417,6 +427,8 @@ mod tests {
             feasible: true,
             candidates: 1,
             cate_evaluations: 10,
+            downdates: 4,
+            regathers: 2,
             timings: Default::default(),
         };
         (table, view, summary)
@@ -446,6 +458,8 @@ mod tests {
         assert!(j.contains("\"cate\":36.000000"));
         assert!(j.contains("\"outcome\":\"salary\""));
         assert!(j.contains("\"cate_evaluations\":10"));
+        assert!(j.contains("\"downdates\":4"));
+        assert!(j.contains("\"regathers\":2"));
         // Balanced braces/brackets as a cheap well-formedness check.
         let braces: i64 = j
             .chars()

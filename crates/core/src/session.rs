@@ -785,7 +785,7 @@ impl<'s> PreparedQuery<'s> {
             .map_err(|trip| mining::treatment::MineError::from_trip(trip, guard.progress()))?;
 
         let t1 = Instant::now();
-        let (explanations, cate_evaluations) =
+        let (explanations, cate_evaluations, downdates, regathers) =
             self.mine_treatments(&groupings, exhaustive, guard)?;
         let treatment_ms = t1.elapsed().as_secs_f64() * 1e3;
 
@@ -795,6 +795,8 @@ impl<'s> PreparedQuery<'s> {
             grouping_ms,
             treatment_ms,
             cate_evaluations,
+            downdates,
+            regathers,
         })
     }
 
@@ -815,18 +817,21 @@ impl<'s> PreparedQuery<'s> {
         groupings: &[GroupingPattern],
         exhaustive: bool,
         guard: &RunGuard,
-    ) -> Result<(Vec<Explanation>, usize), Error> {
+    ) -> Result<(Vec<Explanation>, usize, usize, usize), Error> {
         let miner = &self.miner;
         let config = &self.config;
         let threads = config.effective_threads();
 
-        let results: Vec<(Explanation, usize)> = if exhaustive {
+        // Per-pattern tuples: (explanation, evaluations, downdates,
+        // regathers). The exhaustive path has no cached-moment walk, so it
+        // contributes zeros to the downdate counters.
+        let results: Vec<(Explanation, usize, usize, usize)> = if exhaustive {
             // Full-lattice enumeration has no level structure to chunk, so
             // each pattern is one scheduler task; slots keep the output in
             // grouping-pattern order regardless of completion order. A
             // panicking pattern is caught here and fails only this query;
             // a guard trip drains the remaining tasks as no-ops.
-            let work = |gp: &GroupingPattern| -> (Explanation, usize) {
+            let work = |gp: &GroupingPattern| -> (Explanation, usize, usize, usize) {
                 let subpop = &gp.rows;
                 let all = miner.all_treatments(subpop, config.lattice.max_level);
                 let evals = all.len();
@@ -852,9 +857,11 @@ impl<'s> PreparedQuery<'s> {
                 (
                     Explanation::new(gp.pattern.clone(), gp.coverage.clone(), pos, neg),
                     evals,
+                    0,
+                    0,
                 )
             };
-            let slots: Vec<OnceLock<(Explanation, usize)>> =
+            let slots: Vec<OnceLock<(Explanation, usize, usize, usize)>> =
                 (0..groupings.len()).map(|_| OnceLock::new()).collect();
             let failure: OnceLock<Error> = OnceLock::new();
             sched::run_graph(threads, (0..groupings.len()).collect(), |i: usize, _| {
@@ -917,20 +924,26 @@ impl<'s> PreparedQuery<'s> {
                             paired.negative.pop(),
                         ),
                         paired.stats.evaluated,
+                        paired.stats.downdates,
+                        paired.stats.regathers,
                     )
                 })
                 .collect()
         };
 
         let mut evals = 0;
+        let mut downdates = 0;
+        let mut regathers = 0;
         let mut explanations = Vec::new();
-        for (e, n) in results {
+        for (e, n, d, g) in results {
             evals += n;
+            downdates += d;
+            regathers += g;
             if e.has_treatment() {
                 explanations.push(e);
             }
         }
-        Ok((explanations, evals))
+        Ok((explanations, evals, downdates, regathers))
     }
 
     /// Step 3: selection by the requested method over mined candidates,
@@ -1028,6 +1041,8 @@ pub fn select_candidates(
         total_weight,
         candidates: candidates.explanations.len(),
         cate_evaluations: candidates.cate_evaluations,
+        downdates: candidates.downdates,
+        regathers: candidates.regathers,
         timings: StepTimings {
             grouping_ms: candidates.grouping_ms,
             treatment_ms: candidates.treatment_ms,

@@ -21,9 +21,10 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 
 use causal::backdoor::{attrs_affecting_outcome, backdoor_set};
-use causal::context::{ContextCache, EstimationContext};
+use causal::context::{ContextCache, EstimationContext, TreatmentMoments};
 use causal::dag::Dag;
-use causal::estimate::{estimate_effect, CateOptions, CateResult};
+use causal::estimate::{estimate_effect, CateOptions, CateResult, EstimatorBackend};
+use causal::NumericMode;
 use table::bitset::{BitSet, Projector};
 use table::pattern::{Op, Pattern, Pred};
 use table::{Column, Scalar, Table};
@@ -121,6 +122,16 @@ pub struct LatticeOptions {
     /// setting) injects nothing and costs nothing — the knob is gated
     /// here exactly like the ablation switches.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Derive a subset candidate's treatment blocks by *downdating* its
+    /// parent's cached moments (subtracting the removed rows) instead of
+    /// re-gathering `O(|T|·q)` — see
+    /// [`causal::context::EstimationContext::estimate_downdated`].
+    /// Effective only in `NumericMode::FastV1` with the estimation cache
+    /// and regression backend; `Exact` mode always takes the full-regather
+    /// fallback because FP subtraction cannot replay the bit-identity
+    /// contract's fold order. The walk counts its choices in
+    /// [`LatticeStats::downdates`] / [`LatticeStats::regathers`].
+    pub use_downdating: bool,
 }
 
 impl Default for LatticeOptions {
@@ -139,6 +150,7 @@ impl Default for LatticeOptions {
             use_confounder_panel: true,
             level_parallelism: 0,
             fault_plan: None,
+            use_downdating: true,
         }
     }
 }
@@ -266,6 +278,16 @@ pub struct LatticeStats {
     /// [`causal::context::EstimationContext`]s built — one per distinct
     /// backdoor set touched by the walk(s) sharing the cache.
     pub contexts_built: usize,
+    /// Subset candidates whose treatment blocks were derived by
+    /// incremental Gram downdating from the parent's cached moments
+    /// (FastV1 mode with `use_downdating`; always 0 in `Exact` mode).
+    pub downdates: usize,
+    /// Subset candidates that were *eligible* for downdating (a kept
+    /// parent on the previous level, regression backend, estimation cache
+    /// on) but took the full-regather fallback instead — every such
+    /// candidate in `Exact` mode, plus key-mismatch/drift-guard fallbacks
+    /// in FastV1.
+    pub regathers: usize,
 }
 
 /// Top-`k` positive and negative treatments mined over one *shared*
@@ -874,7 +896,7 @@ impl<'a> TreatmentMiner<'a> {
                 let mut st = sched::lock_recovered(&slot.state);
                 if let Some(batch) = done {
                     match batch.slots.try_merged() {
-                        Ok(results) => st.absorb(&batch.cands, results),
+                        Ok(results) => st.absorb(&batch.cands, &batch.keys, results),
                         Err(e) => {
                             // Can only happen when a chunk task died
                             // without recording its result; surface it
@@ -1024,8 +1046,8 @@ impl<'a> TreatmentMiner<'a> {
             let walked = catch_unwind(AssertUnwindSafe(
                 || -> Result<PairedTreatments, MineError> {
                     while let Some(cands) = st.next_cands() {
-                        let results = st.eval_level_inline(&cands, p, injector)?;
-                        st.absorb(&cands, results);
+                        let (keys, results) = st.eval_level_inline(&cands, p, injector)?;
+                        st.absorb(&cands, &keys, results);
                     }
                     Ok(st.finalize())
                 },
@@ -1055,11 +1077,16 @@ impl<'a> TreatmentMiner<'a> {
     /// `Arc<EstimationContext>` pinned into the batch per candidate; the
     /// `use_estimation_cache = false` ablation unprojects back to
     /// full-table width and reruns the cold-start estimator.
-    fn eval_chunk(&self, batch: &LevelBatch, range: Range<usize>) -> Vec<Option<CateResult>> {
+    fn eval_chunk(&self, batch: &LevelBatch, range: Range<usize>) -> Vec<EvalRes> {
         range
-            .map(|i| -> Option<CateResult> {
+            .map(|i| -> EvalRes {
                 if self.opts.use_estimation_cache {
-                    batch.ctx[i].as_ref()?.estimate_local(&batch.cands[i].mask)
+                    eval_cached(
+                        batch.ctx[i].as_ref()?,
+                        &batch.cands[i],
+                        batch.plans.get(i).and_then(|p| p.as_ref()),
+                        batch.track,
+                    )
                 } else {
                     let global = batch.space.projector.unproject(&batch.cands[i].mask);
                     estimate_effect(
@@ -1070,6 +1097,7 @@ impl<'a> TreatmentMiner<'a> {
                         &batch.keys[i],
                         &self.opts.cate_opts,
                     )
+                    .map(|r| (r, None))
                 }
             })
             .collect()
@@ -1204,21 +1232,79 @@ impl LocalSpace {
     }
 }
 
+/// Estimation byproducts cached on a kept node for its children: the
+/// confounder key the node was estimated under, and — in FastV1 mode with
+/// `use_downdating` — its treatment-block moments. A child whose key
+/// matches can derive its own blocks by downdating instead of
+/// re-gathering; key-only entries (Exact mode) exist so the walk can
+/// still count the fallback regathers it performs.
+struct NodeAux {
+    key: Vec<usize>,
+    moments: Option<TreatmentMoments>,
+}
+
 /// A lattice node that survived estimation (local-coordinate mask).
 #[derive(Clone)]
 struct Node {
     atoms: Vec<u16>,
     mask: BitSet, // subpopulation rows satisfying the pattern, local width
+    /// Popcount of `mask` — treated rows in the subpopulation (before
+    /// sampling), reused for the children's downdate size guard.
+    count: usize,
     cate: f64,
     p: f64,
     n_treated: usize,
     n_control: usize,
+    /// Downdating byproducts (estimation-cache + regression mode only).
+    aux: Option<Arc<NodeAux>>,
 }
 
 /// A generated-but-unestimated lattice candidate (local-coordinate mask).
 struct Cand {
     atoms: Vec<u16>,
     mask: BitSet,
+    /// Popcount of `mask` (computed by the overlap precheck anyway).
+    count: usize,
+    /// Index into the previous level's kept nodes of the join parent
+    /// whose treated rowset is the smaller superset of `mask` — the
+    /// cheaper downdate source. `None` at level 1.
+    parent: Option<u32>,
+}
+
+/// A prepared downdate for one candidate: the parent's cached aux (key +
+/// moments) plus the rows the child dropped. Computed serially at
+/// level-preparation time, so chunk evaluations stay lock-free and the
+/// `downdates`/`regathers` counters are scheduler-independent.
+struct DowndatePlan {
+    parent: Arc<NodeAux>,
+    removed: BitSet,
+}
+
+/// One candidate's evaluation: the estimate (if solvable) plus, in
+/// moments-tracking mode, the treatment blocks cached for downdating.
+type EvalRes = Option<(CateResult, Option<TreatmentMoments>)>;
+
+/// Cache-mode evaluation of one candidate: downdate when a plan is
+/// present, otherwise gather — with moments when the walk tracks them.
+fn eval_cached(
+    ctx: &EstimationContext,
+    cand: &Cand,
+    plan: Option<&DowndatePlan>,
+    track: bool,
+) -> EvalRes {
+    if let Some(p) = plan {
+        if let Some(m) = p.parent.moments.as_ref() {
+            return ctx
+                .estimate_downdated(&cand.mask, m, &p.removed)
+                .map(|(r, mm)| (r, Some(mm)));
+        }
+    }
+    if track {
+        ctx.estimate_local_moments(&cand.mask)
+            .map(|(r, m)| (r, Some(m)))
+    } else {
+        ctx.estimate_local(&cand.mask).map(|r| (r, None))
+    }
 }
 
 /// Floor on candidates per scheduler chunk — a level too small to
@@ -1262,11 +1348,17 @@ struct LevelBatch {
     /// Per-candidate pre-built context (empty in the
     /// `use_estimation_cache = false` ablation).
     ctx: Vec<Option<Arc<EstimationContext>>>,
+    /// Per-candidate downdate plan (empty unless the walk stores aux;
+    /// `None` entries regather).
+    plans: Vec<Option<DowndatePlan>>,
+    /// Chunks return moments alongside each estimate (FastV1 +
+    /// downdating).
+    track: bool,
     space: Arc<LocalSpace>,
     /// Materialized subpopulation mask (ablation path only).
     subpop_mask: Option<Arc<Vec<bool>>>,
     ranges: Vec<Range<usize>>,
-    slots: sched::ChunkSlots<Option<CateResult>>,
+    slots: sched::ChunkSlots<EvalRes>,
 }
 
 /// The resumable Algorithm-2 walk of one subpopulation: direction
@@ -1299,6 +1391,10 @@ struct WalkState<'w> {
     level_no: usize,
     best: Vec<Node>,
     evaluated: usize,
+    /// Subset candidates evaluated via incremental Gram downdating.
+    downdates: usize,
+    /// Downdate-eligible candidates that took the full-regather fallback.
+    regathers: usize,
     max_levels: usize,
     /// Finished per-direction result lists, index-aligned with `dirs`.
     outputs: Vec<Vec<TreatmentResult>>,
@@ -1329,9 +1425,70 @@ impl<'w> WalkState<'w> {
             level_no: 0,
             best: Vec::new(),
             evaluated: 0,
+            downdates: 0,
+            regathers: 0,
             max_levels: 0,
             outputs: Vec::new(),
         }
+    }
+
+    /// Does the walk cache aux (confounder key + optional moments) on
+    /// kept nodes? Requires the estimation cache and regression backend —
+    /// the naive and IPW paths have no cached moments to downdate.
+    fn store_aux(&self) -> bool {
+        let o = &self.miner.opts;
+        o.use_estimation_cache && o.cate_opts.backend == EstimatorBackend::Regression
+    }
+
+    /// Does the walk track treatment moments and downdate subset
+    /// candidates? Only in FastV1: FP subtraction cannot replay the Exact
+    /// contract's fold order, so Exact always regathers.
+    fn track_moments(&self) -> bool {
+        let o = &self.miner.opts;
+        self.store_aux() && o.cate_opts.numeric_mode == NumericMode::FastV1 && o.use_downdating
+    }
+
+    /// Serially decide, per candidate, whether its treatment blocks come
+    /// from a parent downdate or a full gather, and count the choices.
+    /// Runs once per level in both the fanned and the serial path (before
+    /// any evaluation), so plans and counters depend only on the walk
+    /// structure — never on worker count.
+    fn plan_level(&mut self, cands: &[Cand], keys: &[Vec<usize>]) -> Vec<Option<DowndatePlan>> {
+        if !self.store_aux() {
+            return Vec::new();
+        }
+        let mut plans = Vec::with_capacity(cands.len());
+        for (cand, key) in cands.iter().zip(keys) {
+            let plan = cand.parent.and_then(|pi| {
+                let parent = &self.level[pi as usize];
+                let aux = parent.aux.as_ref()?;
+                // The parent's moments are tᵀZ over *its* confounder
+                // key's design columns — only a child adjusting for the
+                // identical set can reuse them.
+                if aux.key != *key {
+                    return None;
+                }
+                // Size guard: when the child dropped more rows than it
+                // kept, a direct gather is cheaper than the subtraction
+                // (and accumulates less downdate rounding).
+                let removed = parent.count.checked_sub(cand.count)?;
+                if removed > cand.count {
+                    return None;
+                }
+                aux.moments.as_ref()?;
+                Some(DowndatePlan {
+                    parent: Arc::clone(aux),
+                    removed: parent.mask.difference(&cand.mask),
+                })
+            });
+            match (&plan, cand.parent) {
+                (Some(_), _) => self.downdates += 1,
+                (None, Some(_)) => self.regathers += 1,
+                (None, None) => {}
+            }
+            plans.push(plan);
+        }
+        plans
     }
 
     /// The subpopulation-local atom projection, built on first use and
@@ -1372,7 +1529,7 @@ impl<'w> WalkState<'w> {
                 continue;
             };
             if cands.is_empty() {
-                self.absorb(&[], Vec::new());
+                self.absorb(&[], &[], Vec::new());
                 continue;
             }
             return Some(cands);
@@ -1401,7 +1558,7 @@ impl<'w> WalkState<'w> {
         cands: &[Cand],
         pattern: usize,
         injector: Option<&FaultInjector>,
-    ) -> Result<Vec<Option<CateResult>>, MineError> {
+    ) -> Result<(Vec<Vec<usize>>, Vec<EvalRes>), MineError> {
         let miner = self.miner;
         let level = self.pending_level();
         let cache_mode = miner.opts.use_estimation_cache;
@@ -1409,6 +1566,22 @@ impl<'w> WalkState<'w> {
         if !cache_mode && self.ctxs.subpop_mask.is_none() {
             self.ctxs.subpop_mask = Some(Arc::new(self.subpop.to_mask()));
         }
+        // Keys and downdate plans derive serially up front, in candidate
+        // order — the identical sequence of memo lookups (and counter
+        // increments) `prepare_batch` performs for the fanned path.
+        let keys: Vec<Vec<usize>> = cands
+            .iter()
+            .map(|c| {
+                let attrs: Vec<usize> = c
+                    .atoms
+                    .iter()
+                    .map(|&x| miner.atoms[x as usize].attr)
+                    .collect();
+                miner.confounders_for(&attrs)
+            })
+            .collect();
+        let plans = self.plan_level(cands, &keys);
+        let track = self.track_moments();
         let ranges = sched::chunk_ranges(cands.len(), 1, MIN_CHUNK);
         let mut results = Vec::with_capacity(cands.len());
         for (chunk, range) in ranges.iter().enumerate() {
@@ -1428,12 +1601,6 @@ impl<'w> WalkState<'w> {
             }
             for i in range.clone() {
                 let cand = &cands[i];
-                let attrs: Vec<usize> = cand
-                    .atoms
-                    .iter()
-                    .map(|&x| miner.atoms[x as usize].attr)
-                    .collect();
-                let key = miner.confounders_for(&attrs);
                 let r = if cache_mode {
                     self.ctxs
                         .contexts
@@ -1441,10 +1608,12 @@ impl<'w> WalkState<'w> {
                             miner.table,
                             Some(self.subpop),
                             miner.outcome,
-                            key,
+                            keys[i].clone(),
                             &miner.opts.cate_opts,
                         )
-                        .and_then(|ctx| ctx.estimate_local(&cand.mask))
+                        .and_then(|ctx| {
+                            eval_cached(ctx, cand, plans.get(i).and_then(|p| p.as_ref()), track)
+                        })
                 } else {
                     let space = space.as_ref().expect("built above for the ablation path");
                     let global = space.projector.unproject(&cand.mask);
@@ -1453,14 +1622,15 @@ impl<'w> WalkState<'w> {
                         self.ctxs.subpop_mask.as_deref().map(|m| m.as_slice()),
                         &global.to_mask(),
                         miner.outcome,
-                        &key,
+                        &keys[i],
                         &miner.opts.cate_opts,
                     )
+                    .map(|r| (r, None))
                 };
                 results.push(r);
             }
         }
-        Ok(results)
+        Ok((keys, results))
     }
 
     /// Level 1: all atoms (GenChildren, lines 2–4). Overlap precheck on
@@ -1481,6 +1651,8 @@ impl<'w> WalkState<'w> {
                 Some(Cand {
                     atoms: vec![ai as u16],
                     mask: local_mask.clone(),
+                    count: treated_in_sub,
+                    parent: None,
                 })
             })
             .collect()
@@ -1526,7 +1698,16 @@ impl<'w> WalkState<'w> {
                 if treated_in_sub < min_arm || sub_n - treated_in_sub < min_arm {
                     continue;
                 }
-                cands.push(Cand { atoms: cand, mask });
+                // The child's rowset is a subset of both join parents;
+                // record the smaller one — fewer removed rows to subtract
+                // if the level gets downdated.
+                let parent = if a.count <= b.count { i } else { j } as u32;
+                cands.push(Cand {
+                    atoms: cand,
+                    mask,
+                    count: treated_in_sub,
+                    parent: Some(parent),
+                });
             }
         }
         cands
@@ -1570,6 +1751,7 @@ impl<'w> WalkState<'w> {
             }
             Vec::new()
         };
+        let plans = self.plan_level(&cands, &keys);
         let ranges = sched::chunk_ranges(cands.len(), self.workers, MIN_CHUNK);
         let slots = sched::ChunkSlots::new(ranges.len());
         Arc::new(LevelBatch {
@@ -1577,6 +1759,8 @@ impl<'w> WalkState<'w> {
             cands,
             keys,
             ctx,
+            plans,
+            track: self.track_moments(),
             space,
             subpop_mask: self.ctxs.subpop_mask.clone(),
             ranges,
@@ -1588,10 +1772,12 @@ impl<'w> WalkState<'w> {
     /// direction/near-zero filter in candidate order, the work counters
     /// (every candidate counts — failed estimates are work), per-level
     /// retention, best-k updates and the lines-10–13 termination test.
-    fn absorb(&mut self, cands: &[Cand], results: Vec<Option<CateResult>>) {
+    fn absorb(&mut self, cands: &[Cand], keys: &[Vec<usize>], results: Vec<EvalRes>) {
         debug_assert_eq!(cands.len(), results.len());
+        debug_assert_eq!(cands.len(), keys.len());
         let dir = self.dirs[self.dir_idx];
         let opts = &self.miner.opts;
+        let store_aux = self.store_aux();
         self.evaluated += cands.len();
         // Progress diagnostics for guard trips: evaluations and levels
         // aggregate across all pattern walks of the query.
@@ -1599,19 +1785,27 @@ impl<'w> WalkState<'w> {
         self.guard.level_completed();
         let mut nodes: Vec<Node> = cands
             .iter()
+            .zip(keys)
             .zip(results)
-            .filter_map(|(cand, r)| {
-                let r = r?;
+            .filter_map(|((cand, key), r)| {
+                let (r, moments) = r?;
                 if !dir.matches(r.cate) || r.cate.abs() < self.min_cate {
                     return None;
                 }
                 Some(Node {
                     atoms: cand.atoms.clone(),
                     mask: cand.mask.clone(),
+                    count: cand.count,
                     cate: r.cate,
                     p: r.p_value,
                     n_treated: r.n_treated,
                     n_control: r.n_control,
+                    aux: store_aux.then(|| {
+                        Arc::new(NodeAux {
+                            key: key.clone(),
+                            moments,
+                        })
+                    }),
                 })
             })
             .collect();
@@ -1713,6 +1907,8 @@ impl<'w> WalkState<'w> {
                 evaluated: self.evaluated,
                 levels: self.max_levels,
                 contexts_built: self.ctxs.contexts.builds(),
+                downdates: self.downdates,
+                regathers: self.regathers,
             },
         }
     }

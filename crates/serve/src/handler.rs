@@ -307,16 +307,19 @@ impl Handler {
     }
 
     /// The `GET /stats` body: request counters, admission occupancy,
-    /// session work counters and prepared-statement cache stats.
+    /// session work counters, prepared-statement cache stats, and the
+    /// configured numeric mode (`"exact"` or `"fast_v1"`).
     pub fn stats_json(&self) -> String {
         let (inflight, queued) = self.admission.snapshot();
         let (max_inflight, max_queued) = self.admission.limits();
         let sc = self.session.counters();
         let cache = self.session.prepared_cache_stats();
+        let mode = self.session.config().lattice.cate_opts.numeric_mode;
         format!(
             concat!(
                 "{{\"requests\":{},\"queries_ok\":{},\"queries_err\":{},",
                 "\"rejected_saturated\":{},\"not_found\":{},",
+                "\"numeric_mode\":\"{}\",",
                 "\"admission\":{{\"inflight\":{},\"queued\":{},",
                 "\"max_inflight\":{},\"max_queued\":{}}},",
                 "\"session\":{{\"views_materialized\":{},\"queries_prepared\":{},",
@@ -329,6 +332,7 @@ impl Handler {
             self.counters.queries_err.load(Ordering::Relaxed),
             self.counters.rejected_saturated.load(Ordering::Relaxed),
             self.counters.not_found.load(Ordering::Relaxed),
+            mode.as_str(),
             inflight,
             queued,
             max_inflight,
@@ -401,6 +405,7 @@ mod tests {
         assert_eq!(stats.status, 200);
         let body = String::from_utf8(stats.body).unwrap();
         assert!(body.contains("\"prepared_cache\""), "{body}");
+        assert!(body.contains("\"numeric_mode\":\"exact\""), "{body}");
         assert_eq!(h.handle(&get("/nope")).status, 404);
         let mut del = get("/query");
         del.method = "DELETE".into();

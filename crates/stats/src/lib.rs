@@ -13,18 +13,22 @@
 //! * [`corr`] — Pearson and partial correlation, the Fisher-z conditional
 //!   independence test used by the PC/FCI discovery algorithms, and the
 //!   chi-square independence test for contingency tables,
-//! * [`rank`] — Kendall's τ rank correlation (§6.6 sample-size experiment).
+//! * [`rank`] — Kendall's τ rank correlation (§6.6 sample-size experiment),
+//! * [`numeric`] — versioned reduction kernels: [`NumericMode::Exact`]
+//!   bit-replay vs [`NumericMode::FastV1`] 8-lane strided partial sums.
 
 #![warn(missing_docs)]
 
 pub mod corr;
 pub mod dist;
 pub mod matrix;
+pub mod numeric;
 pub mod ols;
 pub mod rank;
 
 pub use corr::{fisher_z_test, partial_correlation, pearson};
 pub use dist::{chi2_sf, normal_cdf, student_t_sf};
 pub use matrix::Matrix;
+pub use numeric::NumericMode;
 pub use ols::{gram_from_blocks, ols, ols_from_gram, ols_from_gram_at, OlsFit};
 pub use rank::kendall_tau;

@@ -167,6 +167,23 @@ impl BitSet {
         acc
     }
 
+    /// Materialize `self ∖ other` (bits set in `self` but not `other`).
+    /// Used by the lattice walk's incremental Gram downdating to enumerate
+    /// the rows a subset candidate dropped from its parent.
+    pub fn difference(&self, other: &BitSet) -> BitSet {
+        debug_assert_eq!(self.nbits, other.nbits);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & !b)
+            .collect();
+        BitSet {
+            words,
+            nbits: self.nbits,
+        }
+    }
+
     /// Size of `self ∪ other` without materializing it.
     pub fn union_count(&self, other: &BitSet) -> usize {
         debug_assert_eq!(self.nbits, other.nbits);
@@ -463,6 +480,11 @@ mod tests {
             assert_eq!(m.count(), inter, "nbits={nbits}");
             for i in 0..nbits {
                 assert_eq!(m.contains(i), a.contains(i) && b.contains(i));
+            }
+            let d = a.difference(&b);
+            assert_eq!(d.count(), diff, "nbits={nbits}");
+            for i in 0..nbits {
+                assert_eq!(d.contains(i), a.contains(i) && !b.contains(i));
             }
         }
     }

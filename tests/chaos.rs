@@ -15,12 +15,18 @@
 //! * benign faults (delays, spurious wakeups, unreached sites) change
 //!   nothing observable.
 //!
+//! The fault-observing scenarios run under both numeric modes
+//! (`Exact` and `FastV1`) — the failure model is independent of which
+//! reduction kernels the estimator uses.
+//!
 //! The dataset is seeded; set `CHAOS_SEED` to sweep the matrix in CI.
 
 use std::time::Duration;
 
 use causal::Dag;
-use causumx::{ConfigBuilder, Error, FaultKind, FaultPlan, FaultSite, RunGuard, Session, Summary};
+use causumx::{
+    ConfigBuilder, Error, FaultKind, FaultPlan, FaultSite, NumericMode, RunGuard, Session, Summary,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use table::{Table, TableBuilder};
@@ -77,9 +83,16 @@ fn dataset() -> (Table, Dag) {
     (table, dag)
 }
 
-fn config(threads: usize) -> ConfigBuilder {
-    ConfigBuilder::new().apriori_tau(0.05).threads(threads)
+fn config(threads: usize, mode: NumericMode) -> ConfigBuilder {
+    ConfigBuilder::new()
+        .apriori_tau(0.05)
+        .threads(threads)
+        .numeric_mode(mode)
 }
+
+/// Both numeric modes: the failure model must hold identically under the
+/// pinned serial fold and the fixed-lane FastV1 kernels.
+const MODES: [NumericMode; 2] = [NumericMode::Exact, NumericMode::FastV1];
 
 /// Exact, order-sensitive summary fingerprint (bit patterns, not
 /// rounded values).
@@ -103,18 +116,25 @@ fn fingerprint(s: &Summary) -> (u64, usize, usize, Vec<(String, Option<u64>, Opt
 
 /// Clean-run fingerprint under `threads`, used as the baseline every
 /// faulted scenario is compared against.
-fn baseline(table: &Table, dag: &Dag, threads: usize) -> Summary {
-    let session = Session::new(table.clone(), dag.clone(), config(threads).build().unwrap());
+fn baseline(table: &Table, dag: &Dag, threads: usize, mode: NumericMode) -> Summary {
+    let session = Session::new(
+        table.clone(),
+        dag.clone(),
+        config(threads, mode).build().unwrap(),
+    );
     session.query().group_by("country").avg("y").run().unwrap()
 }
 
 #[test]
 fn injected_panic_fails_only_that_query_and_names_its_site() {
     let (table, dag) = dataset();
-    for threads in [1usize, 2, 4] {
-        let want = fingerprint(&baseline(&table, &dag, threads));
+    for (threads, mode) in [1usize, 2, 4]
+        .into_iter()
+        .flat_map(|t| MODES.map(|m| (t, m)))
+    {
+        let want = fingerprint(&baseline(&table, &dag, threads, mode));
 
-        let cfg = config(threads)
+        let cfg = config(threads, mode)
             .fault_plan(FaultPlan::new().inject(SITE, FaultKind::Panic))
             .build()
             .unwrap();
@@ -144,12 +164,12 @@ fn injected_panic_fails_only_that_query_and_names_its_site() {
 
         // The session (and its FD/backdoor caches) survives: disarm the
         // plan and the same query is bit-identical to the clean baseline.
-        session.set_config(config(threads).build().unwrap());
+        session.set_config(config(threads, mode).build().unwrap());
         let clean = session.query().group_by("country").avg("y").run().unwrap();
         assert_eq!(
             want,
             fingerprint(&clean),
-            "threads={threads}: post-failure run diverged from baseline"
+            "threads={threads} mode={mode:?}: post-failure run diverged from baseline"
         );
     }
 }
@@ -158,14 +178,18 @@ fn injected_panic_fails_only_that_query_and_names_its_site() {
 fn concurrent_sibling_query_stays_bit_identical() {
     let (table, dag) = dataset();
     let threads = 2;
-    let want = fingerprint(&baseline(&table, &dag, threads));
+    let want = fingerprint(&baseline(&table, &dag, threads, NumericMode::Exact));
 
-    let faulted_cfg = config(threads)
+    let faulted_cfg = config(threads, NumericMode::Exact)
         .fault_plan(FaultPlan::new().inject(SITE, FaultKind::Panic))
         .build()
         .unwrap();
     let faulted = Session::new(table.clone(), dag.clone(), faulted_cfg);
-    let clean = Session::new(table.clone(), dag.clone(), config(threads).build().unwrap());
+    let clean = Session::new(
+        table.clone(),
+        dag.clone(),
+        config(threads, NumericMode::Exact).build().unwrap(),
+    );
 
     std::thread::scope(|scope| {
         let chaos = scope.spawn(|| {
@@ -198,8 +222,11 @@ fn concurrent_sibling_query_stays_bit_identical() {
 #[test]
 fn benign_faults_leave_results_bit_identical() {
     let (table, dag) = dataset();
-    for threads in [1usize, 2, 4] {
-        let want = fingerprint(&baseline(&table, &dag, threads));
+    for (threads, mode) in [1usize, 2, 4]
+        .into_iter()
+        .flat_map(|t| MODES.map(|m| (t, m)))
+    {
+        let want = fingerprint(&baseline(&table, &dag, threads, mode));
         // Delay + spurious wakeup at a reached site, plus a panic armed
         // at a site no walk ever visits: all must be invisible in the
         // output.
@@ -214,7 +241,7 @@ fn benign_faults_leave_results_bit_identical() {
                 },
                 FaultKind::Panic,
             );
-        let cfg = config(threads).fault_plan(plan).build().unwrap();
+        let cfg = config(threads, mode).fault_plan(plan).build().unwrap();
         let session = Session::new(table.clone(), dag.clone(), cfg);
         let q = session
             .query()
@@ -226,7 +253,7 @@ fn benign_faults_leave_results_bit_identical() {
         assert_eq!(
             want,
             fingerprint(&got),
-            "threads={threads}: delay/spurious-wake changed the summary"
+            "threads={threads} mode={mode:?}: delay/spurious-wake changed the summary"
         );
     }
 }
@@ -234,8 +261,11 @@ fn benign_faults_leave_results_bit_identical() {
 #[test]
 fn cancel_fault_surfaces_clean_cancelled_error() {
     let (table, dag) = dataset();
-    for threads in [1usize, 2, 4] {
-        let cfg = config(threads)
+    for (threads, mode) in [1usize, 2, 4]
+        .into_iter()
+        .flat_map(|t| MODES.map(|m| (t, m)))
+    {
+        let cfg = config(threads, mode)
             .fault_plan(FaultPlan::new().inject(SITE, FaultKind::Cancel))
             .build()
             .unwrap();
@@ -256,7 +286,10 @@ fn cancel_fault_surfaces_clean_cancelled_error() {
 #[test]
 fn immediate_deadline_trips_with_progress() {
     let (table, dag) = dataset();
-    let cfg = config(2).deadline(Duration::from_nanos(1)).build().unwrap();
+    let cfg = config(2, NumericMode::Exact)
+        .deadline(Duration::from_nanos(1))
+        .build()
+        .unwrap();
     let session = Session::new(table, dag, cfg);
     let q = session
         .query()
@@ -276,7 +309,7 @@ fn memory_budget_trips_via_synthetic_probe() {
     use std::sync::Arc;
 
     let (table, dag) = dataset();
-    let session = Session::new(table, dag, config(2).build().unwrap());
+    let session = Session::new(table, dag, config(2, NumericMode::Exact).build().unwrap());
     let q = session
         .query()
         .group_by("country")
@@ -314,7 +347,7 @@ fn memory_budget_trips_via_synthetic_probe() {
 #[test]
 fn cancel_handle_works_from_another_thread() {
     let (table, dag) = dataset();
-    let session = Session::new(table, dag, config(2).build().unwrap());
+    let session = Session::new(table, dag, config(2, NumericMode::Exact).build().unwrap());
     let q = session
         .query()
         .group_by("country")
@@ -354,9 +387,9 @@ fn cancel_handle_works_from_another_thread() {
 fn pool_survives_repeated_faulted_runs() {
     let (table, dag) = dataset();
     let threads = 4;
-    let want = fingerprint(&baseline(&table, &dag, threads));
+    let want = fingerprint(&baseline(&table, &dag, threads, NumericMode::Exact));
 
-    let cfg = config(threads)
+    let cfg = config(threads, NumericMode::Exact)
         .fault_plan(FaultPlan::new().inject(SITE, FaultKind::Panic))
         .build()
         .unwrap();
@@ -374,7 +407,11 @@ fn pool_survives_repeated_faulted_runs() {
         );
     }
 
-    let clean = Session::new(table, dag, config(threads).build().unwrap());
+    let clean = Session::new(
+        table,
+        dag,
+        config(threads, NumericMode::Exact).build().unwrap(),
+    );
     let got = clean.query().group_by("country").avg("y").run().unwrap();
     assert_eq!(want, fingerprint(&got), "pool unusable after chaos rounds");
 }

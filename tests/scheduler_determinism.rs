@@ -15,7 +15,10 @@
 //!   clause before mining,
 //! * estimation-layer ablations: confounder panel on/off and the
 //!   estimation cache on/off (sharded per-pattern state must not leak
-//!   across workers in any mode).
+//!   across workers in any mode),
+//! * both numeric modes: `Exact` (the pinned serial fold) and `FastV1`
+//!   (fixed-lane reductions + moment downdating), each bit-identical to
+//!   its own serial run at every worker count.
 //!
 //! It subsumes the former `parallel_equals_sequential*` tests, and adds
 //! the nested-fan-out regression: a lattice walk launched from inside a
@@ -26,7 +29,7 @@ use std::collections::HashSet;
 use std::sync::Mutex;
 
 use causal::Dag;
-use causumx::{ConfigBuilder, Session, Summary};
+use causumx::{ConfigBuilder, NumericMode, Session, Summary};
 use mining::sched;
 use mining::treatment::{LatticeOptions, TreatmentMiner};
 use rand::rngs::StdRng;
@@ -233,11 +236,12 @@ fn fingerprint(
     )
 }
 
-fn run(w: &Workload, threads: usize, cache: bool, panel: bool) -> Summary {
+fn run(w: &Workload, threads: usize, cache: bool, panel: bool, mode: NumericMode) -> Summary {
     let mut cfg = ConfigBuilder::new()
         .apriori_tau(0.05)
         .threads(threads)
         .use_confounder_panel(panel)
+        .numeric_mode(mode)
         .build()
         .unwrap();
     cfg.lattice.use_estimation_cache = cache;
@@ -252,16 +256,22 @@ fn run(w: &Workload, threads: usize, cache: bool, panel: bool) -> Summary {
 fn assert_matrix(name: &str, w: &Workload) {
     // (cache, panel): panel-off with cache-on, and cache-off entirely
     // (panel is a no-op without the cache), plus the default both-on.
-    for (cache, panel) in [(true, true), (true, false), (false, false)] {
-        let serial = run(w, 1, cache, panel);
-        let want = fingerprint(&serial);
-        for threads in [2usize, 4, 8] {
-            let got = fingerprint(&run(w, threads, cache, panel));
-            assert_eq!(
-                want, got,
-                "{name}: threads={threads} cache={cache} panel={panel} \
-                 diverged from serial"
-            );
+    // Each knob combination runs under both numeric modes: `Exact` pins
+    // the serial ascending fold, `FastV1` the fixed-lane kernels plus
+    // moment downdating — each mode must be bit-identical to its *own*
+    // serial run at every worker count.
+    for mode in [NumericMode::Exact, NumericMode::FastV1] {
+        for (cache, panel) in [(true, true), (true, false), (false, false)] {
+            let serial = run(w, 1, cache, panel, mode);
+            let want = fingerprint(&serial);
+            for threads in [2usize, 4, 8] {
+                let got = fingerprint(&run(w, threads, cache, panel, mode));
+                assert_eq!(
+                    want, got,
+                    "{name}: threads={threads} cache={cache} panel={panel} \
+                     mode={mode:?} diverged from serial"
+                );
+            }
         }
     }
 }
@@ -294,7 +304,7 @@ fn where_emptied_groups_bit_identical() {
 #[test]
 fn guarded_runs_stay_bit_identical() {
     for w in [many_skewed_patterns(), one_giant_pattern()] {
-        let unguarded = fingerprint(&run(&w, 1, true, true));
+        let unguarded = fingerprint(&run(&w, 1, true, true, NumericMode::Exact));
         for threads in [1usize, 2, 4] {
             let cfg = ConfigBuilder::new()
                 .apriori_tau(0.05)
