@@ -20,7 +20,16 @@
 //!   matching sizes (including the million-row scale point) are
 //!   hard-asserted against it,
 //! * `--ten-million` — extend the scale sweep to a 10 M-row synthetic
-//!   point (minutes of wall clock; for workstation runs, not CI).
+//!   point (minutes of wall clock; for workstation runs, not CI),
+//! * `--matrix` — additionally run the committed workload matrix
+//!   ([`bench::workloads`]): five datasets × three query shapes ×
+//!   {Exact, FastV1}, each cell at `threads = 1` and `threads = 0`
+//!   (auto). Emits a `matrix` JSON section with one cell per line —
+//!   per-cell clocks, work counters, `downdates`/`regathers` and peak
+//!   RSS — which `tests/workload_matrix.rs` pins fingerprint by
+//!   fingerprint. Within a cell the two thread legs are hard-asserted
+//!   bit-identical, and each FastV1 cell is hard-asserted against its
+//!   Exact sibling (equal counters, total weight within 1e-9 relative).
 //!
 //! Peak RSS (`VmHWM`, via [`bench::peak_rss_bytes`]) is recorded as a
 //! first-class metric: each per-size entry and each scale point carries
@@ -102,6 +111,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let ten_million = args.iter().any(|a| a == "--ten-million");
+    let matrix = args.iter().any(|a| a == "--matrix");
     let mut seed = 42u64;
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
@@ -193,6 +203,13 @@ fn main() {
 
     // Numeric-mode scenario: Exact vs FastV1 lane kernels + downdating.
     let numeric_point = run_numeric_mode_scenario(if quick { 4_000 } else { 30_000 }, seed, quick);
+
+    // Workload matrix: dataset × shape × mode grid (behind --matrix).
+    let matrix_points = if matrix {
+        Some(run_matrix(seed, quick))
+    } else {
+        None
+    };
 
     let prior = baseline_path
         .as_deref()
@@ -310,6 +327,38 @@ fn main() {
                 .map_or("n/a".into(), |v| format!("{v:.1} MiB")),
         );
     }
+    if let Some(cells) = &matrix_points {
+        println!(
+            "# workload matrix ({} cells: dataset \u{00d7} shape \u{00d7} mode, \
+             threads {{1, auto}} inside each cell)\n",
+            cells.len()
+        );
+        let mut mreport = Report::new(&[
+            "cell",
+            "n",
+            "groups",
+            "t1_ms",
+            "auto_ms",
+            "cate_evals",
+            "covered",
+            "dd/rg",
+            "peak_rss_mb",
+        ]);
+        for c in cells {
+            mreport.row(&[
+                format!("{}/{}/{}", c.dataset, c.shape, c.mode),
+                c.n.to_string(),
+                c.m.to_string(),
+                fmt(c.t1_ms, 1),
+                fmt(c.auto_ms, 1),
+                c.cate_evaluations.to_string(),
+                format!("{}/{}", c.covered, c.m),
+                format!("{}/{}", c.downdates, c.regathers),
+                c.peak_rss_mb.map_or("-".into(), |v| fmt(v, 1)),
+            ]);
+        }
+        println!("{}", mreport.markdown());
+    }
 
     let json = render_json(
         seed,
@@ -323,6 +372,7 @@ fn main() {
         &sched_point,
         &guards_point,
         &numeric_point,
+        matrix_points.as_deref(),
     );
     let path = out_path.map(std::path::PathBuf::from).unwrap_or_else(|| {
         let dir = results_dir();
@@ -745,6 +795,133 @@ fn run_numeric_mode_scenario(n: usize, seed: u64, quick: bool) -> NumericModePoi
     }
 }
 
+/// One measured workload-matrix cell: a (dataset, shape, numeric-mode)
+/// combination from [`bench::workloads`], run at `threads = 1` and
+/// `threads = 0` (auto). Counters are shared by both legs — they were
+/// hard-asserted identical before the cell was recorded.
+struct MatrixPoint {
+    dataset: &'static str,
+    shape: &'static str,
+    mode: &'static str,
+    n: usize,
+    m: usize,
+    /// Full pipeline at `threads = 1` (best of reps).
+    t1_ms: f64,
+    /// Full pipeline at `threads = 0` = auto workers (best of reps).
+    auto_ms: f64,
+    /// Grouping / treatment / selection split of the `threads = 1` leg.
+    grouping_ms: f64,
+    treatment_ms: f64,
+    selection_ms: f64,
+    cate_evaluations: usize,
+    candidates: usize,
+    covered: usize,
+    total_weight: f64,
+    downdates: usize,
+    regathers: usize,
+    /// Process peak RSS after this cell (MiB); `None` off Linux.
+    peak_rss_mb: Option<f64>,
+}
+
+/// Run every committed matrix cell. Within a cell the two thread legs
+/// must be bit-identical (weight bits and every counter); across the
+/// mode axis each FastV1 cell must match its Exact sibling's counters
+/// with total weight within 1e-9 relative — the same contracts
+/// `tests/workload_matrix.rs` re-checks in debug builds, asserted here
+/// so a drifted artifact can never be written, let alone committed.
+fn run_matrix(seed: u64, quick: bool) -> Vec<MatrixPoint> {
+    use bench::workloads::{self, QueryShape, MATRIX_DATASETS};
+    let reps = if quick { 1 } else { 3 };
+    let mut out = Vec::new();
+    for spec in MATRIX_DATASETS {
+        let ds = workloads::generate(&spec, seed);
+        for shape in QueryShape::ALL {
+            let query = workloads::shaped_query(&ds, &spec, shape);
+            let mut exact_weight: Option<f64> = None;
+            let mut exact_evals = 0usize;
+            for mode in [causumx::NumericMode::Exact, causumx::NumericMode::FastV1] {
+                let cell_id = format!("{}/{}/{}", spec.name, shape.as_str(), mode.as_str());
+                let run_with = |threads: usize| -> (f64, causumx::Summary) {
+                    let mut best_ms = f64::INFINITY;
+                    let mut last = None;
+                    for _ in 0..reps {
+                        let cfg = causumx::ConfigBuilder::new()
+                            .numeric_mode(mode)
+                            .threads(threads)
+                            .build()
+                            .expect("valid config");
+                        let session = Session::new(ds.table.clone(), ds.dag.clone(), cfg);
+                        let (summary, ms) =
+                            bench::timed(|| session.prepare(query.clone()).expect("prepare").run());
+                        best_ms = best_ms.min(ms);
+                        last = Some(summary);
+                    }
+                    (best_ms, last.expect("at least one repetition"))
+                };
+                let (t1_ms, t1) = run_with(1);
+                let (auto_ms, auto) = run_with(0);
+                // Thread axis: bit-identity inside the cell.
+                assert_eq!(
+                    t1.total_weight.to_bits(),
+                    auto.total_weight.to_bits(),
+                    "{cell_id}: thread legs must be bit-identical"
+                );
+                assert_eq!(t1.cate_evaluations, auto.cate_evaluations, "{cell_id}");
+                assert_eq!(t1.candidates, auto.candidates, "{cell_id}");
+                assert_eq!(t1.covered, auto.covered, "{cell_id}");
+                assert_eq!(t1.downdates, auto.downdates, "{cell_id}");
+                assert_eq!(t1.regathers, auto.regathers, "{cell_id}");
+                // Mode axis: FastV1 vs the Exact sibling just recorded.
+                match mode {
+                    causumx::NumericMode::Exact => {
+                        assert_eq!(t1.downdates, 0, "{cell_id}: Exact must never downdate");
+                        exact_weight = Some(t1.total_weight);
+                        exact_evals = t1.cate_evaluations;
+                    }
+                    causumx::NumericMode::FastV1 => {
+                        let exact_w = exact_weight.expect("Exact cell runs first");
+                        let rel = (exact_w - t1.total_weight).abs() / exact_w.abs().max(1e-30);
+                        assert!(
+                            rel <= 1e-9,
+                            "{cell_id}: FastV1 weight drifted {rel:.3e} from Exact"
+                        );
+                        assert_eq!(
+                            t1.cate_evaluations, exact_evals,
+                            "{cell_id}: numeric mode must not change the work"
+                        );
+                    }
+                }
+                out.push(MatrixPoint {
+                    dataset: spec.name,
+                    shape: shape.as_str(),
+                    mode: mode.as_str(),
+                    n: spec.n,
+                    m: t1.m,
+                    t1_ms,
+                    auto_ms,
+                    grouping_ms: t1.timings.grouping_ms,
+                    treatment_ms: t1.timings.treatment_ms,
+                    selection_ms: t1.timings.selection_ms,
+                    cate_evaluations: t1.cate_evaluations,
+                    candidates: t1.candidates,
+                    covered: t1.covered,
+                    total_weight: t1.total_weight,
+                    downdates: t1.downdates,
+                    regathers: t1.regathers,
+                    peak_rss_mb: bench::peak_rss_mb(),
+                });
+            }
+        }
+    }
+    assert!(
+        out.len() >= workloads::MIN_MATRIX_CELLS,
+        "matrix produced {} cells, below the committed floor of {}",
+        out.len(),
+        workloads::MIN_MATRIX_CELLS
+    );
+    out
+}
+
 /// Million-row scale sweep on [`datagen::synthetic`]: 1 M rows always
 /// (unless `--quick`), 10 M behind `--ten-million`. One repetition per
 /// point — at this scale the signal dwarfs scheduler noise, and the
@@ -804,6 +981,7 @@ fn render_json(
     sched: &SchedPoint,
     guards: &GuardsPoint,
     numeric: &NumericModePoint,
+    matrix: Option<&[MatrixPoint]>,
 ) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
@@ -949,7 +1127,7 @@ fn render_json(
         s,
         "  \"numeric_mode\": {{\"n\": {}, \"exact_ms\": {:.3}, \"fast_v1_ms\": {:.3}, \
          \"fast_speedup\": {:.3}, \"cate_evaluations\": {}, \"downdates\": {}, \
-         \"regathers\": {}, \"rel_tolerance\": 1e-9, \"fast_thread_bit_identical\": true}}",
+         \"regathers\": {}, \"rel_tolerance\": 1e-9, \"fast_thread_bit_identical\": true}}{}",
         numeric.n,
         numeric.exact_ms,
         numeric.fast_ms,
@@ -957,7 +1135,45 @@ fn render_json(
         numeric.cate_evaluations,
         numeric.downdates,
         numeric.regathers,
+        if matrix.is_some() { "," } else { "" },
     );
+    if let Some(cells) = matrix {
+        // One cell per line so the differential tier
+        // (tests/workload_matrix.rs) can scan fingerprints back the same
+        // way `read_prior_sizes` does.
+        let _ = writeln!(s, "  \"matrix\": [");
+        for (i, c) in cells.iter().enumerate() {
+            let comma = if i + 1 < cells.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"dataset\": \"{}\", \"shape\": \"{}\", \"mode\": \"{}\", \"n\": {}, \
+                 \"groups\": {}, \"pipeline_ms_t1\": {:.3}, \"pipeline_ms_auto\": {:.3}, \
+                 \"grouping_ms\": {:.3}, \"treatment_ms\": {:.3}, \"selection_ms\": {:.3}, \
+                 \"cate_evaluations\": {}, \"candidates\": {}, \"covered\": {}, \
+                 \"total_weight\": {:.6}, \"downdates\": {}, \"regathers\": {}, \
+                 \"peak_rss_mb\": {}, \"bit_identical\": true}}{}",
+                c.dataset,
+                c.shape,
+                c.mode,
+                c.n,
+                c.m,
+                c.t1_ms,
+                c.auto_ms,
+                c.grouping_ms,
+                c.treatment_ms,
+                c.selection_ms,
+                c.cate_evaluations,
+                c.candidates,
+                c.covered,
+                c.total_weight,
+                c.downdates,
+                c.regathers,
+                json_opt(c.peak_rss_mb),
+                comma
+            );
+        }
+        let _ = writeln!(s, "  ]");
+    }
     let _ = writeln!(s, "}}");
     s
 }
@@ -980,6 +1196,12 @@ fn read_prior_sizes(path: &str) -> Vec<PriorSize> {
     };
     let mut out = Vec::new();
     for line in text.lines() {
+        // Matrix cells carry the same numeric fields at their own sizes;
+        // they are pinned by tests/workload_matrix.rs, not by the
+        // per-size baseline comparison.
+        if line.contains("\"shape\":") {
+            continue;
+        }
         let (Some(n), Some(ms), Some(evals), Some(w)) = (
             field_num(line, "\"n\":"),
             field_num(line, "\"treatment_ms\":"),

@@ -8,6 +8,8 @@
 //! Each binary prints the same rows/series its paper artifact reports and
 //! writes a machine-readable copy under `results/`.
 
+pub mod workloads;
+
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;

@@ -96,8 +96,8 @@ pub use render::{
     ReportTreatment,
 };
 pub use session::{
-    select_candidates, AttrSplit, PreparedCacheStats, PreparedQuery, QueryBuilder, Session,
-    SessionCounters,
+    select_candidates, AttrSplit, DiscoveryAlgo, PreparedCacheStats, PreparedQuery, QueryBuilder,
+    Session, SessionCounters,
 };
 
 #[allow(deprecated)]

@@ -70,6 +70,91 @@ use crate::explanation::{Explanation, StepTimings, Summary};
 use crate::pipeline::CandidateSet;
 use crate::render::Report;
 
+/// Causal-discovery algorithm selector for
+/// [`Session::with_discovered_dag`] — the "no hand-written DAG" path in
+/// which the session learns its causal graph from the bound table instead
+/// of receiving one (§6.6 of the paper: DAGs "can originate from various
+/// sources, including … existing causal discovery methods").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DiscoveryAlgo {
+    /// PC-stable with Fisher-z conditional-independence tests at
+    /// significance level `alpha`.
+    Pc {
+        /// CI-test significance level (the paper's experiments use 0.01).
+        alpha: f64,
+    },
+    /// The conservative FCI-style variant (sparser graphs) at
+    /// significance level `alpha`.
+    Fci {
+        /// CI-test significance level.
+        alpha: f64,
+    },
+    /// DirectLiNGAM (pairwise likelihood-ratio ordering, OLS-pruned
+    /// edges).
+    Lingam,
+    /// Greedy BIC hill climbing with at most `max_iters` edge moves.
+    HillClimb {
+        /// Edge-move budget (each move is one addition/deletion/reversal).
+        max_iters: usize,
+    },
+}
+
+impl DiscoveryAlgo {
+    /// PC-stable at the standard α = 0.01.
+    pub fn pc() -> Self {
+        DiscoveryAlgo::Pc { alpha: 0.01 }
+    }
+
+    /// Conservative FCI at the standard α = 0.01.
+    pub fn fci() -> Self {
+        DiscoveryAlgo::Fci { alpha: 0.01 }
+    }
+
+    /// Hill climbing with the default 200-move budget.
+    pub fn hill_climb() -> Self {
+        DiscoveryAlgo::HillClimb { max_iters: 200 }
+    }
+
+    /// Stable lowercase label (used in logs and artifact cells).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DiscoveryAlgo::Pc { .. } => "pc",
+            DiscoveryAlgo::Fci { .. } => "fci",
+            DiscoveryAlgo::Lingam => "lingam",
+            DiscoveryAlgo::HillClimb { .. } => "hillclimb",
+        }
+    }
+
+    /// Run the algorithm over (a deterministic prefix of) `table` and
+    /// return the learned DAG. Categorical columns enter as dictionary
+    /// codes, as in the `discovery` crate's own experiments.
+    ///
+    /// Discovery cost is super-linear in rows (every CI test or score
+    /// evaluation scans its columns), so the input is capped at the first
+    /// [`Session::DISCOVERY_ROW_CAP`] rows — a deterministic prefix, not
+    /// a sample, so repeated calls learn the same graph bit for bit.
+    pub fn discover(&self, table: &Table) -> Dag {
+        let capped;
+        let input = if table.nrows() > Session::DISCOVERY_ROW_CAP {
+            let keep: Vec<usize> = (0..Session::DISCOVERY_ROW_CAP).collect();
+            capped = table.take(&keep);
+            &capped
+        } else {
+            table
+        };
+        let data = discovery::numeric_columns(input);
+        let names = discovery::attr_names(input);
+        match *self {
+            DiscoveryAlgo::Pc { alpha } => discovery::pc(&data, &names, alpha),
+            DiscoveryAlgo::Fci { alpha } => discovery::fci(&data, &names, alpha),
+            DiscoveryAlgo::Lingam => discovery::lingam(&data, &names),
+            DiscoveryAlgo::HillClimb { max_iters } => {
+                discovery::hill_climb(&data, &names, max_iters)
+            }
+        }
+    }
+}
+
 /// The FD-driven attribute split of §4.1 for one group-by set: attributes
 /// functionally determined by the group-by (grouping-pattern candidates)
 /// vs everything else (treatment-pattern candidates).
@@ -198,6 +283,42 @@ impl Session {
             prep_cache: Mutex::new(PrepCache::default()),
             counters: Counters::default(),
         }
+    }
+
+    /// Row cap applied to the discovery input by
+    /// [`Session::with_discovered_dag`] (deterministic prefix — see
+    /// [`DiscoveryAlgo::discover`]).
+    pub const DISCOVERY_ROW_CAP: usize = 2_000;
+
+    /// Bind a dataset with a *discovered* causal DAG: run `algo` over the
+    /// table (capped at the first [`Self::DISCOVERY_ROW_CAP`] rows) and
+    /// feed the learned graph straight into explanation mining — the
+    /// end-to-end "no hand-written DAG" pipeline of §6.6. The full table
+    /// is bound to the session; only discovery sees the row prefix.
+    ///
+    /// ```
+    /// use causumx::{ConfigBuilder, DiscoveryAlgo, Session};
+    /// use table::TableBuilder;
+    ///
+    /// // y = x + noise-free copy: discovery sees the dependence, the
+    /// // session mines against whatever graph it learned.
+    /// let x: Vec<f64> = (0..64).map(|i| (i % 7) as f64).collect();
+    /// let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+    /// let table = TableBuilder::new()
+    ///     .cat_owned("g", (0..64).map(|i| format!("g{}", i % 4)).collect()).unwrap()
+    ///     .float("x", x).unwrap()
+    ///     .float("y", y).unwrap()
+    ///     .build().unwrap();
+    /// let session = Session::with_discovered_dag(
+    ///     table,
+    ///     DiscoveryAlgo::pc(),
+    ///     ConfigBuilder::new().build().unwrap(),
+    /// );
+    /// assert!(session.dag().topological_order().is_some());
+    /// ```
+    pub fn with_discovered_dag(table: Table, algo: DiscoveryAlgo, config: CausumxConfig) -> Self {
+        let dag = algo.discover(&table);
+        Session::new(table, dag, config)
     }
 
     /// The bound table.

@@ -2,11 +2,76 @@
 //! DAG from data and feeding it to the explanation pipeline.
 
 use causumx::{ConfigBuilder, Session};
-use discovery::{attr_names, fci, lingam, no_dag, numeric_columns, pc};
+use discovery::{attr_names, fci, hill_climb, lingam, no_dag, numeric_columns, pc, shd};
 
 fn sampled(ds: &datagen::Dataset, rows: usize) -> table::Table {
     let keep: Vec<usize> = (0..ds.table.nrows()).take(rows).collect();
     ds.table.take(&keep)
+}
+
+/// Directed-edge precision and recall of `got` against the ground truth.
+/// An empty discovered graph scores precision 1 (it asserted nothing)
+/// and recall 0 — the recall floor is what catches it.
+fn precision_recall(truth: &causal::Dag, got: &causal::Dag) -> (f64, f64) {
+    let t: std::collections::HashSet<(usize, usize)> = truth.edges().into_iter().collect();
+    let g: std::collections::HashSet<(usize, usize)> = got.edges().into_iter().collect();
+    let tp = g.intersection(&t).count() as f64;
+    let p = if g.is_empty() {
+        1.0
+    } else {
+        tp / g.len() as f64
+    };
+    (p, tp / t.len() as f64)
+}
+
+/// Every discovery algorithm recovers a usable fraction of the synthetic
+/// ground-truth SCM (`G → G_l`, `T_k → O`). Floors, not exact pins:
+/// discovery output is deterministic per seed, but the floors state what
+/// the §6.6 experiments actually require — mostly-right edges for the
+/// constraint-based family, sign-correct adjustment sets for the rest.
+/// Observed at seeds {7, 42, 99}: PC/FCI 0.71/0.71, hill-climb
+/// 0.57/0.57, LiNGAM 0.19–0.30 precision at 0.43 recall (its iid-lattice
+/// data violates the non-Gaussianity it needs, hence the loose floor).
+#[test]
+fn discovery_recovers_synthetic_ground_truth_edges() {
+    let ds = datagen::synthetic::generate(
+        datagen::synthetic::SynthParams {
+            n: 2_000,
+            tuples_per_group: 40,
+            ..Default::default()
+        },
+        42,
+    );
+    let data = numeric_columns(&ds.table);
+    let names = attr_names(&ds.table);
+    let max_shd = ds.dag.len() * (ds.dag.len() - 1) / 2;
+    for (label, dag, p_floor, r_floor) in [
+        ("pc", pc(&data, &names, 0.01), 0.6, 0.6),
+        ("fci", fci(&data, &names, 0.01), 0.6, 0.6),
+        ("hillclimb", hill_climb(&data, &names, 200), 0.5, 0.5),
+        ("lingam", lingam(&data, &names), 0.15, 0.3),
+    ] {
+        let (p, r) = precision_recall(&ds.dag, &dag);
+        assert!(
+            p >= p_floor,
+            "{label}: edge precision {p:.2} below floor {p_floor}"
+        );
+        assert!(
+            r >= r_floor,
+            "{label}: edge recall {r:.2} below floor {r_floor}"
+        );
+        // SHD against truth must beat the trivial worst case by a wide
+        // margin (an empty or fully wrong graph sits at ≥ 7 here).
+        let d = shd(&ds.dag, &dag);
+        assert!(
+            d < max_shd / 2,
+            "{label}: SHD {d} not meaningfully below the {max_shd} ceiling"
+        );
+        assert!(
+            dag.topological_order().is_some(),
+            "{label}: emitted graph must be a DAG"
+        );
+    }
 }
 
 #[test]
